@@ -1,0 +1,25 @@
+"""Shared bench configuration.
+
+Every bench runs its experiment exactly once (``pedantic`` with one
+round): the interesting output is the reproduced figure/table, not
+timing statistics of the simulator itself.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure/table rendering into the bench log."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,47 @@
+"""Ablation: idleness is the trigger.
+
+Sweep the think time between page visits against the 3G demotion timers
+(DCH->FACH at 5 s, FACH->IDLE at +12 s).  Short think times keep the
+radio active and suppress the idle pathology; the paper's 60 s guarantees
+a cold radio at every page start.
+"""
+
+import statistics
+
+from conftest import emit
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.reporting import render_table
+
+SITES = [5, 9, 12, 13]  # small/medium sites so loads finish within windows
+
+
+def sweep(think_times):
+    results = {}
+    for think in think_times:
+        config = ExperimentConfig(protocol="spdy", network="3g", seed=0,
+                                  site_ids=SITES, think_time=think,
+                                  load_timeout=min(think - 2.0, 55.0),
+                                  background_enabled=False)
+        run = run_experiment(config)
+        results[think] = {
+            "spurious": run.spurious_retransmissions(),
+            "promotions": run.testbed.radio.promotions,
+            "median_plt": statistics.median(run.plts_by_site().values()),
+        }
+    return results
+
+
+def test_ablation_think_time(once):
+    data = once(sweep, [4.0, 12.0, 30.0, 60.0])
+    emit("Ablation — think time vs radio idleness (SPDY, 3G)", render_table(
+        ["think (s)", "promotions", "spurious retx", "median PLT (s)"],
+        [[t, v["promotions"], v["spurious"], v["median_plt"]]
+         for t, v in sorted(data.items())]))
+
+    # Sub-demotion think time keeps the radio warm: one initial promotion.
+    assert data[4.0]["promotions"] <= 2
+    # The paper's 60 s think time promotes on (almost) every page.
+    assert data[60.0]["promotions"] >= len(SITES) - 1
+    # Idleness costs PLT: cold-radio visits are slower on median.
+    assert data[60.0]["median_plt"] >= data[4.0]["median_plt"]

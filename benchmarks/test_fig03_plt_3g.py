@@ -1,0 +1,43 @@
+"""Figure 3: page load times over 3G, HTTP vs SPDY.
+
+Paper claim: the box plots "do not show a convincing winner between HTTP
+and SPDY" — some sites favour one, some the other, many are close.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig03_plt_3g
+from repro.reporting import render_boxes
+
+
+def test_fig03_plt_3g(once):
+    data = once(fig03_plt_3g, n_runs=2)
+    emit("Figure 3 — PLT over 3G (seconds)",
+         render_boxes(data["sites"], title="HTTP vs SPDY box statistics"))
+    emit("Figure 3 — headline", (
+        f"median PLT: http={data['median_plt']['http']:.2f}s "
+        f"spdy={data['median_plt']['spdy']:.2f}s; "
+        f"SPDY wins {data['spdy_wins']}/{len(data['sites'])} sites; "
+        f"retx http={data['retransmissions']['http']:.0f} "
+        f"spdy={data['retransmissions']['spdy']:.0f}"))
+
+    sites = data["sites"]
+    assert len(sites) == 20
+    # No convincing winner: each protocol takes at least a couple of
+    # sites, and the bulk of sites show no large difference.
+    wins = data["spdy_wins"]
+    assert wins >= 2, "HTTP sweeps: unlike the paper"
+    assert len(sites) - wins >= 2, "SPDY sweeps: too rosy"
+    close = sum(
+        1 for s in sites
+        if abs(sites[s]["http"]["mean"] - sites[s]["spdy"]["mean"])
+        < 0.15 * sites[s]["http"]["mean"])
+    assert close >= len(sites) // 3, \
+        "most sites should show no significant difference"
+    # Overall medians are close (within a third of each other).
+    h, s = data["median_plt"]["http"], data["median_plt"]["spdy"]
+    assert 0.75 < h / s < 1.33
+    # 3G page loads live in the multi-second regime of the paper's Fig. 3.
+    assert 3.0 < h < 30.0 and 3.0 < s < 30.0
+    # HTTP retransmits more than SPDY in absolute count (117 vs 67).
+    assert data["retransmissions"]["http"] > data["retransmissions"]["spdy"]

@@ -1,0 +1,35 @@
+"""Figure 4: page load times over 802.11g/broadband.
+
+Paper claim: "SPDY performs better than HTTP consistently with page load
+time improvements ranging from 4% for website 4 to 56% for website 9."
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig04_plt_wifi
+from repro.reporting import render_table
+
+
+def test_fig04_plt_wifi(once):
+    data = once(fig04_plt_wifi, n_runs=3)
+    rows = []
+    for site in sorted(data["sites"]):
+        e = data["sites"][site]
+        rows.append([site, e["http"]["mean"], e["http"]["ci_lo"],
+                     e["http"]["ci_hi"], e["spdy"]["mean"],
+                     e["spdy"]["ci_lo"], e["spdy"]["ci_hi"],
+                     data["improvement_pct"][site]])
+    emit("Figure 4 — average PLT over WiFi/broadband (s, 95% CI)",
+         render_table(["site", "http", "lo", "hi", "spdy", "lo", "hi",
+                       "improv%"], rows))
+    emit("Figure 4 — headline",
+         f"SPDY wins {data['spdy_wins']}/20 sites, "
+         f"mean improvement {data['mean_improvement_pct']:.1f}%")
+
+    # SPDY better on a clear majority of sites, and on average.
+    assert data["spdy_wins"] >= 12
+    assert data["mean_improvement_pct"] > 0
+    # WiFi page loads are fast (single-digit seconds).
+    for site, entry in data["sites"].items():
+        assert entry["http"]["mean"] < 10.0
+        assert entry["spdy"]["mean"] < 10.0

@@ -1,0 +1,41 @@
+"""Figure 5: split of average object download times into components.
+
+Paper claims: send time is negligible for both; HTTP pays a large *init*
+(waiting for/opening connections); SPDY's init is near zero but its
+*wait* (request sent -> first byte) exceeds HTTP's, negating the saving.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig05_object_breakdown
+from repro.reporting import render_table
+
+
+def test_fig05_object_breakdown(once):
+    data = once(fig05_object_breakdown, n_runs=1)
+    rows = []
+    for site in sorted(data["sites"]):
+        e = data["sites"][site]
+        rows.append([site,
+                     e["http"]["init"], e["http"]["send"], e["http"]["wait"],
+                     e["http"]["receive"],
+                     e["spdy"]["init"], e["spdy"]["send"], e["spdy"]["wait"],
+                     e["spdy"]["receive"]])
+    emit("Figure 5 — object time components over 3G (seconds)",
+         render_table(["site", "h.init", "h.send", "h.wait", "h.recv",
+                       "s.init", "s.send", "s.wait", "s.recv"], rows))
+    mean = data["mean"]
+    emit("Figure 5 — means", str(mean))
+
+    # Send is almost invisible for both protocols (a small fraction of
+    # the wait + receive path).
+    for protocol in ("http", "spdy"):
+        assert mean[protocol]["send"] < 0.1
+        assert mean[protocol]["send"] < 0.1 * (
+            mean[protocol]["wait"] + mean[protocol]["receive"])
+    # HTTP's init dominates SPDY's (connection setup/pool wait).
+    assert mean["http"]["init"] > 4 * mean["spdy"]["init"]
+    # SPDY's wait exceeds HTTP's wait AND exceeds HTTP's init — the
+    # paper's "this negates any advantages SPDY gains".
+    assert mean["spdy"]["wait"] > mean["http"]["wait"]
+    assert mean["spdy"]["wait"] > mean["http"]["init"]

@@ -1,0 +1,36 @@
+"""Figure 8: the proxy-origin link is not the bottleneck.
+
+Paper numbers: origin first byte averages 14 ms (max 46 ms), origin
+download 4 ms — yet the proxy takes far longer to push the data to the
+client ("SPDY has essentially moved the bottleneck from the client to
+the proxy").
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig08_proxy_queueing
+from repro.reporting import render_table
+
+
+def test_fig08_proxy_queueing(once):
+    data = once(fig08_proxy_queueing, site_id=7)
+    rows = [[o["order"], f"{o['origin_wait'] * 1000:.1f}",
+             f"{o['origin_download'] * 1000:.1f}",
+             f"{(o['queueing_delay'] or 0) * 1000:.1f}",
+             f"{(o['client_transfer'] or 0) * 1000:.1f}", o["bytes"]]
+            for o in data["objects"][:30]]
+    emit("Figure 8 — proxy request lifecycle (ms), first 30 objects",
+         render_table(["order", "origin wait", "origin dl", "queueing",
+                       "to client", "bytes"], rows))
+    emit("Figure 8 — means", (
+        f"origin wait {data['mean_origin_wait'] * 1000:.1f} ms "
+        f"(max {data['max_origin_wait'] * 1000:.1f}), "
+        f"origin download {data['mean_origin_download'] * 1000:.1f} ms, "
+        f"client transfer {data['mean_client_transfer'] * 1000:.1f} ms"))
+
+    # The paper's regime: origin-side times in low tens of milliseconds...
+    assert data["mean_origin_wait"] < 0.060
+    assert data["mean_origin_download"] < 0.030
+    # ...while delivering to the client takes order-of-magnitude longer.
+    assert data["mean_client_transfer"] > 5 * data["mean_origin_wait"]
+    assert len(data["objects"]) > 50

@@ -1,0 +1,30 @@
+"""Figure 10: unacknowledged bytes between proxy and device.
+
+Paper claim: neither protocol dominates in outstanding bytes, but
+whichever has more outstanding data during a site's window loads that
+site faster ("whenever the outstanding bytes is higher, it results in
+lower page load times").
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig10_bytes_in_flight
+from repro.reporting import render_series
+
+
+def test_fig10_bytes_in_flight(once):
+    data = once(fig10_bytes_in_flight)
+    for protocol in ("http", "spdy"):
+        emit(f"Figure 10 — bytes in flight ({protocol})",
+             render_series(data["series"][protocol], title=protocol))
+    emit("Figure 10 — headline",
+         f"flight-size/PLT winner agreement: "
+         f"{data['flight_plt_agreement'] * 100:.0f}% of sites")
+
+    http_peak = max(v for _, v in data["series"]["http"])
+    spdy_peak = max(v for _, v in data["series"]["spdy"])
+    # Both protocols get substantial data in flight (tens of KB+).
+    assert http_peak > 30_000 and spdy_peak > 30_000
+    # The correlation the paper reports: in-flight winner == PLT winner
+    # for a clear majority of sites.
+    assert data["flight_plt_agreement"] >= 0.5

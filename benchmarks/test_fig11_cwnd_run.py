@@ -1,0 +1,43 @@
+"""Figure 11: cwnd, ssthresh, outstanding data and retransmissions for a
+full SPDY run over 3G.
+
+Paper claims: cwnd bounds the outstanding data; both cwnd and ssthresh
+fluctuate throughout the run instead of stabilising; retransmissions
+recur across the whole run and are overwhelmingly spurious.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig11_cwnd_run
+from repro.reporting import render_series
+
+
+def test_fig11_cwnd_run(once):
+    data = once(fig11_cwnd_run)
+    cwnd_series = [(t, c) for t, c, _, _ in data["samples"]]
+    emit("Figure 11 — SPDY connection cwnd over the run",
+         render_series(cwnd_series, title="cwnd (segments)"))
+    emit("Figure 11 — events", (
+        f"{len(data['retransmissions'])} retransmissions "
+        f"({data['spurious_fraction'] * 100:.0f}% spurious), "
+        f"{len(data['idle_restarts'])} idle restarts"))
+
+    samples = data["samples"]
+    assert len(samples) > 1000
+    # cwnd is the ceiling on outstanding data (allow slack for the
+    # instants where a loss just shrank cwnd under the in-flight count).
+    violations = sum(1 for _, cwnd, _, inflight in samples
+                     if inflight > cwnd + 3)
+    assert violations / len(samples) < 0.2
+    # cwnd and ssthresh keep fluctuating: the run never settles.
+    cwnds = [c for _, c, _, _ in samples]
+    assert max(cwnds) > 4 * min(cwnds)
+    ssthreshes = [s for _, _, s, _ in samples if s < 1e5]
+    assert ssthreshes, "ssthresh was never reduced — no loss episodes?"
+    assert max(ssthreshes) > 2 * min(ssthreshes)
+    # Retransmissions recur through the run; a large share is spurious
+    # (promotion-delay timeouts), the rest genuine radio loss.
+    assert len(data["retransmissions"]) > 10
+    assert data["spurious_fraction"] > 0.3
+    # Idle restarts happen every think-time gap.
+    assert len(data["idle_restarts"]) >= 10

@@ -1,0 +1,34 @@
+"""Figure 12: zooming into consecutive sites — the §5.5.1 causal chain.
+
+Paper narrative: after an idle period the cwnd is reset (RFC 2861), the
+radio must be promoted, the stale RTO fires spuriously, and the spurious
+timeout drags ssthresh down with it; cwnd then crawls in congestion
+avoidance.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig12_idle_zoom
+from repro.reporting import render_series
+
+
+def test_fig12_idle_zoom(once):
+    data = once(fig12_idle_zoom, seed=0, window=(40.0, 250.0))
+    cwnd_series = [(t, c) for t, c, _, _ in data["samples"]]
+    emit("Figure 12 — cwnd, zoomed window",
+         render_series(cwnd_series, title="cwnd (segments), t in window"))
+    emit("Figure 12 — events in window", (
+        f"retransmissions: {len(data['retransmissions'])}, "
+        f"idle restarts: {len(data['idle_restarts'])}, "
+        f"ssthresh before/after first retx: "
+        f"{data.get('ssthresh_before_retx')} -> "
+        f"{data.get('ssthresh_after_retx')}"))
+
+    # The window covers several 60-second site visits: idle restarts and
+    # retransmissions must both appear.
+    assert len(data["idle_restarts"]) >= 1
+    assert len(data["retransmissions"]) >= 1
+    # The signature collapse: ssthresh after the first retransmission in
+    # the window is below its value before.
+    if "ssthresh_before_retx" in data:
+        assert data["ssthresh_after_retx"] <= data["ssthresh_before_retx"]

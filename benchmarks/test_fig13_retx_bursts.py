@@ -1,0 +1,33 @@
+"""Figure 13: retransmission bursts affect a single TCP stream.
+
+Paper claim: HTTP has many retransmissions in total, but they come in
+bursts confined to one connection at a time, so the other parallel
+connections keep the path utilised — HTTP's late binding of requests to
+connections routes around the damage.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig13_retx_bursts
+from repro.reporting import render_table
+
+
+def test_fig13_retx_bursts(once):
+    data = once(fig13_retx_bursts)
+    top = sorted(data["retx_by_connection"].items(), key=lambda kv: -kv[1])
+    emit("Figure 13 — retransmissions per connection (top 10)",
+         render_table(["connection", "retx"], top[:10]))
+    emit("Figure 13 — headline", (
+        f"{len(data['events'])} retransmissions across "
+        f"{data['connections_with_retx']} of {data['connections_total']} "
+        f"connections; burst isolation "
+        f"{data['burst_isolation_fraction'] * 100:.0f}%"))
+
+    # Retransmissions touch only a small minority of HTTP's connections.
+    assert data["connections_with_retx"] < 0.5 * data["connections_total"]
+    # Bursty and connection-local: within a dense window the dominant
+    # stream owns a plurality of the retransmissions, and at least one
+    # stream takes a concentrated multi-packet burst.
+    assert data["burst_isolation_fraction"] > 0.3
+    assert max(data["retx_by_connection"].values()) >= 4
+    assert len(data["events"]) > 20

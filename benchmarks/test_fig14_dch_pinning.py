@@ -1,0 +1,43 @@
+"""Figure 14: keeping the radio in DCH with a continual ping.
+
+Paper claims: with pings, far more pages load under 8 s; retransmissions
+drop dramatically (~91% HTTP, ~96% SPDY) because the RTT estimate is no
+longer invalidated by the state machine; but pinning wastes radio
+resources and battery.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig14_dch_pinning
+from repro.reporting import render_cdf, render_table
+
+
+def test_fig14_dch_pinning(once):
+    data = once(fig14_dch_pinning, n_runs=2)
+    emit("Figure 14 — PLT CDFs", render_cdf(data["cdf"]))
+    emit("Figure 14 — retransmissions & energy", render_table(
+        ["condition", "retx", "energy (J)"],
+        [[k, data["retransmissions"][k], data["energy_mj"][k] / 1000.0]
+         for k in sorted(data["retransmissions"])]))
+    emit("Figure 14 — headline", (
+        f"retx reduction: http {data['http_retx_reduction_pct']:.0f}%, "
+        f"spdy {data['spdy_retx_reduction_pct']:.0f}%; "
+        f"frac<8s http {data['http_frac_under_8s']}, "
+        f"spdy {data['spdy_frac_under_8s']}"))
+
+    for protocol in ("http", "spdy"):
+        # Pinning improves the PLT distribution...
+        frac = data[f"{protocol}_frac_under_8s"]
+        assert frac["ping"] > frac["noping"]
+        # ...and reduces retransmissions (fully reproduced for SPDY; for
+        # HTTP our testbed retains some load-time retransmissions that
+        # pinning cannot remove — see EXPERIMENTS.md).
+        assert data[f"{protocol}_retx_reduction_pct"] > 5.0
+        # ...but costs battery: pinned runs burn more radio energy.
+        assert data["energy_mj"][f"{protocol}/ping"] > \
+            data["energy_mj"][f"{protocol}/noping"]
+    # SPDY benefits the most (96% vs 91% in the paper): its single
+    # connection is the state machine's main victim.
+    assert data["spdy_retx_reduction_pct"] > 40.0
+    assert data["spdy_retx_reduction_pct"] >= \
+        data["http_retx_reduction_pct"]

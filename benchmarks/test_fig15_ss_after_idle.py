@@ -1,0 +1,29 @@
+"""Figure 15: disabling tcp_slow_start_after_idle.
+
+Paper claim: "the benefits vary across different websites" — disabling
+the idle restart helps some sites and hurts others; it is not the fix.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig15_ss_after_idle
+from repro.reporting import render_table
+
+
+def test_fig15_ss_after_idle(once):
+    data = once(fig15_ss_after_idle, n_runs=2)
+    rows = [[site, entry.get("http", 0.0), entry.get("spdy", 0.0)]
+            for site, entry in sorted(data["sites"].items())]
+    emit("Figure 15 — PLT difference, disabled minus enabled (ms; "
+         "negative = disabling helps)",
+         render_table(["site", "http dMs", "spdy dMs"], rows))
+    emit("Figure 15 — headline", (
+        f"mean difference {data['mean_difference_ms']:.0f} ms; "
+        f"{data['sites_helped']} site-protocol pairs helped, "
+        f"{data['sites_hurt']} hurt"))
+
+    # Mixed outcome, as in the paper: both helped and hurt cases exist.
+    assert data["sites_helped"] > 0
+    assert data["sites_hurt"] > 0
+    # And the net effect is modest — no silver bullet (within ±2 s).
+    assert abs(data["mean_difference_ms"]) < 2000

@@ -1,0 +1,33 @@
+"""§6.1: multiple SPDY connections, with and without late binding.
+
+Paper claims: spreading SPDY streams over 20 statically-bound
+connections "did not help in improving the page load times"; what is
+required is *late binding* of responses to whichever connection is
+available at that instant.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import sec61_multi_connection
+from repro.reporting import render_table
+
+
+def test_sec61_multi_connection(once):
+    data = once(sec61_multi_connection, n_runs=1)
+    keys = ["single", "multi20", "multi20-late-binding"]
+    emit("§6.1 — SPDY connection strategies over 3G", render_table(
+        ["strategy", "mean PLT (s)", "median PLT (s)", "retx"],
+        [[k, data[k]["mean_plt"], data[k]["median_plt"],
+          data[k]["retransmissions"]] for k in keys]))
+
+    single = data["single"]["median_plt"]
+    multi = data["multi20"]["median_plt"]
+    late = data["multi20-late-binding"]["median_plt"]
+    # 20 statically-bound connections are no silver bullet (within 30%
+    # of single-connection SPDY, either direction) — the paper's finding.
+    assert 0.7 < multi / single < 1.3
+    # Late binding does no harm and beats plain single-connection SPDY
+    # or static multi-connection (at 20 sessions the frames spread thin,
+    # so the win over static binding is small; see EXPERIMENTS.md).
+    assert late <= max(single, multi) * 1.10
+    assert late < single * 1.05 or late < multi * 1.05

@@ -1,0 +1,31 @@
+"""Table 1: characteristics of the 20 tested websites.
+
+Checks our synthesized corpus against the published per-site statistics
+(object counts, bytes, domain spread, object-kind mix).
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import table1_corpus
+from repro.reporting import render_table
+
+
+def test_table1_corpus(once):
+    data = once(table1_corpus)
+    rows = data["rows"]
+    headers = ["site", "category", "objs", "paper", "KB", "paperKB",
+               "domains", "paper", "js/css", "paper", "imgs", "paper",
+               "depth"]
+    emit("Table 1 — corpus characteristics (built vs paper)", render_table(
+        headers,
+        [[r["site_id"], r["category"], r["built_objects"],
+          round(r["paper_objects"]), round(r["built_kb"]), r["paper_kb"],
+          r["built_domains"], round(r["paper_domains"]), r["built_js_css"],
+          round(r["paper_js_css"]), r["built_images"],
+          round(r["paper_images"]), r["max_depth"]] for r in rows]))
+
+    assert len(rows) == 20
+    for r in rows:
+        assert r["built_objects"] == max(1, round(r["paper_objects"]))
+        assert abs(r["built_kb"] - r["paper_kb"]) / r["paper_kb"] < 0.01
+        assert r["built_domains"] == max(1, round(r["paper_domains"]))

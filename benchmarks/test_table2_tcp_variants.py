@@ -1,0 +1,34 @@
+"""Table 2: HTTP and SPDY with TCP Reno vs TCP CUBIC.
+
+Paper claims: "little to distinguish between Reno and Cubic"; average
+throughput similar; SPDY with CUBIC grows by far the largest congestion
+window (max 197 segments vs Reno's 48); HTTP's per-connection cwnd stays
+small (~10) because its transfers are short.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import table2_tcp_variants
+from repro.reporting import render_table
+
+
+def test_table2_tcp_variants(once):
+    data = once(table2_tcp_variants, n_runs=1)
+    keys = ["http/reno", "spdy/reno", "http/cubic", "spdy/cubic"]
+    emit("Table 2 — TCP variant comparison", render_table(
+        ["config", "avg PLT (ms)", "avg thr (KB/s)", "max thr (KB/s)",
+         "avg cwnd", "max cwnd"],
+        [[k, data[k]["avg_plt_ms"], data[k]["avg_throughput_kbps"],
+          data[k]["max_throughput_kbps"], data[k]["avg_cwnd"],
+          data[k]["max_cwnd"]] for k in keys]))
+
+    # Little to distinguish: PLTs within 35% across variants per protocol.
+    for protocol in ("http", "spdy"):
+        reno = data[f"{protocol}/reno"]["avg_plt_ms"]
+        cubic = data[f"{protocol}/cubic"]["avg_plt_ms"]
+        assert 0.65 < reno / cubic < 1.55
+    # SPDY+CUBIC grows the largest window; Reno grows less.
+    assert data["cubic_grows_cwnd_larger_for_spdy"]
+    # SPDY's single connection grows a much larger cwnd than HTTP's
+    # short-lived parallel connections (52 vs 10.6 in the paper).
+    assert data["spdy/cubic"]["avg_cwnd"] > 1.5 * data["http/cubic"]["avg_cwnd"]

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Beyond the paper: pipelining, server push, late binding, shared cells.
+
+Exercises the features the paper describes but could not measure:
+HTTP pipelining (Squid's was too rudimentary), SPDY server push, the
+late-binding fix sketched in §6.1, and the multi-laptop cell-sharing
+setup of §3.
+
+Run:  python examples/beyond_the_paper.py
+"""
+
+import statistics
+
+from repro.experiments.multiuser import run_contention_experiment
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.reporting import render_table
+from repro.tcp import TcpConfig
+
+SITES = [5, 12, 13]
+
+
+def median_plt(config):
+    run = run_experiment(config)
+    return statistics.median(run.plts_by_site().values())
+
+
+def main() -> None:
+    print("Comparing configurations over 3G (median PLT, seconds) ...")
+    rows = [
+        ["HTTP (paper baseline)", median_plt(ExperimentConfig(
+            protocol="http", network="3g", site_ids=SITES))],
+        ["HTTP + pipelining", median_plt(ExperimentConfig(
+            protocol="http", network="3g", site_ids=SITES,
+            http_pipelining=True))],
+        ["SPDY (paper baseline)", median_plt(ExperimentConfig(
+            protocol="spdy", network="3g", site_ids=SITES))],
+        ["SPDY + holistic fix (6.2.1 + late binding)", median_plt(
+            ExperimentConfig(protocol="spdy", network="3g", site_ids=SITES,
+                             tcp=TcpConfig(reset_rtt_after_idle=True),
+                             client_tcp=TcpConfig(reset_rtt_after_idle=True),
+                             n_spdy_sessions=4, late_binding=True))],
+    ]
+    print(render_table(["configuration", "median PLT (s)"], rows))
+
+    print("\nMulti-user cell load (HTTP, 2 small sites):")
+    rows = []
+    for n in (1, 2, 4):
+        result = run_contention_experiment(n, protocol="http",
+                                           site_ids=[5, 12],
+                                           think_time=40.0, stagger=1.0)
+        rows.append([n, result["median_plt"]])
+    print(render_table(["devices on the cell", "median PLT (s)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: is SPDY faster than HTTP on your access network?
+
+Runs the paper's HTTP-vs-SPDY comparison on a small site subset over 3G
+and WiFi and prints the per-site box statistics plus the verdict —
+reproducing, in miniature, the contrast between Figure 3 (cellular: no
+clear winner) and Figure 4 (WiFi: SPDY wins).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MeasurementStudy
+from repro.reporting import render_boxes
+
+SITES = [5, 9, 12, 13, 18]   # a light subset so this finishes in ~30 s
+RUNS = 2
+
+
+def main() -> None:
+    for network in ("3g", "wifi"):
+        print(f"\n=== {network.upper()} ===")
+        study = MeasurementStudy(network=network, n_runs=RUNS,
+                                 site_ids=SITES)
+        result = study.run()
+        sites = {site: {"http": result.site_boxes("http")[site],
+                        "spdy": result.site_boxes("spdy")[site]}
+                 for site in result.site_boxes("http")}
+        print(render_boxes(sites, title=f"PLT over {network} (seconds)"))
+        print(f"median PLT: http={result.median_plt('http'):.2f}s "
+              f"spdy={result.median_plt('spdy'):.2f}s")
+        print(f"SPDY wins {result.spdy_wins()}/{len(SITES)} sites "
+              f"-> verdict: {result.verdict()}")
+
+
+if __name__ == "__main__":
+    main()

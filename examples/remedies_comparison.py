@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Compare the paper's §6 remedies for SPDY over 3G.
+
+Evaluates, against the baseline: resetting the RTT estimate after idle
+(§6.2.1, the paper's proposal), disabling slow-start-after-idle (§6.2.2),
+disabling the TCP metrics cache (§6.2.4), pinning the radio in DCH
+(Figure 14), 20 statically-bound SPDY connections (§6.1), and late
+binding of responses to available connections (§6.1's missing piece).
+
+Run:  python examples/remedies_comparison.py
+"""
+
+from repro.core import evaluate_remedies
+from repro.reporting import render_table
+
+SITES = [5, 7, 11, 12, 15]
+
+
+def main() -> None:
+    print(f"Evaluating remedies for SPDY over 3G on sites {SITES} ...")
+    results = evaluate_remedies(protocol="spdy", network="3g", n_runs=1,
+                                site_ids=SITES)
+    rows = []
+    base = results["baseline"]
+    for name, stats in results.items():
+        delta = 100.0 * (base["median_plt"] - stats["median_plt"]) \
+            / base["median_plt"]
+        rows.append([name, stats["median_plt"], f"{delta:+.0f}%",
+                     stats["spurious"], stats["energy_mj"] / 1000.0])
+    print(render_table(
+        ["remedy", "median PLT (s)", "vs baseline", "spurious retx",
+         "radio energy (J)"], rows, title="\n§6 remedies, SPDY over 3G"))
+
+    print("\nReading guide:")
+    print(" * reset-rtt-after-idle should remove the spurious")
+    print("   retransmissions entirely (the paper's recommendation);")
+    print(" * dch-pinning helps PLT but burns the most radio energy;")
+    print(" * multi-connection without late binding is not a fix.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; ``python setup.py develop`` (or ``pip install -e .`` where
+wheel is available) both work through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a reproduction of "Towards a SPDY'ier Mobile Web?" (CoNEXT 2013).
+
+A discrete-event network laboratory that rebuilds the paper's entire
+measurement apparatus in Python: a TCP implementation (CUBIC/Reno, RFC
+6298 RTO, SACK, F-RTO, idle behaviour, metrics caching), 3G/LTE RRC
+state machines, HTTP/1.1 and SPDY with real header compression, a
+Chrome-like browser model, Squid-like and SPDY proxies, origin servers,
+and the experiment harness that regenerates every figure and table in
+the paper's evaluation.
+
+Quick start::
+
+    from repro import MeasurementStudy
+    result = MeasurementStudy(network="3g", n_runs=2, site_ids=[9, 12]).run()
+    print(result.verdict())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-figure reproductions.
+"""
+
+from .core import (MeasurementStudy, StudyResult, correlate_idle_retransmissions,
+                   evaluate_remedies, reset_rtt_after_idle_config,
+                   summarize_run)
+from .experiments import (ExperimentConfig, RunResult, Testbed, figures,
+                          run_experiment, run_many, tables)
+from .tcp import TcpConfig, TcpProbe
+from .web import build_corpus, build_page, build_test_page
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MeasurementStudy", "StudyResult", "correlate_idle_retransmissions",
+    "evaluate_remedies", "reset_rtt_after_idle_config", "summarize_run",
+    "ExperimentConfig", "RunResult", "Testbed", "figures", "run_experiment",
+    "run_many", "tables", "TcpConfig", "TcpProbe", "build_corpus",
+    "build_page", "build_test_page", "__version__",
+]

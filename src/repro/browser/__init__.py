@@ -1,0 +1,10 @@
+"""The browser model: page-load engine, connection pool, protocol fetchers."""
+
+from .browser import Browser, BrowserConfig
+from .fetchers import FetchTask, HttpFetcher, SpdyFetcher
+from .pool import ConnectionPool, PoolStats
+from .timing import ObjectTiming, PageLoadRecord
+
+__all__ = ["Browser", "BrowserConfig", "FetchTask", "HttpFetcher",
+           "SpdyFetcher", "ConnectionPool", "PoolStats", "ObjectTiming",
+           "PageLoadRecord"]

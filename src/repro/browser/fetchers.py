@@ -1,0 +1,345 @@
+"""Fetchers: how the browser gets objects over HTTP/1.1 or SPDY.
+
+The browser core is protocol-agnostic; it hands a :class:`FetchTask` to
+a fetcher and receives timing callbacks.  :class:`HttpFetcher` drives
+the Chrome-style connection pool (6/domain, 32 total, one outstanding
+request per connection, no pipelining).  :class:`SpdyFetcher` drives one
+or more SPDY sessions (one is the paper's main configuration; 20 with
+static binding is the §6.1 experiment) with TLS setup, stream
+multiplexing, priorities and compressed headers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim import Simulator
+from ..tcp import TcpStack
+from ..web.headers import SpdyHeaderCodec
+from ..web.http1 import HttpRequest, HttpResponseBody, HttpResponseHead
+from ..web.spdy import (SpdyDataFrame, SpdyPing, SpdyPushStream,
+                        SpdyStreamIds, SpdySynReply, SpdySynStream,
+                        TlsHandshakeMessage)
+from .pool import ConnectionPool
+
+__all__ = ["FetchTask", "HttpFetcher", "SpdyFetcher"]
+
+
+class FetchTask:
+    """One object (or background transfer) to fetch."""
+
+    __slots__ = ("key", "domain", "path", "priority", "context",
+                 "server_delay", "response_bytes", "content_type",
+                 "on_write_start", "on_sent", "on_first_byte", "on_complete")
+
+    def __init__(self, key: str, domain: str, path: str, priority: int = 0,
+                 context: Any = None, server_delay: float = 0.0,
+                 response_bytes: Optional[int] = None,
+                 content_type: str = "application/octet-stream",
+                 on_write_start: Optional[Callable[[float], None]] = None,
+                 on_sent: Optional[Callable[[float], None]] = None,
+                 on_first_byte: Optional[Callable[[float], None]] = None,
+                 on_complete: Optional[Callable[[float], None]] = None):
+        self.key = key
+        self.domain = domain
+        self.path = path
+        self.priority = priority
+        self.context = context
+        self.server_delay = server_delay
+        self.response_bytes = response_bytes
+        self.content_type = content_type
+        self.on_write_start = on_write_start
+        self.on_sent = on_sent
+        self.on_first_byte = on_first_byte
+        self.on_complete = on_complete
+
+    def _fire(self, which: str, now: float) -> None:
+        callback = getattr(self, which)
+        if callback is not None:
+            callback(now)
+
+
+class HttpFetcher:
+    """HTTP/1.1 over the connection pool.
+
+    Default Chrome-era behaviour: one outstanding request per connection
+    (the paper's configuration — Squid's pipelining was too rudimentary
+    to test).  With ``pipelining=True`` up to ``pipeline_depth`` requests
+    are outstanding per connection (Figure 1(c)); responses come back in
+    request order, so head-of-line blocking at the object level remains —
+    exactly the limitation the paper's §2.1 describes.
+    """
+
+    name = "http"
+
+    def __init__(self, sim: Simulator, stack: TcpStack, proxy_addr: str,
+                 proxy_port: int, max_per_domain: int = 6,
+                 max_total: int = 32, idle_timeout: float = 30.0,
+                 pipelining: bool = False, pipeline_depth: int = 4):
+        self.sim = sim
+        self.pool = ConnectionPool(sim, stack, proxy_addr, proxy_port,
+                                   max_per_domain=max_per_domain,
+                                   max_total=max_total,
+                                   idle_timeout=idle_timeout)
+        self.pipelining = pipelining
+        self.pipeline_depth = pipeline_depth
+        self._inflight: Dict[int, tuple] = {}  # request_id -> (task, conn, domain)
+        self._outstanding: Dict[object, int] = {}  # conn -> live requests
+        self._busy_by_domain: Dict[str, List] = {}
+        self.requests_sent = 0
+
+    def fetch(self, task: FetchTask) -> None:
+        if self.pipelining:
+            conn = self._pipeline_candidate(task.domain)
+            if conn is not None:
+                self._dispatch(task, conn, acquired=False)
+                return
+        self.pool.acquire(task.domain,
+                          lambda conn: self._dispatch(task, conn,
+                                                      acquired=True))
+
+    def _pipeline_candidate(self, domain: str):
+        """A busy connection with pipeline headroom, if any."""
+        for conn in self._busy_by_domain.get(domain, []):
+            if (conn.state == "ESTABLISHED"
+                    and self._outstanding.get(conn, 0) < self.pipeline_depth):
+                return conn
+        return None
+
+    def _dispatch(self, task: FetchTask, conn, acquired: bool) -> None:
+        request = HttpRequest(task.domain, task.path, context=task.context,
+                              via_proxy=True, server_delay=task.server_delay,
+                              response_bytes=task.response_bytes,
+                              content_type=task.content_type)
+        self._inflight[request.request_id] = (task, conn, task.domain)
+        self._outstanding[conn] = self._outstanding.get(conn, 0) + 1
+        if acquired:
+            self._busy_by_domain.setdefault(task.domain, []).append(conn)
+        conn.on_message = self._on_message
+        task._fire("on_write_start", self.sim.now)
+        conn.send_message(request, request.wire_size)
+        conn.notify_when_segmented(
+            lambda: task._fire("on_sent", self.sim.now))
+        self.requests_sent += 1
+
+    def _on_message(self, conn, message) -> None:
+        if isinstance(message, HttpResponseHead):
+            entry = self._inflight.get(message.request.request_id)
+            if entry is not None:
+                entry[0]._fire("on_first_byte", self.sim.now)
+        elif isinstance(message, HttpResponseBody):
+            entry = self._inflight.pop(message.request.request_id, None)
+            if entry is not None:
+                task, conn_, domain = entry
+                left = self._outstanding.get(conn_, 1) - 1
+                self._outstanding[conn_] = left
+                if left <= 0:
+                    self._outstanding.pop(conn_, None)
+                    busy = self._busy_by_domain.get(domain, [])
+                    if conn_ in busy:
+                        busy.remove(conn_)
+                    self.pool.release(domain, conn_)
+                task._fire("on_complete", self.sim.now)
+
+    def shutdown(self) -> None:
+        self.pool.close_all()
+
+
+class _SpdySession:
+    """One SSL/SPDY connection: TLS setup then multiplexed streams."""
+
+    def __init__(self, fetcher: "SpdyFetcher", index: int):
+        self.fetcher = fetcher
+        self.index = index
+        self.sim = fetcher.sim
+        self.state = "connecting"
+        self.codec = SpdyHeaderCodec()
+        self.pending: List[FetchTask] = []
+        self.conn = fetcher.stack.connect(fetcher.proxy_addr,
+                                          fetcher.proxy_port)
+        self.conn.on_established = self._on_established
+        self.conn.on_message = self._on_message
+        self.established_at: Optional[float] = None
+
+    # -- TLS ---------------------------------------------------------------
+    def _on_established(self, conn) -> None:
+        hello = TlsHandshakeMessage("client_hello")
+        conn.send_message(hello, hello.wire_size)
+        self.state = "tls"
+
+    def _on_message(self, conn, message) -> None:
+        if isinstance(message, TlsHandshakeMessage):
+            if message.stage == "server_hello_cert" and self.state == "tls":
+                finished = TlsHandshakeMessage("client_finished")
+                conn.send_message(finished, finished.wire_size)
+            elif message.stage == "server_finished":
+                self.state = "ready"
+                self.established_at = self.sim.now
+                for task in self.pending:
+                    self._send(task)
+                self.pending.clear()
+            return
+        if isinstance(message, SpdySynReply):
+            self.fetcher._on_first_byte(message.stream_id,
+                                        message.content_length)
+        elif isinstance(message, SpdyDataFrame):
+            self.fetcher._on_data(message)
+        elif isinstance(message, SpdyPushStream):
+            self.fetcher._on_push_stream(message)
+        elif isinstance(message, SpdyPing):
+            self.fetcher.pings_echoed += 1
+
+    # -- streams -----------------------------------------------------------
+    def fetch(self, task: FetchTask) -> None:
+        if self.state != "ready":
+            self.pending.append(task)
+        else:
+            self._send(task)
+
+    def _send(self, task: FetchTask) -> None:
+        stream_id = self.fetcher.stream_ids.next_id()
+        syn = SpdySynStream(stream_id, self.codec, task.domain, task.path,
+                            priority=task.priority, context=task.context,
+                            server_delay=task.server_delay,
+                            response_bytes=task.response_bytes,
+                            content_type=task.content_type)
+        self.fetcher._register_stream(stream_id, task)
+        task._fire("on_write_start", self.sim.now)
+        self.conn.send_message(syn, syn.wire_size)
+        self.conn.notify_when_segmented(
+            lambda: task._fire("on_sent", self.sim.now))
+
+    def ping(self) -> None:
+        if self.state == "ready":
+            self.fetcher._ping_counter += 1
+            frame = SpdyPing(self.fetcher._ping_counter)
+            self.conn.send_message(frame, frame.wire_size)
+
+
+class SpdyFetcher:
+    """One or more persistent SPDY sessions to the proxy.
+
+    ``n_sessions=1`` is the paper's main configuration.  ``n_sessions=20``
+    reproduces the §6.1 multi-connection experiment; streams are assigned
+    round-robin (static binding), and the proxy may optionally be run
+    with late binding to return responses on any session.
+    """
+
+    name = "spdy"
+
+    def __init__(self, sim: Simulator, stack: TcpStack, proxy_addr: str,
+                 proxy_port: int, n_sessions: int = 1):
+        if n_sessions < 1:
+            raise ValueError("need at least one SPDY session")
+        self.sim = sim
+        self.stack = stack
+        self.proxy_addr = proxy_addr
+        self.proxy_port = proxy_port
+        self.stream_ids = SpdyStreamIds()
+        self._streams: Dict[int, FetchTask] = {}
+        # Per-stream byte accounting: with late binding (§6.1) a stream's
+        # DATA frames may arrive over different connections, so frame
+        # order is not completion order — only byte counts are.
+        self._expected: Dict[int, Optional[int]] = {}
+        self._received: Dict[int, int] = {}
+        self._got_fin: Dict[int, bool] = {}
+        # Server push: even stream ids carry unrequested resources.
+        self._push_inflight: Dict[int, dict] = {}   # stream_id -> state
+        self._push_done: Dict[str, float] = {}      # object_id -> time
+        self._push_waiters: Dict[str, list] = {}
+        self.pushes_received = 0
+        self._next_session = 0
+        self.pings_echoed = 0
+        self._ping_counter = 0
+        self.requests_sent = 0
+        self.sessions = [_SpdySession(self, i) for i in range(n_sessions)]
+
+    # ------------------------------------------------------------------
+    def fetch(self, task: FetchTask) -> None:
+        session = self.sessions[self._next_session % len(self.sessions)]
+        self._next_session += 1
+        self.requests_sent += 1
+        session.fetch(task)
+
+    def ping_all(self) -> None:
+        """Send a SPDY PING on every session (Figure 14 keepalive)."""
+        for session in self.sessions:
+            session.ping()
+
+    def shutdown(self) -> None:
+        for session in self.sessions:
+            session.conn.abort()
+
+    # -- called by sessions ----------------------------------------------
+    def _register_stream(self, stream_id: int, task: FetchTask) -> None:
+        self._streams[stream_id] = task
+        self._expected[stream_id] = None
+        self._received[stream_id] = 0
+        self._got_fin[stream_id] = False
+
+    def _on_first_byte(self, stream_id: int,
+                       content_length: Optional[int] = None) -> None:
+        task = self._streams.get(stream_id)
+        if task is not None:
+            self._expected[stream_id] = content_length
+            task._fire("on_first_byte", self.sim.now)
+            self._maybe_complete(stream_id)
+
+    # -- server push -------------------------------------------------------
+    def _on_push_stream(self, push: SpdyPushStream) -> None:
+        key = getattr(push.context, "object_id", f"push/{push.stream_id}")
+        self._push_inflight[push.stream_id] = {
+            "key": key, "expected": push.content_length, "received": 0}
+
+    def _on_push_data(self, frame: SpdyDataFrame) -> None:
+        state = self._push_inflight.get(frame.stream_id)
+        if state is None:
+            return
+        state["received"] += frame.length
+        if frame.last and state["received"] >= state["expected"]:
+            del self._push_inflight[frame.stream_id]
+            key = state["key"]
+            self._push_done[key] = self.sim.now
+            self.pushes_received += 1
+            for callback in self._push_waiters.pop(key, []):
+                callback(self.sim.now)
+
+    def push_lookup(self, object_id: str):
+        """Is ``object_id`` already pushed (or being pushed)?
+
+        Returns ``("done", completion_time)``, ``("inflight", subscribe)``
+        where ``subscribe(cb)`` registers a completion callback, or None.
+        """
+        if object_id in self._push_done:
+            return ("done", self._push_done[object_id])
+        for state in self._push_inflight.values():
+            if state["key"] == object_id:
+                def subscribe(callback, _key=object_id):
+                    self._push_waiters.setdefault(_key, []).append(callback)
+                return ("inflight", subscribe)
+        return None
+
+    def _on_data(self, frame: SpdyDataFrame) -> None:
+        if frame.stream_id % 2 == 0:
+            self._on_push_data(frame)
+            return
+        if frame.stream_id not in self._streams:
+            return
+        self._received[frame.stream_id] = \
+            self._received.get(frame.stream_id, 0) + frame.length
+        if frame.last:
+            self._got_fin[frame.stream_id] = True
+        self._maybe_complete(frame.stream_id)
+
+    def _maybe_complete(self, stream_id: int) -> None:
+        if not self._got_fin.get(stream_id):
+            return
+        expected = self._expected.get(stream_id)
+        if expected is not None and self._received.get(stream_id, 0) < expected:
+            return  # FIN frame arrived early on another connection
+        task = self._streams.pop(stream_id, None)
+        self._expected.pop(stream_id, None)
+        self._received.pop(stream_id, None)
+        self._got_fin.pop(stream_id, None)
+        if task is not None:
+            task._fire("on_complete", self.sim.now)

@@ -1,0 +1,223 @@
+"""Chrome-style HTTP connection pool.
+
+"When using a HTTP proxy, Chrome opens up to 6 parallel TCP connections
+to the proxy per domain, with a maximum of 32 active TCP connections
+across all domains."  Connections are keyed by the *target domain* even
+though they all terminate at the proxy.  Idle connections are kept for
+reuse and closed after an idle timeout; when the global cap binds, an
+idle connection from another domain is evicted to make room.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List
+
+from ..sim import Simulator, Timer
+from ..tcp import TcpStack
+
+__all__ = ["ConnectionPool", "PoolStats"]
+
+
+class PoolStats:
+    """Counters for pool behaviour analysis."""
+
+    def __init__(self) -> None:
+        self.opened = 0
+        self.reused = 0
+        self.closed_idle = 0
+        self.evicted = 0
+        self.max_concurrent = 0
+
+
+class _DomainState:
+    def __init__(self) -> None:
+        self.free: List = []
+        self.busy: set = set()
+        self.opening = 0
+        self.waiters: Deque[Callable] = deque()
+
+    @property
+    def count(self) -> int:
+        return len(self.free) + len(self.busy) + self.opening
+
+
+class ConnectionPool:
+    """Per-domain-capped, globally-capped connection pool to the proxy."""
+
+    def __init__(self, sim: Simulator, stack: TcpStack, proxy_addr: str,
+                 proxy_port: int, max_per_domain: int = 6,
+                 max_total: int = 32, idle_timeout: float = 30.0):
+        self.sim = sim
+        self.stack = stack
+        self.proxy_addr = proxy_addr
+        self.proxy_port = proxy_port
+        self.max_per_domain = max_per_domain
+        self.max_total = max_total
+        self.idle_timeout = idle_timeout
+        self.stats = PoolStats()
+        self._domains: Dict[str, _DomainState] = {}
+        self._idle_timers: Dict[object, Timer] = {}
+        # Domains whose waiters are blocked purely by the global cap.
+        self._starved: Deque[str] = deque()
+
+    # ------------------------------------------------------------------
+    def _state(self, domain: str) -> _DomainState:
+        state = self._domains.get(domain)
+        if state is None:
+            state = _DomainState()
+            self._domains[domain] = state
+        return state
+
+    @property
+    def total_connections(self) -> int:
+        return sum(s.count for s in self._domains.values())
+
+    def connection_count(self, domain: str) -> int:
+        return self._state(domain).count
+
+    # ------------------------------------------------------------------
+    def acquire(self, domain: str, callback: Callable) -> None:
+        """Hand ``callback`` an ESTABLISHED connection for ``domain``.
+
+        May be satisfied synchronously (idle connection available) or
+        after a handshake / another request finishing.
+        """
+        state = self._state(domain)
+        conn = self._pop_free(state)
+        if conn is not None:
+            state.busy.add(conn)
+            self.stats.reused += 1
+            callback(conn)
+            return
+        state.waiters.append(callback)
+        self._try_open(domain)
+
+    def release(self, domain: str, conn) -> None:
+        """Return a connection after its response completed."""
+        state = self._state(domain)
+        state.busy.discard(conn)
+        if conn.state != "ESTABLISHED":
+            self._serve_starved()
+            self._try_open(domain)
+            return
+        if state.waiters:
+            state.busy.add(conn)
+            self.stats.reused += 1
+            state.waiters.popleft()(conn)
+            return
+        if self._starved:
+            # Another domain is blocked on the global cap: give up this
+            # connection so it can open one.
+            self._close(domain, conn)
+            self._serve_starved()
+            return
+        state.free.append(conn)
+        self._arm_idle_timer(domain, conn)
+
+    def close_all(self) -> None:
+        """Tear down every pooled connection (end of run)."""
+        for domain, state in self._domains.items():
+            for conn in list(state.free) + list(state.busy):
+                conn.abort()
+            state.free.clear()
+            state.busy.clear()
+        for timer in self._idle_timers.values():
+            timer.stop()
+        self._idle_timers.clear()
+
+    # ------------------------------------------------------------------
+    def _pop_free(self, state: _DomainState):
+        while state.free:
+            conn = state.free.pop()
+            self._disarm_idle_timer(conn)
+            if conn.state == "ESTABLISHED":
+                return conn
+        return None
+
+    def _try_open(self, domain: str) -> None:
+        state = self._state(domain)
+        while state.waiters and state.count - len(state.waiters) < 0:
+            # There are more waiters than connections being prepared.
+            if state.count >= self.max_per_domain:
+                return  # per-domain cap: wait for a release
+            if self.total_connections >= self.max_total:
+                if not self._evict_idle(exclude=domain):
+                    if domain not in self._starved:
+                        self._starved.append(domain)
+                    return
+            self._open(domain)
+
+    def _open(self, domain: str) -> None:
+        state = self._state(domain)
+        state.opening += 1
+        self.stats.opened += 1
+        self.stats.max_concurrent = max(self.stats.max_concurrent,
+                                        self.total_connections)
+        conn = self.stack.connect(self.proxy_addr, self.proxy_port)
+
+        def established(c):
+            state.opening -= 1
+            if state.waiters:
+                state.busy.add(c)
+                state.waiters.popleft()(c)
+            else:
+                state.free.append(c)
+                self._arm_idle_timer(domain, c)
+
+        def closed(c):
+            self._on_conn_closed(domain, c)
+
+        conn.on_established = established
+        conn.on_close = closed
+
+    def _on_conn_closed(self, domain: str, conn) -> None:
+        state = self._state(domain)
+        if conn in state.free:
+            state.free.remove(conn)
+        state.busy.discard(conn)
+        self._disarm_idle_timer(conn)
+        if state.waiters:
+            self._try_open(domain)
+
+    def _evict_idle(self, exclude: str) -> bool:
+        """Close one idle connection from any other domain; True if done."""
+        for domain, state in self._domains.items():
+            if domain == exclude or not state.free:
+                continue
+            conn = state.free.pop()
+            self._close(domain, conn)
+            self.stats.evicted += 1
+            return True
+        return False
+
+    def _close(self, domain: str, conn) -> None:
+        self._disarm_idle_timer(conn)
+        conn.close()
+
+    def _serve_starved(self) -> None:
+        while self._starved and self.total_connections < self.max_total:
+            domain = self._starved.popleft()
+            self._try_open(domain)
+
+    # ------------------------------------------------------------------
+    def _arm_idle_timer(self, domain: str, conn) -> None:
+        timer = self._idle_timers.get(conn)
+        if timer is None:
+            timer = Timer(self.sim, self._idle_expired, name="pool-idle")
+            self._idle_timers[conn] = timer
+        timer.start(self.idle_timeout, domain, conn)
+
+    def _disarm_idle_timer(self, conn) -> None:
+        timer = self._idle_timers.pop(conn, None)
+        if timer is not None:
+            timer.stop()
+
+    def _idle_expired(self, domain: str, conn) -> None:
+        state = self._state(domain)
+        if conn in state.free:
+            state.free.remove(conn)
+            self.stats.closed_idle += 1
+            self._idle_timers.pop(conn, None)
+            conn.close()
+            self._serve_starved()

@@ -1,0 +1,109 @@
+"""Per-object and per-page timing records (Chrome remote-debugging stand-in).
+
+The paper instruments Chrome over the remote debugging interface to get,
+for every object, the four components of Figure 5:
+
+* **init** — the browser knows it needs the object → the request is
+  written to a socket (includes waiting for a free connection and any
+  TCP/TLS handshake);
+* **send** — writing the request → its bytes are on the wire;
+* **wait** — request sent → first byte of the response;
+* **receive** — first byte → last byte.
+
+Page load time (the paper's headline metric) is the time to the
+``onLoad`` event: every discovered object downloaded *and* processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["ObjectTiming", "PageLoadRecord"]
+
+
+@dataclass
+class ObjectTiming:
+    """Lifecycle timestamps for one fetched object."""
+
+    key: str
+    kind: str
+    size: int
+    domain: str
+    discovered_at: float
+    write_start_at: Optional[float] = None
+    sent_at: Optional[float] = None
+    first_byte_at: Optional[float] = None
+    complete_at: Optional[float] = None
+    processed_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def init(self) -> Optional[float]:
+        if self.write_start_at is None:
+            return None
+        return self.write_start_at - self.discovered_at
+
+    @property
+    def send(self) -> Optional[float]:
+        if self.sent_at is None or self.write_start_at is None:
+            return None
+        return self.sent_at - self.write_start_at
+
+    @property
+    def wait(self) -> Optional[float]:
+        if self.first_byte_at is None or self.sent_at is None:
+            return None
+        return self.first_byte_at - self.sent_at
+
+    @property
+    def receive(self) -> Optional[float]:
+        if self.complete_at is None or self.first_byte_at is None:
+            return None
+        return self.complete_at - self.first_byte_at
+
+    @property
+    def total(self) -> Optional[float]:
+        if self.complete_at is None:
+            return None
+        return self.complete_at - self.discovered_at
+
+    @property
+    def complete(self) -> bool:
+        return self.complete_at is not None
+
+
+@dataclass
+class PageLoadRecord:
+    """One page visit: onLoad timing plus every object's breakdown."""
+
+    site_id: int
+    page_name: str
+    protocol: str
+    started_at: float
+    onload_at: Optional[float] = None
+    timed_out: bool = False
+    objects: List[ObjectTiming] = field(default_factory=list)
+    background: List[ObjectTiming] = field(default_factory=list)
+
+    @property
+    def plt(self) -> Optional[float]:
+        """Page load time in seconds (None if the load never finished)."""
+        if self.onload_at is None:
+            return None
+        return self.onload_at - self.started_at
+
+    def plt_or(self, cap: float) -> float:
+        """PLT, or ``cap`` for loads that timed out (box-plot friendly)."""
+        return self.plt if self.plt is not None else cap
+
+    def request_times(self) -> List[float]:
+        """Request-issue times relative to load start (Figure 6 data)."""
+        return sorted(t.write_start_at - self.started_at
+                      for t in self.objects if t.write_start_at is not None)
+
+    def mean_component(self, component: str) -> float:
+        """Average of one Figure 5 component over completed objects."""
+        values = [getattr(t, component) for t in self.objects
+                  if getattr(t, component) is not None]
+        return sum(values) / len(values) if values else 0.0

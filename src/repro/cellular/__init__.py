@@ -1,0 +1,22 @@
+"""Cellular access-network models: RRC state machines, radio links, energy.
+
+The 3G/LTE machines implement the paper's Appendix A (Figure 18); the
+profiles in :mod:`repro.cellular.profiles` bundle them with rates and
+latencies matching the paper's measurement environment.
+"""
+
+from .power import RadioEnergyModel
+from .profiles import (AccessProfile, PROFILES, lte_profile, make_profile,
+                       three_g_profile, wifi_profile)
+from .radio import AccessNetwork, RadioLink
+from .rrc import (LTE_CRX, LTE_IDLE, LTE_LDRX, LTE_SDRX, LteRrc,
+                  LteRrcConfig, RrcStateMachine, UMTS_DCH, UMTS_FACH,
+                  UMTS_IDLE, UmtsRrc, UmtsRrcConfig)
+
+__all__ = [
+    "RadioEnergyModel", "AccessProfile", "PROFILES", "lte_profile",
+    "make_profile", "three_g_profile", "wifi_profile", "AccessNetwork",
+    "RadioLink", "LTE_CRX", "LTE_IDLE", "LTE_LDRX", "LTE_SDRX", "LteRrc",
+    "LteRrcConfig", "RrcStateMachine", "UMTS_DCH", "UMTS_FACH", "UMTS_IDLE",
+    "UmtsRrc", "UmtsRrcConfig",
+]

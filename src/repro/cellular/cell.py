@@ -1,0 +1,62 @@
+"""Shared cell capacity: multiple devices on one tower.
+
+The paper's setup ran "experiments with multiple laptops simultaneously
+accessing the test web sites to study the effect of multiple users
+loading the network", and chose a tower with "sufficient backhaul
+capacity" to mitigate it.  :class:`SharedCell` models the tower's
+air-interface capacity being divided among the devices that are actively
+transferring (an equal-share approximation of the proportional-fair
+scheduler), so adding users degrades everyone's effective rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["SharedCell"]
+
+
+class SharedCell:
+    """A cell tower whose downlink/uplink capacity is shared.
+
+    Radio links register themselves; at serialization time each asks for
+    its current share.  A device counts as *active* while its link has
+    backlog (queued or serializing bytes).  Each device's rate is
+    additionally capped by its own radio-state ceiling (a device in FACH
+    cannot use a DCH-sized share).
+    """
+
+    def __init__(self, downlink_capacity_bps: float,
+                 uplink_capacity_bps: float):
+        if downlink_capacity_bps <= 0 or uplink_capacity_bps <= 0:
+            raise ValueError("cell capacities must be positive")
+        self.downlink_capacity_bps = downlink_capacity_bps
+        self.uplink_capacity_bps = uplink_capacity_bps
+        self._links: Dict[str, List] = {"down": [], "up": []}
+
+    def register(self, link, direction: str) -> None:
+        """Attach a radio link ("down" or "up") to this cell."""
+        if direction not in ("down", "up"):
+            raise ValueError(f"direction must be 'down' or 'up', "
+                             f"got {direction!r}")
+        self._links[direction].append(link)
+
+    def active_count(self, direction: str) -> int:
+        """Devices with data in flight on this direction right now."""
+        return sum(1 for link in self._links[direction]
+                   if link.backlog_bytes > 0)
+
+    def share_for(self, link, direction: str, state_rate: float) -> float:
+        """The effective rate for ``link``: min(own ceiling, fair share)."""
+        capacity = (self.downlink_capacity_bps if direction == "down"
+                    else self.uplink_capacity_bps)
+        # Count the requester as active even if its packet is the first.
+        others = sum(1 for other in self._links[direction]
+                     if other is not link and other.backlog_bytes > 0)
+        share = capacity / (others + 1)
+        return min(state_rate, share)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SharedCell {self.downlink_capacity_bps / 1e6:.1f}/"
+                f"{self.uplink_capacity_bps / 1e6:.1f} Mbps "
+                f"{len(self._links['down'])} devices>")

@@ -1,0 +1,45 @@
+"""Radio energy accounting from the RRC state log.
+
+The paper's Figure 14 discussion notes that pinning the radio in DCH
+"wastes cellular resources and drains device battery"; this model
+quantifies that trade-off, turning the state-residency log into consumed
+energy using the per-state power draws of Figure 18.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .rrc import RrcStateMachine
+
+__all__ = ["RadioEnergyModel"]
+
+
+class RadioEnergyModel:
+    """Integrates per-state power draw over the machine's state log."""
+
+    def __init__(self, machine: RrcStateMachine, power_mw: Dict[str, float]):
+        self.machine = machine
+        self.power_mw = power_mw
+
+    def energy_mj(self, until: Optional[float] = None) -> float:
+        """Total radio energy in millijoules up to ``until`` (default: now)."""
+        totals = self.machine.time_in_states(until)
+        energy = 0.0
+        for state, seconds in totals.items():
+            energy += self.power_mw.get(state, 0.0) * seconds
+        return energy
+
+    def average_power_mw(self, until: Optional[float] = None) -> float:
+        """Mean power draw over the observed interval."""
+        totals = self.machine.time_in_states(until)
+        duration = sum(totals.values())
+        if duration <= 0:
+            return 0.0
+        return self.energy_mj(until) / duration
+
+    def breakdown(self, until: Optional[float] = None) -> Dict[str, float]:
+        """Energy per state in millijoules."""
+        totals = self.machine.time_in_states(until)
+        return {state: self.power_mw.get(state, 0.0) * seconds
+                for state, seconds in totals.items()}

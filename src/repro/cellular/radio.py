@@ -1,0 +1,130 @@
+"""Radio links: network links gated by an RRC state machine.
+
+A :class:`RadioLink` behaves like a normal :class:`~repro.net.link.Link`
+except that serialization cannot begin until the shared RRC machine
+grants the channel — which may involve a multi-second promotion — and
+the rate/latency depend on the state the packet is served in (DCH vs
+FACH on 3G).  Both directions of a device's access path share one
+machine, so uplink requests wake the radio for downlink responses and
+vice versa.
+
+Critically for the paper's story, TCP's retransmission timers keep
+running while packets sit in the promotion gate: the radio is invisible
+to the transport layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..net.link import Link
+from ..net.node import Host
+from ..net.packet import Packet
+from ..sim import Simulator
+from .rrc import RrcStateMachine
+
+__all__ = ["RadioLink", "AccessNetwork"]
+
+RateMap = Union[float, Dict[str, float]]
+
+
+def _resolve(mapping: RateMap, state: str) -> float:
+    if isinstance(mapping, dict):
+        try:
+            return mapping[state]
+        except KeyError:
+            raise KeyError(f"no value configured for radio state {state!r}") from None
+    return mapping
+
+
+class RadioLink(Link):
+    """One direction of a cellular access path."""
+
+    def __init__(self, sim: Simulator, name: str, dst: Host,
+                 machine: RrcStateMachine,
+                 rate_by_state: RateMap,
+                 latency_by_state: RateMap,
+                 jitter: Optional[Callable] = None,
+                 loss_rate: float = 0.0,
+                 queue_limit_bytes: Optional[int] = 512 * 1024,
+                 cell=None, direction: str = "down"):
+        super().__init__(sim, name, dst, bandwidth_bps=None, latency=0.0,
+                         jitter=jitter, loss_rate=loss_rate,
+                         queue_limit_bytes=queue_limit_bytes)
+        self.machine = machine
+        self.rate_by_state = rate_by_state
+        self.latency_by_state = latency_by_state
+        self._serving_state = machine.state
+        self.cell = cell
+        self.direction = direction
+        if cell is not None:
+            cell.register(self, direction)
+
+    # -- Link hooks ------------------------------------------------------
+    def _gate_time(self, packet: Packet) -> float:
+        pending = self.backlog_bytes + packet.size
+        self._serving_state = self.machine.serving_state(pending)
+        return self.machine.request_channel(pending)
+
+    def _rate(self, packet: Packet) -> Optional[float]:
+        state_rate = _resolve(self.rate_by_state, self._serving_state)
+        if self.cell is not None:
+            return self.cell.share_for(self, self.direction, state_rate)
+        return state_rate
+
+    def _latency_for(self, packet: Packet) -> float:
+        return _resolve(self.latency_by_state, self._serving_state)
+
+    def _finish_serialization(self, packet: Packet) -> None:
+        super()._finish_serialization(packet)
+        self.machine.touch()
+
+
+class AccessNetwork:
+    """The client's access path to the proxy: radio (or WiFi) both ways.
+
+    For cellular profiles, builds two :class:`RadioLink` directions
+    sharing one RRC machine.  For WiFi/broadband, builds plain links.
+    The one-way latencies here include the core-network path from the
+    radio access network to the proxy's cloud datacenter.
+    """
+
+    def __init__(self, sim: Simulator, client: Host, proxy: Host, profile,
+                 cell=None):
+        self.sim = sim
+        self.profile = profile
+        self.cell = cell
+        self.machine: Optional[RrcStateMachine] = None
+        if profile.machine_factory is not None:
+            self.machine = profile.machine_factory(sim)
+            self.downlink = RadioLink(
+                sim, f"{profile.name}:down:{client.address}", client,
+                self.machine,
+                profile.downlink_bps, profile.latency_by_state,
+                jitter=profile.jitter, loss_rate=profile.loss_rate,
+                queue_limit_bytes=profile.queue_limit_bytes,
+                cell=cell, direction="down")
+            self.uplink = RadioLink(
+                sim, f"{profile.name}:up:{client.address}", proxy,
+                self.machine,
+                profile.uplink_bps, profile.latency_by_state,
+                jitter=profile.jitter, loss_rate=profile.loss_rate,
+                queue_limit_bytes=profile.queue_limit_bytes,
+                cell=cell, direction="up")
+        else:
+            self.downlink = Link(
+                sim, f"{profile.name}:down", client,
+                bandwidth_bps=profile.downlink_bps,
+                latency=profile.latency_by_state,
+                jitter=profile.jitter, loss_rate=profile.loss_rate,
+                queue_limit_bytes=profile.queue_limit_bytes)
+            self.uplink = Link(
+                sim, f"{profile.name}:up", proxy,
+                bandwidth_bps=profile.uplink_bps,
+                latency=profile.latency_by_state,
+                jitter=profile.jitter, loss_rate=profile.loss_rate,
+                queue_limit_bytes=profile.queue_limit_bytes)
+        # Client reaches everything (proxy, and origins in no-proxy setups)
+        # through its access uplink; the proxy routes back via the downlink.
+        client.set_default_route(self.uplink)
+        proxy.add_route(client.address, self.downlink)

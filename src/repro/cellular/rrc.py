@@ -1,0 +1,258 @@
+"""Radio Resource Control (RRC) state machines for 3G UMTS and LTE.
+
+These implement the state machines of the paper's Appendix A (Figure 18).
+The device radio transitions between low-power states and an active,
+high-bandwidth state; moving from idle to active incurs a *promotion
+delay* during which no data flows — ~2 s on 3G, ~400 ms on LTE.  TCP's
+retransmission timer, tuned to the active-state RTT, fires well inside
+that window: the spurious retransmissions at the heart of the paper.
+
+The machines are shared by both directions of a device's radio link:
+uplink requests and downlink deliveries both count as activity for the
+inactivity (demotion) timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..sim import Simulator, Timer
+
+__all__ = [
+    "UMTS_IDLE", "UMTS_FACH", "UMTS_DCH",
+    "LTE_IDLE", "LTE_CRX", "LTE_SDRX", "LTE_LDRX",
+    "UmtsRrcConfig", "LteRrcConfig", "UmtsRrc", "LteRrc", "RrcStateMachine",
+]
+
+# --- 3G UMTS states (Fig. 18 left) -------------------------------------
+UMTS_IDLE = "IDLE"
+UMTS_FACH = "CELL_FACH"
+UMTS_DCH = "CELL_DCH"
+
+# --- LTE states (Fig. 18 right) -----------------------------------------
+LTE_IDLE = "RRC_IDLE"
+LTE_CRX = "CONTINUOUS_RX"
+LTE_SDRX = "SHORT_DRX"
+LTE_LDRX = "LONG_DRX"
+
+
+@dataclass
+class UmtsRrcConfig:
+    """3G UMTS timer/power constants, values from the paper's Appendix A.
+
+    "The delay for this promotion is typically ~2 seconds. ... if a device
+    is inactive for ~5 seconds, it is demoted from CELL_DCH to CELL_FACH.
+    It is further demoted to IDLE if there is no data exchange for another
+    ~12 secs."
+    """
+
+    idle_to_dch_delay: float = 2.0       # the promotion delay
+    fach_to_dch_delay: float = 1.5       # queue-size-threshold promotion
+    dch_to_fach_timeout: float = 5.0     # inactivity demotion
+    fach_to_idle_timeout: float = 12.0   # further demotion
+    fach_queue_threshold: int = 512      # bytes servable without promotion
+    power_mw: dict = field(default_factory=lambda: {
+        UMTS_IDLE: 0.0, UMTS_FACH: 460.0, UMTS_DCH: 800.0})
+
+
+@dataclass
+class LteRrcConfig:
+    """LTE timer/power constants, values from the paper's Appendix A."""
+
+    idle_to_crx_delay: float = 0.4       # RRC_IDLE -> CONNECTED ("~400 msec")
+    sdrx_wake_delay: float = 0.02        # short-DRX cycle wake
+    # In long DRX the UE still monitors the control channel once per DRX
+    # cycle, so data waits at most a cycle or two (~150 ms), far less
+    # than a full idle promotion.
+    ldrx_wake_delay: float = 0.15
+    crx_to_sdrx_timeout: float = 0.1     # inactivity: continuous -> short DRX
+    sdrx_to_ldrx_timeout: float = 1.0    # short -> long DRX
+    ldrx_to_idle_timeout: float = 11.5   # "~11.5 seconds" -> RRC_IDLE
+    power_mw: dict = field(default_factory=lambda: {
+        LTE_IDLE: 15.0, LTE_CRX: 1000.0, LTE_SDRX: 700.0, LTE_LDRX: 600.0})
+
+
+class RrcStateMachine:
+    """Common machinery: promotion gating, inactivity demotion, state log."""
+
+    def __init__(self, sim: Simulator, name: str = "rrc"):
+        self.sim = sim
+        self.name = name
+        self.state: str = self._initial_state()
+        self.state_log: List[Tuple[float, str]] = [(sim.now, self.state)]
+        self.promotions = 0
+        self.demotions = 0
+        self._promotion_target: Optional[str] = None
+        self._promotion_done_at: Optional[float] = None
+        self._promo_timer = Timer(sim, self._complete_promotion, name=f"{name}/promo")
+        self._demote_timer = Timer(sim, self._demote, name=f"{name}/demote")
+        self.on_state_change: Optional[Callable[[float, str, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def _initial_state(self) -> str:
+        raise NotImplementedError
+
+    def _active_state(self) -> str:
+        raise NotImplementedError
+
+    def _promotion_delay_from(self, state: str, pending_bytes: int) -> Optional[float]:
+        """Delay to reach the active state, or None when ``state`` can serve."""
+        raise NotImplementedError
+
+    def _demotion_after(self, state: str) -> Optional[Tuple[float, str]]:
+        """(inactivity timeout, next state) for ``state``, or None."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # public interface used by the radio link
+    # ------------------------------------------------------------------
+    @property
+    def promoting(self) -> bool:
+        return self._promotion_done_at is not None
+
+    def request_channel(self, pending_bytes: int) -> float:
+        """Return the earliest absolute time data may be serialized.
+
+        Starts a promotion if the radio is in a state that cannot serve
+        ``pending_bytes``.  While a promotion is in progress, all callers
+        share its completion time.
+        """
+        if self.promoting:
+            return self._promotion_done_at
+        delay = self._promotion_delay_from(self.state, pending_bytes)
+        if delay is None:
+            self.touch()
+            return self.sim.now
+        self._promotion_target = self._active_state()
+        self._promotion_done_at = self.sim.now + delay
+        self._demote_timer.stop()
+        self._promo_timer.start(delay)
+        self.promotions += 1
+        return self._promotion_done_at
+
+    def touch(self) -> None:
+        """Record data activity: restart the inactivity/demotion timer."""
+        if self.promoting:
+            return
+        demotion = self._demotion_after(self.state)
+        if demotion is not None:
+            timeout, _ = demotion
+            self._demote_timer.start(timeout)
+
+    def serving_state(self, pending_bytes: int) -> str:
+        """State in which a request made *now* would be served."""
+        if self.promoting:
+            return self._promotion_target or self._active_state()
+        if self._promotion_delay_from(self.state, pending_bytes) is None:
+            return self.state
+        return self._active_state()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _set_state(self, new_state: str) -> None:
+        old = self.state
+        if old == new_state:
+            return
+        self.state = new_state
+        self.state_log.append((self.sim.now, new_state))
+        if self.on_state_change is not None:
+            self.on_state_change(self.sim.now, old, new_state)
+
+    def _complete_promotion(self) -> None:
+        target = self._promotion_target or self._active_state()
+        self._promotion_target = None
+        self._promotion_done_at = None
+        self._set_state(target)
+        self.touch()
+
+    def _demote(self) -> None:
+        demotion = self._demotion_after(self.state)
+        if demotion is None:
+            return
+        _, next_state = demotion
+        self._set_state(next_state)
+        self.demotions += 1
+        # Chain to the next demotion stage, if any.
+        further = self._demotion_after(next_state)
+        if further is not None:
+            self._demote_timer.start(further[0])
+
+    # ------------------------------------------------------------------
+    def time_in_states(self, until: Optional[float] = None) -> dict:
+        """Total seconds spent in each state up to ``until`` (default: now)."""
+        end = self.sim.now if until is None else until
+        totals: dict = {}
+        for (t0, state), (t1, _) in zip(self.state_log,
+                                        self.state_log[1:] + [(end, "")]):
+            if t0 >= end:
+                break
+            totals[state] = totals.get(state, 0.0) + min(t1, end) - t0
+        return totals
+
+
+class UmtsRrc(RrcStateMachine):
+    """The 3G state machine: IDLE <-> CELL_FACH <-> CELL_DCH."""
+
+    def __init__(self, sim: Simulator, config: Optional[UmtsRrcConfig] = None,
+                 name: str = "umts"):
+        self.config = config or UmtsRrcConfig()
+        super().__init__(sim, name)
+
+    def _initial_state(self) -> str:
+        return UMTS_IDLE
+
+    def _active_state(self) -> str:
+        return UMTS_DCH
+
+    def _promotion_delay_from(self, state: str, pending_bytes: int) -> Optional[float]:
+        if state == UMTS_DCH:
+            return None
+        if state == UMTS_FACH:
+            if pending_bytes <= self.config.fach_queue_threshold:
+                return None  # small transfers are served on the FACH
+            return self.config.fach_to_dch_delay
+        return self.config.idle_to_dch_delay
+
+    def _demotion_after(self, state: str) -> Optional[Tuple[float, str]]:
+        if state == UMTS_DCH:
+            return (self.config.dch_to_fach_timeout, UMTS_FACH)
+        if state == UMTS_FACH:
+            return (self.config.fach_to_idle_timeout, UMTS_IDLE)
+        return None
+
+
+class LteRrc(RrcStateMachine):
+    """The LTE state machine: RRC_IDLE <-> RRC_CONNECTED {CRX, short/long DRX}."""
+
+    def __init__(self, sim: Simulator, config: Optional[LteRrcConfig] = None,
+                 name: str = "lte"):
+        self.config = config or LteRrcConfig()
+        super().__init__(sim, name)
+
+    def _initial_state(self) -> str:
+        return LTE_IDLE
+
+    def _active_state(self) -> str:
+        return LTE_CRX
+
+    def _promotion_delay_from(self, state: str, pending_bytes: int) -> Optional[float]:
+        if state == LTE_CRX:
+            return None
+        if state == LTE_SDRX:
+            return self.config.sdrx_wake_delay
+        if state == LTE_LDRX:
+            return self.config.ldrx_wake_delay
+        return self.config.idle_to_crx_delay
+
+    def _demotion_after(self, state: str) -> Optional[Tuple[float, str]]:
+        if state == LTE_CRX:
+            return (self.config.crx_to_sdrx_timeout, LTE_SDRX)
+        if state == LTE_SDRX:
+            return (self.config.sdrx_to_ldrx_timeout, LTE_LDRX)
+        if state == LTE_LDRX:
+            return (self.config.ldrx_to_idle_timeout, LTE_IDLE)
+        return None

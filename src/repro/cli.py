@@ -1,0 +1,168 @@
+"""Command-line interface: run studies and regenerate paper figures.
+
+Examples
+--------
+Run one experiment and print its summary::
+
+    python -m repro run --protocol spdy --network 3g --sites 5,9,12
+
+Compare HTTP and SPDY (the paper's headline comparison)::
+
+    python -m repro study --network wifi --runs 2
+
+Regenerate a figure or table::
+
+    python -m repro figure fig03 --runs 2
+    python -m repro figure table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import MeasurementStudy, summarize_run
+from .experiments import figures, tables
+from .experiments.runner import ExperimentConfig, run_experiment
+from .reporting import render_boxes, render_table
+
+__all__ = ["main"]
+
+FIGURES = {
+    "table1": lambda args: tables.table1_corpus(),
+    "table2": lambda args: tables.table2_tcp_variants(n_runs=args.runs),
+    "fig03": lambda args: figures.fig03_plt_3g(n_runs=args.runs),
+    "fig04": lambda args: figures.fig04_plt_wifi(n_runs=args.runs),
+    "fig05": lambda args: figures.fig05_object_breakdown(n_runs=args.runs),
+    "fig06": lambda args: figures.fig06_request_patterns(),
+    "fig07": lambda args: figures.fig07_test_pages(n_runs=args.runs),
+    "fig08": lambda args: figures.fig08_proxy_queueing(),
+    "fig09": lambda args: figures.fig09_throughput(n_runs=args.runs),
+    "fig10": lambda args: figures.fig10_bytes_in_flight(),
+    "fig11": lambda args: figures.fig11_cwnd_run(),
+    "fig12": lambda args: figures.fig12_idle_zoom(),
+    "fig13": lambda args: figures.fig13_retx_bursts(),
+    "fig14": lambda args: figures.fig14_dch_pinning(n_runs=args.runs),
+    "fig15": lambda args: figures.fig15_ss_after_idle(n_runs=args.runs),
+    "fig16": lambda args: figures.fig16_plt_lte(n_runs=args.runs),
+    "fig17": lambda args: figures.fig17_lte_cwnd(),
+    "sec61": lambda args: tables.sec61_multi_connection(n_runs=args.runs),
+    "sec621": lambda args: tables.sec621_rtt_reset(n_runs=args.runs),
+    "sec624": lambda args: tables.sec624_metrics_cache(n_runs=args.runs),
+}
+
+
+def _parse_sites(text: Optional[str]) -> Optional[List[int]]:
+    if not text:
+        return None
+    sites: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            sites.extend(range(int(lo), int(hi) + 1))
+        else:
+            sites.append(int(part))
+    return sites
+
+
+def _cmd_run(args) -> int:
+    config = ExperimentConfig(protocol=args.protocol, network=args.network,
+                              seed=args.seed,
+                              site_ids=_parse_sites(args.sites)
+                              or list(range(1, 21)),
+                              keepalive_ping=args.ping)
+    result = run_experiment(config)
+    rows = [[p.site_id, p.plt_or(config.load_timeout),
+             "timeout" if p.timed_out else "ok", len(p.objects)]
+            for p in result.pages]
+    print(render_table(["site", "PLT (s)", "status", "objects"], rows,
+                       title=f"{args.protocol} over {args.network}"))
+    print()
+    for key, value in summarize_run(result).items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    study = MeasurementStudy(network=args.network, n_runs=args.runs,
+                             site_ids=_parse_sites(args.sites), seed=args.seed)
+    result = study.run()
+    sites = {site: {"http": result.site_boxes("http")[site],
+                    "spdy": result.site_boxes("spdy")[site]}
+             for site in result.site_boxes("http")}
+    print(render_boxes(sites, title=f"PLT over {args.network} (seconds)"))
+    print(f"\nmedian PLT: http={result.median_plt('http'):.2f}s "
+          f"spdy={result.median_plt('spdy'):.2f}s")
+    print(f"verdict: {result.verdict()}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    generator = FIGURES.get(args.name)
+    if generator is None:
+        print(f"unknown figure {args.name!r}; choose from "
+              f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    data = generator(args)
+    _print_dataset(args.name, data)
+    return 0
+
+
+def _print_dataset(name: str, data: dict) -> None:
+    print(f"=== {name} ===")
+    if "sites" in data and isinstance(data["sites"], dict):
+        first = next(iter(data["sites"].values()), None)
+        if isinstance(first, dict) and "http" in first \
+                and "median" in str(first.get("http", {})):
+            try:
+                print(render_boxes(data["sites"]))
+                data = {k: v for k, v in data.items() if k != "sites"}
+            except Exception:
+                pass
+    for key, value in data.items():
+        if isinstance(value, (list, dict)) and len(str(value)) > 400:
+            print(f"{key}: <{type(value).__name__}, "
+                  f"{len(value)} entries>")
+        else:
+            print(f"{key}: {value}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards a SPDY'ier Mobile Web?' "
+                    "(CoNEXT 2013)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("--protocol", choices=["http", "spdy"],
+                       default="http")
+    p_run.add_argument("--network", choices=["3g", "lte", "wifi"],
+                       default="3g")
+    p_run.add_argument("--sites", help="e.g. 1-20 or 5,9,12")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--ping", action="store_true",
+                       help="keepalive ping (Figure 14)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_study = sub.add_parser("study", help="HTTP vs SPDY comparison")
+    p_study.add_argument("--network", choices=["3g", "lte", "wifi"],
+                         default="3g")
+    p_study.add_argument("--sites", help="e.g. 1-20 or 5,9,12")
+    p_study.add_argument("--runs", type=int, default=2)
+    p_study.add_argument("--seed", type=int, default=0)
+    p_study.set_defaults(func=_cmd_study)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p_fig.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
+    p_fig.add_argument("--runs", type=int, default=1)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

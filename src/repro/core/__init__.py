@@ -1,0 +1,17 @@
+"""The paper's contribution layer: study orchestration, analysis, remedies."""
+
+from .analysis import (CrossLayerReport, IdleEpisode,
+                       correlate_idle_retransmissions, summarize_run)
+from .remedies import (dch_pinning_config, evaluate_remedies,
+                       late_binding_config, multi_connection_config,
+                       no_metrics_cache_config, no_slow_start_after_idle_config,
+                       reset_rtt_after_idle_config)
+from .study import MeasurementStudy, StudyResult
+
+__all__ = [
+    "CrossLayerReport", "IdleEpisode", "correlate_idle_retransmissions",
+    "summarize_run", "dch_pinning_config", "evaluate_remedies",
+    "late_binding_config", "multi_connection_config",
+    "no_metrics_cache_config", "no_slow_start_after_idle_config",
+    "reset_rtt_after_idle_config", "MeasurementStudy", "StudyResult",
+]

@@ -1,0 +1,163 @@
+"""Cross-layer analysis: connecting radio state to TCP behaviour.
+
+The paper's analytical contribution is tying three event streams
+together — RRC state transitions, TCP idle restarts, and (spurious)
+retransmissions — into the causal chain of §5.5:
+
+    idle period -> radio demotion -> data after idle -> promotion delay
+    -> RTO < promotion delay -> spurious retransmission
+    -> cwnd collapse + ssthresh slash -> congestion-avoidance crawl.
+
+:func:`correlate_idle_retransmissions` quantifies that chain for a run;
+:func:`summarize_run` produces the per-run health report used by the
+examples and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["IdleEpisode", "CrossLayerReport", "correlate_idle_retransmissions",
+           "summarize_run"]
+
+#: A retransmission within this window after an idle restart or promotion
+#: is attributed to the idle->active transition.
+ATTRIBUTION_WINDOW = 5.0
+
+
+@dataclass
+class IdleEpisode:
+    """One idle restart and the damage that followed it."""
+
+    time: float
+    conn_id: str
+    idle_time: float
+    promotion_nearby: bool
+    retransmissions: int = 0
+    spurious: int = 0
+    ssthresh_before: Optional[float] = None
+    ssthresh_after: Optional[float] = None
+
+    @property
+    def damaged(self) -> bool:
+        """Did this idle episode end in a collapsed ssthresh?"""
+        return (self.spurious > 0
+                and self.ssthresh_before is not None
+                and self.ssthresh_after is not None
+                and self.ssthresh_after < self.ssthresh_before)
+
+
+@dataclass
+class CrossLayerReport:
+    """Aggregated cross-layer accounting for one run."""
+
+    episodes: List[IdleEpisode] = field(default_factory=list)
+    total_retransmissions: int = 0
+    total_spurious: int = 0
+    idle_attributed_spurious: int = 0
+    promotions: int = 0
+    demotions: int = 0
+
+    @property
+    def spurious_fraction(self) -> float:
+        if self.total_retransmissions == 0:
+            return 0.0
+        return self.total_spurious / self.total_retransmissions
+
+    @property
+    def idle_attribution_fraction(self) -> float:
+        """Fraction of spurious retransmissions near an idle restart."""
+        if self.total_spurious == 0:
+            return 0.0
+        return self.idle_attributed_spurious / self.total_spurious
+
+    @property
+    def damaged_episodes(self) -> int:
+        return sum(1 for e in self.episodes if e.damaged)
+
+
+def _client_facing(conn_id: str) -> bool:
+    """True for proxy<->device connections (the access path)."""
+    return ":8080-" in conn_id or ":8443-" in conn_id
+
+
+def correlate_idle_retransmissions(probe, machine=None,
+                                   conn_filter=_client_facing
+                                   ) -> CrossLayerReport:
+    """Build the cross-layer report from a TcpProbe (+ optional RRC machine).
+
+    ``probe`` is the proxy-side :class:`~repro.tcp.trace.TcpProbe`;
+    ``machine`` the device's RRC state machine, used to check that idle
+    restarts coincide with radio promotions.  ``conn_filter`` restricts
+    the analysis to the connections that actually cross the radio
+    (by default, the proxy's client-facing ports).
+    """
+    retransmissions = [r for r in probe.retransmissions
+                       if conn_filter(r.conn_id)]
+    idle_restarts = [e for e in probe.idle_restarts
+                     if conn_filter(e.conn_id)]
+    report = CrossLayerReport()
+    report.total_retransmissions = len(retransmissions)
+    report.total_spurious = sum(1 for r in retransmissions if r.spurious)
+    if machine is not None:
+        report.promotions = machine.promotions
+        report.demotions = machine.demotions
+        promo_times = [t for t, s in machine.state_log]
+    else:
+        promo_times = []
+
+    for restart in idle_restarts:
+        episode = IdleEpisode(
+            time=restart.time, conn_id=restart.conn_id,
+            idle_time=restart.idle_time,
+            promotion_nearby=any(
+                0 <= t - restart.time <= ATTRIBUTION_WINDOW
+                for t in promo_times))
+        for retx in retransmissions:
+            if retx.conn_id != restart.conn_id:
+                continue
+            if 0 <= retx.time - restart.time <= ATTRIBUTION_WINDOW:
+                episode.retransmissions += 1
+                if retx.spurious:
+                    episode.spurious += 1
+        samples = [s for s in probe.samples if s.conn_id == restart.conn_id]
+        before = [s for s in samples if s.time <= restart.time]
+        after = [s for s in samples
+                 if restart.time < s.time <= restart.time + ATTRIBUTION_WINDOW]
+        if before:
+            episode.ssthresh_before = before[-1].ssthresh
+        if after:
+            episode.ssthresh_after = min(s.ssthresh for s in after)
+        report.episodes.append(episode)
+
+    report.idle_attributed_spurious = sum(
+        1 for retx in retransmissions if retx.spurious and any(
+            0 <= retx.time - e.time <= ATTRIBUTION_WINDOW
+            for e in report.episodes if e.conn_id == retx.conn_id))
+    return report
+
+
+def summarize_run(run) -> Dict[str, object]:
+    """One-stop health summary of a :class:`~repro.experiments.RunResult`."""
+    plts = list(run.plts_by_site().values())
+    report = correlate_idle_retransmissions(run.testbed.proxy_probe,
+                                            run.testbed.radio)
+    summary: Dict[str, object] = {
+        "protocol": run.config.protocol,
+        "network": run.config.network,
+        "pages": len(run.pages),
+        "median_plt": statistics.median(plts) if plts else None,
+        "mean_plt": statistics.mean(plts) if plts else None,
+        "timeouts": sum(1 for p in run.pages if p.timed_out),
+        "retransmissions": run.total_retransmissions(),
+        "spurious_retransmissions": run.spurious_retransmissions(),
+        "spurious_fraction": report.spurious_fraction,
+        "idle_episodes": len(report.episodes),
+        "damaged_idle_episodes": report.damaged_episodes,
+        "radio_promotions": report.promotions,
+        "radio_demotions": report.demotions,
+        "radio_energy_mj": run.radio_energy_mj(),
+    }
+    return summary

@@ -1,0 +1,102 @@
+"""The paper's §6 remedies as ready-to-use configurations.
+
+Each remedy returns an :class:`~repro.experiments.ExperimentConfig`
+(or TcpConfig) pre-set to the corresponding intervention, plus
+:func:`evaluate_remedies` which runs the whole §6 comparison in one call.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional
+
+from ..experiments.runner import ExperimentConfig, run_many
+from ..tcp import TcpConfig
+
+__all__ = ["reset_rtt_after_idle_config", "no_slow_start_after_idle_config",
+           "no_metrics_cache_config", "multi_connection_config",
+           "late_binding_config", "dch_pinning_config", "evaluate_remedies"]
+
+
+def reset_rtt_after_idle_config(conservative_rto: float = 3.0) -> TcpConfig:
+    """§6.2.1 — the paper's recommendation: after an idle period, discard
+    the RTT estimate along with the congestion estimate, so the RTO
+    ("of multiple seconds") outlasts the radio promotion delay."""
+    return TcpConfig(reset_rtt_after_idle=True,
+                     idle_rto_reset_value=conservative_rto)
+
+
+def no_slow_start_after_idle_config() -> TcpConfig:
+    """§6.2.2 — disable the RFC 2861 cwnd restart (Figure 15's experiment)."""
+    return TcpConfig(slow_start_after_idle=False)
+
+
+def no_metrics_cache_config() -> TcpConfig:
+    """§6.2.4 — tcp_no_metrics_save: stop inheriting damaged statistics."""
+    return TcpConfig(use_metrics_cache=False)
+
+
+def multi_connection_config(n_sessions: int = 20) -> ExperimentConfig:
+    """§6.1 — 20 SPDY connections via PAC-file port spreading (static
+    binding; the paper found this alone does not help)."""
+    return ExperimentConfig(protocol="spdy", n_spdy_sessions=n_sessions,
+                            late_binding=False)
+
+
+def late_binding_config(n_sessions: int = 20) -> ExperimentConfig:
+    """§6.1's missing piece — responses return on any *available*
+    connection, avoiding ones stalled by spurious timeouts."""
+    return ExperimentConfig(protocol="spdy", n_spdy_sessions=n_sessions,
+                            late_binding=True)
+
+
+def dch_pinning_config() -> ExperimentConfig:
+    """§5.6.1 / Figure 14 — continual pings keep the radio in DCH
+    (effective but wasteful of radio resources and battery)."""
+    return ExperimentConfig(keepalive_ping=True)
+
+
+def evaluate_remedies(protocol: str = "spdy", network: str = "3g",
+                      n_runs: int = 2,
+                      site_ids: Optional[List[int]] = None) -> Dict[str, dict]:
+    """Run baseline + every remedy; return PLT/retransmission comparison."""
+    site_ids = site_ids or list(range(1, 21))
+    conditions: Dict[str, ExperimentConfig] = {
+        "baseline": ExperimentConfig(protocol=protocol, network=network,
+                                     site_ids=site_ids),
+        "reset-rtt-after-idle": ExperimentConfig(
+            protocol=protocol, network=network, site_ids=site_ids,
+            tcp=reset_rtt_after_idle_config(),
+            client_tcp=reset_rtt_after_idle_config()),
+        "no-slow-start-after-idle": ExperimentConfig(
+            protocol=protocol, network=network, site_ids=site_ids,
+            tcp=no_slow_start_after_idle_config()),
+        "no-metrics-cache": ExperimentConfig(
+            protocol=protocol, network=network, site_ids=site_ids,
+            tcp=no_metrics_cache_config()),
+        "dch-pinning": ExperimentConfig(
+            protocol=protocol, network=network, site_ids=site_ids,
+            keepalive_ping=True),
+    }
+    if protocol == "spdy":
+        conditions["multi-connection"] = multi_connection_config().with_overrides(
+            network=network, site_ids=site_ids)
+        conditions["late-binding"] = late_binding_config().with_overrides(
+            network=network, site_ids=site_ids)
+
+    results: Dict[str, dict] = {}
+    for name, config in conditions.items():
+        runs = run_many(config, n_runs)
+        plts = [page.plt_or(config.load_timeout)
+                for run in runs for page in run.pages]
+        results[name] = {
+            "median_plt": statistics.median(plts),
+            "mean_plt": statistics.mean(plts),
+            "retransmissions": statistics.mean(
+                r.total_retransmissions() for r in runs),
+            "spurious": statistics.mean(
+                r.spurious_retransmissions() for r in runs),
+            "energy_mj": statistics.mean(
+                r.radio_energy_mj() for r in runs),
+        }
+    return results

@@ -1,0 +1,9 @@
+"""Experiment harness: testbed wiring, runners, figure/table generators."""
+
+from . import figures, tables
+from .runner import (ExperimentConfig, RunResult, run_experiment, run_many,
+                     visit_order)
+from .testbed import Testbed
+
+__all__ = ["figures", "tables", "ExperimentConfig", "RunResult",
+           "run_experiment", "run_many", "visit_order", "Testbed"]

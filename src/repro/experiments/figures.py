@@ -1,0 +1,495 @@
+"""Data generators for every figure in the paper's evaluation (§4-§6).
+
+Each ``figNN_*`` function runs the necessary experiments and returns a
+plain-dict dataset shaped like the figure's axes, so benches, tests and
+the ASCII renderer all consume the same structure.  Absolute numbers
+come from our simulated testbed, not the authors' network — the claims
+these functions are checked against are the *shapes* recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional
+
+from ..metrics import (box_stats, cdf_points, mean_confidence_interval,
+                       throughput_bins, bytes_in_flight_series)
+from ..tcp import TcpConfig
+from ..web import build_test_page
+from .runner import ExperimentConfig, RunResult, run_experiment, run_many
+
+__all__ = [
+    "fig03_plt_3g", "fig04_plt_wifi", "fig05_object_breakdown",
+    "fig06_request_patterns", "fig07_test_pages", "fig08_proxy_queueing",
+    "fig09_throughput", "fig10_bytes_in_flight", "fig11_cwnd_run",
+    "fig12_idle_zoom", "fig13_retx_bursts", "fig14_dch_pinning",
+    "fig15_ss_after_idle", "fig16_plt_lte", "fig17_lte_cwnd",
+]
+
+PLT_CAP = 55.0
+
+
+def _collect_plts(runs: List[RunResult]) -> Dict[int, List[float]]:
+    """site_id -> PLT samples across runs."""
+    plts: Dict[int, List[float]] = {}
+    for run in runs:
+        for site, plt in run.plts_by_site().items():
+            plts.setdefault(site, []).append(plt)
+    return plts
+
+
+def _access_retransmissions(run: RunResult) -> int:
+    """Retransmitted packets seen on the access links (the tcpdump count)."""
+    return (len(run.testbed.downlink_trace.retransmitted_deliveries())
+            + len(run.testbed.uplink_trace.retransmitted_deliveries()))
+
+
+def _plt_boxes(network: str, n_runs: int, site_ids: Optional[List[int]],
+               base: Optional[ExperimentConfig] = None) -> dict:
+    result: dict = {"network": network, "n_runs": n_runs, "sites": {}}
+    base = base or ExperimentConfig()
+    for protocol in ("http", "spdy"):
+        config = base.with_overrides(protocol=protocol, network=network,
+                                     site_ids=site_ids or list(range(1, 21)))
+        runs = run_many(config, n_runs)
+        plts = _collect_plts(runs)
+        for site, values in plts.items():
+            entry = result["sites"].setdefault(site, {})
+            entry[protocol] = box_stats(values).__dict__
+        result.setdefault("retransmissions", {})[protocol] = statistics.mean(
+            _access_retransmissions(r) for r in runs)
+    # headline comparison
+    medians = {p: statistics.median(
+        result["sites"][s][p]["median"] for s in result["sites"])
+        for p in ("http", "spdy")}
+    result["median_plt"] = medians
+    result["spdy_wins"] = sum(
+        1 for s in result["sites"]
+        if result["sites"][s]["spdy"]["mean"] < result["sites"][s]["http"]["mean"])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3: PLT box plots over 3G — no clear winner
+# ----------------------------------------------------------------------
+def fig03_plt_3g(n_runs: int = 3,
+                 site_ids: Optional[List[int]] = None,
+                 base: Optional[ExperimentConfig] = None) -> dict:
+    """Paper: 'do not show a convincing winner between HTTP and SPDY'."""
+    return _plt_boxes("3g", n_runs, site_ids, base=base)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: average PLT + 95% CI over 802.11g/broadband — SPDY wins
+# ----------------------------------------------------------------------
+def fig04_plt_wifi(n_runs: int = 3,
+                   site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: SPDY better 'consistently, with improvements from 4% to 56%'."""
+    result: dict = {"network": "wifi", "n_runs": n_runs, "sites": {}}
+    for protocol in ("http", "spdy"):
+        config = ExperimentConfig(protocol=protocol, network="wifi",
+                                  site_ids=site_ids or list(range(1, 21)))
+        runs = run_many(config, n_runs)
+        for site, values in _collect_plts(runs).items():
+            m, lo, hi = mean_confidence_interval(values)
+            entry = result["sites"].setdefault(site, {})
+            entry[protocol] = {"mean": m, "ci_lo": lo, "ci_hi": hi}
+    improvements = {}
+    for site, entry in result["sites"].items():
+        h, s = entry["http"]["mean"], entry["spdy"]["mean"]
+        improvements[site] = 100.0 * (h - s) / h if h > 0 else 0.0
+    result["improvement_pct"] = improvements
+    result["mean_improvement_pct"] = statistics.mean(improvements.values())
+    result["spdy_wins"] = sum(1 for v in improvements.values() if v > 0)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5: object download time split into init/send/wait/receive
+# ----------------------------------------------------------------------
+def fig05_object_breakdown(n_runs: int = 1,
+                           site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: HTTP pays in *init* (connection wait), SPDY pays in *wait*."""
+    result: dict = {"network": "3g", "sites": {}}
+    components = ("init", "send", "wait", "receive")
+    for protocol in ("http", "spdy"):
+        config = ExperimentConfig(protocol=protocol, network="3g",
+                                  site_ids=site_ids or list(range(1, 21)))
+        runs = run_many(config, n_runs)
+        acc: Dict[int, Dict[str, List[float]]] = {}
+        for run in runs:
+            for page in run.pages:
+                by_site = acc.setdefault(page.site_id, {c: [] for c in components})
+                for c in components:
+                    by_site[c].append(page.mean_component(c))
+        for site, comps in acc.items():
+            entry = result["sites"].setdefault(site, {})
+            entry[protocol] = {c: statistics.mean(v) for c, v in comps.items()}
+    # aggregates for the headline claims
+    result["mean"] = {}
+    for protocol in ("http", "spdy"):
+        result["mean"][protocol] = {
+            c: statistics.mean(result["sites"][s][protocol][c]
+                               for s in result["sites"])
+            for c in components}
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6: object request patterns over time
+# ----------------------------------------------------------------------
+def fig06_request_patterns(site_ids: Optional[List[int]] = None,
+                           seed: int = 0) -> dict:
+    """Paper: SPDY requests objects 'in steps', not all at once, because
+    of JS/CSS interdependencies; HTTP requests continuously."""
+    sites = site_ids or [7, 15, 18, 12]  # two news, two photo/video-ish
+    result: dict = {"sites": {}}
+    for protocol in ("http", "spdy"):
+        config = ExperimentConfig(protocol=protocol, network="3g",
+                                  site_ids=sites, seed=seed)
+        run = run_experiment(config)
+        for page in run.pages:
+            entry = result["sites"].setdefault(page.site_id, {})
+            entry[protocol] = page.request_times()
+    # step metric: longest gap between consecutive SPDY request times
+    result["spdy_step_gaps"] = {}
+    for site, entry in result["sites"].items():
+        times = entry.get("spdy", [])
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        result["spdy_step_gaps"][site] = max(gaps) if gaps else 0.0
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7: the 50-object test pages, same vs different domains
+# ----------------------------------------------------------------------
+def fig07_test_pages(n_runs: int = 3, seed: int = 0) -> dict:
+    """Paper: HTTP 5.29 s (same domain) vs 6.80 s (different); SPDY 7.22 s
+    vs 8.38 s — removing interdependencies does not rescue SPDY on 3G."""
+    result: dict = {"plt": {}, "schedules": {}}
+    for protocol in ("http", "spdy"):
+        for same in (True, False):
+            page = build_test_page(same_domain=same)
+            key = f"{protocol}/{'same' if same else 'different'}"
+            values = []
+            for i in range(n_runs):
+                config = ExperimentConfig(
+                    protocol=protocol, network="3g", seed=seed + i,
+                    site_ids=[page.site_id], shuffle_sites=False,
+                    think_time=60.0, background_enabled=False)
+                run = run_experiment(config, pages=[page])
+                values.append(run.pages[0].plt_or(PLT_CAP))
+                if i == 0:
+                    record = run.pages[0]
+                    result["schedules"][key] = {
+                        "request_times": record.request_times(),
+                        "first_bytes": sorted(
+                            t.first_byte_at - record.started_at
+                            for t in record.objects if t.first_byte_at),
+                    }
+            result["plt"][key] = statistics.mean(values)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: proxy-side queueing (origin never the bottleneck)
+# ----------------------------------------------------------------------
+def fig08_proxy_queueing(site_id: int = 7, seed: int = 0) -> dict:
+    """Paper: origin first byte ~14 ms avg (max 46 ms), download ~4 ms,
+    but a long delay before the proxy can push data to the client."""
+    config = ExperimentConfig(protocol="spdy", network="3g", seed=seed,
+                              site_ids=[site_id], shuffle_sites=False)
+    run = run_experiment(config)
+    records = [r for r in run.testbed.proxy_trace.completed()
+               if not r.is_long_poll]
+    objects = []
+    for r in sorted(records, key=lambda x: x.order):
+        objects.append({
+            "order": r.order,
+            "origin_wait": r.origin_wait,
+            "origin_download": r.origin_download,
+            "queueing_delay": r.queueing_delay,
+            "client_transfer": r.client_transfer,
+            "bytes": r.response_bytes,
+        })
+    waits = [o["origin_wait"] for o in objects]
+    downloads = [o["origin_download"] for o in objects]
+    transfers = [o["client_transfer"] for o in objects]
+    return {
+        "objects": objects,
+        "mean_origin_wait": statistics.mean(waits) if waits else 0.0,
+        "max_origin_wait": max(waits) if waits else 0.0,
+        "mean_origin_download": statistics.mean(downloads) if downloads else 0.0,
+        "mean_client_transfer": statistics.mean(transfers) if transfers else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 9: average data transferred per second, aligned across runs
+# ----------------------------------------------------------------------
+def fig09_throughput(n_runs: int = 3, bin_seconds: float = 1.0,
+                     site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: HTTP achieves higher instantaneous transfers, sometimes 2x."""
+    result: dict = {"bin_seconds": bin_seconds, "series": {}}
+    duration = None
+    for protocol in ("http", "spdy"):
+        config = ExperimentConfig(protocol=protocol, network="3g",
+                                  site_ids=site_ids or list(range(1, 21)))
+        runs = run_many(config, n_runs)
+        duration = runs[0].duration
+        acc: Dict[float, List[float]] = {}
+        for run in runs:
+            bins = throughput_bins(run.testbed.downlink_trace.records,
+                                   bin_seconds, until=run.duration)
+            for t, b in bins:
+                acc.setdefault(t, []).append(b)
+        result["series"][protocol] = [
+            (t, statistics.mean(vals)) for t, vals in sorted(acc.items())]
+    # headline: mean of per-bin HTTP/SPDY ratio where both active
+    http = dict(result["series"]["http"])
+    spdy = dict(result["series"]["spdy"])
+    ratios = [http[t] / spdy[t] for t in http
+              if spdy.get(t, 0) > 1000 and http[t] > 1000]
+    result["mean_active_ratio"] = statistics.mean(ratios) if ratios else 1.0
+    result["peak"] = {p: max(b for _, b in result["series"][p])
+                      for p in ("http", "spdy")}
+    result["duration"] = duration
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: unacknowledged bytes over time
+# ----------------------------------------------------------------------
+def fig10_bytes_in_flight(seed: int = 0,
+                          site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: whoever has more outstanding bytes loads the page faster."""
+    result: dict = {"series": {}, "plt": {}}
+    for protocol in ("http", "spdy"):
+        config = ExperimentConfig(protocol=protocol, network="3g", seed=seed,
+                                  site_ids=site_ids or list(range(1, 21)))
+        run = run_experiment(config)
+        samples = [s for s in run.testbed.proxy_probe.samples
+                   if s.conn_id.startswith(("proxy:8080-", "proxy:8443-"))]
+        result["series"][protocol] = bytes_in_flight_series(samples)
+        result["plt"][protocol] = run.plts_by_site()
+        result.setdefault("visit_order", run.visit_order)
+        result.setdefault("think_time", run.config.think_time)
+    # correlation check: per site, does more average in-flight data during
+    # its window coincide with the lower PLT?
+    agree = 0
+    order = result["visit_order"]
+    think = result["think_time"]
+    for index, site in enumerate(order):
+        t0, t1 = index * think, (index + 1) * think
+        means = {}
+        for protocol in ("http", "spdy"):
+            window = [v for t, v in result["series"][protocol]
+                      if t0 <= t < t1]
+            means[protocol] = statistics.mean(window) if window else 0.0
+        flight_winner = max(means, key=means.get)
+        plt_winner = min(("http", "spdy"),
+                         key=lambda p: result["plt"][p][site])
+        if flight_winner == plt_winner:
+            agree += 1
+    result["flight_plt_agreement"] = agree / len(order)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 11 & 12: cwnd / ssthresh / outstanding + retransmissions (SPDY)
+# ----------------------------------------------------------------------
+def fig11_cwnd_run(seed: int = 0,
+                   site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: cwnd and ssthresh fluctuate all run; retransmission bursts."""
+    config = ExperimentConfig(protocol="spdy", network="3g", seed=seed,
+                              site_ids=site_ids or list(range(1, 21)))
+    run = run_experiment(config)
+    conn = next(c for c in run.testbed.proxy_stack.all_connections
+                if c.local_port == 8443)
+    probe = run.testbed.proxy_probe
+    samples = probe.samples_for(conn.conn_id)
+    return {
+        "samples": [(s.time, s.cwnd, min(s.ssthresh, 1e6),
+                     s.inflight_segments) for s in samples],
+        "retransmissions": [(r.time, r.seq, r.spurious, r.kind)
+                            for r in probe.retransmissions_for(conn.conn_id)],
+        "idle_restarts": [(e.time, e.idle_time)
+                          for e in probe.idle_restarts
+                          if e.conn_id == conn.conn_id],
+        "visit_order": run.visit_order,
+        "duration": run.duration,
+        "spurious_fraction": (
+            sum(1 for r in probe.retransmissions_for(conn.conn_id)
+                if r.spurious)
+            / max(1, len(probe.retransmissions_for(conn.conn_id)))),
+    }
+
+
+def fig12_idle_zoom(seed: int = 0, window: tuple = (40.0, 190.0),
+                    site_ids: Optional[List[int]] = None) -> dict:
+    """Zoom into a few consecutive sites: idle -> cwnd reset -> spurious
+    RTO -> ssthresh collapse (the paper's §5.5.1 narrative)."""
+    data = fig11_cwnd_run(seed=seed, site_ids=site_ids)
+    t0, t1 = window
+    zoom = {
+        "window": window,
+        "samples": [s for s in data["samples"] if t0 <= s[0] <= t1],
+        "retransmissions": [r for r in data["retransmissions"]
+                            if t0 <= r[0] <= t1],
+        "idle_restarts": [e for e in data["idle_restarts"]
+                          if t0 <= e[0] <= t1],
+    }
+    # the causal chain distilled: ssthresh before and after the first
+    # spurious *timeout* retransmission inside the window (timeouts are
+    # the events that slash ssthresh; SACK fast-retransmits of genuine
+    # random losses merely trim it)
+    anchor = next((r for r in zoom["retransmissions"]
+                   if r[2] and r[3] == "timeout"),
+                  next(iter(zoom["retransmissions"]), None))
+    if anchor is not None and zoom["samples"]:
+        t_retx = anchor[0]
+        before = [s for s in zoom["samples"] if s[0] < t_retx]
+        after = [s for s in zoom["samples"] if s[0] >= t_retx]
+        if before and after:
+            zoom["ssthresh_before_retx"] = before[-1][2]
+            zoom["ssthresh_after_retx"] = min(s[2] for s in after[:50])
+    return zoom
+
+
+# ----------------------------------------------------------------------
+# Figure 13: retransmission bursts affect a single TCP stream (HTTP)
+# ----------------------------------------------------------------------
+def fig13_retx_bursts(seed: int = 0,
+                      site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: HTTP's retransmissions are bursty and usually confined to
+    one connection while the others keep the path busy."""
+    config = ExperimentConfig(protocol="http", network="3g", seed=seed,
+                              site_ids=site_ids or list(range(1, 21)))
+    run = run_experiment(config)
+    probe = run.testbed.proxy_probe
+    # Client-facing connections only (port 8080): the proxy<->device path
+    # is where the paper's Figure 13 looks.
+    client_facing = [r for r in probe.retransmissions
+                     if ":8080-" in r.conn_id]
+    by_conn: Dict[str, int] = {}
+    for r in client_facing:
+        by_conn[r.conn_id] = by_conn.get(r.conn_id, 0) + 1
+    events = [(r.time, r.conn_id, r.seq) for r in client_facing]
+    total_client_conns = sum(
+        1 for c in run.testbed.proxy_stack.all_connections
+        if c.local_port == 8080)
+    # burst isolation: among 1-second windows with >=2 retransmissions,
+    # the average share owned by the window's dominant connection.
+    windows: Dict[int, List[str]] = {}
+    for t, conn_id, _ in events:
+        windows.setdefault(int(t), []).append(conn_id)
+    dense = [conns for conns in windows.values() if len(conns) >= 2]
+    shares = [max(conns.count(c) for c in set(conns)) / len(conns)
+              for conns in dense]
+    return {
+        "events": events,
+        "retx_by_connection": by_conn,
+        "connections_total": total_client_conns,
+        "connections_with_retx": len(by_conn),
+        "burst_isolation_fraction": (
+            statistics.mean(shares) if shares else 1.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 14: pinning the radio in DCH with a continual ping
+# ----------------------------------------------------------------------
+def fig14_dch_pinning(n_runs: int = 2,
+                      site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: with pings, most pages load <8 s and retransmissions fall
+    ~91% (HTTP) / ~96% (SPDY)."""
+    result: dict = {"cdf": {}, "retransmissions": {}, "energy_mj": {}}
+    for protocol in ("http", "spdy"):
+        for ping in (False, True):
+            key = f"{protocol}/{'ping' if ping else 'noping'}"
+            config = ExperimentConfig(protocol=protocol, network="3g",
+                                      keepalive_ping=ping,
+                                      site_ids=site_ids or list(range(1, 21)))
+            runs = run_many(config, n_runs)
+            plts = [p for run in runs
+                    for p in run.plts_by_site().values()]
+            result["cdf"][key] = cdf_points(plts)
+            result["retransmissions"][key] = statistics.mean(
+                _access_retransmissions(r) for r in runs)
+            result["energy_mj"][key] = statistics.mean(
+                r.radio_energy_mj() for r in runs)
+    for protocol in ("http", "spdy"):
+        base = result["retransmissions"][f"{protocol}/noping"]
+        pinned = result["retransmissions"][f"{protocol}/ping"]
+        result[f"{protocol}_retx_reduction_pct"] = (
+            100.0 * (base - pinned) / base if base else 0.0)
+        result[f"{protocol}_frac_under_8s"] = {
+            mode: sum(1 for v, _ in result["cdf"][f"{protocol}/{mode}"]
+                      if v < 8.0) / len(result["cdf"][f"{protocol}/{mode}"])
+            for mode in ("noping", "ping")}
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 15: disabling tcp_slow_start_after_idle
+# ----------------------------------------------------------------------
+def fig15_ss_after_idle(n_runs: int = 2,
+                        site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: benefits vary across websites; no clear winner either way."""
+    result: dict = {"sites": {}}
+    for protocol in ("http", "spdy"):
+        plts: Dict[bool, Dict[int, float]] = {}
+        for enabled in (True, False):
+            tcp = TcpConfig(slow_start_after_idle=enabled)
+            config = ExperimentConfig(protocol=protocol, network="3g",
+                                      tcp=tcp,
+                                      site_ids=site_ids or list(range(1, 21)))
+            runs = run_many(config, n_runs)
+            collected = _collect_plts(runs)
+            plts[enabled] = {s: statistics.mean(v)
+                             for s, v in collected.items()}
+        for site in plts[True]:
+            entry = result["sites"].setdefault(site, {})
+            # negative = disabling helps (as plotted in the paper)
+            entry[protocol] = (plts[False][site] - plts[True][site]) * 1000.0
+    diffs = [entry[p] for entry in result["sites"].values()
+             for p in entry]
+    result["mean_difference_ms"] = statistics.mean(diffs)
+    result["sites_helped"] = sum(1 for d in diffs if d < 0)
+    result["sites_hurt"] = sum(1 for d in diffs if d > 0)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 16: PLT over LTE
+# ----------------------------------------------------------------------
+def fig16_plt_lte(n_runs: int = 3,
+                  site_ids: Optional[List[int]] = None,
+                  base: Optional[ExperimentConfig] = None) -> dict:
+    """Paper: both much faster than 3G; SPDY better after the initial
+    pages; retransmissions drop to ~8.9 (HTTP) / 7.5 (SPDY)."""
+    data = _plt_boxes("lte", n_runs, site_ids, base=base)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 17: SPDY cwnd + retransmissions over LTE
+# ----------------------------------------------------------------------
+def fig17_lte_cwnd(seed: int = 0,
+                   site_ids: Optional[List[int]] = None) -> dict:
+    """Paper: idle-exit retransmissions persist on LTE, just rarer."""
+    config = ExperimentConfig(protocol="spdy", network="lte", seed=seed,
+                              site_ids=site_ids or list(range(1, 21)))
+    run = run_experiment(config)
+    conn = next(c for c in run.testbed.proxy_stack.all_connections
+                if c.local_port == 8443)
+    probe = run.testbed.proxy_probe
+    retx = probe.retransmissions_for(conn.conn_id)
+    return {
+        "samples": [(s.time, s.cwnd, s.inflight_segments)
+                    for s in probe.samples_for(conn.conn_id)],
+        "retransmissions": [(r.time, r.seq, r.spurious) for r in retx],
+        "spurious_after_idle": sum(1 for r in retx if r.spurious),
+        "duration": run.duration,
+    }

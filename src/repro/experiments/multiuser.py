@@ -1,0 +1,112 @@
+"""Multiple devices on one tower: the paper's multi-user load experiment.
+
+"We ran experiments with multiple laptops simultaneously accessing the
+test web sites to study the effect of multiple users loading the
+network" (§3).  :class:`MultiClientTestbed` puts N clients behind one
+:class:`~repro.cellular.cell.SharedCell`, each with its own RRC state
+machine and radio links, all served by the same proxy pair; and
+:func:`run_contention_experiment` measures how PLT degrades as users are
+added.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional
+
+from ..browser import Browser, BrowserConfig, HttpFetcher, SpdyFetcher
+from ..cellular import AccessNetwork, make_profile
+from ..cellular.cell import SharedCell
+from ..net import Host
+from ..proxy import (HTTP_PROXY_PORT, HttpProxy, ProxyTrace, SPDY_PROXY_PORT,
+                     SpdyProxy, UpstreamPool)
+from ..server import OriginFarm
+from ..sim import Simulator
+from ..tcp import TcpConfig, TcpProbe, TcpStack
+from ..web import build_corpus
+
+__all__ = ["MultiClientTestbed", "run_contention_experiment"]
+
+
+class MultiClientTestbed:
+    """N clients, one shared cell, one proxy host."""
+
+    def __init__(self, n_clients: int, network: str = "3g", seed: int = 0,
+                 cell_downlink_bps: float = 6.0e6,
+                 cell_uplink_bps: float = 2.4e6,
+                 tcp: Optional[TcpConfig] = None,
+                 browser_config: Optional[BrowserConfig] = None):
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        self.sim = Simulator(seed=seed)
+        self.proxy_host = Host(self.sim, "proxy")
+        self.proxy_stack = TcpStack(self.sim, self.proxy_host,
+                                    tcp or TcpConfig())
+        self.proxy_probe = TcpProbe()
+        self.proxy_stack.set_probe(self.proxy_probe)
+        self.cell = SharedCell(cell_downlink_bps, cell_uplink_bps)
+
+        self.farm = OriginFarm(self.sim, self.proxy_host)
+        self.upstream = UpstreamPool(self.sim, self.proxy_stack, self.farm)
+        self.proxy_trace = ProxyTrace()
+        self.http_proxy = HttpProxy(self.sim, self.proxy_stack,
+                                    self.upstream, trace=self.proxy_trace)
+        self.spdy_proxy = SpdyProxy(self.sim, self.proxy_stack,
+                                    self.upstream, trace=self.proxy_trace)
+
+        self.clients: List[Host] = []
+        self.accesses: List[AccessNetwork] = []
+        self.client_stacks: List[TcpStack] = []
+        profile = make_profile(network)
+        for i in range(n_clients):
+            client = Host(self.sim, f"client{i}")
+            access = AccessNetwork(self.sim, client, self.proxy_host,
+                                   profile, cell=self.cell)
+            stack = TcpStack(self.sim, client, tcp or TcpConfig())
+            self.clients.append(client)
+            self.accesses.append(access)
+            self.client_stacks.append(stack)
+        self.browser_config = browser_config or BrowserConfig()
+
+    def make_browser(self, client_index: int, protocol: str) -> Browser:
+        stack = self.client_stacks[client_index]
+        if protocol == "http":
+            fetcher = HttpFetcher(self.sim, stack, "proxy", HTTP_PROXY_PORT)
+        elif protocol == "spdy":
+            fetcher = SpdyFetcher(self.sim, stack, "proxy", SPDY_PROXY_PORT)
+        else:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        return Browser(self.sim, fetcher, self.browser_config)
+
+
+def run_contention_experiment(n_clients: int, protocol: str = "http",
+                              network: str = "3g", seed: int = 0,
+                              site_ids: Optional[List[int]] = None,
+                              think_time: float = 60.0,
+                              stagger: float = 7.0) -> Dict[str, object]:
+    """All clients browse the same site list, offset by ``stagger`` seconds.
+
+    Returns per-client PLT lists plus aggregate statistics.
+    """
+    site_ids = site_ids or [5, 9, 12, 13]
+    testbed = MultiClientTestbed(n_clients, network=network, seed=seed)
+    pages = build_corpus(site_ids=site_ids)
+    browsers = []
+    for i in range(n_clients):
+        browser = testbed.make_browser(i, protocol)
+        browsers.append(browser)
+        for k, page in enumerate(pages):
+            testbed.sim.schedule_at(i * stagger + k * think_time,
+                                    browser.load_page, page)
+    end = (n_clients - 1) * stagger + len(pages) * think_time + 60.0
+    testbed.sim.run(until=end)
+
+    per_client = [[r.plt_or(55.0) for r in b.records] for b in browsers]
+    all_plts = [p for plts in per_client for p in plts]
+    return {
+        "n_clients": n_clients,
+        "per_client_plts": per_client,
+        "median_plt": statistics.median(all_plts),
+        "mean_plt": statistics.mean(all_plts),
+        "testbed": testbed,
+    }

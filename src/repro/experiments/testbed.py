@@ -1,0 +1,102 @@
+"""The full measurement testbed: client, access network, proxies, origins.
+
+Builds the paper's Figure 2 setup in one object::
+
+    laptop client --(3G/LTE/WiFi access)--> proxy cloud --(wired)--> origins
+
+The proxy host runs both the HTTP proxy and the SPDY proxy ("we run a
+SPDY and an HTTP proxy on the same machine for a fair comparison"); an
+experiment configures a browser against one of them.  All the paper's
+instrumentation is attached here: tcp_probe on the proxy, tcpdump-style
+taps on the access links, proxy request records, and the RRC state log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..browser import Browser, BrowserConfig, HttpFetcher, SpdyFetcher
+from ..cellular import AccessNetwork, AccessProfile, make_profile
+from ..net import Host, LinkTap
+from ..proxy import (HTTP_PROXY_PORT, HttpProxy, ProxyTrace, SPDY_PROXY_PORT,
+                     SpdyProxy, UpstreamPool)
+from ..server import OriginFarm
+from ..sim import Simulator
+from ..tcp import TcpConfig, TcpProbe, TcpStack
+from ..metrics import PacketTraceTap
+
+__all__ = ["Testbed"]
+
+
+class Testbed:
+    """One fully wired simulation instance."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, profile: Optional[AccessProfile] = None,
+                 seed: int = 0,
+                 proxy_tcp: Optional[TcpConfig] = None,
+                 client_tcp: Optional[TcpConfig] = None,
+                 late_binding: bool = False,
+                 browser_config: Optional[BrowserConfig] = None):
+        self.sim = Simulator(seed=seed)
+        self.profile = profile or make_profile("3g")
+        self.client_host = Host(self.sim, "client")
+        self.proxy_host = Host(self.sim, "proxy")
+        self.access = AccessNetwork(self.sim, self.client_host,
+                                    self.proxy_host, self.profile)
+
+        self.proxy_tcp_config = proxy_tcp or TcpConfig()
+        self.client_tcp_config = client_tcp or TcpConfig()
+        self.client_stack = TcpStack(self.sim, self.client_host,
+                                     self.client_tcp_config)
+        self.proxy_stack = TcpStack(self.sim, self.proxy_host,
+                                    self.proxy_tcp_config)
+
+        # tcp_probe on the proxy (the paper's vantage point) and client.
+        self.proxy_probe = TcpProbe()
+        self.proxy_stack.set_probe(self.proxy_probe)
+        self.client_probe = TcpProbe()
+        self.client_stack.set_probe(self.client_probe)
+
+        # tcpdump on the access links.
+        self.downlink_trace = PacketTraceTap(self.sim)
+        self.uplink_trace = PacketTraceTap(self.sim)
+        self.access.downlink.add_tap(LinkTap(self.downlink_trace.notify))
+        self.access.uplink.add_tap(LinkTap(self.uplink_trace.notify))
+
+        # Origins and proxies.
+        self.farm = OriginFarm(self.sim, self.proxy_host)
+        self.upstream = UpstreamPool(self.sim, self.proxy_stack, self.farm)
+        self.proxy_trace = ProxyTrace()
+        self.http_proxy = HttpProxy(self.sim, self.proxy_stack, self.upstream,
+                                    trace=self.proxy_trace)
+        self.spdy_proxy = SpdyProxy(self.sim, self.proxy_stack, self.upstream,
+                                    trace=self.proxy_trace,
+                                    late_binding=late_binding)
+        self.browser_config = browser_config or BrowserConfig()
+
+    # ------------------------------------------------------------------
+    def make_browser(self, protocol: str, n_spdy_sessions: int = 1,
+                     max_per_domain: int = 6, max_total: int = 32,
+                     http_pipelining: bool = False) -> Browser:
+        """Build a browser speaking ``protocol`` ("http" or "spdy")."""
+        if protocol == "http":
+            fetcher = HttpFetcher(self.sim, self.client_stack, "proxy",
+                                  HTTP_PROXY_PORT,
+                                  max_per_domain=max_per_domain,
+                                  max_total=max_total,
+                                  pipelining=http_pipelining)
+        elif protocol == "spdy":
+            fetcher = SpdyFetcher(self.sim, self.client_stack, "proxy",
+                                  SPDY_PROXY_PORT,
+                                  n_sessions=n_spdy_sessions)
+        else:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        return Browser(self.sim, fetcher, self.browser_config)
+
+    # ------------------------------------------------------------------
+    @property
+    def radio(self):
+        """The device's RRC machine (None on WiFi)."""
+        return self.access.machine

@@ -1,0 +1,10 @@
+"""Measurement collection and statistics: packet traces, bins, box plots."""
+
+from .packets import (PacketRecord, PacketTraceTap, bytes_in_flight_series,
+                      throughput_bins)
+from .stats import (BoxStats, box_stats, cdf_points, mean,
+                    mean_confidence_interval, percentile)
+
+__all__ = ["PacketRecord", "PacketTraceTap", "bytes_in_flight_series",
+           "throughput_bins", "BoxStats", "box_stats", "cdf_points", "mean",
+           "mean_confidence_interval", "percentile"]

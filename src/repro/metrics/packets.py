@@ -1,0 +1,104 @@
+"""Packet-trace collection and analysis (our tcpdump + post-processing).
+
+:class:`PacketTraceTap` plugs into a link tap and records one row per
+link event.  The helpers below turn the rows into the datasets the
+paper's figures use: per-second throughput bins (Figure 9), bytes in
+flight over time (Figure 10), and per-connection retransmission
+sequences (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..tcp.segment import Segment
+
+__all__ = ["PacketRecord", "PacketTraceTap", "throughput_bins",
+           "bytes_in_flight_series"]
+
+
+@dataclass
+class PacketRecord:
+    """One tcpdump line."""
+
+    time: float
+    kind: str               # "enqueue" | "deliver" | "drop-queue" | "drop-loss"
+    size: int
+    src: str
+    dst: str
+    sport: int = 0
+    dport: int = 0
+    seq: int = 0
+    payload_len: int = 0
+    is_retransmission: bool = False
+    flags: str = ""
+
+
+class PacketTraceTap:
+    """Collects :class:`PacketRecord` rows from a link tap."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.records: List[PacketRecord] = []
+
+    def notify(self, kind: str, packet, time: float) -> None:
+        segment = packet.payload
+        if isinstance(segment, Segment):
+            self.records.append(PacketRecord(
+                time=time, kind=kind, size=packet.size, src=packet.src,
+                dst=packet.dst, sport=segment.sport, dport=segment.dport,
+                seq=segment.seq, payload_len=segment.length,
+                is_retransmission=segment.retransmit_of > 0,
+                flags=segment.flag_string()))
+        else:
+            self.records.append(PacketRecord(
+                time=time, kind=kind, size=packet.size, src=packet.src,
+                dst=packet.dst))
+
+    # ------------------------------------------------------------------
+    def delivered(self) -> List[PacketRecord]:
+        return [r for r in self.records if r.kind == "deliver"]
+
+    def total_payload_delivered(self) -> int:
+        return sum(r.payload_len for r in self.delivered())
+
+    def retransmitted_deliveries(self) -> List[PacketRecord]:
+        return [r for r in self.delivered() if r.is_retransmission]
+
+
+def throughput_bins(records: List[PacketRecord], bin_seconds: float = 1.0,
+                    until: Optional[float] = None,
+                    payload_only: bool = True) -> List[Tuple[float, float]]:
+    """Figure 9: bytes delivered per time bin -> [(bin_start, bytes)].
+
+    Bins are contiguous from t=0 so different runs align when averaged.
+    """
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    delivered = [r for r in records if r.kind == "deliver"]
+    end = until
+    if end is None:
+        end = max((r.time for r in delivered), default=0.0)
+    n_bins = int(end / bin_seconds) + 1
+    bins = [0.0] * n_bins
+    for r in delivered:
+        idx = int(r.time / bin_seconds)
+        if idx < n_bins:
+            bins[idx] += r.payload_len if payload_only else r.size
+    return [(i * bin_seconds, b) for i, b in enumerate(bins)]
+
+
+def bytes_in_flight_series(samples) -> List[Tuple[float, int]]:
+    """Figure 10: total unacknowledged bytes over time, across connections.
+
+    ``samples`` are tcp_probe :class:`~repro.tcp.trace.ProbeSample` rows;
+    for each instant we sum the most recent in-flight value of every
+    connection seen so far (step interpolation).
+    """
+    latest: Dict[str, int] = {}
+    series: List[Tuple[float, int]] = []
+    for sample in samples:
+        latest[sample.conn_id] = sample.inflight_bytes
+        series.append((sample.time, sum(latest.values())))
+    return series

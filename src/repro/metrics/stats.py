@@ -1,0 +1,100 @@
+"""Statistics used by the figure generators: box plots, CDFs, CIs.
+
+Implemented with the standard library only (the simulation itself has no
+numpy dependency); numpy-backed benches may convert if they wish.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["BoxStats", "box_stats", "percentile", "cdf_points",
+           "mean_confidence_interval", "mean"]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class BoxStats:
+    """The five-number summary plus mean (the paper's Figure 3 box plot)."""
+
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+    n: int
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    if not values:
+        raise ValueError("box_stats of empty sequence")
+    return BoxStats(minimum=min(values),
+                    p25=percentile(values, 25),
+                    median=percentile(values, 50),
+                    p75=percentile(values, 75),
+                    maximum=max(values),
+                    mean=mean(values),
+                    n=len(values))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as [(value, fraction <= value)] (Figure 14)."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+# Two-sided t critical values at 95% for small df; 1.96 beyond.
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131,
+        20: 2.086, 25: 2.060, 30: 2.042}
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        raise ValueError("df must be positive")
+    if df in _T95:
+        return _T95[df]
+    for key in sorted(_T95):
+        if df < key:
+            return _T95[key]
+    return 1.96
+
+
+def mean_confidence_interval(values: Sequence[float]
+                             ) -> Tuple[float, float, float]:
+    """(mean, lo, hi) 95% CI via Student's t (Figure 4 error bars)."""
+    m = mean(values)
+    if len(values) < 2:
+        return (m, m, m)
+    var = sum((v - m) ** 2 for v in values) / (len(values) - 1)
+    half = _t_critical(len(values) - 1) * math.sqrt(var / len(values))
+    return (m, m - half, m + half)

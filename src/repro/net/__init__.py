@@ -1,0 +1,7 @@
+"""Generic packet-network substrate: packets, links, hosts, taps."""
+
+from .packet import Packet
+from .link import DuplexLink, Link, LinkTap
+from .node import Host, RoutingError
+
+__all__ = ["Packet", "Link", "DuplexLink", "LinkTap", "Host", "RoutingError"]

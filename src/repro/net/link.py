@@ -1,0 +1,201 @@
+"""Unidirectional links with serialization, propagation, loss and drop-tail queues.
+
+A :class:`Link` models one direction of a path: packets are serialized at
+``bandwidth_bps``, experience ``latency`` (+ optional jitter) of
+propagation, may be dropped by a Bernoulli loss process or by drop-tail
+queue overflow, and are finally handed to the destination host.
+
+:class:`LinkTap` is our tcpdump: it observes every enqueue, drop and
+delivery on a link and is the raw input to the packet-trace analysis in
+:mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..sim import Simulator
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Host
+
+__all__ = ["Link", "LinkTap", "DuplexLink"]
+
+# Tap event kinds
+ENQUEUE = "enqueue"
+DROP_QUEUE = "drop-queue"
+DROP_LOSS = "drop-loss"
+DELIVER = "deliver"
+
+
+class LinkTap:
+    """Observer interface for link events (our tcpdump).
+
+    Subclass or pass callbacks; every event carries the kind, the packet,
+    and the simulated time.
+    """
+
+    def __init__(self, callback: Callable[[str, Packet, float], None]):
+        self._callback = callback
+
+    def notify(self, kind: str, packet: Packet, time: float) -> None:
+        self._callback(kind, packet, time)
+
+
+class Link:
+    """One direction of a network path.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Serialization rate in bits/second, or ``None`` for an infinitely
+        fast link (useful in unit tests).
+    latency:
+        One-way propagation delay in seconds.
+    jitter:
+        Optional callable ``jitter(rng) -> float`` returning an *additive*
+        per-packet delay in seconds.  Delivery order is still FIFO: a
+        packet never overtakes one serialized before it.
+    loss_rate:
+        Independent per-packet drop probability, applied at serialization.
+    queue_limit_bytes:
+        Drop-tail buffer size.  ``None`` means unbounded (again, tests).
+    """
+
+    def __init__(self, sim: Simulator, name: str, dst: "Host",
+                 bandwidth_bps: Optional[float] = None,
+                 latency: float = 0.0,
+                 jitter: Optional[Callable] = None,
+                 loss_rate: float = 0.0,
+                 queue_limit_bytes: Optional[int] = 256 * 1024):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.name = name
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.queue_limit_bytes = queue_limit_bytes
+
+        self._busy_until = 0.0
+        self._queued_bytes = 0
+        self._last_delivery = 0.0
+        self._taps: List[LinkTap] = []
+        self._rng = sim.rng(f"link/{name}")
+
+        # counters for quick sanity checks
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    def add_tap(self, tap: LinkTap) -> None:
+        """Attach a trace observer to this link."""
+        self._taps.append(tap)
+
+    def _notify(self, kind: str, packet: Packet) -> None:
+        for tap in self._taps:
+            tap.notify(kind, packet, self.sim.now)
+
+    # ------------------------------------------------------------------
+    def transmit(self, packet: Packet) -> None:
+        """Accept a packet for transmission (or drop it at the queue)."""
+        now = self.sim.now
+        if self.queue_limit_bytes is not None:
+            backlog = self._queued_bytes
+            if backlog + packet.size > self.queue_limit_bytes:
+                packet.lost = True
+                self.packets_dropped += 1
+                self._notify(DROP_QUEUE, packet)
+                return
+        self._notify(ENQUEUE, packet)
+        self._queued_bytes += packet.size
+
+        start = max(now, self._busy_until, self._gate_time(packet))
+        rate = self._rate(packet)
+        if rate is None:
+            tx_time = 0.0
+        else:
+            tx_time = packet.size * 8.0 / rate
+        end = start + tx_time
+        self._busy_until = end
+
+        # Loss is decided now so the sender-side spurious-retransmission
+        # classifier can inspect packet.lost immediately.
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            packet.lost = True
+            self.packets_dropped += 1
+            self.sim.schedule_at(end, self._drop_after_tx, packet)
+            return
+
+        extra = self.jitter(self._rng) if self.jitter is not None else 0.0
+        arrival = end + self._latency_for(packet) + max(0.0, extra)
+        # FIFO: never let jitter reorder packets on the same link.
+        arrival = max(arrival, self._last_delivery)
+        self._last_delivery = arrival
+        self.sim.schedule_at(end, self._finish_serialization, packet)
+        self.sim.schedule_at(arrival, self._deliver, packet)
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses (the cellular radio link overrides these)
+    # ------------------------------------------------------------------
+    def _gate_time(self, packet: Packet) -> float:
+        """Earliest instant serialization may begin (radio promotion gate)."""
+        return self.sim.now
+
+    def _rate(self, packet: Packet) -> Optional[float]:
+        """Serialization rate for this packet (state-dependent on a radio)."""
+        return self.bandwidth_bps
+
+    def _latency_for(self, packet: Packet) -> float:
+        """One-way propagation latency for this packet."""
+        return self.latency
+
+    def _drop_after_tx(self, packet: Packet) -> None:
+        self._queued_bytes -= packet.size
+        self._notify(DROP_LOSS, packet)
+
+    def _finish_serialization(self, packet: Packet) -> None:
+        self._queued_bytes -= packet.size
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.delivered_at = self.sim.now
+        self._notify(DELIVER, packet)
+        self.dst.receive(packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently queued or in serialization."""
+        return self._queued_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} -> {self.dst.address}>"
+
+
+class DuplexLink:
+    """Convenience wrapper wiring two hosts with symmetric-or-not links."""
+
+    def __init__(self, sim: Simulator, a: "Host", b: "Host",
+                 bandwidth_down_bps: Optional[float] = None,
+                 bandwidth_up_bps: Optional[float] = None,
+                 latency: float = 0.0,
+                 jitter: Optional[Callable] = None,
+                 loss_rate: float = 0.0,
+                 queue_limit_bytes: Optional[int] = 256 * 1024):
+        # "down" is a->b is arbitrary; callers name the hosts accordingly.
+        self.forward = Link(sim, f"{a.address}->{b.address}", b,
+                            bandwidth_down_bps, latency, jitter, loss_rate,
+                            queue_limit_bytes)
+        self.backward = Link(sim, f"{b.address}->{a.address}", a,
+                             bandwidth_up_bps, latency, jitter, loss_rate,
+                             queue_limit_bytes)
+        a.add_route(b.address, self.forward)
+        b.add_route(a.address, self.backward)

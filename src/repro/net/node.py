@@ -1,0 +1,73 @@
+"""Hosts: addressable endpoints with static routes and protocol demux.
+
+Our topology is tiny (client, proxy, a handful of origins) so routing is
+a direct ``dst address -> outgoing link`` table.  Each host owns exactly
+one TCP stack, installed by :class:`repro.tcp.stack.TcpStack` itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..sim import Simulator
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .link import Link
+    from ..tcp.stack import TcpStack
+
+__all__ = ["Host", "RoutingError"]
+
+
+class RoutingError(RuntimeError):
+    """Raised when a host has no route for a packet's destination."""
+
+
+class Host:
+    """A network endpoint identified by a string address."""
+
+    def __init__(self, sim: Simulator, address: str):
+        self.sim = sim
+        self.address = address
+        self._routes: Dict[str, "Link"] = {}
+        self._default_route: Optional["Link"] = None
+        self.tcp: Optional["TcpStack"] = None
+
+    # ------------------------------------------------------------------
+    def add_route(self, dst: str, link: "Link") -> None:
+        """Install a static route: packets for ``dst`` leave via ``link``."""
+        self._routes[dst] = link
+
+    def set_default_route(self, link: "Link") -> None:
+        """Install a catch-all route (used by the client: everything via radio)."""
+        self._default_route = link
+
+    def route_for(self, dst: str) -> "Link":
+        link = self._routes.get(dst)
+        if link is None:
+            link = self._default_route
+        if link is None:
+            raise RoutingError(f"{self.address}: no route to {dst}")
+        return link
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Transmit a locally generated packet toward its destination."""
+        self.route_for(packet.dst).transmit(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet arriving at this host.
+
+        Packets addressed to us are handed to the TCP stack; anything
+        else is forwarded (lets tests build multi-hop chains).
+        """
+        if packet.dst == self.address:
+            if self.tcp is None:
+                raise RoutingError(
+                    f"{self.address}: packet arrived but no TCP stack installed")
+            self.tcp.receive(packet)
+        else:
+            self.route_for(packet.dst).transmit(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.address}>"

@@ -1,0 +1,58 @@
+"""Packets: the unit of transfer on every link in the simulation.
+
+A packet carries an opaque ``payload`` (for us, always a TCP segment), a
+wire ``size`` in bytes, and bookkeeping fields the measurement layer uses
+to classify retransmissions.  The paper's tcpdump traces are our
+``LinkTap`` records over these packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """A single IP-layer datagram.
+
+    Attributes
+    ----------
+    src, dst:
+        Host addresses (plain strings, e.g. ``"client"``, ``"proxy"``).
+    size:
+        Total on-the-wire size in bytes, headers included.
+    payload:
+        The transported object (a :class:`~repro.tcp.segment.Segment`).
+    lost:
+        Set by the link when the drop process claims this packet.  The
+        sender keeps references to its transmitted packets, so this flag
+        is the ground truth used to classify a retransmission as
+        *spurious* (no copy of the data was actually lost) versus
+        *genuine*.
+    """
+
+    __slots__ = ("packet_id", "src", "dst", "size", "payload",
+                 "created_at", "delivered_at", "lost")
+
+    def __init__(self, src: str, dst: str, size: int, payload: Any = None,
+                 created_at: float = 0.0):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.packet_id: int = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.payload = payload
+        self.created_at = created_at
+        self.delivered_at: Optional[float] = None
+        self.lost = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "lost" if self.lost else (
+            "delivered" if self.delivered_at is not None else "in-flight")
+        return (f"<Packet #{self.packet_id} {self.src}->{self.dst} "
+                f"{self.size}B {status}>")

@@ -1,0 +1,12 @@
+"""The dual-proxy deployment: Squid-style HTTP proxy and SPDY proxy."""
+
+from .http_proxy import HTTP_PROXY_PORT, HttpProxy
+from .scheduler import PriorityScheduler, StreamOutput
+from .spdy_proxy import SPDY_PROXY_PORT, SpdyProxy
+from .trace import ProxyRequestRecord, ProxyTrace
+from .upstream import UpstreamFetch, UpstreamPool
+
+__all__ = ["HTTP_PROXY_PORT", "HttpProxy", "PriorityScheduler",
+           "StreamOutput", "SPDY_PROXY_PORT", "SpdyProxy",
+           "ProxyRequestRecord", "ProxyTrace", "UpstreamFetch",
+           "UpstreamPool"]

@@ -1,0 +1,100 @@
+"""Squid-style HTTP proxy: persistent connections, no pipelining.
+
+Matches the paper's Squid 3.1 configuration: persistent connections to
+both client and origin, one request outstanding per client connection
+("we did not run experiments of HTTP with pipelining turned on"), and
+store-and-forward relaying of each response (head, then body).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..sim import Simulator
+from ..tcp import TcpStack
+from ..web.http1 import HttpRequest, HttpResponseBody, HttpResponseHead
+from .trace import ProxyTrace
+from .upstream import UpstreamPool
+
+__all__ = ["HttpProxy", "HTTP_PROXY_PORT"]
+
+HTTP_PROXY_PORT = 8080
+
+
+class HttpProxy:
+    """The HTTP side of the paper's dual-proxy deployment."""
+
+    def __init__(self, sim: Simulator, stack: TcpStack,
+                 upstream: UpstreamPool, port: int = HTTP_PROXY_PORT,
+                 trace: Optional[ProxyTrace] = None):
+        self.sim = sim
+        self.stack = stack
+        self.upstream = upstream
+        self.port = port
+        self.trace = trace if trace is not None else ProxyTrace()
+        self.requests_relayed = 0
+        # Per client connection: FIFO of requests not yet dispatched
+        # upstream, and whether one is currently being served.
+        self._queues: Dict[object, Deque[HttpRequest]] = {}
+        self._serving: Dict[object, bool] = {}
+        stack.listen(port, self._on_accept)
+
+    # ------------------------------------------------------------------
+    def _on_accept(self, conn) -> None:
+        self._queues[conn] = deque()
+        self._serving[conn] = False
+        conn.on_message = self._on_request
+        conn.on_close = self._on_client_close
+
+    def _on_client_close(self, conn) -> None:
+        self._queues.pop(conn, None)
+        self._serving.pop(conn, None)
+
+    def _on_request(self, conn, message) -> None:
+        if not isinstance(message, HttpRequest):
+            return
+        queue = self._queues.get(conn)
+        if queue is None:
+            return
+        queue.append(message)
+        self._serve_next(conn)
+
+    def _serve_next(self, conn) -> None:
+        queue = self._queues.get(conn)
+        if queue is None or self._serving.get(conn) or not queue:
+            return
+        request = queue.popleft()
+        self._serving[conn] = True
+        record = self.trace.new_record("http", f"req{request.request_id}",
+                                       request.domain, request.path,
+                                       self.sim.now)
+        record.is_long_poll = request.server_delay > 0
+
+        def on_head(head: HttpResponseHead) -> None:
+            record.t_origin_first_byte = self.sim.now
+
+        def on_body(body: HttpResponseBody) -> None:
+            record.t_origin_done = self.sim.now
+            record.response_bytes = body.length
+            self._relay(conn, request, body, record)
+
+        self.upstream.fetch(request, on_head, on_body)
+
+    def _relay(self, conn, request: HttpRequest, body: HttpResponseBody,
+               record) -> None:
+        if conn.state == "CLOSED":
+            return
+        record.t_send_start = self.sim.now
+        head = HttpResponseHead(request, content_length=body.length,
+                                content_type=request.content_type)
+        conn.send_message(head, head.wire_size)
+        conn.send_message(body, body.length)
+
+        def acked() -> None:
+            record.t_client_acked = self.sim.now
+
+        conn.notify_when_acked(acked)
+        self.requests_relayed += 1
+        self._serving[conn] = False
+        self._serve_next(conn)

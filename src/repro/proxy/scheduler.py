@@ -1,0 +1,164 @@
+"""Priority frame scheduler for SPDY responses.
+
+The SPDY proxy must interleave many response streams onto one (or, for
+the §6.1 experiment, several) client TCP connections.  The scheduler
+holds per-stream frame queues, serves strictly by SPDY priority with
+round-robin among equal priorities, and respects TCP backpressure: it
+only commits a frame to a socket whose unsent buffer is below a
+watermark, so high-priority frames are never stuck behind megabytes of
+already-committed low-priority data.
+
+With ``late_binding=True`` a frame may go out on *any* connection in
+the group — the remedy sketched at the end of §6.1 ("late binding of
+the response to an 'available' TCP connection").  The default (static)
+mode pins every stream to the connection it arrived on, which is what
+actual SPDY requires and why the paper found 20 connections alone did
+not help.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..sim import Simulator
+
+__all__ = ["StreamOutput", "PriorityScheduler"]
+
+
+class StreamOutput:
+    """Outbound frame queue for one stream."""
+
+    def __init__(self, stream_id: int, priority: int, conn,
+                 on_first_write: Optional[Callable[[], None]] = None,
+                 on_last_write: Optional[Callable[[object], None]] = None):
+        self.stream_id = stream_id
+        self.priority = priority
+        self.conn = conn                     # static-binding home connection
+        self.frames: Deque = deque()
+        self.finished_enqueueing = False
+        self.started = False
+        self.last_conn = None                # where the last frame went
+        self.on_first_write = on_first_write
+        self.on_last_write = on_last_write
+        self._last_write_fired = False
+
+    def maybe_fire_last_write(self) -> None:
+        if (self._last_write_fired or not self.finished_enqueueing
+                or self.pending or self.last_conn is None):
+            return
+        self._last_write_fired = True
+        if self.on_last_write is not None:
+            self.on_last_write(self.last_conn)
+
+    @property
+    def pending(self) -> bool:
+        return bool(self.frames)
+
+
+class PriorityScheduler:
+    """Serves stream frames onto client connections by priority."""
+
+    def __init__(self, sim: Simulator, late_binding: bool = False,
+                 watermark: int = 16 * 1024):
+        self.sim = sim
+        self.late_binding = late_binding
+        self.watermark = watermark
+        self._conns: List = []
+        self._streams: Dict[int, StreamOutput] = {}
+        # Per-priority round-robin rings of stream ids with pending frames.
+        self._rings: Dict[int, Deque[int]] = {}
+        self.frames_sent = 0
+
+    # ------------------------------------------------------------------
+    def add_connection(self, conn) -> None:
+        conn.writable_watermark = self.watermark
+        conn.on_writable = lambda c: self.pump()
+        self._conns.append(conn)
+
+    def remove_connection(self, conn) -> None:
+        if conn in self._conns:
+            self._conns.remove(conn)
+
+    def open_stream(self, stream: StreamOutput) -> None:
+        self._streams[stream.stream_id] = stream
+
+    def enqueue(self, stream_id: int, frame, wire_size: int) -> None:
+        """Queue one frame (with its wire size) for a stream."""
+        stream = self._streams[stream_id]
+        was_pending = stream.pending
+        stream.frames.append((frame, wire_size))
+        if not was_pending:
+            ring = self._rings.setdefault(stream.priority, deque())
+            ring.append(stream_id)
+        self.pump()
+
+    def finish_stream(self, stream_id: int) -> None:
+        """Mark that no more frames will be enqueued for this stream."""
+        stream = self._streams.get(stream_id)
+        if stream is not None:
+            stream.finished_enqueueing = True
+            stream.maybe_fire_last_write()
+
+    # ------------------------------------------------------------------
+    def _writable_conn(self, stream: StreamOutput):
+        """Pick the connection this stream's next frame should use."""
+        if not self.late_binding:
+            conn = stream.conn
+            if (conn.state == "ESTABLISHED"
+                    and conn.unsent_bytes < self.watermark):
+                return conn
+            return None
+        candidates = [c for c in self._conns
+                      if c.state == "ESTABLISHED"
+                      and c.unsent_bytes < self.watermark]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: (c.unsent_bytes,
+                                              c.inflight_bytes))
+
+    def pump(self) -> None:
+        """Send frames while priority queues and socket budgets allow."""
+        progress = True
+        while progress:
+            progress = False
+            for priority in sorted(self._rings):
+                ring = self._rings[priority]
+                for _ in range(len(ring)):
+                    stream_id = ring[0]
+                    stream = self._streams[stream_id]
+                    if not stream.pending:
+                        ring.popleft()
+                        continue
+                    conn = self._writable_conn(stream)
+                    if conn is None:
+                        ring.rotate(-1)
+                        continue
+                    frame, wire_size = stream.frames.popleft()
+                    conn.send_message(frame, wire_size)
+                    self.frames_sent += 1
+                    progress = True
+                    stream.last_conn = conn
+                    if not stream.started:
+                        stream.started = True
+                        if stream.on_first_write is not None:
+                            stream.on_first_write()
+                    stream.maybe_fire_last_write()
+                    ring.rotate(-1)
+                    break  # restart from the highest priority
+                if progress:
+                    break
+        self._gc_rings()
+
+    def _gc_rings(self) -> None:
+        for priority in list(self._rings):
+            ring = self._rings[priority]
+            while ring and not self._streams[ring[0]].pending:
+                ring.popleft()
+            if not ring:
+                del self._rings[priority]
+
+    # ------------------------------------------------------------------
+    @property
+    def backlog_frames(self) -> int:
+        return sum(len(s.frames) for s in self._streams.values())

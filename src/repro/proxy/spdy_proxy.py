@@ -1,0 +1,199 @@
+"""The SPDY proxy: one SSL connection per client, multiplexed streams.
+
+Mirrors the Chromium-tree SPDY proxy the paper deployed: the browser
+opens a single SSL-encrypted TCP connection and reuses it for every
+website; the proxy fetches objects from origins over persistent HTTP
+and schedules response frames back by stream priority.
+
+The proxy also implements the two §6.1 variants:
+
+* multiple sessions per client (the browser side opens N connections,
+  PAC-file style) with **static** stream→connection binding — the
+  configuration the paper measured and found wanting;
+* ``late_binding=True`` — responses may return on any available
+  connection of the client's group, the fix the paper advocates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Simulator
+from ..tcp import TcpStack
+from ..web.headers import SpdyHeaderCodec
+from ..web.http1 import HttpRequest, HttpResponseBody, HttpResponseHead
+from ..web.spdy import (DEFAULT_DATA_FRAME_BYTES, SpdyDataFrame, SpdyPing,
+                        SpdySynReply, SpdySynStream, TlsHandshakeMessage)
+from .scheduler import PriorityScheduler, StreamOutput
+from .trace import ProxyTrace
+from .upstream import UpstreamPool
+
+__all__ = ["SpdyProxy", "SPDY_PROXY_PORT"]
+
+SPDY_PROXY_PORT = 8443
+
+
+class _ClientGroup:
+    """All SPDY sessions belonging to one client device."""
+
+    def __init__(self, sim: Simulator, late_binding: bool):
+        self.scheduler = PriorityScheduler(sim, late_binding=late_binding)
+        self.tx_codec = SpdyHeaderCodec()
+        self.pushed_keys: set = set()      # object ids already pushed
+        self.next_push_id = 2              # server streams are even
+        self.default_conn = None           # home conn for push streams
+
+
+class SpdyProxy:
+    """Server side of the SPDY deployment."""
+
+    def __init__(self, sim: Simulator, stack: TcpStack,
+                 upstream: UpstreamPool, port: int = SPDY_PROXY_PORT,
+                 trace: Optional[ProxyTrace] = None,
+                 late_binding: bool = False,
+                 server_push: bool = False,
+                 data_frame_bytes: int = DEFAULT_DATA_FRAME_BYTES):
+        self.sim = sim
+        self.stack = stack
+        self.upstream = upstream
+        self.port = port
+        self.trace = trace if trace is not None else ProxyTrace()
+        self.late_binding = late_binding
+        self.server_push = server_push
+        self.data_frame_bytes = data_frame_bytes
+        self.streams_served = 0
+        self.streams_pushed = 0
+        self._groups: Dict[str, _ClientGroup] = {}
+        self._tls_state: Dict[object, str] = {}
+        stack.listen(port, self._on_accept)
+
+    # ------------------------------------------------------------------
+    def _group_for(self, client_addr: str) -> _ClientGroup:
+        group = self._groups.get(client_addr)
+        if group is None:
+            group = _ClientGroup(self.sim, self.late_binding)
+            self._groups[client_addr] = group
+        return group
+
+    def _on_accept(self, conn) -> None:
+        self._tls_state[conn] = "expect_hello"
+        conn.on_message = self._on_message
+        conn.on_close = self._on_close
+
+    def _on_close(self, conn) -> None:
+        self._tls_state.pop(conn, None)
+        group = self._groups.get(conn.remote_addr)
+        if group is not None:
+            group.scheduler.remove_connection(conn)
+
+    # ------------------------------------------------------------------
+    def _on_message(self, conn, message) -> None:
+        if isinstance(message, TlsHandshakeMessage):
+            self._handle_tls(conn, message)
+        elif isinstance(message, SpdySynStream):
+            self._handle_syn_stream(conn, message)
+        elif isinstance(message, SpdyPing):
+            # PINGs are echoed immediately, bypassing the scheduler.
+            conn.send_message(message, message.wire_size)
+
+    def _handle_tls(self, conn, message: TlsHandshakeMessage) -> None:
+        state = self._tls_state.get(conn)
+        if state == "expect_hello" and message.stage == "client_hello":
+            reply = TlsHandshakeMessage("server_hello_cert")
+            conn.send_message(reply, reply.wire_size)
+            self._tls_state[conn] = "expect_finished"
+        elif state == "expect_finished" and message.stage == "client_finished":
+            reply = TlsHandshakeMessage("server_finished")
+            conn.send_message(reply, reply.wire_size)
+            self._tls_state[conn] = "ready"
+            group = self._group_for(conn.remote_addr)
+            group.scheduler.add_connection(conn)
+
+    def _handle_syn_stream(self, conn, syn: SpdySynStream) -> None:
+        if self._tls_state.get(conn) != "ready":
+            return  # protocol violation; real proxy would RST the stream
+        group = self._group_for(conn.remote_addr)
+        record = self.trace.new_record("spdy", f"stream{syn.stream_id}",
+                                       syn.domain, syn.path, self.sim.now)
+        record.is_long_poll = syn.server_delay > 0
+        stream = StreamOutput(
+            syn.stream_id, syn.priority, conn,
+            on_first_write=lambda: setattr(record, "t_send_start",
+                                           self.sim.now),
+            on_last_write=lambda c: c.notify_when_acked(
+                lambda: setattr(record, "t_client_acked", self.sim.now)))
+        group.scheduler.open_stream(stream)
+
+        request = HttpRequest(syn.domain, syn.path, context=syn.context,
+                              via_proxy=False, server_delay=syn.server_delay,
+                              response_bytes=syn.response_bytes,
+                              content_type=syn.content_type)
+
+        group.default_conn = conn
+
+        def on_head(head: HttpResponseHead) -> None:
+            record.t_origin_first_byte = self.sim.now
+            if self.server_push and head.push_hints:
+                self._push_associated(group, conn, syn.stream_id,
+                                      head.push_hints)
+
+        def on_body(body: HttpResponseBody) -> None:
+            record.t_origin_done = self.sim.now
+            record.response_bytes = body.length
+            self._enqueue_response(group, syn, body.length)
+
+        self.upstream.fetch(request, on_head, on_body)
+
+    # ------------------------------------------------------------------
+    # server push (§2.2: "Server-initiated data exchange")
+    # ------------------------------------------------------------------
+    def _push_associated(self, group: _ClientGroup, conn,
+                         assoc_stream_id: int, hints) -> None:
+        from ..web.spdy import SpdyPushStream
+
+        for obj in hints:
+            key = getattr(obj, "object_id", None)
+            if key is None or key in group.pushed_keys:
+                continue
+            group.pushed_keys.add(key)
+            push_id = group.next_push_id
+            group.next_push_id += 2
+            request = HttpRequest(obj.domain, obj.path, context=obj,
+                                  via_proxy=False,
+                                  content_type=obj.content_type)
+
+            def on_body(body: HttpResponseBody, _obj=obj,
+                        _push_id=push_id) -> None:
+                push = SpdyPushStream(_push_id, assoc_stream_id,
+                                      group.tx_codec, _obj.domain,
+                                      _obj.path, body.length, context=_obj)
+                stream = StreamOutput(_push_id, priority=4, conn=conn)
+                group.scheduler.open_stream(stream)
+                group.scheduler.enqueue(_push_id, push, push.wire_size)
+                remaining = body.length
+                while remaining > 0:
+                    chunk = min(self.data_frame_bytes, remaining)
+                    remaining -= chunk
+                    frame = SpdyDataFrame(_push_id, chunk,
+                                          last=(remaining == 0))
+                    group.scheduler.enqueue(_push_id, frame, frame.wire_size)
+                group.scheduler.finish_stream(_push_id)
+                group.scheduler.pump()
+                self.streams_pushed += 1
+
+            self.upstream.fetch(request, lambda head: None, on_body)
+
+    def _enqueue_response(self, group: _ClientGroup, syn: SpdySynStream,
+                          body_bytes: int) -> None:
+        reply = SpdySynReply(syn.stream_id, group.tx_codec, syn.domain,
+                             body_bytes, syn.content_type)
+        group.scheduler.enqueue(syn.stream_id, reply, reply.wire_size)
+        remaining = body_bytes
+        while remaining > 0:
+            chunk = min(self.data_frame_bytes, remaining)
+            remaining -= chunk
+            frame = SpdyDataFrame(syn.stream_id, chunk, last=(remaining == 0))
+            group.scheduler.enqueue(syn.stream_id, frame, frame.wire_size)
+        group.scheduler.finish_stream(syn.stream_id)
+        group.scheduler.pump()
+        self.streams_served += 1

@@ -1,0 +1,101 @@
+"""Proxy-side request instrumentation (the data behind Figure 8).
+
+For every object relayed, the proxy records when the client's request
+arrived, when the first byte came back from the origin, when the origin
+download finished, when the proxy started writing to the client, and
+when the client ACKed the last byte — the black/cyan/red regions of
+Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["ProxyRequestRecord", "ProxyTrace"]
+
+
+@dataclass
+class ProxyRequestRecord:
+    """Lifecycle timestamps for one relayed request."""
+
+    protocol: str                     # "http" | "spdy"
+    key: str                          # request id / stream id
+    domain: str
+    path: str
+    order: int                        # arrival order at the proxy
+    t_client_request: float
+    t_origin_first_byte: Optional[float] = None
+    t_origin_done: Optional[float] = None
+    t_send_start: Optional[float] = None
+    t_client_acked: Optional[float] = None
+    response_bytes: int = 0
+    #: Long-polls (server holds the request) are excluded from the
+    #: Figure 8 origin-wait statistics — the wait is intentional.
+    is_long_poll: bool = False
+
+    @property
+    def origin_wait(self) -> Optional[float]:
+        """Black region: request at proxy -> first byte from origin."""
+        if self.t_origin_first_byte is None:
+            return None
+        return self.t_origin_first_byte - self.t_client_request
+
+    @property
+    def origin_download(self) -> Optional[float]:
+        """Cyan region: first byte -> last byte from origin."""
+        if self.t_origin_done is None or self.t_origin_first_byte is None:
+            return None
+        return self.t_origin_done - self.t_origin_first_byte
+
+    @property
+    def queueing_delay(self) -> Optional[float]:
+        """Data ready at proxy -> proxy starts sending to the client."""
+        if self.t_send_start is None or self.t_origin_done is None:
+            return None
+        return self.t_send_start - self.t_origin_done
+
+    @property
+    def client_transfer(self) -> Optional[float]:
+        """Red region: proxy starts sending -> client ACKs the last byte."""
+        if self.t_client_acked is None or self.t_send_start is None:
+            return None
+        return self.t_client_acked - self.t_send_start
+
+    @property
+    def complete(self) -> bool:
+        return self.t_client_acked is not None
+
+
+class ProxyTrace:
+    """Collects :class:`ProxyRequestRecord` across a run."""
+
+    def __init__(self) -> None:
+        self.records: List[ProxyRequestRecord] = []
+        self._order = 0
+
+    def new_record(self, protocol: str, key: str, domain: str, path: str,
+                   now: float) -> ProxyRequestRecord:
+        record = ProxyRequestRecord(protocol=protocol, key=key, domain=domain,
+                                    path=path, order=self._order,
+                                    t_client_request=now)
+        self._order += 1
+        self.records.append(record)
+        return record
+
+    def completed(self) -> List[ProxyRequestRecord]:
+        return [r for r in self.records if r.complete]
+
+    def page_records(self) -> List[ProxyRequestRecord]:
+        """Records for page objects (long-polls excluded)."""
+        return [r for r in self.records if not r.is_long_poll]
+
+    def mean_origin_wait(self) -> float:
+        waits = [r.origin_wait for r in self.page_records()
+                 if r.origin_wait is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def mean_origin_download(self) -> float:
+        downloads = [r.origin_download for r in self.page_records()
+                     if r.origin_download is not None]
+        return sum(downloads) / len(downloads) if downloads else 0.0

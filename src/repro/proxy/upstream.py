@@ -1,0 +1,136 @@
+"""Persistent upstream connection pool: proxy -> origin servers.
+
+Both proxies (Squid-style HTTP and the SPDY proxy) "use persistent HTTP
+to connect to the different web servers and fetch requested objects".
+The pool keeps up to ``max_per_domain`` connections per origin, reuses
+idle ones, and queues requests beyond the cap.  Each request is
+exclusive on its connection until the response body completes, so
+responses never interleave.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..sim import Simulator
+from ..tcp import TcpStack
+from ..web.http1 import HttpRequest, HttpResponseBody, HttpResponseHead
+
+__all__ = ["UpstreamPool", "UpstreamFetch"]
+
+
+@dataclass
+class UpstreamFetch:
+    """One in-flight origin fetch with its relay callbacks and timestamps."""
+
+    request: HttpRequest
+    on_head: Callable[[HttpResponseHead], None]
+    on_body: Callable[[HttpResponseBody], None]
+    queued_at: float = 0.0
+    sent_at: Optional[float] = None
+    head_at: Optional[float] = None
+    body_at: Optional[float] = None
+
+
+class _DomainPool:
+    """Connections and waiters for a single origin domain."""
+
+    def __init__(self) -> None:
+        self.free: List = []
+        self.busy: Dict = {}          # conn -> UpstreamFetch
+        self.opening: int = 0
+        self.queue: Deque[UpstreamFetch] = deque()
+
+
+class UpstreamPool:
+    """Origin-side connection management for a proxy."""
+
+    def __init__(self, sim: Simulator, stack: TcpStack, farm,
+                 max_per_domain: int = 24):
+        self.sim = sim
+        self.stack = stack
+        self.farm = farm
+        self.max_per_domain = max_per_domain
+        self._domains: Dict[str, _DomainPool] = {}
+        self.fetches_started = 0
+        self.fetches_completed = 0
+
+    # ------------------------------------------------------------------
+    def fetch(self, request: HttpRequest,
+              on_head: Callable[[HttpResponseHead], None],
+              on_body: Callable[[HttpResponseBody], None]) -> UpstreamFetch:
+        """Fetch ``request`` from its origin, relaying head/body callbacks."""
+        job = UpstreamFetch(request, on_head, on_body, queued_at=self.sim.now)
+        pool = self._domains.setdefault(request.domain, _DomainPool())
+        pool.queue.append(job)
+        self.fetches_started += 1
+        self._pump(request.domain)
+        return job
+
+    # ------------------------------------------------------------------
+    def _pump(self, domain: str) -> None:
+        pool = self._domains[domain]
+        while pool.queue and pool.free:
+            conn = pool.free.pop()
+            if conn.state != "ESTABLISHED":
+                continue  # died while idle
+            self._dispatch(conn, pool, pool.queue.popleft())
+        while (pool.opening < len(pool.queue)
+               and len(pool.busy) + pool.opening < self.max_per_domain):
+            pool.opening += 1
+            self._open_connection(domain)
+
+    def _open_connection(self, domain: str) -> None:
+        self.farm.ensure_origin(domain)
+        conn = self.stack.connect(domain, 80)
+        pool = self._domains[domain]
+
+        def established(c):
+            pool.opening -= 1
+            if pool.queue:
+                self._dispatch(c, pool, pool.queue.popleft())
+            else:
+                pool.free.append(c)
+
+        conn.on_established = established
+        conn.on_message = lambda c, msg: self._on_message(domain, c, msg)
+        conn.on_close = lambda c: self._on_conn_closed(domain, c)
+
+    def _dispatch(self, conn, pool: _DomainPool, job: UpstreamFetch) -> None:
+        pool.busy[conn] = job
+        job.sent_at = self.sim.now
+        conn.send_message(job.request, job.request.wire_size)
+
+    def _on_message(self, domain: str, conn, message) -> None:
+        pool = self._domains[domain]
+        job = pool.busy.get(conn)
+        if job is None:
+            return
+        if isinstance(message, HttpResponseHead):
+            job.head_at = self.sim.now
+            job.on_head(message)
+        elif isinstance(message, HttpResponseBody):
+            job.body_at = self.sim.now
+            del pool.busy[conn]
+            pool.free.append(conn)
+            self.fetches_completed += 1
+            job.on_body(message)
+            self._pump(domain)
+
+    def _on_conn_closed(self, domain: str, conn) -> None:
+        pool = self._domains.get(domain)
+        if pool is None:
+            return
+        if conn in pool.free:
+            pool.free.remove(conn)
+        job = pool.busy.pop(conn, None)
+        if job is not None:
+            # Re-queue the orphaned request on a fresh connection.
+            pool.queue.appendleft(job)
+            self._pump(domain)
+
+    # ------------------------------------------------------------------
+    def open_connection_count(self) -> int:
+        return sum(len(p.free) + len(p.busy) for p in self._domains.values())

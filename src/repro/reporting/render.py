@@ -1,0 +1,120 @@
+"""ASCII rendering of the figure/table datasets.
+
+The benches print these renderings so a reproduction run leaves a
+human-readable record (the same rows/series the paper plots) without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_boxes", "render_series", "render_cdf",
+           "render_bar", "format_seconds"]
+
+
+def format_seconds(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}s"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric cells."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_boxes(sites: Dict[int, dict], title: str = "",
+                 unit_scale: float = 1.0, unit: str = "s") -> str:
+    """Figure 3/16-style: per-site box stats for both protocols."""
+    headers = ["site", "http p25", "http med", "http p75", "http mean",
+               "spdy p25", "spdy med", "spdy p75", "spdy mean", "winner"]
+    rows = []
+    for site in sorted(sites):
+        h, s = sites[site]["http"], sites[site]["spdy"]
+        winner = "spdy" if s["mean"] < h["mean"] else "http"
+        rows.append([site] + [
+            x * unit_scale for x in
+            (h["p25"], h["median"], h["p75"], h["mean"],
+             s["p25"], s["median"], s["p75"], s["mean"])] + [winner])
+    return render_table(headers, rows, title=title)
+
+
+def render_series(series: List[Tuple[float, float]], width: int = 64,
+                  height: int = 12, title: str = "") -> str:
+    """Sparkline-ish ASCII plot of a (t, value) series."""
+    if not series:
+        return f"{title}\n(empty series)"
+    times = [t for t, _ in series]
+    values = [v for _, v in series]
+    t0, t1 = min(times), max(times)
+    vmax = max(values) or 1.0
+    columns = [0.0] * width
+    counts = [0] * width
+    span = (t1 - t0) or 1.0
+    for t, v in series:
+        idx = min(width - 1, int((t - t0) / span * width))
+        columns[idx] += v
+        counts[idx] += 1
+    avg = [c / n if n else 0.0 for c, n in zip(columns, counts)]
+    grid = []
+    for level in range(height, 0, -1):
+        threshold = vmax * level / height
+        grid.append("".join("#" if v >= threshold else " " for v in avg))
+    lines = [title] if title else []
+    lines.append(f"max={vmax:.1f}")
+    lines.extend("|" + row for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" t={t0:.0f}s{' ' * (width - 18)}t={t1:.0f}s")
+    return "\n".join(lines)
+
+
+def render_cdf(cdfs: Dict[str, List[Tuple[float, float]]], width: int = 60,
+               title: str = "", xmax: float = None) -> str:
+    """Figure 14-style CDF comparison: one row per decile per series."""
+    lines = [title] if title else []
+    for name, points in cdfs.items():
+        if not points:
+            continue
+        deciles = []
+        for frac in (0.1, 0.25, 0.5, 0.75, 0.9):
+            value = next((v for v, f in points if f >= frac), points[-1][0])
+            deciles.append(f"p{int(frac * 100)}={value:.1f}")
+        lines.append(f"{name:>22}: " + "  ".join(deciles))
+    return "\n".join(lines)
+
+
+def render_bar(items: Dict[str, float], width: int = 40,
+               title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart for scalar comparisons."""
+    lines = [title] if title else []
+    if not items:
+        return "\n".join(lines + ["(no data)"])
+    vmax = max(abs(v) for v in items.values()) or 1.0
+    for name, value in items.items():
+        bar = "#" * max(1, int(abs(value) / vmax * width))
+        lines.append(f"{name:>26} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

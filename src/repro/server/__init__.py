@@ -1,0 +1,5 @@
+"""Origin web servers: the content side of the measurement setup."""
+
+from .origin import OriginFarm, OriginServer
+
+__all__ = ["OriginFarm", "OriginServer"]

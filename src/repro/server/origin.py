@@ -1,0 +1,112 @@
+"""Origin web servers and the wired "Internet" between them and the proxy.
+
+The paper's Figure 8 establishes that the proxy↔origin path is never the
+bottleneck: first byte from the web server in ~14 ms on average, object
+download in ~4 ms.  :class:`OriginFarm` builds one origin host per
+domain, each behind a fast, low-latency wired link sized to land in that
+regime, and :class:`OriginServer` answers requests after a small
+first-byte delay (plus any long-poll hold the request asks for).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net import DuplexLink, Host
+from ..sim import Simulator
+from ..tcp import TcpConfig, TcpStack
+from ..web.http1 import HttpRequest, HttpResponseBody, HttpResponseHead
+
+__all__ = ["OriginServer", "OriginFarm"]
+
+
+class OriginServer:
+    """A web server: responds to :class:`HttpRequest` messages on port 80."""
+
+    def __init__(self, sim: Simulator, stack: TcpStack,
+                 first_byte_delay: Callable[[], float]):
+        self.sim = sim
+        self.stack = stack
+        self._first_byte_delay = first_byte_delay
+        self.requests_served = 0
+        stack.listen(80, self._on_accept)
+
+    def _on_accept(self, conn) -> None:
+        conn.on_message = self._on_request
+
+    def _on_request(self, conn, message) -> None:
+        if not isinstance(message, HttpRequest):
+            return  # stray TLS bytes etc.; origins only speak HTTP
+        body_bytes = message.response_bytes
+        if body_bytes is None and message.context is not None:
+            body_bytes = getattr(message.context, "size", None)
+        if body_bytes is None:
+            body_bytes = 1000
+        delay = self._first_byte_delay() + message.server_delay
+        self.sim.schedule(delay, self._respond, conn, message, body_bytes)
+
+    def _respond(self, conn, request: HttpRequest, body_bytes: int) -> None:
+        if conn.state == "CLOSED":
+            return
+        head = HttpResponseHead(request, content_length=body_bytes,
+                                content_type=request.content_type,
+                                push_hints=self._push_hints(request))
+        conn.send_message(head, head.wire_size)
+        conn.send_message(HttpResponseBody(request, body_bytes), body_bytes)
+        self.requests_served += 1
+
+    @staticmethod
+    def _push_hints(request: HttpRequest, cap: int = 8):
+        """Same-domain children of a document: what this server could push."""
+        obj = request.context
+        children = getattr(obj, "resolved_children", None)
+        if not children:
+            return []
+        return [c for c in children
+                if c.domain == request.domain][:cap]
+
+
+class OriginFarm:
+    """Lazily builds origin hosts (one per domain) wired to the proxy.
+
+    Per-domain latency is deterministic in the domain name, spreading
+    origins over a 2-10 ms one-way range so the proxy's measured
+    first-byte times have realistic spread.
+    """
+
+    def __init__(self, sim: Simulator, proxy_host: Host,
+                 bandwidth_bps: float = 100e6,
+                 tcp_config: Optional[TcpConfig] = None):
+        self.sim = sim
+        self.proxy_host = proxy_host
+        self.bandwidth_bps = bandwidth_bps
+        self.tcp_config = tcp_config or TcpConfig()
+        self._origins: Dict[str, OriginServer] = {}
+
+    def ensure_origin(self, domain: str) -> str:
+        """Create (once) the origin host for ``domain``; returns its address."""
+        if domain not in self._origins:
+            host = Host(self.sim, domain)
+            latency = 0.002 + (abs(hash(domain)) % 9) * 0.001  # 2-10 ms
+            DuplexLink(self.sim, self.proxy_host, host,
+                       bandwidth_down_bps=self.bandwidth_bps,
+                       bandwidth_up_bps=self.bandwidth_bps,
+                       latency=latency, queue_limit_bytes=4 * 1024 * 1024)
+            stack = TcpStack(self.sim, host, self.tcp_config)
+            rng = self.sim.rng(f"origin/{domain}")
+            self._origins[domain] = OriginServer(
+                self.sim, stack,
+                first_byte_delay=lambda r=rng: r.uniform(0.002, 0.010))
+        return domain
+
+    def origin_for(self, domain: str) -> OriginServer:
+        self.ensure_origin(domain)
+        return self._origins[domain]
+
+    @property
+    def domains(self) -> list:
+        return sorted(self._origins)
+
+    @property
+    def total_requests_served(self) -> int:
+        return sum(o.requests_served for o in self._origins.values())

@@ -1,0 +1,11 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the reproduction — links, radios, TCP, browsers, proxies —
+is driven by one :class:`Simulator` instance per experiment run.
+"""
+
+from .engine import Event, SimulationError, Simulator
+from .timers import Timer
+from . import distributions
+
+__all__ = ["Event", "SimulationError", "Simulator", "Timer", "distributions"]

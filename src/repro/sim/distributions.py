@@ -1,0 +1,79 @@
+"""Random-variate helpers used across the network models.
+
+Cellular RTT jitter, origin-server latency and loss processes all need
+simple distributions with sane clamping.  Keeping them here (rather than
+sprinkling ``random.lognormvariate`` calls through the link code) makes
+every model's randomness explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+__all__ = [
+    "bounded_lognormal",
+    "bounded_normal",
+    "exponential",
+    "weighted_choice",
+    "zipf_weights",
+]
+
+
+def bounded_normal(rng: random.Random, mean: float, std: float,
+                   lo: float, hi: float) -> float:
+    """Normal variate clamped to ``[lo, hi]``."""
+    value = rng.gauss(mean, std)
+    return min(hi, max(lo, value))
+
+
+def bounded_lognormal(rng: random.Random, median: float, sigma: float,
+                      lo: float, hi: float) -> float:
+    """Lognormal variate with the given *median*, clamped to ``[lo, hi]``.
+
+    Parameterising by the median (rather than the underlying mu) keeps the
+    call sites readable: ``bounded_lognormal(rng, median=0.1, sigma=0.4, ...)``
+    produces values around 100 ms with a heavy right tail — the classic
+    shape of cellular RTT samples.
+    """
+    if median <= 0:
+        raise ValueError("median must be positive")
+    value = rng.lognormvariate(math.log(median), sigma)
+    return min(hi, max(lo, value))
+
+
+def exponential(rng: random.Random, mean: float) -> float:
+    """Exponential variate with the given mean."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    return rng.expovariate(1.0 / mean)
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> Sequence[float]:
+    """Zipf popularity weights for ``n`` ranks, normalised to sum to 1.
+
+    Used to spread a page's objects across its domains the way real sites
+    do: a couple of dominant domains plus a long tail of third parties.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    raw = [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    """Pick one item according to ``weights`` (need not be normalised)."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    target = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if target < acc:
+            return item
+    return items[-1]

@@ -1,0 +1,71 @@
+"""Restartable one-shot timers on top of the event engine.
+
+TCP alone needs three independent timers per connection (retransmission,
+delayed-ACK, keepalive) and the RRC state machines need inactivity timers
+that are restarted on every packet.  :class:`Timer` wraps the raw
+``Event`` API with the start/restart/stop semantics those state machines
+expect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import Event, Simulator
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and stopped.
+
+    The callback fires once per start.  Restarting an armed timer cancels
+    the previous deadline, exactly like resetting a kernel timer.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any], name: str = ""):
+        self._sim = sim
+        self._callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+        self.expiry: Optional[float] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is counting down."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float, *args: Any) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.stop()
+        self.expiry = self._sim.now + delay
+        self._event = self._sim.schedule(delay, self._fire, args)
+
+    def restart_at(self, time: float, *args: Any) -> None:
+        """Arm (or re-arm) the timer to fire at absolute ``time``."""
+        self.stop()
+        self.expiry = time
+        self._event = self._sim.schedule_at(time, self._fire, args)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self.expiry = None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until expiry, or None when disarmed."""
+        if not self.armed or self.expiry is None:
+            return None
+        return max(0.0, self.expiry - self._sim.now)
+
+    def _fire(self, args: tuple) -> None:
+        self._event = None
+        self.expiry = None
+        self._callback(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.armed:
+            return f"<Timer {self.name!r} fires@{self.expiry:.6f}>"
+        return f"<Timer {self.name!r} disarmed>"

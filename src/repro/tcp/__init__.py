@@ -1,0 +1,22 @@
+"""A from-scratch TCP implementation with the knobs the paper studies.
+
+Public surface: :class:`TcpStack` (install on a host, then ``connect`` /
+``listen``), :class:`TcpConfig` (all tunables), :class:`TcpProbe`
+(tcp_probe-style tracing) and :class:`TcpMetricsCache` (§6.2.4).
+"""
+
+from .config import TcpConfig
+from .congestion import Cubic, Reno, make_congestion_control
+from .connection import Connection
+from .metrics_cache import TcpMetricsCache
+from .rto import RtoEstimator
+from .segment import Segment, TCP_HEADER_BYTES
+from .stack import Listener, TcpStack
+from .trace import IdleRestartEvent, ProbeSample, RetxEvent, TcpProbe
+
+__all__ = [
+    "TcpConfig", "Cubic", "Reno", "make_congestion_control", "Connection",
+    "TcpMetricsCache", "RtoEstimator", "Segment", "TCP_HEADER_BYTES",
+    "Listener", "TcpStack", "TcpProbe", "ProbeSample", "RetxEvent",
+    "IdleRestartEvent",
+]

@@ -1,0 +1,59 @@
+"""TCP tunables, mirroring the knobs the paper experiments with.
+
+Every §5/§6 experiment maps to one or two fields here:
+
+* ``congestion_control`` — Table 2 (Reno vs CUBIC).
+* ``slow_start_after_idle`` — Figure 15 (``tcp_slow_start_after_idle``).
+* ``reset_rtt_after_idle`` — the paper's proposed remedy (§6.2.1).
+* ``use_metrics_cache`` — §6.2.4 (``tcp_no_metrics_save``).
+* ``receive_window`` — the "rwin becomes the bottleneck" observation in §6.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TcpConfig"]
+
+
+@dataclass
+class TcpConfig:
+    """Per-stack TCP configuration (Linux-flavoured defaults)."""
+
+    mss: int = 1400                      # payload bytes per segment
+    initial_cwnd: float = 10.0           # IW10, as the paper's proxy (RFC 6928 era)
+    initial_rto: float = 1.0             # RFC 6298 initial RTO
+    min_rto: float = 0.2                 # Linux TCP_RTO_MIN
+    max_rto: float = 60.0
+    # Windows 7 receive autotuning ("normal") caps the advertised window
+    # around 256 KiB; the paper notes rwin was usually not the bottleneck
+    # but *becomes* one when cwnd grows unchecked (§6.2.2).
+    receive_window: int = 256 * 1024
+    delayed_ack_timeout: float = 0.04    # Linux quick delack timer
+    delayed_ack_segments: int = 2        # ack at least every 2nd segment
+    dupack_threshold: int = 3            # fast-retransmit trigger
+    congestion_control: str = "cubic"    # "cubic" | "reno"
+
+    # Idle behaviour — the crux of the paper.
+    slow_start_after_idle: bool = True   # RFC 2861 / tcp_slow_start_after_idle
+    reset_rtt_after_idle: bool = False   # the paper's §6.2.1 remedy
+    idle_rto_reset_value: float = 3.0    # conservative RTO after reset ("multiple seconds")
+
+    # Destination metrics cache (§6.2.4).
+    use_metrics_cache: bool = True
+
+    def with_overrides(self, **kwargs) -> "TcpConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.initial_cwnd < 1:
+            raise ValueError("initial_cwnd must be >= 1")
+        if self.min_rto <= 0 or self.initial_rto <= 0:
+            raise ValueError("RTO values must be positive")
+        if self.receive_window < self.mss:
+            raise ValueError("receive_window must hold at least one segment")
+        if self.dupack_threshold < 1:
+            raise ValueError("dupack_threshold must be >= 1")

@@ -1,0 +1,21 @@
+"""Congestion-control variants: Reno and CUBIC (Table 2 of the paper)."""
+
+from .base import CongestionControl, INITIAL_SSTHRESH
+from .cubic import Cubic
+from .reno import Reno
+
+__all__ = ["CongestionControl", "Cubic", "Reno", "INITIAL_SSTHRESH",
+           "make_congestion_control"]
+
+_VARIANTS = {"reno": Reno, "cubic": Cubic}
+
+
+def make_congestion_control(name: str, initial_cwnd: float = 10.0) -> CongestionControl:
+    """Factory keyed by variant name ("reno" or "cubic")."""
+    try:
+        cls = _VARIANTS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; choose from {sorted(_VARIANTS)}"
+        ) from None
+    return cls(initial_cwnd=initial_cwnd)

@@ -1,0 +1,100 @@
+"""Congestion-control interface shared by Reno and CUBIC.
+
+``cwnd`` is counted in segments (Linux-style packet counting); the
+connection converts to bytes with its MSS.  The interface mirrors the
+events the paper's analysis cares about: ACK arrival, retransmission
+timeout (cwnd collapse + ssthresh halving), fast retransmit, and restart
+after idle (RFC 2861 / ``tcp_slow_start_after_idle``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CongestionControl", "INITIAL_SSTHRESH"]
+
+#: "Infinite" initial slow-start threshold (segments).
+INITIAL_SSTHRESH = 1 << 30
+
+
+class CongestionControl:
+    """Base class; subclasses implement the window-growth law."""
+
+    name = "base"
+
+    def __init__(self, initial_cwnd: float = 10.0,
+                 initial_ssthresh: float = INITIAL_SSTHRESH):
+        self.initial_cwnd = initial_cwnd
+        self.cwnd: float = initial_cwnd
+        self.ssthresh: float = initial_ssthresh
+
+        # counters for Table 2 style reporting
+        self.max_cwnd_seen: float = initial_cwnd
+        self.timeouts = 0
+        self.fast_retransmits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def _note_cwnd(self) -> None:
+        if self.cwnd > self.max_cwnd_seen:
+            self.max_cwnd_seen = self.cwnd
+
+    # ------------------------------------------------------------------
+    def on_ack(self, acked_segments: int, now: float, rtt: float) -> None:
+        """Grow the window for ``acked_segments`` newly acknowledged segments."""
+        raise NotImplementedError
+
+    def on_timeout(self, inflight_segments: float, now: float,
+                   reduce_ssthresh: bool = True) -> None:
+        """Retransmission timeout: collapse to one segment, reduce ssthresh.
+
+        This is the mechanism the paper identifies as devastating after a
+        spurious timeout: ``ssthresh`` is slashed from the (healthy)
+        window, so recovery crawls in congestion avoidance.  As in Linux
+        (``tcp_enter_loss``), the reduction is based on the congestion
+        window and applied only on the first timeout of a loss episode —
+        backoff retransmissions of the same episode keep cwnd at 1 but
+        do not re-reduce ssthresh.
+        """
+        if reduce_ssthresh:
+            basis = max(self.cwnd, inflight_segments)
+            self.ssthresh = max(basis / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.timeouts += 1
+
+    def on_fast_retransmit(self, inflight_segments: float, now: float) -> None:
+        """Triple-duplicate-ACK loss: multiplicative decrease without collapse."""
+        self.ssthresh = max(inflight_segments / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self.fast_retransmits += 1
+        self._note_cwnd()
+
+    def on_idle_restart(self, now: float) -> None:
+        """RFC 2861 restart: drop cwnd to the initial window after idle.
+
+        Only ``cwnd`` is touched — ``ssthresh`` and the RTT estimate are
+        deliberately left alone, exactly the asymmetry the paper blames.
+        """
+        self.cwnd = min(self.cwnd, float(self.initial_cwnd))
+
+    def load_ssthresh(self, ssthresh: float) -> None:
+        """Seed from the destination metrics cache (Linux tcp_metrics)."""
+        self.ssthresh = ssthresh
+
+    # ------------------------------------------------------------------
+    # F-RTO / Eifel undo support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot for a potential spurious-timeout undo."""
+        return {"cwnd": self.cwnd, "ssthresh": self.ssthresh}
+
+    def restore_state(self, state: dict) -> None:
+        """Undo a loss reaction that F-RTO proved spurious."""
+        self.cwnd = max(self.cwnd, state["cwnd"])
+        self.ssthresh = state["ssthresh"]
+        self._note_cwnd()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} cwnd={self.cwnd:.2f} "
+                f"ssthresh={self.ssthresh:.2f}>")

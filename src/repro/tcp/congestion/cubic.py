@@ -1,0 +1,149 @@
+"""TCP CUBIC congestion avoidance (the proxy's default in the paper).
+
+Implements the cubic window function of Ha, Rhee & Xu with fast
+convergence and the TCP-friendly region, following the shape of the
+Linux implementation: after a loss event at window ``W_max``, the window
+is cut to ``beta * W_max`` and then grows along
+
+    W(t) = C * (t - K)^3 + W_max,      K = cbrt(W_max * (1 - beta) / C)
+
+— first concave (probing back toward ``W_max``), then convex (the
+"exponential growth" phase the paper observes in Figure 12).
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl, INITIAL_SSTHRESH
+
+__all__ = ["Cubic"]
+
+
+class Cubic(CongestionControl):
+    """CUBIC window growth."""
+
+    name = "cubic"
+
+    C = 0.4       # scaling constant (segments/sec^3)
+    BETA = 0.7    # multiplicative decrease factor
+    FAST_CONVERGENCE = True
+
+    # HyStart (Linux CUBIC's slow-start exit): leave slow start when the
+    # measured RTT rises noticeably above the path's base RTT, i.e. the
+    # bottleneck queue has started filling.  Without this a single SPDY
+    # connection slow-starting into a megabyte of buffered responses
+    # overshoots the queue and takes a burst of genuine losses.
+    HYSTART_LOW_WINDOW = 16
+    HYSTART_DELAY_FLOOR = 0.004   # 4 ms, as in Linux
+
+    def __init__(self, initial_cwnd: float = 10.0,
+                 initial_ssthresh: float = INITIAL_SSTHRESH):
+        super().__init__(initial_cwnd, initial_ssthresh)
+        self._w_max: float = 0.0
+        self._epoch_start: float = -1.0
+        self._w_tcp: float = 0.0  # TCP-friendly (Reno-equivalent) estimate
+        self.hystart_enabled = True
+        self._base_rtt: float = float("inf")
+        self._round_min_rtt: float = float("inf")
+        self._round_samples = 0
+        self.hystart_exits = 0
+
+    # ------------------------------------------------------------------
+    def _reset_epoch(self) -> None:
+        self._epoch_start = -1.0
+
+    def _enter_loss_state(self, window: float) -> None:
+        if self.FAST_CONVERGENCE and window < self._w_max:
+            self._w_max = window * (2.0 - self.BETA) / 2.0
+        else:
+            self._w_max = window
+        self._reset_epoch()
+
+    # ------------------------------------------------------------------
+    def on_ack(self, acked_segments: int, now: float, rtt: float) -> None:
+        if self.hystart_enabled and rtt > 0 and self.cwnd < self.ssthresh:
+            self._hystart_check(rtt)
+        for _ in range(acked_segments):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0
+                continue
+            self._cubic_update(now, max(rtt, 1e-4))
+        self._note_cwnd()
+
+    def _hystart_check(self, rtt: float) -> None:
+        """Evaluate the *minimum* RTT over 8-sample rounds (noise-robust,
+        as in the Linux implementation)."""
+        self._round_min_rtt = min(self._round_min_rtt, rtt)
+        self._round_samples += 1
+        if self._round_samples < 8:
+            return
+        round_min = self._round_min_rtt
+        self._round_min_rtt = float("inf")
+        self._round_samples = 0
+        if round_min < self._base_rtt:
+            self._base_rtt = round_min
+            return
+        if self.cwnd < self.HYSTART_LOW_WINDOW:
+            return
+        threshold = self._base_rtt + max(self.HYSTART_DELAY_FLOOR,
+                                         self._base_rtt / 8.0)
+        if round_min > threshold:
+            self.ssthresh = max(self.cwnd, 2.0)
+            self.hystart_exits += 1
+
+    def _cubic_update(self, now: float, rtt: float) -> None:
+        if self._epoch_start < 0:
+            self._epoch_start = now
+            if self.cwnd < self._w_max:
+                k = ((self._w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+            else:
+                k = 0.0
+                self._w_max = self.cwnd
+            self._k = k
+            self._w_tcp = self.cwnd
+        t = now - self._epoch_start + rtt
+        target = self.C * (t - self._k) ** 3 + self._w_max
+
+        # TCP-friendly region: never be slower than Reno would be.
+        self._w_tcp += 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) / self.cwnd
+        target = max(target, self._w_tcp)
+
+        if target > self.cwnd:
+            # Standard Linux pacing of cubic growth: spread the gap over
+            # the ACKs of the current window.
+            self.cwnd += (target - self.cwnd) / self.cwnd
+        else:
+            # Slow probing when at/above target.
+            self.cwnd += 0.01 / self.cwnd
+
+    # ------------------------------------------------------------------
+    def on_timeout(self, inflight_segments: float, now: float,
+                   reduce_ssthresh: bool = True) -> None:
+        if reduce_ssthresh:
+            basis = max(self.cwnd, inflight_segments)
+            self._enter_loss_state(basis)
+            self.ssthresh = max(basis * self.BETA, 2.0)
+        self.cwnd = 1.0
+        self.timeouts += 1
+
+    def on_fast_retransmit(self, inflight_segments: float, now: float) -> None:
+        window = max(self.cwnd, inflight_segments)
+        self._enter_loss_state(window)
+        self.ssthresh = max(window * self.BETA, 2.0)
+        self.cwnd = self.ssthresh
+        self.fast_retransmits += 1
+        self._note_cwnd()
+
+    def on_idle_restart(self, now: float) -> None:
+        super().on_idle_restart(now)
+        # Restarting from idle begins a new growth epoch.
+        self._reset_epoch()
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["w_max"] = self._w_max
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._w_max = state["w_max"]
+        self._reset_epoch()

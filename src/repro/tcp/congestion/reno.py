@@ -1,0 +1,26 @@
+"""TCP Reno (NewReno-style) congestion avoidance.
+
+Slow start doubles the window per RTT (one segment per ACKed segment);
+congestion avoidance adds one segment per window per RTT.  Used for the
+Table 2 comparison against CUBIC.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl
+
+__all__ = ["Reno"]
+
+
+class Reno(CongestionControl):
+    """Classic AIMD window growth."""
+
+    name = "reno"
+
+    def on_ack(self, acked_segments: int, now: float, rtt: float) -> None:
+        for _ in range(acked_segments):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0
+            else:
+                self.cwnd += 1.0 / self.cwnd
+        self._note_cwnd()

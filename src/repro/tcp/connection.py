@@ -1,0 +1,820 @@
+"""The TCP connection state machine: reliability, congestion, idle behaviour.
+
+This module implements the sender/receiver pair whose pathologies the
+paper dissects:
+
+* RFC 6298 retransmission timer with exponential backoff and Karn's rule;
+* slow start / congestion avoidance via pluggable Reno or CUBIC;
+* fast retransmit on triple duplicate ACKs, NewReno-style partial-ACK
+  recovery;
+* RFC 2861 congestion-window restart after idle
+  (``tcp_slow_start_after_idle``), which resets ``cwnd`` but — crucially —
+  **not** the RTT estimate, so a post-idle radio promotion delay of ~2 s
+  blows straight through a ~300 ms RTO and triggers the spurious
+  retransmissions of Figures 11–13;
+* the paper's §6.2.1 remedy (``reset_rtt_after_idle``) that also resets
+  the RTO to a conservative multi-second value on idle restart;
+* Linux-style destination metrics caching on close (§6.2.4).
+
+Applications exchange *messages*: ``send_message(obj, nbytes)`` enqueues
+``nbytes`` of stream data whose last byte carries ``obj``; the peer's
+``on_message(obj)`` fires when the contiguous received stream passes that
+byte.  This gives real framing semantics without materialising payloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..net.packet import Packet
+from ..sim import Simulator, Timer
+from .config import TcpConfig
+from .congestion import make_congestion_control
+from .rto import RtoEstimator
+from .segment import Segment, SegmentRecord
+
+__all__ = ["Connection", "ConnectionStats", "CLOSED", "SYN_SENT", "SYN_RCVD",
+           "ESTABLISHED", "CLOSING"]
+
+CLOSED = "CLOSED"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+CLOSING = "CLOSING"
+
+
+class ConnectionStats:
+    """Counters exposed for the measurement layer (Table 2, Figures 9-13)."""
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0              # payload bytes handed to the wire
+        self.bytes_acked = 0
+        self.bytes_received = 0          # in-order payload bytes consumed
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.spurious_retransmissions = 0
+        self.timeout_retransmissions = 0
+        self.fast_retransmissions = 0
+        self.idle_restarts = 0
+        self.frto_undos = 0
+        self.rtt_samples = 0
+        self.established_at: Optional[float] = None
+        self.closed_at: Optional[float] = None
+
+
+class Connection:
+    """One endpoint of a TCP connection."""
+
+    def __init__(self, sim: Simulator, host, local_port: int,
+                 remote_addr: str, remote_port: int, config: TcpConfig,
+                 active: bool, stack=None):
+        self.sim = sim
+        self.host = host
+        self.local_addr: str = host.address
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.config = config
+        self.active_open = active
+        self.stack = stack
+        self.conn_id = (f"{self.local_addr}:{local_port}-"
+                        f"{remote_addr}:{remote_port}")
+
+        self.state = CLOSED
+        self.stats = ConnectionStats()
+
+        # --- sender state -------------------------------------------------
+        self.iss = 0                       # initial send sequence
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cc = make_congestion_control(config.congestion_control,
+                                          config.initial_cwnd)
+        self.rto_estimator = RtoEstimator(config.initial_rto, config.min_rto,
+                                          config.max_rto)
+        self._records: "OrderedDict[int, SegmentRecord]" = OrderedDict()
+        self._stream_len = 0               # bytes enqueued by the app
+        self._segmented = 0                # bytes already cut into segments
+        self._markers: Deque[Tuple[int, Any]] = deque()
+        self._peer_window = config.receive_window
+        self._dupacks = 0
+        self._recovery_point: Optional[int] = None   # fast-recovery high water
+        self._timeout_recovery_point: Optional[int] = None
+        # F-RTO (RFC 5682, on by default in Linux): after the first RTO of
+        # an episode, watch the next two ACKs; two consecutive advancing
+        # ACKs prove the timeout spurious and the cwnd/ssthresh cut is
+        # undone.  0 = inactive, 1/2 = awaiting first/second ACK.
+        self._frto_state = 0
+        self._frto_prior: Optional[dict] = None
+        self._last_send_time = 0.0
+        self._fin_queued = False
+        self._fin_sent = False
+
+        # --- receiver state -----------------------------------------------
+        self.irs = 0
+        self.rcv_nxt = 0
+        self._ooo: Dict[int, Segment] = {}
+        self._delack_count = 0
+        self._delack_timer = Timer(sim, self._delack_fire, name="delack")
+        self._last_delivered_offset = -1
+        self._fin_received = False
+
+        # --- timers ---------------------------------------------------------
+        self._rto_timer = Timer(sim, self._on_rto, name="rto")
+
+        # --- callbacks --------------------------------------------------------
+        self.on_established: Optional[Callable[["Connection"], None]] = None
+        self.on_message: Optional[Callable[["Connection", Any], None]] = None
+        self.on_close: Optional[Callable[["Connection"], None]] = None
+
+        # --- tracing ------------------------------------------------------
+        self.probe = None                  # TcpProbe, set by the stack
+        self._metrics_saved = False
+
+        # --- application backpressure --------------------------------------
+        # on_writable fires (async) whenever unsent buffered bytes drop
+        # below the watermark; used by the SPDY proxy's priority scheduler
+        # to avoid committing low-priority frames to the socket early.
+        self.on_writable: Optional[Callable[["Connection"], None]] = None
+        self.writable_watermark = 16 * 1024
+        self._writable_pending = False
+        self._segment_watchers: List[Tuple[int, Callable[[], None]]] = []
+        self._ack_watchers: List[Tuple[int, Callable[[], None]]] = []
+
+    # ======================================================================
+    # public API
+    # ======================================================================
+    def open_active(self) -> None:
+        """Client side: begin the three-way handshake."""
+        if self.state != CLOSED:
+            raise RuntimeError(f"{self.conn_id}: open_active in state {self.state}")
+        self._load_cached_metrics()
+        self.state = SYN_SENT
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self._send_record(length=0, markers=[], syn=True)
+
+    def open_passive(self, syn: Segment) -> None:
+        """Server side: respond to a received SYN."""
+        if self.state != CLOSED:
+            raise RuntimeError(f"{self.conn_id}: open_passive in state {self.state}")
+        self._load_cached_metrics()
+        self.state = SYN_RCVD
+        self.irs = syn.seq
+        self.rcv_nxt = syn.seq + 1
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self._send_record(length=0, markers=[], syn=True)  # SYN-ACK (ack piggybacked)
+
+    def send_message(self, obj: Any, nbytes: int) -> None:
+        """Enqueue an application message of ``nbytes``; deliver ``obj`` at the peer."""
+        if nbytes <= 0:
+            raise ValueError("message length must be positive")
+        if self.state == CLOSED and not self.active_open:
+            raise RuntimeError(f"{self.conn_id}: send on closed connection")
+        if self._fin_queued:
+            raise RuntimeError(f"{self.conn_id}: send after close()")
+        self._stream_len += nbytes
+        self._markers.append((self._stream_len, obj))
+        if self.state == ESTABLISHED:
+            self._try_send()
+
+    def close(self) -> None:
+        """Graceful close: FIN after all queued data is sent."""
+        if self._fin_queued:
+            return
+        self._fin_queued = True
+        if self.state == ESTABLISHED:
+            self._try_send()
+        elif self.state == CLOSED:
+            self._teardown()
+
+    def abort(self) -> None:
+        """Hard teardown (no FIN) — used when an experiment run ends."""
+        self._teardown()
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight_bytes(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def inflight_segments(self) -> int:
+        return sum(1 for r in self._records.values() if not r.acked)
+
+    @property
+    def pipe_segments(self) -> int:
+        """SACK-aware in-flight estimate (excludes presumed-lost segments)."""
+        return sum(1 for r in self._records.values() if r.in_flight)
+
+    @property
+    def cwnd(self) -> float:
+        return self.cc.cwnd
+
+    @property
+    def ssthresh(self) -> float:
+        return self.cc.ssthresh
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self.rto_estimator.srtt
+
+    @property
+    def rto(self) -> float:
+        return self.rto_estimator.rto
+
+    @property
+    def is_idle(self) -> bool:
+        """No unacknowledged data and nothing waiting to be sent."""
+        return not self._records and self._segmented >= self._stream_len
+
+    @property
+    def unsent_bytes(self) -> int:
+        """Application bytes buffered but not yet cut into segments."""
+        return self._stream_len - self._segmented
+
+    def notify_when_segmented(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once everything enqueued so far hits the wire.
+
+        Used by the browser to time the "send" component of Figure 5
+        (request handed to socket -> request bytes serialized).
+        """
+        target = self._stream_len
+        if self._segmented >= target:
+            self.sim.call_soon(callback)
+        else:
+            self._segment_watchers.append((target, callback))
+
+    def notify_when_acked(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once everything enqueued so far is ACKed.
+
+        The proxy uses this to timestamp "transfer to client complete"
+        (the red region of Figure 8).
+        """
+        target = self._stream_len
+        if self.snd_una - self.iss - 1 >= target and self.state == ESTABLISHED:
+            self.sim.call_soon(callback)
+        else:
+            self._ack_watchers.append((target, callback))
+
+    # ======================================================================
+    # sending
+    # ======================================================================
+    def _load_cached_metrics(self) -> None:
+        cache = getattr(self.stack, "metrics_cache", None)
+        if cache is None or not self.config.use_metrics_cache:
+            return
+        entry = cache.lookup(self.remote_addr)
+        if entry is None:
+            return
+        if entry.ssthresh is not None:
+            self.cc.load_ssthresh(entry.ssthresh)
+        if entry.srtt is not None and entry.rttvar is not None:
+            self.rto_estimator.load(entry.srtt, entry.rttvar)
+
+    def _maybe_idle_restart(self) -> None:
+        """Apply RFC 2861 / §6.2.1 policies when restarting from idle.
+
+        Linux applies the restart when the connection has been
+        application-idle for longer than the current RTO.
+        """
+        if self._records:
+            return  # data outstanding: not idle
+        if self.stats.established_at is None:
+            return
+        idle_time = self.sim.now - self._last_send_time
+        if idle_time <= self.rto_estimator.rto:
+            return
+        restarted = False
+        if self.config.slow_start_after_idle:
+            self.cc.on_idle_restart(self.sim.now)
+            restarted = True
+        if self.config.reset_rtt_after_idle:
+            self.rto_estimator.reset_after_idle(self.config.idle_rto_reset_value)
+            restarted = True
+        if restarted:
+            self.stats.idle_restarts += 1
+            if self.probe is not None:
+                self.probe.on_idle_restart(self, idle_time)
+
+    def _try_send(self) -> None:
+        """Send as much new data as cwnd and the peer window allow."""
+        if self.state != ESTABLISHED:
+            return
+        sent_any = False
+        first_new_data = self._segmented < self._stream_len or (
+            self._fin_queued and not self._fin_sent)
+        if first_new_data:
+            self._maybe_idle_restart()
+        while self._segmented < self._stream_len:
+            if self.pipe_segments >= int(self.cc.cwnd):
+                break
+            length = min(self.config.mss, self._stream_len - self._segmented)
+            if self.inflight_bytes + length > self._peer_window:
+                break
+            start = self._segmented
+            end = start + length
+            markers: List[Tuple[int, Any]] = []
+            while self._markers and self._markers[0][0] <= end:
+                markers.append(self._markers.popleft())
+            self._segmented = end
+            self._send_record(length=length, markers=markers)
+            sent_any = True
+        if (self._fin_queued and not self._fin_sent
+                and self._segmented >= self._stream_len
+                and self.inflight_segments < max(int(self.cc.cwnd), 1)):
+            self._fin_sent = True
+            self._send_record(length=0, markers=[], fin=True)
+            sent_any = True
+        if sent_any and self.probe is not None:
+            self.probe.on_sample(self, "send")
+        if sent_any:
+            self._fire_segment_watchers()
+        self._maybe_notify_writable()
+
+    def _fire_segment_watchers(self) -> None:
+        if not self._segment_watchers:
+            return
+        ready = [cb for target, cb in self._segment_watchers
+                 if target <= self._segmented]
+        if ready:
+            self._segment_watchers = [
+                (t, cb) for t, cb in self._segment_watchers
+                if t > self._segmented]
+            for cb in ready:
+                self.sim.call_soon(cb)
+
+    def _maybe_notify_writable(self) -> None:
+        if (self.on_writable is None or self._writable_pending
+                or self.state != ESTABLISHED
+                or self.unsent_bytes >= self.writable_watermark):
+            return
+        self._writable_pending = True
+        self.sim.call_soon(self._deliver_writable)
+
+    def _deliver_writable(self) -> None:
+        self._writable_pending = False
+        if (self.on_writable is not None and self.state == ESTABLISHED
+                and self.unsent_bytes < self.writable_watermark):
+            self.on_writable(self)
+
+    def _send_record(self, length: int, markers: List[Tuple[int, Any]],
+                     syn: bool = False, fin: bool = False) -> None:
+        """Create a record for new sequence space and transmit it."""
+        record = SegmentRecord(self.snd_nxt, length, markers, syn=syn,
+                               fin=fin, sent_at=self.sim.now)
+        self._records[record.seq] = record
+        self.snd_nxt = record.end_seq
+        self._transmit(record)
+
+    def _transmit(self, record: SegmentRecord) -> None:
+        """Put one copy of ``record`` on the wire."""
+        ack = self.rcv_nxt if self.state not in (SYN_SENT, CLOSED) else None
+        segment = Segment(self.local_addr, self.local_port, self.remote_addr,
+                          self.remote_port, seq=record.seq, ack=ack,
+                          length=record.length, syn=record.syn,
+                          fin=record.fin, window=self.config.receive_window,
+                          markers=list(record.markers),
+                          retransmit_of=record.transmissions - 1,
+                          sack_blocks=self._build_sack_blocks())
+        segment.sent_at = self.sim.now
+        packet = Packet(self.local_addr, self.remote_addr, segment.wire_size,
+                        payload=segment, created_at=self.sim.now)
+        record.packets.append(packet)
+        record.last_sent_at = self.sim.now
+        self._last_send_time = self.sim.now
+        self.stats.segments_sent += 1
+        self.stats.bytes_sent += record.length
+        self.host.send(packet)
+        if not self._rto_timer.armed:
+            self._rto_timer.start(self.rto_estimator.rto)
+
+    def _build_sack_blocks(self) -> List[Tuple[int, int]]:
+        """Merge out-of-order holdings into SACK blocks (max 4, as on the wire)."""
+        if not self._ooo:
+            return []
+        spans = sorted((s.seq, s.end_seq) for s in self._ooo.values())
+        blocks: List[Tuple[int, int]] = []
+        start, end = spans[0]
+        for s, e in spans[1:]:
+            if s <= end:
+                end = max(end, e)
+            else:
+                blocks.append((start, end))
+                start, end = s, e
+        blocks.append((start, end))
+        return blocks[-4:]
+
+    def _send_ack(self) -> None:
+        """Transmit a pure ACK (not retransmittable, carries no record)."""
+        self._delack_timer.stop()
+        self._delack_count = 0
+        segment = Segment(self.local_addr, self.local_port, self.remote_addr,
+                          self.remote_port, seq=self.snd_nxt, ack=self.rcv_nxt,
+                          length=0, window=self.config.receive_window,
+                          sack_blocks=self._build_sack_blocks())
+        segment.sent_at = self.sim.now
+        packet = Packet(self.local_addr, self.remote_addr, segment.wire_size,
+                        payload=segment, created_at=self.sim.now)
+        self.host.send(packet)
+
+    # ======================================================================
+    # retransmission
+    # ======================================================================
+    def _earliest_unacked(self) -> Optional[SegmentRecord]:
+        for record in self._records.values():
+            if not record.acked:
+                return record
+        return None
+
+    def _classify_and_count_retransmission(self, record: SegmentRecord,
+                                           kind: str) -> bool:
+        """Update counters; returns True when the retransmission is spurious.
+
+        Ground truth from the simulator: if no wire copy of this sequence
+        range was actually dropped, the retransmission was unnecessary —
+        exactly the class of retransmissions the paper traced to the RRC
+        promotion delay ("all (442) retransmissions were in fact spurious").
+        """
+        spurious = not record.any_copy_lost()
+        self.stats.retransmissions += 1
+        if spurious:
+            self.stats.spurious_retransmissions += 1
+        if kind == "timeout":
+            self.stats.timeout_retransmissions += 1
+        else:
+            self.stats.fast_retransmissions += 1
+        if self.probe is not None:
+            self.probe.on_retransmission(self, record, kind, spurious)
+        return spurious
+
+    def _retransmit(self, record: SegmentRecord, kind: str) -> None:
+        self._classify_and_count_retransmission(record, kind)
+        record.transmissions += 1
+        self._transmit(record)
+
+    def _on_rto(self) -> None:
+        """Retransmission timer expiry."""
+        record = self._earliest_unacked()
+        if record is None:
+            return
+        inflight = self.inflight_segments
+        # Linux reduces ssthresh only on the first RTO of a loss episode;
+        # the backoff retransmissions that follow (e.g. while a radio
+        # promotion holds all ACKs) keep cwnd at 1 without re-slashing it.
+        first_of_episode = self._timeout_recovery_point is None
+        if first_of_episode:
+            # Arm F-RTO: keep an undo snapshot and defer the wholesale
+            # loss-marking until the next ACKs vote genuine vs spurious.
+            self._frto_state = 1
+            self._frto_prior = self.cc.export_state()
+        else:
+            # A backoff RTO of the same episode: F-RTO gives up (as in
+            # Linux) and the conventional loss path takes over.  This is
+            # why a >2x-RTO radio promotion delay escapes the undo and
+            # the damage the paper measures persists.
+            self._frto_declare_genuine()
+        self.cc.on_timeout(inflight, self.sim.now,
+                           reduce_ssthresh=first_of_episode)
+        self.rto_estimator.on_timeout()
+        self._timeout_recovery_point = self.snd_nxt
+        self._recovery_point = None
+        self._dupacks = 0
+        for rec in self._records.values():
+            rec.recovery_retransmitted = False  # new recovery epoch
+        if self._frto_state == 0:
+            self._mark_all_lost()
+        record.recovery_retransmitted = True
+        self._retransmit(record, "timeout")
+        self._rto_timer.start(self.rto_estimator.rto)
+        if self.probe is not None:
+            self.probe.on_sample(self, "timeout")
+
+    def _mark_all_lost(self) -> None:
+        """tcp_enter_loss: everything outstanding and un-SACKed is lost."""
+        for rec in self._records.values():
+            if not rec.sacked:
+                rec.presumed_lost = True
+
+    def _frto_declare_genuine(self) -> None:
+        """F-RTO concludes (or gives up): proceed with conventional recovery."""
+        if self._frto_state:
+            self._frto_state = 0
+            self._frto_prior = None
+            self._mark_all_lost()
+
+    def _frto_undo(self) -> None:
+        """Two consecutive advancing ACKs: the timeout was spurious — undo.
+
+        Restores cwnd/ssthresh (Eifel-style undo) and cancels loss
+        recovery; the retransmission already sent stays counted in the
+        (spurious) retransmission statistics, exactly as tcpdump would
+        have seen it.
+        """
+        if self._frto_prior is not None:
+            self.cc.restore_state(self._frto_prior)
+        self._frto_state = 0
+        self._frto_prior = None
+        self._timeout_recovery_point = None
+        self.stats.frto_undos += 1
+        for rec in self._records.values():
+            rec.presumed_lost = False
+        if self.probe is not None:
+            self.probe.on_sample(self, "frto-undo")
+
+    # ======================================================================
+    # receiving
+    # ======================================================================
+    def handle_segment(self, segment: Segment) -> None:
+        """Entry point for every segment demuxed to this connection."""
+        if self.state == CLOSED:
+            return
+        if self.state == SYN_SENT:
+            self._handle_in_syn_sent(segment)
+            return
+        if self.state == SYN_RCVD and segment.is_ack and not segment.syn:
+            if segment.ack is not None and segment.ack > self.iss:
+                self._complete_establishment()
+        if segment.syn and self.state in (ESTABLISHED, SYN_RCVD):
+            # Duplicate SYN (our SYN-ACK was lost/slow): re-ack.
+            self._send_ack()
+            if segment.seq_space == 1 and not segment.is_ack:
+                return
+        if segment.is_ack:
+            self._process_ack(segment)
+        if segment.seq_space > 0 and not segment.syn:
+            self._process_data(segment)
+
+    def _handle_in_syn_sent(self, segment: Segment) -> None:
+        if not (segment.syn and segment.is_ack):
+            return
+        if segment.ack != self.iss + 1:
+            return
+        self.irs = segment.seq
+        self.rcv_nxt = segment.seq + 1
+        self._process_ack(segment)
+        self._complete_establishment()
+        self._send_ack()
+        self._try_send()
+
+    def _complete_establishment(self) -> None:
+        if self.state in (ESTABLISHED, CLOSING, CLOSED):
+            return
+        self.state = ESTABLISHED
+        self.stats.established_at = self.sim.now
+        self._last_send_time = self.sim.now
+        if self.on_established is not None:
+            self.on_established(self)
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    def _process_ack(self, segment: Segment) -> None:
+        ack = segment.ack
+        assert ack is not None
+        self._peer_window = segment.window or self._peer_window
+        if ack > self.snd_nxt:
+            return  # acks data we never sent; ignore
+        if segment.sack_blocks:
+            self._apply_sack(segment.sack_blocks)
+        if ack > self.snd_una:
+            self._handle_new_ack(ack, segment)
+        elif (ack == self.snd_una and self._records
+              and segment.length == 0 and not segment.syn):
+            self._handle_dupack()
+        if self._recovery_point is not None or \
+                self._timeout_recovery_point is not None:
+            self._sack_retransmit()
+        # tcp_rearm_rto: any ACK processed while data is outstanding pushes
+        # the retransmission deadline out — dupacks and SACK progress count
+        # as evidence the path is alive.
+        if self._records:
+            self._rto_timer.start(self.rto_estimator.rto)
+        # Window may have opened either way.
+        self._try_send()
+
+    def _apply_sack(self, blocks: List[Tuple[int, int]]) -> None:
+        for record in self._records.values():
+            if record.sacked or record.acked:
+                continue
+            for start, end in blocks:
+                if record.seq >= start and record.end_seq <= end:
+                    record.sacked = True
+                    break
+
+    def _sack_retransmit(self) -> None:
+        """Scoreboard-driven loss recovery (Linux SACK behaviour).
+
+        Retransmits segments presumed lost — marked by an RTO
+        (tcp_enter_loss) or sitting below the highest SACKed sequence —
+        paced by the congestion window against the in-flight estimate.
+        Without this, a burst loss on SPDY's single connection would
+        stall for one backed-off RTO per lost segment.
+        """
+        highest_sacked = None
+        for record in self._records.values():
+            if record.sacked and (highest_sacked is None
+                                  or record.end_seq > highest_sacked):
+                highest_sacked = record.end_seq
+        pipe = sum(1 for r in self._records.values() if r.in_flight)
+        budget = max(int(self.cc.cwnd), 1) - pipe
+        kind = "timeout" if self._timeout_recovery_point is not None else "fast"
+        for record in self._records.values():
+            if budget <= 0:
+                break
+            if record.sacked or record.acked or record.recovery_retransmitted:
+                continue
+            lost = record.presumed_lost or (
+                highest_sacked is not None and record.seq < highest_sacked)
+            if not lost:
+                break  # everything further is above the loss horizon
+            record.recovery_retransmitted = True
+            self._retransmit(record, kind)
+            budget -= 1
+
+    def _handle_new_ack(self, ack: int, segment: Segment) -> None:
+        newly_acked = 0
+        acked_bytes = 0
+        rtt_sample: Optional[float] = None
+        while self._records:
+            seq, record = next(iter(self._records.items()))
+            if record.end_seq > ack:
+                break
+            self._records.popitem(last=False)
+            record.acked = True
+            newly_acked += 1
+            acked_bytes += record.length
+            if not record.retransmitted:
+                rtt_sample = self.sim.now - record.last_sent_at
+        self.snd_una = ack
+        self.stats.bytes_acked += acked_bytes
+        self._dupacks = 0
+        if self._ack_watchers:
+            acked_offset = self.snd_una - self.iss - 1
+            ready = [cb for t, cb in self._ack_watchers if t <= acked_offset]
+            if ready:
+                self._ack_watchers = [(t, cb) for t, cb in self._ack_watchers
+                                      if t > acked_offset]
+                for cb in ready:
+                    self.sim.call_soon(cb)
+
+        if rtt_sample is not None:
+            self.rto_estimator.on_rtt_sample(rtt_sample)
+            self.stats.rtt_samples += 1
+            if self.probe is not None:
+                self.probe.on_rtt(self, rtt_sample)
+
+        in_fast_recovery = self._recovery_point is not None
+        if in_fast_recovery:
+            if ack >= self._recovery_point:
+                self._recovery_point = None
+            else:
+                # NewReno partial ACK: retransmit the next hole (unless
+                # the SACK scoreboard already took care of it).
+                record = self._earliest_unacked()
+                if record is not None and not record.sacked \
+                        and not record.recovery_retransmitted:
+                    record.recovery_retransmitted = True
+                    self._retransmit(record, "fast")
+        if self._timeout_recovery_point is not None and self._frto_state:
+            # F-RTO: an advancing ACK while probing.
+            if self._frto_state == 1:
+                self._frto_state = 2
+            else:
+                self._frto_undo()
+        if self._timeout_recovery_point is not None and \
+                ack >= self._timeout_recovery_point:
+            self._timeout_recovery_point = None
+            self._frto_state = 0
+            self._frto_prior = None
+        if not in_fast_recovery and newly_acked:
+            rtt_for_growth = rtt_sample or self.rto_estimator.srtt or 0.1
+            self.cc.on_ack(newly_acked, self.sim.now, rtt_for_growth)
+
+        if self._records:
+            self._rto_timer.start(self.rto_estimator.rto)
+        else:
+            self._rto_timer.stop()
+
+        if self.probe is not None:
+            self.probe.on_sample(self, "ack")
+
+        if self._fin_sent and ack >= self.snd_nxt:
+            self._on_our_fin_acked()
+
+    def _handle_dupack(self) -> None:
+        if self._frto_state:
+            # A duplicate ACK during the F-RTO probe: the timeout was
+            # genuine after all.
+            self._frto_declare_genuine()
+        self._dupacks += 1
+        if self._dupacks == self.config.dupack_threshold and \
+                self._recovery_point is None and \
+                self._timeout_recovery_point is None:
+            record = self._earliest_unacked()
+            if record is None:
+                return
+            self.cc.on_fast_retransmit(self.inflight_segments, self.sim.now)
+            self._recovery_point = self.snd_nxt
+            self._retransmit(record, "fast")
+            self._rto_timer.start(self.rto_estimator.rto)
+            if self.probe is not None:
+                self.probe.on_sample(self, "fast-retransmit")
+
+    # ------------------------------------------------------------------
+    def _process_data(self, segment: Segment) -> None:
+        if segment.end_seq <= self.rcv_nxt:
+            # Entirely old duplicate (e.g. a spurious retransmission
+            # arriving after the original): re-ack immediately.
+            self._send_ack()
+            return
+        if segment.seq > self.rcv_nxt:
+            # Out of order: stash and send a duplicate ACK.
+            self._ooo.setdefault(segment.seq, segment)
+            self._send_ack()
+            return
+        # In order (possibly overlapping): consume.
+        self._consume(segment)
+        while self.rcv_nxt in self._ooo:
+            self._consume(self._ooo.pop(self.rcv_nxt))
+        # Drop any stale out-of-order segments now covered.
+        for seq in [s for s in self._ooo if s < self.rcv_nxt]:
+            del self._ooo[seq]
+        self._ack_policy()
+
+    def _consume(self, segment: Segment) -> None:
+        advance = segment.end_seq - self.rcv_nxt
+        payload_bytes = min(segment.length, advance)
+        self.rcv_nxt = segment.end_seq
+        self.stats.bytes_received += payload_bytes
+        for end_offset, obj in segment.markers:
+            if end_offset > self._last_delivered_offset:
+                self._last_delivered_offset = end_offset
+                if self.on_message is not None:
+                    self.on_message(self, obj)
+        if segment.fin:
+            self._fin_received = True
+            self._send_ack()
+            self._on_peer_fin()
+
+    def _ack_policy(self) -> None:
+        """Delayed ACKs: every 2nd in-order segment, or after 40 ms."""
+        self._delack_count += 1
+        if self._delack_count >= self.config.delayed_ack_segments:
+            self._send_ack()
+        elif not self._delack_timer.armed:
+            self._delack_timer.start(self.config.delayed_ack_timeout)
+
+    def _delack_fire(self) -> None:
+        if self._delack_count > 0:
+            self._send_ack()
+
+    # ======================================================================
+    # teardown
+    # ======================================================================
+    def _on_peer_fin(self) -> None:
+        if self.on_close is not None:
+            callback, self.on_close = self.on_close, None
+            callback(self)
+        if not self._fin_queued:
+            self.close()
+        self._maybe_finalize()
+
+    def _on_our_fin_acked(self) -> None:
+        self._maybe_finalize()
+
+    def _maybe_finalize(self) -> None:
+        our_side_done = self._fin_sent and self.snd_una >= self.snd_nxt
+        if our_side_done and self._fin_received:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self.state == CLOSED and self._metrics_saved:
+            return
+        self.state = CLOSED
+        self._rto_timer.stop()
+        self._delack_timer.stop()
+        self.stats.closed_at = self.sim.now
+        self._save_metrics()
+        if self.stack is not None:
+            self.stack.forget(self)
+
+    def _save_metrics(self) -> None:
+        if self._metrics_saved:
+            return
+        self._metrics_saved = True
+        cache = getattr(self.stack, "metrics_cache", None)
+        if cache is None or not self.config.use_metrics_cache:
+            return
+        ssthresh = self.cc.ssthresh
+        if ssthresh >= (1 << 29):  # never reduced: nothing learned
+            ssthresh = None
+        rttvar = self.rto_estimator.rttvar
+        if rttvar is not None:
+            # Save the conservative (peak) deviation, as Linux's
+            # mdev_max-based tcp_metrics effectively does.
+            rttvar = max(rttvar, self.rto_estimator.rttvar_peak)
+        cache.save(self.remote_addr, ssthresh, self.rto_estimator.srtt,
+                   rttvar, self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Connection {self.conn_id} {self.state}>"

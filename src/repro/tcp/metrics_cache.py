@@ -1,0 +1,72 @@
+"""Destination metrics cache (the Linux ``tcp_metrics`` behaviour, §6.2.4).
+
+Linux caches per-destination TCP statistics — slow-start threshold and
+RTT estimates — when a connection closes, and seeds new connections to
+the same destination from the cache.  The paper points out this couples
+HTTP's nominally independent short connections: one connection damaged
+by a spurious timeout poisons the ssthresh/RTT of every later connection
+to the same host.  Disabling the cache ("we conducted experiments where
+we disabled caching ... both HTTP and SPDY experience reduced page load
+times") is one of the remedies evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["DestinationMetrics", "TcpMetricsCache"]
+
+
+@dataclass
+class DestinationMetrics:
+    """Cached statistics for one destination address."""
+
+    ssthresh: Optional[float] = None
+    srtt: Optional[float] = None
+    rttvar: Optional[float] = None
+    updated_at: float = 0.0
+
+
+class TcpMetricsCache:
+    """Per-host cache keyed by remote address.
+
+    ``enabled=False`` reproduces ``net.ipv4.tcp_no_metrics_save=1`` (the
+    §6.2.4 experiment): saves and lookups become no-ops.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: Dict[str, DestinationMetrics] = {}
+        self.saves = 0
+        self.hits = 0
+
+    def save(self, remote: str, ssthresh: Optional[float],
+             srtt: Optional[float], rttvar: Optional[float],
+             now: float) -> None:
+        """Record closing statistics for ``remote`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        entry = self._entries.setdefault(remote, DestinationMetrics())
+        if ssthresh is not None:
+            entry.ssthresh = ssthresh
+        if srtt is not None:
+            entry.srtt = srtt
+            entry.rttvar = rttvar
+        entry.updated_at = now
+        self.saves += 1
+
+    def lookup(self, remote: str) -> Optional[DestinationMetrics]:
+        """Return cached metrics for ``remote``, or None."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(remote)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

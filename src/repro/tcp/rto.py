@@ -1,0 +1,114 @@
+"""RFC 6298 retransmission-timeout estimation, with the paper's idle remedy.
+
+This estimator is the protagonist of the paper's story: after an idle
+period, the cellular radio's idle→active promotion inflates the path RTT
+by ~2 seconds, but the estimator — fed only samples from the radio's
+*active* period — holds an RTO of a few hundred milliseconds.  The result
+is a spurious timeout, which the connection pays for with a collapsed
+``cwnd`` *and* ``ssthresh``.
+
+``reset_after_idle`` implements the remedy proposed in §6.2.1 of the
+paper: discard the RTT estimate along with the congestion estimate when
+the connection restarts from idle, pushing the RTO back to a conservative
+initial value larger than the promotion delay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["RtoEstimator"]
+
+
+class RtoEstimator:
+    """Smoothed RTT / RTT variance / RTO per RFC 6298.
+
+    Parameters mirror the Linux defaults the paper's proxy ran with:
+    ``min_rto`` 200 ms, exponential backoff on timeout, estimate rebuilt
+    from the first sample after a reset.
+    """
+
+    ALPHA = 0.125  # 1/8, RFC 6298
+    BETA = 0.25    # 1/4, RFC 6298
+    K = 4.0
+
+    def __init__(self, initial_rto: float = 1.0, min_rto: float = 0.2,
+                 max_rto: float = 60.0):
+        if initial_rto <= 0 or min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("invalid RTO bounds")
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        #: Largest smoothed deviation seen over the connection's life.
+        #: Linux's tcp_metrics caches an mdev_max-flavoured variance, so
+        #: connections to a destination with a history of wildly varying
+        #: RTTs (a loaded cellular downlink) start with a conservative RTO.
+        self.rttvar_peak: float = 0.0
+        self._rto = initial_rto
+        self._backoff = 1
+
+        # measurement counters
+        self.samples = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, including any backoff."""
+        return min(self.max_rto, self._rto * self._backoff)
+
+    def on_rtt_sample(self, rtt: float) -> None:
+        """Feed a clean RTT sample (Karn's rule: never from a retransmitted segment)."""
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        self.samples += 1
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(err)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.rttvar_peak = max(self.rttvar_peak, self.rttvar)
+        self._rto = self._compute_rto(self.srtt, self.rttvar)
+        self._backoff = 1
+
+    def _compute_rto(self, srtt: float, rttvar: float) -> float:
+        """Linux-style RTO: the *variance term* is floored at min_rto.
+
+        ``__tcp_set_rto``: rto = srtt + max(TCP_RTO_MIN, 4 * rttvar) —
+        slightly more conservative than the literal RFC 6298 text, and
+        what the paper's proxy actually ran.
+        """
+        return min(self.max_rto, srtt + max(self.min_rto, self.K * rttvar))
+
+    def on_timeout(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self._backoff = min(self._backoff * 2, 64)
+
+    def reset_after_idle(self, conservative_rto: float = 3.0) -> None:
+        """The paper's §6.2.1 remedy: forget the RTT estimate after idle.
+
+        Sets the RTO to ``conservative_rto`` (the paper recommends the
+        initial default "of multiple seconds", larger than the 3G
+        promotion delay) and discards SRTT/RTTVAR so the estimate is
+        rebuilt from post-idle samples.
+        """
+        self.srtt = None
+        self.rttvar = None
+        self._rto = conservative_rto
+        self._backoff = 1
+        self.resets += 1
+
+    def load(self, srtt: float, rttvar: float) -> None:
+        """Seed the estimator from cached destination metrics (Linux tcp_metrics)."""
+        self.srtt = srtt
+        self.rttvar = rttvar
+        self._rto = self._compute_rto(srtt, rttvar)
+        self._backoff = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        srtt = f"{self.srtt * 1000:.1f}ms" if self.srtt is not None else "-"
+        return f"<RtoEstimator srtt={srtt} rto={self.rto * 1000:.1f}ms>"

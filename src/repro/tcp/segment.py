@@ -1,0 +1,145 @@
+"""TCP segments and the sender's per-segment bookkeeping records.
+
+We simulate a byte stream without materialising the bytes: applications
+hand the connection ``(object, length)`` messages, and each segment
+carries *markers* — ``(stream_offset_end, object)`` pairs for messages
+whose final byte falls inside the segment.  The receiver delivers an
+application object once the contiguous stream passes its end offset,
+which reproduces real framing semantics (a response is usable only when
+fully received, in order) without byte shuffling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["Segment", "SegmentRecord", "TCP_HEADER_BYTES"]
+
+#: IP + TCP header overhead added to every packet (20 + 20, no options).
+TCP_HEADER_BYTES = 40
+
+
+class Segment:
+    """A TCP segment as it appears on the wire.
+
+    ``markers`` is the framing metadata described in the module docstring.
+    ``retransmit_of`` carries the transmission count of the sender-side
+    record (0 for an original transmission) so traces can distinguish
+    originals from retransmissions without sender state.
+    """
+
+    __slots__ = ("src", "sport", "dst", "dport", "seq", "ack", "length",
+                 "syn", "fin", "is_ack", "window", "markers",
+                 "retransmit_of", "sent_at", "sack_blocks")
+
+    def __init__(self, src: str, sport: int, dst: str, dport: int,
+                 seq: int = 0, ack: Optional[int] = None, length: int = 0,
+                 syn: bool = False, fin: bool = False,
+                 window: int = 0,
+                 markers: Optional[List[Tuple[int, Any]]] = None,
+                 retransmit_of: int = 0,
+                 sack_blocks: Optional[List[Tuple[int, int]]] = None):
+        self.src = src
+        self.sport = sport
+        self.dst = dst
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.length = length
+        self.syn = syn
+        self.fin = fin
+        self.is_ack = ack is not None
+        self.window = window
+        self.markers = markers or []
+        self.retransmit_of = retransmit_of
+        self.sent_at = 0.0
+        self.sack_blocks = sack_blocks or []
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire including IP/TCP headers."""
+        return self.length + TCP_HEADER_BYTES
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence space consumed (payload plus SYN/FIN flags)."""
+        return self.length + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.seq_space
+
+    def flag_string(self) -> str:
+        flags = []
+        if self.syn:
+            flags.append("SYN")
+        if self.fin:
+            flags.append("FIN")
+        if self.is_ack:
+            flags.append("ACK")
+        return "|".join(flags) or "DATA"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Segment {self.src}:{self.sport}->{self.dst}:{self.dport} "
+                f"{self.flag_string()} seq={self.seq} ack={self.ack} "
+                f"len={self.length}>")
+
+
+class SegmentRecord:
+    """Sender-side record of one unit of in-flight sequence space.
+
+    One record is created per transmitted segment and lives until the
+    cumulative ACK passes its end.  ``packets`` keeps every wire packet
+    that carried this range; their ``lost`` flags are the ground truth
+    for the spurious-retransmission classifier (a retransmission is
+    spurious when no previously sent copy was actually lost).
+    """
+
+    __slots__ = ("seq", "length", "syn", "fin", "markers", "first_sent_at",
+                 "last_sent_at", "transmissions", "packets", "acked",
+                 "sacked", "recovery_retransmitted", "presumed_lost")
+
+    def __init__(self, seq: int, length: int, markers: List[Tuple[int, Any]],
+                 syn: bool = False, fin: bool = False, sent_at: float = 0.0):
+        self.seq = seq
+        self.length = length
+        self.syn = syn
+        self.fin = fin
+        self.markers = markers
+        self.first_sent_at = sent_at
+        self.last_sent_at = sent_at
+        self.transmissions = 1
+        self.packets: list = []
+        self.acked = False
+        self.sacked = False                 # covered by a SACK block
+        self.recovery_retransmitted = False  # already resent this recovery
+        self.presumed_lost = False          # marked lost by RTO (tcp_enter_loss)
+
+    @property
+    def in_flight(self) -> bool:
+        """Counts toward the pipe: a live, un-SACKed copy may be in the network."""
+        if self.acked or self.sacked:
+            return False
+        if self.presumed_lost and not self.recovery_retransmitted:
+            return False
+        return True
+
+    @property
+    def seq_space(self) -> int:
+        return self.length + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.seq_space
+
+    @property
+    def retransmitted(self) -> bool:
+        return self.transmissions > 1
+
+    def any_copy_lost(self) -> bool:
+        """True when at least one wire copy of this range was dropped."""
+        return any(p.lost for p in self.packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SegmentRecord seq={self.seq} len={self.length} "
+                f"tx={self.transmissions} acked={self.acked}>")

@@ -1,0 +1,126 @@
+"""Per-host TCP stack: port allocation, demux, connect/listen.
+
+The stack is installed onto a :class:`repro.net.Host` and demuxes
+arriving packets to connections by ``(local port, remote addr, remote
+port)``.  It owns the host's destination metrics cache (§6.2.4) and an
+optional :class:`~repro.tcp.trace.TcpProbe` that every connection
+reports to — our stand-in for the paper's ``tcp_probe`` kernel module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.node import Host
+from ..net.packet import Packet
+from ..sim import Simulator
+from .config import TcpConfig
+from .connection import Connection
+from .metrics_cache import TcpMetricsCache
+from .segment import Segment
+
+__all__ = ["TcpStack", "Listener"]
+
+ConnKey = Tuple[int, str, int]
+
+
+class Listener:
+    """A passive socket: accepts connections on a local port."""
+
+    def __init__(self, port: int, on_accept: Callable[[Connection], None]):
+        self.port = port
+        self.on_accept = on_accept
+
+
+class TcpStack:
+    """TCP endpoint logic for one host."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 config: Optional[TcpConfig] = None,
+                 metrics_cache: Optional[TcpMetricsCache] = None):
+        self.sim = sim
+        self.host = host
+        self.config = config or TcpConfig()
+        self.config.validate()
+        self.metrics_cache = metrics_cache or TcpMetricsCache(
+            enabled=self.config.use_metrics_cache)
+        self.probe = None  # TcpProbe or None
+
+        self._connections: Dict[ConnKey, Connection] = {}
+        self._listeners: Dict[int, Listener] = {}
+        self._ephemeral = itertools.count(40000)
+        self.all_connections: List[Connection] = []  # history, for metrics
+
+        host.tcp = self
+
+    # ------------------------------------------------------------------
+    def connect(self, remote_addr: str, remote_port: int,
+                config: Optional[TcpConfig] = None) -> Connection:
+        """Active-open a connection; returns it immediately (handshake async)."""
+        local_port = next(self._ephemeral)
+        conn = Connection(self.sim, self.host, local_port, remote_addr,
+                          remote_port, config or self.config, active=True,
+                          stack=self)
+        conn.probe = self.probe
+        key = (local_port, remote_addr, remote_port)
+        self._connections[key] = conn
+        self.all_connections.append(conn)
+        conn.open_active()
+        return conn
+
+    def listen(self, port: int,
+               on_accept: Callable[[Connection], None]) -> Listener:
+        """Register a passive listener on ``port``."""
+        if port in self._listeners:
+            raise ValueError(f"{self.host.address}: port {port} already listening")
+        listener = Listener(port, on_accept)
+        self._listeners[port] = listener
+        return listener
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Demux an arriving packet to its connection (or a listener)."""
+        segment = packet.payload
+        if not isinstance(segment, Segment):
+            return  # not TCP; ignore
+        key = (segment.dport, segment.src, segment.sport)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.handle_segment(segment)
+            return
+        if segment.syn and not segment.is_ack:
+            listener = self._listeners.get(segment.dport)
+            if listener is not None:
+                conn = Connection(self.sim, self.host, segment.dport,
+                                  segment.src, segment.sport, self.config,
+                                  active=False, stack=self)
+                conn.probe = self.probe
+                self._connections[key] = conn
+                self.all_connections.append(conn)
+                listener.on_accept(conn)
+                conn.open_passive(segment)
+        # Anything else (stray segment for a closed connection) is dropped;
+        # we do not model RST generation.
+
+    # ------------------------------------------------------------------
+    def forget(self, conn: Connection) -> None:
+        """Remove a closed connection from the demux table."""
+        key = (conn.local_port, conn.remote_addr, conn.remote_port)
+        if self._connections.get(key) is conn:
+            del self._connections[key]
+
+    def abort_all(self) -> None:
+        """Hard-stop every live connection (end of an experiment run)."""
+        for conn in list(self._connections.values()):
+            conn.abort()
+
+    @property
+    def open_connections(self) -> List[Connection]:
+        return list(self._connections.values())
+
+    def set_probe(self, probe) -> None:
+        """Attach a TcpProbe; applies to existing and future connections."""
+        self.probe = probe
+        for conn in self._connections.values():
+            conn.probe = probe

@@ -1,0 +1,112 @@
+"""tcp_probe-equivalent tracing of connection internals.
+
+The paper instruments its proxy with the ``tcp_probe`` kernel module to
+log ``cwnd`` and ``ssthresh`` per ACK, and with tcpdump for packet-level
+retransmission analysis.  :class:`TcpProbe` collects the same streams
+from our connections:
+
+* ``samples`` — (time, conn, cwnd, ssthresh, inflight bytes, event) —
+  the raw data behind Figures 10, 11, 12 and 17;
+* ``retransmissions`` — (time, conn, seq, kind, spurious) — behind
+  Figures 11-13 and the spurious-retransmission counts in §5.5.2;
+* ``idle_restarts`` — the moments RFC 2861 kicked in;
+* ``rtt_samples`` — the estimator's inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["TcpProbe", "ProbeSample", "RetxEvent", "IdleRestartEvent"]
+
+
+@dataclass
+class ProbeSample:
+    """One tcp_probe log line."""
+
+    time: float
+    conn_id: str
+    cwnd: float
+    ssthresh: float
+    inflight_bytes: int
+    inflight_segments: int
+    event: str  # "send" | "ack" | "timeout" | "fast-retransmit"
+
+
+@dataclass
+class RetxEvent:
+    """One retransmission, classified against simulator ground truth."""
+
+    time: float
+    conn_id: str
+    seq: int
+    kind: str        # "timeout" | "fast"
+    spurious: bool
+    transmissions: int
+
+
+@dataclass
+class IdleRestartEvent:
+    """An RFC 2861 (or §6.2.1 remedy) idle restart."""
+
+    time: float
+    conn_id: str
+    idle_time: float
+
+
+class TcpProbe:
+    """Collects per-connection TCP internals across a run."""
+
+    def __init__(self, max_samples: Optional[int] = None):
+        self.samples: List[ProbeSample] = []
+        self.retransmissions: List[RetxEvent] = []
+        self.idle_restarts: List[IdleRestartEvent] = []
+        self.rtt_samples: List[tuple] = []  # (time, conn_id, rtt)
+        self.max_samples = max_samples
+
+    # ------------------------------------------------------------------
+    # callbacks invoked by Connection
+    # ------------------------------------------------------------------
+    def on_sample(self, conn, event: str) -> None:
+        if self.max_samples is not None and len(self.samples) >= self.max_samples:
+            return
+        self.samples.append(ProbeSample(
+            time=conn.sim.now, conn_id=conn.conn_id, cwnd=conn.cc.cwnd,
+            ssthresh=min(conn.cc.ssthresh, float(1 << 30)),
+            inflight_bytes=conn.inflight_bytes,
+            inflight_segments=conn.inflight_segments, event=event))
+
+    def on_retransmission(self, conn, record, kind: str, spurious: bool) -> None:
+        self.retransmissions.append(RetxEvent(
+            time=conn.sim.now, conn_id=conn.conn_id, seq=record.seq,
+            kind=kind, spurious=spurious,
+            transmissions=record.transmissions))
+
+    def on_idle_restart(self, conn, idle_time: float) -> None:
+        self.idle_restarts.append(IdleRestartEvent(
+            time=conn.sim.now, conn_id=conn.conn_id, idle_time=idle_time))
+
+    def on_rtt(self, conn, rtt: float) -> None:
+        self.rtt_samples.append((conn.sim.now, conn.conn_id, rtt))
+
+    # ------------------------------------------------------------------
+    # convenience queries used by the figure generators
+    # ------------------------------------------------------------------
+    def samples_for(self, conn_id: str) -> List[ProbeSample]:
+        return [s for s in self.samples if s.conn_id == conn_id]
+
+    def retransmissions_for(self, conn_id: str) -> List[RetxEvent]:
+        return [r for r in self.retransmissions if r.conn_id == conn_id]
+
+    def spurious_count(self) -> int:
+        return sum(1 for r in self.retransmissions if r.spurious)
+
+    def genuine_count(self) -> int:
+        return sum(1 for r in self.retransmissions if not r.spurious)
+
+    def retransmissions_by_connection(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.retransmissions:
+            counts[r.conn_id] = counts.get(r.conn_id, 0) + 1
+        return counts

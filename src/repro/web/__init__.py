@@ -1,0 +1,22 @@
+"""Web content and protocol models: pages, the Table 1 corpus, HTTP/1.1, SPDY."""
+
+from .corpus import (SiteSpec, TABLE1_SITES, build_corpus, build_page,
+                     build_test_page, corpus_statistics)
+from .headers import SpdyHeaderCodec, build_request_headers, \
+    build_response_headers
+from .http1 import HttpRequest, HttpResponseBody, HttpResponseHead
+from .resources import (BackgroundTransfer, KIND_CSS, KIND_HTML, KIND_IMAGE,
+                        KIND_JS, KIND_OTHER, WebObject, WebPage)
+from .spdy import (DEFAULT_DATA_FRAME_BYTES, SpdyDataFrame, SpdyPing,
+                   SpdyStreamIds, SpdySynReply, SpdySynStream,
+                   TlsHandshakeMessage)
+
+__all__ = [
+    "SiteSpec", "TABLE1_SITES", "build_corpus", "build_page",
+    "build_test_page", "corpus_statistics", "SpdyHeaderCodec",
+    "build_request_headers", "build_response_headers", "HttpRequest",
+    "HttpResponseBody", "HttpResponseHead", "BackgroundTransfer", "KIND_CSS",
+    "KIND_HTML", "KIND_IMAGE", "KIND_JS", "KIND_OTHER", "WebObject",
+    "WebPage", "DEFAULT_DATA_FRAME_BYTES", "SpdyDataFrame", "SpdyPing",
+    "SpdyStreamIds", "SpdySynReply", "SpdySynStream", "TlsHandshakeMessage",
+]

@@ -1,0 +1,268 @@
+"""The 20-site corpus of Table 1, plus the §5.2 synthetic test pages.
+
+The paper publishes, per site: category, average object count, total
+bytes, domain spread, and the text / JS+CSS / image object mix
+(Table 1).  We synthesise a deterministic page for each row matching
+those marginals:
+
+* object counts and kind mix — taken directly from the row;
+* object sizes — lognormal, rescaled to hit the row's total bytes;
+* domains — objects spread over the row's domain count with a Zipf
+  popularity law (a couple of first-party domains dominate);
+* dependency DAG — the main HTML reveals roughly half the objects;
+  scripts and stylesheets reveal the rest in chains, deeper for
+  script-heavy sites (this produces the stepped request patterns of
+  Figure 6);
+* background activity — news/portal/radio-style sites carry periodic
+  beacons and long-polls ("ads, tracking cookies, web analytics, page
+  refreshes") that interact with the RRC idle timers between page loads.
+
+Pages are deterministic in ``site_id`` alone, so every experiment run
+(HTTP vs SPDY, any seed) loads byte-identical pages, as in the field
+study where the same URLs were fetched throughout.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .resources import (BackgroundTransfer, KIND_CSS, KIND_HTML, KIND_IMAGE,
+                        KIND_JS, KIND_OTHER, WebObject, WebPage)
+
+__all__ = ["SiteSpec", "TABLE1_SITES", "build_page", "build_corpus",
+           "build_test_page", "corpus_statistics"]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One row of Table 1."""
+
+    site_id: int
+    category: str
+    total_objects: float
+    total_kb: float
+    domains: float
+    text_objects: float
+    js_css_objects: float
+    image_objects: float
+
+
+#: Table 1 of the paper, verbatim.
+TABLE1_SITES: List[SiteSpec] = [
+    SiteSpec(1, "Finance", 134.8, 626.9, 37.6, 28.6, 41.3, 64.9),
+    SiteSpec(2, "Entertainment", 160.6, 2197.3, 36.3, 16.5, 28.0, 116.1),
+    SiteSpec(3, "Shopping", 143.8, 1563.1, 15.8, 13.3, 36.8, 93.7),
+    SiteSpec(4, "Portal", 121.6, 963.3, 27.5, 9.6, 18.3, 93.7),
+    SiteSpec(5, "Technology", 45.2, 602.8, 3.0, 2.0, 18.0, 25.2),
+    SiteSpec(6, "ISP", 163.4, 1594.5, 13.2, 13.2, 36.4, 113.8),
+    SiteSpec(7, "News", 115.8, 1130.6, 28.5, 9.1, 49.5, 57.2),
+    SiteSpec(8, "News", 157.7, 1184.5, 27.3, 29.6, 28.3, 99.8),
+    SiteSpec(9, "Shopping", 5.1, 56.2, 2.0, 3.1, 2.0, 0.0),
+    SiteSpec(10, "Auction", 59.3, 719.7, 17.9, 6.8, 7.0, 45.5),
+    SiteSpec(11, "Online Radio", 122.1, 1489.1, 17.9, 24.1, 21.0, 77.0),
+    SiteSpec(12, "Photo Sharing", 29.4, 688.0, 4.0, 2.3, 10.0, 17.1),
+    SiteSpec(13, "Technology", 63.4, 895.1, 9.0, 4.1, 15.0, 44.3),
+    SiteSpec(14, "Baseball", 167.8, 1130.5, 12.5, 19.5, 94.0, 54.3),
+    SiteSpec(15, "News", 323.0, 1722.7, 84.7, 73.4, 73.6, 176.0),
+    SiteSpec(16, "Football", 267.1, 2311.0, 75.0, 60.3, 56.9, 149.9),
+    SiteSpec(17, "News", 218.5, 4691.3, 37.0, 19.0, 56.3, 143.2),
+    SiteSpec(18, "Photo Sharing", 33.6, 1664.8, 9.1, 3.3, 6.7, 23.6),
+    SiteSpec(19, "Online Radio", 68.7, 2908.9, 15.5, 5.2, 23.8, 39.7),
+    SiteSpec(20, "Weather", 163.2, 1653.8, 48.7, 19.7, 45.3, 98.2),
+]
+
+#: Categories whose sites carry heavy periodic background activity.
+_ACTIVE_CATEGORIES = {"News", "Portal", "Online Radio", "Weather", "Finance",
+                      "Baseball", "Football"}
+
+#: Median size (bytes) and lognormal sigma by object kind, before rescale.
+_SIZE_SHAPE = {
+    KIND_HTML: (30_000, 0.8),
+    KIND_JS: (12_000, 0.9),
+    KIND_CSS: (9_000, 0.8),
+    KIND_IMAGE: (8_000, 1.1),
+    KIND_OTHER: (5_000, 1.0),
+}
+
+
+def _zipf_assignment(rng: random.Random, count: int, n_domains: int) -> List[int]:
+    """Assign ``count`` objects to domains 0..n_domains-1 Zipf-style,
+    guaranteeing every domain gets at least one object."""
+    weights = [1.0 / (rank ** 0.9) for rank in range(1, n_domains + 1)]
+    total = sum(weights)
+    assignment = list(range(n_domains))  # one each, to honour the row count
+    for _ in range(max(0, count - n_domains)):
+        x = rng.random() * total
+        acc = 0.0
+        for idx, w in enumerate(weights):
+            acc += w
+            if x < acc:
+                assignment.append(idx)
+                break
+        else:
+            assignment.append(n_domains - 1)
+    rng.shuffle(assignment)
+    return assignment[:count]
+
+
+def _sizes_for(rng: random.Random, kinds: List[str], total_bytes: int) -> List[int]:
+    """Draw lognormal sizes per kind, rescaled so they sum to total_bytes."""
+    raw = []
+    for kind in kinds:
+        median, sigma = _SIZE_SHAPE[kind]
+        raw.append(rng.lognormvariate(math.log(median), sigma))
+    scale = total_bytes / sum(raw)
+    sizes = [max(120, int(r * scale)) for r in raw]
+    # Exact-total correction on the largest object.
+    drift = total_bytes - sum(sizes)
+    big = max(range(len(sizes)), key=lambda i: sizes[i])
+    sizes[big] = max(120, sizes[big] + drift)
+    return sizes
+
+
+def _background_for(spec: SiteSpec, rng: random.Random) -> List[BackgroundTransfer]:
+    """Periodic activity profile by category."""
+    background: List[BackgroundTransfer] = []
+    if spec.category in _ACTIVE_CATEGORIES:
+        # Analytics beacons through the think-time window.
+        for offset in (12.0, 27.0, 42.0):
+            background.append(BackgroundTransfer(
+                kind="beacon", start_offset=offset + rng.uniform(-2, 2),
+                request_bytes=rng.randint(300, 500),
+                response_bytes=rng.randint(400, 3000)))
+        # A long-poll whose response lands after the radio has demoted:
+        # server-initiated downlink data into an idle radio (Fig. 12).
+        background.append(BackgroundTransfer(
+            kind="poll", start_offset=1.0,
+            request_bytes=rng.randint(300, 500),
+            response_bytes=rng.randint(4000, 20000),
+            server_delay=rng.uniform(18.0, 30.0)))
+    elif spec.total_objects >= 40:
+        background.append(BackgroundTransfer(
+            kind="beacon", start_offset=25.0 + rng.uniform(-3, 3),
+            request_bytes=400, response_bytes=rng.randint(300, 1500)))
+    return background
+
+
+def build_page(spec: SiteSpec) -> WebPage:
+    """Deterministically synthesise the page for one Table 1 row."""
+    rng = random.Random(f"corpus/site/{spec.site_id}")
+
+    n_total = max(1, round(spec.total_objects))
+    n_domains = max(1, round(spec.domains))
+    n_imgs = min(n_total - 1, round(spec.image_objects)) if n_total > 1 else 0
+    n_js_css = min(n_total - 1 - n_imgs, round(spec.js_css_objects))
+    n_text = max(1, n_total - n_imgs - n_js_css)  # includes the main HTML
+
+    kinds: List[str] = [KIND_HTML] * n_text
+    for i in range(n_js_css):
+        kinds.append(KIND_JS if i % 2 == 0 else KIND_CSS)
+    kinds.extend([KIND_IMAGE] * n_imgs)
+    kinds = kinds[:n_total]
+
+    sizes = _sizes_for(rng, kinds, int(spec.total_kb * 1024))
+    domain_idx = _zipf_assignment(rng, n_total, n_domains)
+
+    objects: Dict[str, WebObject] = {}
+    for i, (kind, size, didx) in enumerate(zip(kinds, sizes, domain_idx)):
+        oid = f"s{spec.site_id}/o{i}"
+        if i == 0:
+            didx = 0  # main document lives on the first-party domain
+        processing = 0.0
+        if kind == KIND_HTML:
+            # The main document pays a full parse; subsidiary text
+            # objects (fragments, iframes, JSON) are much lighter.
+            processing = (0.030 + size / 4e6) if i == 0 else \
+                (0.004 + size / 10e6)
+        elif kind == KIND_JS:
+            processing = 0.010 + size / 4e6      # compile+execute
+        elif kind == KIND_CSS:
+            processing = 0.004 + size / 8e6      # style recalc
+        objects[oid] = WebObject(
+            object_id=oid, domain=f"site{spec.site_id}-d{didx}.example",
+            path=f"/{kind}/{i}", size=size, kind=kind,
+            processing_delay=processing)
+
+    # --- dependency DAG -------------------------------------------------
+    ids = list(objects)
+    main_id = ids[0]
+    rest = ids[1:]
+    rng.shuffle(rest)
+    blocking = [oid for oid in rest if objects[oid].blocking]
+    # Roughly half of everything is visible in the main HTML; the rest
+    # hides behind scripts/stylesheets, in chains up to depth ~3.
+    first_wave_count = max(1, int(len(rest) * 0.55))
+    first_wave = rest[:first_wave_count]
+    hidden = rest[first_wave_count:]
+    objects[main_id].children.extend(first_wave)
+
+    revealers = [oid for oid in first_wave if objects[oid].blocking] or [main_id]
+    for i, oid in enumerate(hidden):
+        parent = revealers[i % len(revealers)]
+        objects[parent].children.append(oid)
+        # Script-heavy sites chain deeper: a hidden script may itself
+        # reveal later objects.
+        if objects[oid].blocking and rng.random() < 0.5:
+            revealers.append(oid)
+
+    return WebPage(spec.site_id, f"site{spec.site_id}", spec.category,
+                   objects, main_id, background=_background_for(spec, rng))
+
+
+def build_corpus(site_ids: Optional[List[int]] = None) -> List[WebPage]:
+    """Build the full 20-page corpus (or a subset by site id)."""
+    wanted = set(site_ids) if site_ids is not None else None
+    pages = []
+    for spec in TABLE1_SITES:
+        if wanted is None or spec.site_id in wanted:
+            pages.append(build_page(spec))
+    return pages
+
+
+def build_test_page(same_domain: bool, n_images: int = 50,
+                    image_bytes: int = 20_000) -> WebPage:
+    """The §5.2 controlled test pages: main HTML + 50 images, no deps.
+
+    ``same_domain=True`` puts every image on one domain (browser capped
+    at 6 connections); ``False`` gives every image its own domain
+    (browser opens up to 32 connections).  SPDY requests everything at
+    once in both cases — Figure 7.
+    """
+    objects: Dict[str, WebObject] = {}
+    main = WebObject(object_id="test/main", domain="testserver-d0.example",
+                     path="/index.html", size=12_000, kind=KIND_HTML,
+                     processing_delay=0.02)
+    objects[main.object_id] = main
+    for i in range(n_images):
+        domain = ("testserver-d0.example" if same_domain
+                  else f"testserver-d{i + 1}.example")
+        oid = f"test/img{i}"
+        objects[oid] = WebObject(object_id=oid, domain=domain,
+                                 path=f"/img/{i}.jpg", size=image_bytes,
+                                 kind=KIND_IMAGE)
+        main.children.append(oid)
+    label = "same-domain" if same_domain else "different-domains"
+    return WebPage(100 if same_domain else 101, f"testpage-{label}",
+                   "Test", objects, main.object_id)
+
+
+def corpus_statistics(pages: List[WebPage]) -> List[dict]:
+    """Per-page statistics in the shape of Table 1 (for the bench)."""
+    rows = []
+    for page in pages:
+        counts = page.count_by_kind()
+        rows.append({
+            "site_id": page.site_id,
+            "category": page.category,
+            "total_objects": page.total_objects,
+            "total_kb": page.total_bytes / 1024.0,
+            "domains": len(page.domains),
+            "text_objects": counts.get(KIND_HTML, 0) + counts.get(KIND_OTHER, 0),
+            "js_css_objects": counts.get(KIND_JS, 0) + counts.get(KIND_CSS, 0),
+            "image_objects": counts.get(KIND_IMAGE, 0),
+            "max_depth": page.max_dependency_depth(),
+        })
+    return rows

@@ -1,0 +1,98 @@
+"""HTTP/1.1 message objects as exchanged over simulated TCP.
+
+A request is one message; a response is two (head, then body) so the
+receiver observes distinct first-byte and last-byte times — the "wait"
+vs "receive" split of Figure 5.  Sizes are computed from real serialized
+header text (see :mod:`repro.web.headers`); bodies are sized, not
+materialised.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from .headers import build_request_headers, build_response_headers
+
+__all__ = ["HttpRequest", "HttpResponseHead", "HttpResponseBody"]
+
+_request_ids = itertools.count(1)
+
+
+class HttpRequest:
+    """A GET request for one object (or background transfer)."""
+
+    __slots__ = ("request_id", "method", "domain", "path", "header_bytes",
+                 "context", "server_delay", "response_bytes",
+                 "content_type")
+
+    def __init__(self, domain: str, path: str, method: str = "GET",
+                 context: Any = None, via_proxy: bool = True,
+                 server_delay: float = 0.0,
+                 response_bytes: Optional[int] = None,
+                 content_type: str = "text/html"):
+        self.request_id = next(_request_ids)
+        self.method = method
+        self.domain = domain
+        self.path = path
+        self.header_bytes = len(build_request_headers(
+            method, domain, path, via_proxy=via_proxy))
+        self.context = context              # WebObject / background marker
+        self.server_delay = server_delay    # long-poll hold at the origin
+        self.response_bytes = response_bytes  # override for non-object fetches
+        self.content_type = content_type
+
+    @property
+    def wire_size(self) -> int:
+        return self.header_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HttpRequest #{self.request_id} {self.domain}{self.path}>"
+
+
+class HttpResponseHead:
+    """Status line + headers; its delivery is the response's first byte.
+
+    ``push_hints`` carries the server's knowledge of associated
+    resources (same-domain children of an HTML document) that a
+    push-capable SPDY proxy may push without waiting for requests.
+    """
+
+    __slots__ = ("request", "status", "header_bytes", "content_length",
+                 "push_hints")
+
+    def __init__(self, request: HttpRequest, content_length: int,
+                 status: int = 200,
+                 content_type: str = "application/octet-stream",
+                 push_hints=None):
+        self.request = request
+        self.status = status
+        self.content_length = content_length
+        self.push_hints = push_hints or []
+        self.header_bytes = len(build_response_headers(
+            status, content_type, content_length, request.domain))
+
+    @property
+    def wire_size(self) -> int:
+        return self.header_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HttpResponseHead #{self.request.request_id} "
+                f"{self.status} len={self.content_length}>")
+
+
+class HttpResponseBody:
+    """The entity body; its delivery is the response's last byte."""
+
+    __slots__ = ("request", "length")
+
+    def __init__(self, request: HttpRequest, length: int):
+        self.request = request
+        self.length = length
+
+    @property
+    def wire_size(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HttpResponseBody #{self.request.request_id} {self.length}B>"

@@ -1,0 +1,187 @@
+"""Web page model: objects, dependency DAG, background activity.
+
+A page is a DAG of objects.  The main HTML reveals its first wave of
+children only after it has been downloaded and parsed; Javascript and
+CSS objects reveal further objects after *they* are processed — the
+interdependency structure the paper identifies (§5.2, Figure 6) as the
+reason SPDY cannot actually request everything at once.
+
+``BackgroundTransfer`` models the periodic activity ("ads, tracking
+cookies, web analytics, page refreshes") that keeps poking the radio
+during think time and sets up the idle→promotion→spurious-RTO cycle of
+Figures 11-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["WebObject", "WebPage", "BackgroundTransfer",
+           "KIND_HTML", "KIND_JS", "KIND_CSS", "KIND_IMAGE", "KIND_OTHER"]
+
+KIND_HTML = "html"
+KIND_JS = "js"
+KIND_CSS = "css"
+KIND_IMAGE = "image"
+KIND_OTHER = "other"
+
+#: Object kinds that the browser must download *and process* before the
+#: objects they reference become visible.
+BLOCKING_KINDS = (KIND_HTML, KIND_JS, KIND_CSS)
+
+#: SPDY priorities by kind (0 = highest), mirroring Figure 1(d): critical
+#: resources (markup, scripts, styles) beat images.
+SPDY_PRIORITY = {KIND_HTML: 0, KIND_CSS: 1, KIND_JS: 1,
+                 KIND_OTHER: 2, KIND_IMAGE: 3}
+
+
+@dataclass
+class WebObject:
+    """One fetchable resource."""
+
+    object_id: str
+    domain: str
+    path: str
+    size: int
+    kind: str
+    children: List[str] = field(default_factory=list)
+    processing_delay: float = 0.0  # parse/execute time after download
+    # Filled by WebPage: the child WebObjects themselves (push hints).
+    resolved_children: List["WebObject"] = field(default_factory=list,
+                                                 repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"{self.object_id}: size must be positive")
+        if self.kind not in (KIND_HTML, KIND_JS, KIND_CSS, KIND_IMAGE,
+                             KIND_OTHER):
+            raise ValueError(f"{self.object_id}: unknown kind {self.kind!r}")
+
+    @property
+    def blocking(self) -> bool:
+        """Must be processed before its children are discovered."""
+        return self.kind in BLOCKING_KINDS
+
+    @property
+    def priority(self) -> int:
+        return SPDY_PRIORITY[self.kind]
+
+    @property
+    def content_type(self) -> str:
+        return {KIND_HTML: "text/html; charset=UTF-8",
+                KIND_JS: "application/x-javascript",
+                KIND_CSS: "text/css",
+                KIND_IMAGE: "image/jpeg",
+                KIND_OTHER: "application/octet-stream"}[self.kind]
+
+
+@dataclass
+class BackgroundTransfer:
+    """Periodic or long-poll activity after the page has loaded.
+
+    ``kind="beacon"``: client-initiated analytics request at
+    ``start_offset`` seconds after onLoad.  ``kind="poll"``: a long-poll
+    issued right after onLoad whose *response* arrives ``server_delay``
+    seconds later — i.e. server-initiated downlink data that may find
+    the radio demoted (the proxy-side spurious-RTO trigger).
+    """
+
+    kind: str                 # "beacon" | "poll"
+    start_offset: float       # seconds after onLoad the client acts
+    request_bytes: int = 350
+    response_bytes: int = 2000
+    server_delay: float = 0.0  # poll: how long the server holds the request
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("beacon", "poll"):
+            raise ValueError(f"unknown background transfer kind {self.kind!r}")
+        if self.start_offset < 0 or self.server_delay < 0:
+            raise ValueError("offsets must be non-negative")
+
+
+class WebPage:
+    """A complete page: objects keyed by id, rooted at ``main_id``."""
+
+    def __init__(self, site_id: int, name: str, category: str,
+                 objects: Dict[str, WebObject], main_id: str,
+                 background: Optional[List[BackgroundTransfer]] = None):
+        if main_id not in objects:
+            raise ValueError(f"main object {main_id!r} not in page")
+        self.site_id = site_id
+        self.name = name
+        self.category = category
+        self.objects = objects
+        self.main_id = main_id
+        self.background = background or []
+        self._validate()
+
+    def _validate(self) -> None:
+        for obj in self.objects.values():
+            for child in obj.children:
+                if child not in self.objects:
+                    raise ValueError(
+                        f"{obj.object_id}: unknown child {child!r}")
+            # Resolved references let an origin server see its own
+            # same-domain children (the basis for SPDY server push).
+            obj.resolved_children = [self.objects[c] for c in obj.children]
+        reachable = set(self.reachable_from(self.main_id))
+        orphans = set(self.objects) - reachable
+        if orphans:
+            raise ValueError(f"unreachable objects: {sorted(orphans)[:5]}")
+
+    # ------------------------------------------------------------------
+    def reachable_from(self, object_id: str) -> Iterable[str]:
+        """DFS over the dependency DAG."""
+        seen = set()
+        stack = [object_id]
+        while stack:
+            oid = stack.pop()
+            if oid in seen:
+                continue
+            seen.add(oid)
+            yield oid
+            stack.extend(self.objects[oid].children)
+
+    @property
+    def main(self) -> WebObject:
+        return self.objects[self.main_id]
+
+    @property
+    def total_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.size for o in self.objects.values())
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted({o.domain for o in self.objects.values()})
+
+    def count_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for obj in self.objects.values():
+            counts[obj.kind] = counts.get(obj.kind, 0) + 1
+        return counts
+
+    def max_dependency_depth(self) -> int:
+        """Longest chain of blocking objects (drives stepped discovery)."""
+        depth: Dict[str, int] = {}
+
+        def visit(oid: str) -> int:
+            if oid in depth:
+                return depth[oid]
+            obj = self.objects[oid]
+            depth[oid] = 0  # break cycles defensively (DAG expected)
+            best = 0
+            for child in obj.children:
+                best = max(best, 1 + visit(child))
+            depth[oid] = best
+            return best
+
+        return visit(self.main_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WebPage #{self.site_id} {self.name!r} "
+                f"{self.total_objects} objs {self.total_bytes / 1024:.0f}KB>")

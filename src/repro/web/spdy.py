@@ -1,0 +1,193 @@
+"""SPDY framing: streams, priorities, compressed headers, TLS setup.
+
+We model the SPDY/2-era protocol the paper's proxy spoke:
+
+* one SSL-encrypted TCP connection, multiplexing unlimited concurrent
+  streams;
+* ``SYN_STREAM`` / ``SYN_REPLY`` carry zlib-compressed header blocks
+  (real compression against a session-lifetime context — see
+  :class:`repro.web.headers.SpdyHeaderCodec`);
+* ``DATA`` frames chunk response bodies so the sender can interleave
+  streams by priority (Figure 1(d): objects 3 and 4 overtake 2 and 5);
+* a short TLS handshake (2 round trips) when the session opens.
+
+Frame objects carry their wire size; the 8-byte SPDY frame header and
+a small TLS record overhead are included.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from .headers import SpdyHeaderCodec, build_request_headers, \
+    build_response_headers
+
+__all__ = ["SpdySynStream", "SpdySynReply", "SpdyDataFrame", "SpdyPing",
+           "SpdyPushStream", "TlsHandshakeMessage", "SpdyStreamIds",
+           "FRAME_HEADER_BYTES", "TLS_RECORD_OVERHEAD",
+           "DEFAULT_DATA_FRAME_BYTES"]
+
+FRAME_HEADER_BYTES = 8
+#: Amortised TLS record overhead added to every frame (MAC + padding).
+TLS_RECORD_OVERHEAD = 29
+DEFAULT_DATA_FRAME_BYTES = 2800  # two MSS of payload per scheduling unit
+
+
+class SpdyStreamIds:
+    """Client-initiated stream ids: odd, monotonically increasing."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next_id(self) -> int:
+        return next(self._counter) * 2 - 1
+
+
+class TlsHandshakeMessage:
+    """One flight of the TLS handshake (sizes typical of RSA-2048 + resumption off)."""
+
+    SIZES = {"client_hello": 300, "server_hello_cert": 3500,
+             "client_finished": 350, "server_finished": 250}
+
+    __slots__ = ("stage",)
+
+    def __init__(self, stage: str):
+        if stage not in self.SIZES:
+            raise ValueError(f"unknown TLS stage {stage!r}")
+        self.stage = stage
+
+    @property
+    def wire_size(self) -> int:
+        return self.SIZES[self.stage]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TLS {self.stage}>"
+
+
+class SpdySynStream:
+    """Open a stream: compressed request headers + priority."""
+
+    __slots__ = ("stream_id", "priority", "header_bytes", "context",
+                 "server_delay", "response_bytes", "content_type", "domain",
+                 "path")
+
+    def __init__(self, stream_id: int, codec: SpdyHeaderCodec, domain: str,
+                 path: str, priority: int = 0, context: Any = None,
+                 server_delay: float = 0.0,
+                 response_bytes: Optional[int] = None,
+                 content_type: str = "text/html"):
+        self.stream_id = stream_id
+        self.priority = priority
+        self.domain = domain
+        self.path = path
+        raw = build_request_headers("GET", domain, path, via_proxy=True)
+        self.header_bytes = codec.compressed_size(raw)
+        self.context = context
+        self.server_delay = server_delay
+        self.response_bytes = response_bytes
+        self.content_type = content_type
+
+    @property
+    def wire_size(self) -> int:
+        return (FRAME_HEADER_BYTES + 10 + self.header_bytes
+                + TLS_RECORD_OVERHEAD)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SYN_STREAM #{self.stream_id} pri={self.priority} "
+                f"{self.domain}{self.path}>")
+
+
+class SpdySynReply:
+    """Response headers for a stream (compressed in the server's context)."""
+
+    __slots__ = ("stream_id", "header_bytes", "content_length")
+
+    def __init__(self, stream_id: int, codec: SpdyHeaderCodec, domain: str,
+                 content_length: int, content_type: str, status: int = 200):
+        self.stream_id = stream_id
+        self.content_length = content_length
+        raw = build_response_headers(status, content_type, content_length,
+                                     domain)
+        self.header_bytes = codec.compressed_size(raw)
+
+    @property
+    def wire_size(self) -> int:
+        return (FRAME_HEADER_BYTES + 6 + self.header_bytes
+                + TLS_RECORD_OVERHEAD)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SYN_REPLY #{self.stream_id} len={self.content_length}>"
+
+
+class SpdyDataFrame:
+    """A chunk of response body; ``last`` carries the FIN flag."""
+
+    __slots__ = ("stream_id", "length", "last")
+
+    def __init__(self, stream_id: int, length: int, last: bool = False):
+        if length <= 0:
+            raise ValueError("data frame length must be positive")
+        self.stream_id = stream_id
+        self.length = length
+        self.last = last
+
+    @property
+    def wire_size(self) -> int:
+        return FRAME_HEADER_BYTES + self.length + TLS_RECORD_OVERHEAD
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fin = " FIN" if self.last else ""
+        return f"<DATA #{self.stream_id} {self.length}B{fin}>"
+
+
+class SpdyPushStream:
+    """Server-initiated stream (SYN_STREAM with an associated stream id).
+
+    SPDY allows the server to push resources it knows the client will
+    need ("Server-initiated data exchange", §2.2 of the paper) — here,
+    objects referenced by a page the proxy just relayed.
+    """
+
+    __slots__ = ("stream_id", "associated_stream_id", "header_bytes",
+                 "context", "content_length", "domain", "path")
+
+    def __init__(self, stream_id: int, associated_stream_id: int,
+                 codec: SpdyHeaderCodec, domain: str, path: str,
+                 content_length: int, context: Any = None):
+        self.stream_id = stream_id
+        self.associated_stream_id = associated_stream_id
+        self.domain = domain
+        self.path = path
+        self.content_length = content_length
+        self.context = context
+        raw = build_response_headers(200, "application/octet-stream",
+                                     content_length, domain,
+                                     extra={"X-Associated-Content":
+                                            f"https://{domain}{path}"})
+        self.header_bytes = codec.compressed_size(raw)
+
+    @property
+    def wire_size(self) -> int:
+        return (FRAME_HEADER_BYTES + 10 + self.header_bytes
+                + TLS_RECORD_OVERHEAD)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PUSH #{self.stream_id} assoc={self.associated_stream_id} "
+                f"{self.domain}{self.path}>")
+
+
+class SpdyPing:
+    """PING frame (used by the Figure 14 keepalive workload)."""
+
+    __slots__ = ("ping_id",)
+
+    def __init__(self, ping_id: int):
+        self.ping_id = ping_id
+
+    @property
+    def wire_size(self) -> int:
+        return FRAME_HEADER_BYTES + 4 + TLS_RECORD_OVERHEAD
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PING #{self.ping_id}>"

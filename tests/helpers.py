@@ -1,0 +1,59 @@
+"""Shared test fixtures: small topologies and app shims."""
+
+from repro.net import DuplexLink, Host
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpStack
+
+
+class Topology:
+    """Two hosts joined by a configurable duplex link."""
+
+    def __init__(self, seed=0, latency=0.01, bandwidth=10e6, loss_rate=0.0,
+                 client_config=None, server_config=None, jitter=None,
+                 queue_limit_bytes=256 * 1024):
+        self.sim = Simulator(seed=seed)
+        self.client = Host(self.sim, "client")
+        self.server = Host(self.sim, "server")
+        self.link = DuplexLink(self.sim, self.client, self.server,
+                               bandwidth_down_bps=bandwidth,
+                               bandwidth_up_bps=bandwidth,
+                               latency=latency, loss_rate=loss_rate,
+                               jitter=jitter,
+                               queue_limit_bytes=queue_limit_bytes)
+        self.client_tcp = TcpStack(self.sim, self.client,
+                                   client_config or TcpConfig())
+        self.server_tcp = TcpStack(self.sim, self.server,
+                                   server_config or TcpConfig())
+
+
+class EchoApp:
+    """Server app: records received messages, optionally replies."""
+
+    def __init__(self, reply_bytes=0):
+        self.received = []
+        self.reply_bytes = reply_bytes
+        self.connections = []
+
+    def on_accept(self, conn):
+        self.connections.append(conn)
+        conn.on_message = self.on_message
+
+    def on_message(self, conn, obj):
+        self.received.append(obj)
+        if self.reply_bytes:
+            conn.send_message(("reply", obj), self.reply_bytes)
+
+
+class ClientApp:
+    """Client app: records established/messages/closes."""
+
+    def __init__(self):
+        self.established = False
+        self.received = []
+        self.closed = False
+
+    def attach(self, conn):
+        conn.on_established = lambda c: setattr(self, "established", True)
+        conn.on_message = lambda c, obj: self.received.append(obj)
+        conn.on_close = lambda c: setattr(self, "closed", True)
+        return conn

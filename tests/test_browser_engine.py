@@ -1,0 +1,197 @@
+"""Unit tests for the browser page-load engine (with a fake fetcher)."""
+
+import pytest
+
+from repro.browser import Browser, BrowserConfig
+from repro.sim import Simulator
+from repro.web import WebObject, WebPage
+from repro.web.resources import BackgroundTransfer
+
+
+class FakeFetcher:
+    """Instant (or scripted-delay) fetcher; records every task."""
+
+    name = "fake"
+
+    def __init__(self, sim, delay=0.1, per_task_delay=None):
+        self.sim = sim
+        self.delay = delay
+        self.per_task_delay = per_task_delay or {}
+        self.tasks = []
+
+    def fetch(self, task):
+        self.tasks.append(task)
+        delay = self.per_task_delay.get(task.key, self.delay)
+        task._fire("on_write_start", self.sim.now)
+        self.sim.schedule(0.001, task._fire, "on_sent", self.sim.now + 0.001)
+        self.sim.schedule(delay / 2,
+                          task._fire, "on_first_byte", self.sim.now + delay / 2)
+        self.sim.schedule(delay, task._fire, "on_complete",
+                          self.sim.now + delay)
+
+
+def simple_page(background=None):
+    main = WebObject("m", "d0", "/", 5000, "html", children=["js1", "img1"],
+                     processing_delay=0.05)
+    js = WebObject("js1", "d0", "/a.js", 2000, "js", children=["img2"],
+                   processing_delay=0.02)
+    img1 = WebObject("img1", "d1", "/1.jpg", 3000, "image")
+    img2 = WebObject("img2", "d1", "/2.jpg", 4000, "image")
+    return WebPage(1, "simple", "Test",
+                   {o.object_id: o for o in (main, js, img1, img2)}, "m",
+                   background=background)
+
+
+class TestPageLoad:
+    def test_loads_all_objects_and_fires_onload(self):
+        sim = Simulator()
+        fetcher = FakeFetcher(sim)
+        browser = Browser(sim, fetcher)
+        loaded = []
+        record = browser.load_page(simple_page(), on_load=loaded.append)
+        sim.run()
+        assert loaded == [record]
+        assert record.plt is not None
+        assert len(record.objects) == 4
+        assert all(t.complete for t in record.objects)
+
+    def test_dependency_gating(self):
+        """img2 is only discovered after js1 downloads AND processes."""
+        sim = Simulator()
+        fetcher = FakeFetcher(sim, delay=0.1)
+        browser = Browser(sim, fetcher)
+        record = browser.load_page(simple_page())
+        sim.run()
+        timings = {t.key: t for t in record.objects}
+        js_processed = timings["js1"].processed_at
+        assert timings["img2"].discovered_at >= js_processed
+
+    def test_plt_includes_processing(self):
+        sim = Simulator()
+        fetcher = FakeFetcher(sim, delay=0.1)
+        browser = Browser(sim, fetcher)
+        record = browser.load_page(simple_page())
+        sim.run()
+        # main: 0.1 dl + 0.05 parse; js: 0.1 + 0.02; img2: 0.1
+        assert record.plt >= 0.1 + 0.05 + 0.1 + 0.02 + 0.1 - 1e-6
+
+    def test_sequential_processing_of_blocking_objects(self):
+        """Two scripts discovered together process one after the other."""
+        sim = Simulator()
+        main = WebObject("m", "d", "/", 1000, "html",
+                         children=["a", "b"], processing_delay=0.01)
+        a = WebObject("a", "d", "/a.js", 100, "js", processing_delay=0.5)
+        b = WebObject("b", "d", "/b.js", 100, "js", processing_delay=0.5)
+        page = WebPage(2, "two-scripts", "Test",
+                       {o.object_id: o for o in (main, a, b)}, "m")
+        browser = Browser(sim, FakeFetcher(sim, delay=0.01))
+        record = browser.load_page(page)
+        sim.run()
+        timings = {t.key: t for t in record.objects}
+        # processing is serialized: 0.5 + 0.5, not parallel
+        done = sorted([timings["a"].processed_at, timings["b"].processed_at])
+        assert done[1] - done[0] >= 0.5 - 1e-9
+
+    def test_timeout_marks_record(self):
+        sim = Simulator()
+        fetcher = FakeFetcher(sim, delay=999.0)  # never completes in time
+        browser = Browser(sim, fetcher, BrowserConfig(load_timeout=5.0))
+        fired = []
+        record = browser.load_page(simple_page(), on_load=fired.append)
+        sim.run(until=20.0)
+        assert record.timed_out
+        assert record.plt is None
+        assert record.plt_or(55.0) == 55.0
+        assert fired  # on_load still fires so the harness can continue
+
+    def test_discovery_stagger_spreads_requests(self):
+        sim = Simulator()
+        main = WebObject("m", "d", "/", 1000, "html",
+                         children=[f"i{k}" for k in range(10)],
+                         processing_delay=0.01)
+        objs = {"m": main}
+        for k in range(10):
+            objs[f"i{k}"] = WebObject(f"i{k}", "d", f"/{k}.jpg", 100, "image")
+        page = WebPage(3, "imgs", "Test", objs, "m")
+        browser = Browser(sim, FakeFetcher(sim, delay=0.01),
+                          BrowserConfig(discovery_stagger=0.02))
+        record = browser.load_page(page)
+        sim.run()
+        times = record.request_times()
+        assert times[-1] - times[1] >= 0.02 * 8 - 1e-9
+
+
+class TestBackgroundActivity:
+    def test_background_scheduled_after_onload(self):
+        sim = Simulator()
+        background = [BackgroundTransfer(kind="beacon", start_offset=5.0)]
+        fetcher = FakeFetcher(sim)
+        browser = Browser(sim, fetcher)
+        record = browser.load_page(simple_page(background))
+        sim.run(until=30.0)
+        assert len(record.background) == 1
+        bg = record.background[0]
+        assert bg.discovered_at >= record.onload_at + 5.0 - 1e-9
+        assert not any(t.key.startswith("bg/") for t in record.objects)
+
+    def test_background_cancelled_on_next_navigation(self):
+        sim = Simulator()
+        background = [BackgroundTransfer(kind="beacon", start_offset=50.0)]
+        fetcher = FakeFetcher(sim)
+        browser = Browser(sim, fetcher)
+        first = browser.load_page(simple_page(background))
+        sim.run(until=10.0)   # loaded; beacon pending at ~50s
+        browser.load_page(simple_page())  # navigate away
+        sim.run(until=120.0)
+        assert first.background == []
+
+    def test_background_disabled_by_config(self):
+        sim = Simulator()
+        background = [BackgroundTransfer(kind="beacon", start_offset=1.0)]
+        browser = Browser(sim, FakeFetcher(sim),
+                          BrowserConfig(background_enabled=False))
+        record = browser.load_page(simple_page(background))
+        sim.run(until=30.0)
+        assert record.background == []
+
+    def test_poll_carries_server_delay(self):
+        sim = Simulator()
+        background = [BackgroundTransfer(kind="poll", start_offset=1.0,
+                                         server_delay=20.0)]
+        fetcher = FakeFetcher(sim)
+        browser = Browser(sim, fetcher)
+        browser.load_page(simple_page(background))
+        sim.run(until=30.0)
+        polls = [t for t in fetcher.tasks if t.key.startswith("bg/")]
+        assert polls and polls[0].server_delay == 20.0
+
+
+class TestTimingRecords:
+    def test_component_arithmetic(self):
+        sim = Simulator()
+        browser = Browser(sim, FakeFetcher(sim, delay=0.2))
+        record = browser.load_page(simple_page())
+        sim.run()
+        for t in record.objects:
+            assert t.init >= 0
+            assert t.send == pytest.approx(0.001, abs=1e-6)
+            assert t.wait == pytest.approx(0.099, abs=0.01)
+            assert t.receive == pytest.approx(0.1, abs=0.01)
+            assert t.total == pytest.approx(
+                t.init + t.send + t.wait + t.receive, abs=1e-6)
+
+    def test_mean_component(self):
+        sim = Simulator()
+        browser = Browser(sim, FakeFetcher(sim, delay=0.2))
+        record = browser.load_page(simple_page())
+        sim.run()
+        assert record.mean_component("receive") == pytest.approx(0.1, abs=0.01)
+
+    def test_request_times_sorted_relative(self):
+        sim = Simulator()
+        browser = Browser(sim, FakeFetcher(sim))
+        record = browser.load_page(simple_page())
+        sim.run()
+        times = record.request_times()
+        assert times == sorted(times)
+        assert times[0] >= 0

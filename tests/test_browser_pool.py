@@ -1,0 +1,103 @@
+"""Unit tests for the Chrome-style connection pool."""
+
+import pytest
+
+from repro.browser.pool import ConnectionPool
+from repro.net import DuplexLink, Host
+from repro.sim import Simulator
+from repro.tcp import TcpStack
+
+
+def build(max_per_domain=6, max_total=32, idle_timeout=30.0):
+    sim = Simulator()
+    client = Host(sim, "client")
+    proxy = Host(sim, "proxy")
+    DuplexLink(sim, client, proxy, latency=0.01, bandwidth_down_bps=10e6,
+               bandwidth_up_bps=10e6)
+    client_tcp = TcpStack(sim, client)
+    proxy_tcp = TcpStack(sim, proxy)
+    proxy_tcp.listen(8080, lambda conn: None)
+    pool = ConnectionPool(sim, client_tcp, "proxy", 8080,
+                          max_per_domain=max_per_domain, max_total=max_total,
+                          idle_timeout=idle_timeout)
+    return sim, pool
+
+
+class TestAcquireRelease:
+    def test_acquire_opens_connection(self):
+        sim, pool = build()
+        got = []
+        pool.acquire("a.example", got.append)
+        sim.run(until=1.0)
+        assert len(got) == 1
+        assert got[0].state == "ESTABLISHED"
+        assert pool.stats.opened == 1
+
+    def test_release_then_acquire_reuses(self):
+        sim, pool = build()
+        got = []
+        pool.acquire("a.example", got.append)
+        sim.run(until=1.0)
+        pool.release("a.example", got[0])
+        pool.acquire("a.example", got.append)
+        sim.run(until=2.0)
+        assert got[0] is got[1]
+        assert pool.stats.reused == 1
+        assert pool.stats.opened == 1
+
+    def test_per_domain_cap(self):
+        sim, pool = build(max_per_domain=2)
+        got = []
+        for _ in range(5):
+            pool.acquire("a.example", got.append)
+        sim.run(until=1.0)
+        assert len(got) == 2  # two served, three queued
+        assert pool.connection_count("a.example") == 2
+        pool.release("a.example", got[0])
+        sim.run(until=2.0)
+        assert len(got) == 3  # the queue drains on release
+
+    def test_global_cap_and_eviction(self):
+        sim, pool = build(max_per_domain=6, max_total=4)
+        got = {}
+        for i in range(4):
+            domain = f"d{i}.example"
+            pool.acquire(domain, lambda c, d=domain: got.setdefault(d, c))
+        sim.run(until=1.0)
+        assert pool.total_connections == 4
+        # Free one domain's conn, then a fifth domain arrives: the idle
+        # conn is evicted to stay under the global cap.
+        pool.release("d0.example", got["d0.example"])
+        pool.acquire("d4.example", lambda c: got.setdefault("d4.example", c))
+        sim.run(until=2.0)
+        assert "d4.example" in got
+        assert pool.total_connections <= 4
+
+    def test_idle_timeout_closes_connection(self):
+        sim, pool = build(idle_timeout=5.0)
+        got = []
+        pool.acquire("a.example", got.append)
+        sim.run(until=1.0)
+        pool.release("a.example", got[0])
+        sim.run(until=10.0)
+        assert pool.stats.closed_idle == 1
+        assert got[0].state in ("CLOSED", "CLOSING")
+
+    def test_close_all(self):
+        sim, pool = build()
+        got = []
+        for d in ("a.example", "b.example"):
+            pool.acquire(d, got.append)
+        sim.run(until=1.0)
+        pool.close_all()
+        sim.run(until=2.0)
+        assert pool.total_connections == 0
+
+
+class TestCounters:
+    def test_max_concurrent_tracked(self):
+        sim, pool = build()
+        for i in range(8):
+            pool.acquire(f"d{i}.example", lambda c: None)
+        sim.run(until=1.0)
+        assert pool.stats.max_concurrent >= 7

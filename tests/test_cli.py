@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, _parse_sites, main
+
+
+class TestParseSites:
+    def test_single(self):
+        assert _parse_sites("5") == [5]
+
+    def test_list(self):
+        assert _parse_sites("5,9,12") == [5, 9, 12]
+
+    def test_range(self):
+        assert _parse_sites("3-6") == [3, 4, 5, 6]
+
+    def test_mixed(self):
+        assert _parse_sites("1,3-5,9") == [1, 3, 4, 5, 9]
+
+    def test_empty(self):
+        assert _parse_sites(None) is None
+        assert _parse_sites("") is None
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        rc = main(["run", "--protocol", "http", "--network", "wifi",
+                   "--sites", "9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "http over wifi" in out
+        assert "median_plt" in out
+
+    def test_study_command(self, capsys):
+        rc = main(["study", "--network", "wifi", "--sites", "9",
+                   "--runs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+
+    def test_unknown_figure(self, capsys):
+        rc = main(["figure", "fig99"])
+        assert rc == 2
+
+    def test_figure_table1(self, capsys):
+        rc = main(["figure", "table1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_all_figures_registered(self):
+        for name in ("fig03", "fig14", "fig17", "table2", "sec621"):
+            assert name in FIGURES

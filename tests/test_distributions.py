@@ -1,0 +1,78 @@
+"""Tests for the random-variate helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.distributions import (bounded_lognormal, bounded_normal,
+                                     exponential, weighted_choice,
+                                     zipf_weights)
+
+
+class TestBoundedVariates:
+    def test_normal_clamped(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            v = bounded_normal(rng, mean=0.0, std=10.0, lo=-1.0, hi=1.0)
+            assert -1.0 <= v <= 1.0
+
+    def test_lognormal_clamped_and_positive(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            v = bounded_lognormal(rng, median=0.1, sigma=1.0, lo=0.0, hi=0.5)
+            assert 0.0 <= v <= 0.5
+
+    def test_lognormal_median_roughly_respected(self):
+        rng = random.Random(3)
+        values = sorted(bounded_lognormal(rng, 0.1, 0.5, 0, 10)
+                        for _ in range(2000))
+        assert 0.08 < values[len(values) // 2] < 0.12
+
+    def test_lognormal_invalid_median(self):
+        with pytest.raises(ValueError):
+            bounded_lognormal(random.Random(), 0, 1, 0, 1)
+
+    def test_exponential_mean(self):
+        rng = random.Random(4)
+        values = [exponential(rng, 2.0) for _ in range(5000)]
+        assert 1.8 < sum(values) / len(values) < 2.2
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            exponential(random.Random(), 0)
+
+
+class TestZipf:
+    def test_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(10)
+        assert sum(weights) == pytest.approx(1.0)
+        assert list(weights) == sorted(weights, reverse=True)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(5)
+        picks = [weighted_choice(rng, ["a", "b"], [0.9, 0.1])
+                 for _ in range(1000)]
+        assert picks.count("a") > 800
+
+    def test_validation(self):
+        rng = random.Random()
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.0])
+
+
+@given(st.integers(min_value=1, max_value=50),
+       st.floats(min_value=0.1, max_value=2.0, allow_nan=False))
+def test_property_zipf_valid_distribution(n, alpha):
+    weights = zipf_weights(n, alpha)
+    assert len(weights) == n
+    assert all(w > 0 for w in weights)
+    assert sum(weights) == pytest.approx(1.0)

@@ -1,0 +1,136 @@
+"""Unit tests for the metrics/statistics toolkit."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (box_stats, bytes_in_flight_series, cdf_points,
+                           mean, mean_confidence_interval, percentile,
+                           throughput_bins)
+from repro.metrics.packets import PacketRecord
+from repro.tcp.trace import ProbeSample
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_p_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestBoxStats:
+    def test_five_number_summary(self):
+        stats = box_stats([1, 2, 3, 4, 5])
+        assert stats.minimum == 1
+        assert stats.median == 3
+        assert stats.maximum == 5
+        assert stats.mean == 3
+        assert stats.n == 5
+
+    def test_quartiles_ordered(self):
+        stats = box_stats([7, 1, 4, 9, 2, 8])
+        assert stats.minimum <= stats.p25 <= stats.median \
+            <= stats.p75 <= stats.maximum
+
+
+class TestCdf:
+    def test_cdf_reaches_one(self):
+        points = cdf_points([3, 1, 2])
+        assert points[-1] == (3, 1.0)
+        assert points[0] == (1, pytest.approx(1 / 3))
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+
+class TestConfidenceInterval:
+    def test_single_value_degenerate(self):
+        m, lo, hi = mean_confidence_interval([5.0])
+        assert m == lo == hi == 5.0
+
+    def test_interval_contains_mean(self):
+        m, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo < m < hi
+
+    def test_tighter_with_more_samples(self):
+        few = mean_confidence_interval([1.0, 2.0, 3.0])
+        many = mean_confidence_interval([1.0, 2.0, 3.0] * 10 + [2.0])
+        assert (many[2] - many[1]) < (few[2] - few[1])
+
+
+def _deliver(t, size, payload_len=None):
+    return PacketRecord(time=t, kind="deliver", size=size, src="a", dst="b",
+                        payload_len=size if payload_len is None
+                        else payload_len)
+
+
+class TestThroughputBins:
+    def test_bins_align_from_zero(self):
+        records = [_deliver(0.5, 100), _deliver(1.5, 200), _deliver(1.9, 50)]
+        bins = throughput_bins(records, 1.0)
+        assert bins[0] == (0.0, 100)
+        assert bins[1] == (1.0, 250)
+
+    def test_until_extends_bins(self):
+        bins = throughput_bins([_deliver(0.5, 100)], 1.0, until=5.0)
+        assert len(bins) == 6
+        assert all(b == 0 for _, b in bins[1:])
+
+    def test_non_delivered_ignored(self):
+        records = [PacketRecord(time=0.1, kind="drop-loss", size=100,
+                                src="a", dst="b", payload_len=100)]
+        bins = throughput_bins(records, 1.0, until=1.0)
+        assert bins[0][1] == 0
+
+    def test_invalid_bin_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_bins([], 0)
+
+
+class TestBytesInFlight:
+    def test_step_sum_across_connections(self):
+        def sample(t, conn, inflight):
+            return ProbeSample(time=t, conn_id=conn, cwnd=10, ssthresh=100,
+                               inflight_bytes=inflight, inflight_segments=1,
+                               event="ack")
+
+        series = bytes_in_flight_series([
+            sample(1.0, "a", 100),
+            sample(2.0, "b", 200),
+            sample(3.0, "a", 50),
+        ])
+        assert series == [(1.0, 100), (2.0, 300), (3.0, 250)]
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False,
+                          allow_subnormal=False),
+                min_size=1, max_size=200))
+def test_property_box_stats_bounds(values):
+    stats = box_stats(values)
+    eps = 1e-9 * max(1.0, stats.maximum)
+    assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+    assert stats.minimum <= stats.median <= stats.maximum
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                min_size=1, max_size=100))
+def test_property_cdf_monotone(values):
+    points = cdf_points(values)
+    fracs = [f for _, f in points]
+    vals = [v for v, _ in points]
+    assert fracs == sorted(fracs)
+    assert vals == sorted(vals)
+    assert fracs[-1] == pytest.approx(1.0)

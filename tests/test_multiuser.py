@@ -1,0 +1,75 @@
+"""Tests for the shared cell and multi-client testbed."""
+
+import pytest
+
+from repro.cellular.cell import SharedCell
+from repro.experiments.multiuser import (MultiClientTestbed,
+                                         run_contention_experiment)
+
+
+class TestSharedCell:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedCell(0, 1)
+        cell = SharedCell(2e6, 1e6)
+        with pytest.raises(ValueError):
+            cell.register(object(), "sideways")
+
+    def test_share_divides_among_active_links(self):
+        cell = SharedCell(4e6, 2e6)
+
+        class FakeLink:
+            def __init__(self, backlog):
+                self.backlog_bytes = backlog
+
+        a, b, c = FakeLink(100), FakeLink(100), FakeLink(0)
+        for link in (a, b, c):
+            cell.register(link, "down")
+        # Two other active links -> requester shares with them.
+        assert cell.share_for(c, "down", state_rate=4e6) == pytest.approx(4e6 / 3)
+        # Idle peers don't count: only b is active besides a.
+        assert cell.share_for(a, "down", state_rate=4e6) == pytest.approx(2e6)
+
+    def test_state_rate_caps_share(self):
+        cell = SharedCell(10e6, 5e6)
+
+        class FakeLink:
+            backlog_bytes = 0
+
+        link = FakeLink()
+        cell.register(link, "down")
+        assert cell.share_for(link, "down", state_rate=32e3) == 32e3
+
+
+class TestMultiClientTestbed:
+    def test_builds_n_clients(self):
+        testbed = MultiClientTestbed(3, network="3g")
+        assert len(testbed.clients) == 3
+        assert len({a.machine for a in testbed.accesses}) == 3  # own radios
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            MultiClientTestbed(0)
+
+    def test_two_clients_load_pages(self):
+        result = run_contention_experiment(2, protocol="http",
+                                           site_ids=[9], think_time=30.0,
+                                           stagger=3.0)
+        assert len(result["per_client_plts"]) == 2
+        for plts in result["per_client_plts"]:
+            assert len(plts) == 1
+            assert plts[0] < 55.0
+
+    def test_contention_degrades_plt(self):
+        """The paper's multi-user observation: load hurts everyone."""
+        solo = run_contention_experiment(1, protocol="http",
+                                         site_ids=[12], think_time=40.0)
+        crowd = run_contention_experiment(6, protocol="http",
+                                          site_ids=[12], think_time=40.0,
+                                          stagger=0.5)
+        assert crowd["median_plt"] > solo["median_plt"]
+
+    def test_spdy_works_multiuser(self):
+        result = run_contention_experiment(2, protocol="spdy",
+                                           site_ids=[9], think_time=30.0)
+        assert result["median_plt"] < 55.0

@@ -1,0 +1,190 @@
+"""Unit tests for links, hosts and taps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import DuplexLink, Host, Link, LinkTap, Packet, RoutingError
+from repro.sim import Simulator
+
+
+class Sink(Host):
+    """Host that records every packet it receives."""
+
+    def __init__(self, sim, address):
+        super().__init__(sim, address)
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def make_pair(sim, **link_kwargs):
+    a = Sink(sim, "a")
+    b = Sink(sim, "b")
+    link = Link(sim, "a->b", b, **link_kwargs)
+    a.add_route("b", link)
+    return a, b, link
+
+
+class TestLinkDelivery:
+    def test_latency_only_delivery_time(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, latency=0.05)
+        a.send(Packet("a", "b", 1000))
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0][0] == pytest.approx(0.05)
+
+    def test_serialization_delay(self):
+        sim = Simulator()
+        # 8000 bits at 8000 bps = 1 second of serialization.
+        a, b, _ = make_pair(sim, bandwidth_bps=8000, latency=0.0)
+        a.send(Packet("a", "b", 1000))
+        sim.run()
+        assert b.received[0][0] == pytest.approx(1.0)
+
+    def test_back_to_back_packets_queue_behind_each_other(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, bandwidth_bps=8000, latency=0.0)
+        a.send(Packet("a", "b", 1000))
+        a.send(Packet("a", "b", 1000))
+        sim.run()
+        times = [t for t, _ in b.received]
+        assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_fifo_preserved_with_jitter(self):
+        sim = Simulator()
+        # Huge jitter would reorder without the FIFO clamp.
+        a, b, _ = make_pair(sim, bandwidth_bps=1e6, latency=0.01,
+                            jitter=lambda rng: rng.uniform(0, 0.5))
+        sent = [Packet("a", "b", 100) for _ in range(20)]
+        for p in sent:
+            a.send(p)
+        sim.run()
+        got = [p.packet_id for _, p in b.received]
+        assert got == [p.packet_id for p in sent]
+
+    def test_delivered_at_stamped(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, latency=0.1)
+        pkt = Packet("a", "b", 100)
+        a.send(pkt)
+        sim.run()
+        assert pkt.delivered_at == pytest.approx(0.1)
+
+
+class TestLoss:
+    def test_zero_loss_delivers_everything(self):
+        sim = Simulator()
+        a, b, _ = make_pair(sim, loss_rate=0.0)
+        for _ in range(50):
+            a.send(Packet("a", "b", 100))
+        sim.run()
+        assert len(b.received) == 50
+
+    def test_full_queue_drops(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, bandwidth_bps=8000, queue_limit_bytes=2500)
+        packets = [Packet("a", "b", 1000) for _ in range(5)]
+        for p in packets:
+            a.send(p)
+        sim.run()
+        assert len(b.received) == 2
+        assert link.packets_dropped == 3
+        assert sum(1 for p in packets if p.lost) == 3
+
+    def test_loss_rate_statistics(self):
+        sim = Simulator(seed=7)
+        a, b, link = make_pair(sim, loss_rate=0.3, queue_limit_bytes=None)
+        n = 2000
+        for _ in range(n):
+            a.send(Packet("a", "b", 100))
+        sim.run()
+        loss_frac = link.packets_dropped / n
+        assert 0.25 < loss_frac < 0.35
+        assert len(b.received) == n - link.packets_dropped
+
+    def test_lost_flag_set_immediately_on_transmit(self):
+        sim = Simulator(seed=1)
+        a, b, _ = make_pair(sim, loss_rate=0.99, queue_limit_bytes=None)
+        pkt = Packet("a", "b", 100)
+        a.send(pkt)
+        # Loss is decided synchronously at transmit() so the TCP sender
+        # can classify retransmissions without waiting.
+        assert pkt.lost
+
+    def test_invalid_loss_rate_rejected(self):
+        sim = Simulator()
+        dst = Sink(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, "bad", dst, loss_rate=1.5)
+
+
+class TestTap:
+    def test_tap_sees_enqueue_and_deliver(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, latency=0.01)
+        events = []
+        link.add_tap(LinkTap(lambda kind, pkt, t: events.append((kind, t))))
+        a.send(Packet("a", "b", 100))
+        sim.run()
+        kinds = [k for k, _ in events]
+        assert kinds == ["enqueue", "deliver"]
+
+    def test_tap_sees_queue_drop(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, bandwidth_bps=800, queue_limit_bytes=100)
+        events = []
+        link.add_tap(LinkTap(lambda kind, pkt, t: events.append(kind)))
+        a.send(Packet("a", "b", 100))
+        a.send(Packet("a", "b", 100))
+        sim.run()
+        assert "drop-queue" in events
+
+
+class TestHostRouting:
+    def test_no_route_raises(self):
+        sim = Simulator()
+        host = Host(sim, "lonely")
+        with pytest.raises(RoutingError):
+            host.send(Packet("lonely", "nowhere", 100))
+
+    def test_default_route_used_when_no_specific_route(self):
+        sim = Simulator()
+        a = Sink(sim, "a")
+        b = Sink(sim, "b")
+        link = Link(sim, "default", b)
+        a.set_default_route(link)
+        a.send(Packet("a", "anything", 100))
+        sim.run()
+        # Sink.receive records regardless of address match.
+        assert len(b.received) == 1
+
+    def test_duplex_link_wires_both_directions(self):
+        sim = Simulator()
+        a = Sink(sim, "a")
+        b = Sink(sim, "b")
+        DuplexLink(sim, a, b, latency=0.01)
+        a.send(Packet("a", "b", 100))
+        b.send(Packet("b", "a", 100))
+        sim.run()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+
+
+@given(sizes=st.lists(st.integers(min_value=40, max_value=1500),
+                      min_size=1, max_size=30))
+def test_property_total_serialization_time_matches_byte_sum(sizes):
+    sim = Simulator()
+    a = Sink(sim, "a")
+    b = Sink(sim, "b")
+    bw = 1_000_000.0
+    link = Link(sim, "a->b", b, bandwidth_bps=bw, latency=0.0,
+                queue_limit_bytes=None)
+    a.add_route("b", link)
+    for s in sizes:
+        a.send(Packet("a", "b", s))
+    sim.run()
+    expected_last = sum(s * 8 / bw for s in sizes)
+    assert b.received[-1][0] == pytest.approx(expected_last)
+    assert link.bytes_sent == sum(sizes)

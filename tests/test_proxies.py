@@ -1,0 +1,178 @@
+"""Unit tests for the HTTP proxy, SPDY proxy, upstream pool and origins."""
+
+import pytest
+
+from repro.net import DuplexLink, Host
+from repro.proxy import HttpProxy, ProxyTrace, SpdyProxy, UpstreamPool
+from repro.server import OriginFarm
+from repro.sim import Simulator
+from repro.tcp import TcpStack
+from repro.web import (HttpRequest, HttpResponseBody, HttpResponseHead,
+                       SpdyHeaderCodec, SpdyDataFrame, SpdySynReply,
+                       SpdySynStream, TlsHandshakeMessage)
+
+
+def build_proxy_world():
+    sim = Simulator()
+    client = Host(sim, "client")
+    proxy = Host(sim, "proxy")
+    DuplexLink(sim, client, proxy, latency=0.02,
+               bandwidth_down_bps=10e6, bandwidth_up_bps=10e6)
+    client_tcp = TcpStack(sim, client)
+    proxy_tcp = TcpStack(sim, proxy)
+    farm = OriginFarm(sim, proxy)
+    upstream = UpstreamPool(sim, proxy_tcp, farm)
+    trace = ProxyTrace()
+    http_proxy = HttpProxy(sim, proxy_tcp, upstream, trace=trace)
+    spdy_proxy = SpdyProxy(sim, proxy_tcp, upstream, trace=trace)
+    return sim, client_tcp, http_proxy, spdy_proxy, upstream, farm, trace
+
+
+class TestUpstreamPool:
+    def test_fetch_relays_head_and_body(self):
+        sim, client_tcp, _, _, upstream, farm, _ = build_proxy_world()
+        got = []
+        request = HttpRequest("origin-a.example", "/x", response_bytes=5000)
+        upstream.fetch(request, got.append, got.append)
+        sim.run(until=5.0)
+        assert len(got) == 2
+        assert isinstance(got[0], HttpResponseHead)
+        assert isinstance(got[1], HttpResponseBody)
+        assert got[1].length == 5000
+
+    def test_connections_reused_across_fetches(self):
+        sim, _, _, _, upstream, farm, _ = build_proxy_world()
+        done = []
+        for i in range(4):
+            request = HttpRequest("origin-a.example", f"/{i}",
+                                  response_bytes=1000)
+            upstream.fetch(request, lambda h: None, done.append)
+        sim.run(until=10.0)
+        assert len(done) == 4
+        assert upstream.open_connection_count() <= 4
+        assert upstream.fetches_completed == 4
+
+    def test_per_domain_cap_queues(self):
+        sim, _, _, _, upstream, farm, _ = build_proxy_world()
+        upstream.max_per_domain = 2
+        done = []
+        for i in range(6):
+            request = HttpRequest("origin-b.example", f"/{i}",
+                                  response_bytes=100)
+            upstream.fetch(request, lambda h: None, done.append)
+        sim.run(until=10.0)
+        assert len(done) == 6
+        assert upstream.open_connection_count() <= 2
+
+    def test_origin_long_poll_hold(self):
+        sim, _, _, _, upstream, farm, _ = build_proxy_world()
+        done_at = []
+        request = HttpRequest("origin-c.example", "/poll",
+                              response_bytes=500, server_delay=3.0)
+        upstream.fetch(request, lambda h: None,
+                       lambda b: done_at.append(sim.now))
+        sim.run(until=10.0)
+        assert done_at and done_at[0] >= 3.0
+
+
+class TestHttpProxyRelay:
+    def test_end_to_end_relay(self):
+        sim, client_tcp, http_proxy, _, _, _, trace = build_proxy_world()
+        got = []
+        conn = client_tcp.connect("proxy", 8080)
+        conn.on_message = lambda c, m: got.append(m)
+        request = HttpRequest("origin-a.example", "/obj",
+                              response_bytes=20_000)
+        conn.send_message(request, request.wire_size)
+        sim.run(until=10.0)
+        kinds = [type(m).__name__ for m in got]
+        assert kinds == ["HttpResponseHead", "HttpResponseBody"]
+        record = trace.records[0]
+        assert record.complete
+        assert record.origin_wait < 0.1
+        assert record.response_bytes == 20_000
+
+    def test_serial_service_per_connection(self):
+        """Two requests on one connection produce ordered responses."""
+        sim, client_tcp, http_proxy, _, _, _, _ = build_proxy_world()
+        got = []
+        conn = client_tcp.connect("proxy", 8080)
+        conn.on_message = lambda c, m: got.append(m)
+        for i, size in ((1, 30_000), (2, 100)):
+            req = HttpRequest("origin-a.example", f"/{i}",
+                              response_bytes=size)
+            conn.send_message(req, req.wire_size)
+        sim.run(until=10.0)
+        bodies = [m for m in got if isinstance(m, HttpResponseBody)]
+        assert [b.request.path for b in bodies] == ["/1", "/2"]
+
+
+class TestSpdyProxy:
+    def _open_session(self, sim, client_tcp):
+        conn = client_tcp.connect("proxy", 8443)
+        inbox = []
+
+        def on_message(c, m):
+            inbox.append(m)
+            if isinstance(m, TlsHandshakeMessage) and \
+                    m.stage == "server_hello_cert":
+                fin = TlsHandshakeMessage("client_finished")
+                c.send_message(fin, fin.wire_size)
+
+        conn.on_message = on_message
+        conn.on_established = lambda c: c.send_message(
+            TlsHandshakeMessage("client_hello"),
+            TlsHandshakeMessage("client_hello").wire_size)
+        return conn, inbox
+
+    def test_tls_then_stream_fetch(self):
+        sim, client_tcp, _, spdy_proxy, _, _, trace = build_proxy_world()
+        conn, inbox = self._open_session(sim, client_tcp)
+        sim.run(until=2.0)
+        stages = [m.stage for m in inbox
+                  if isinstance(m, TlsHandshakeMessage)]
+        assert stages == ["server_hello_cert", "server_finished"]
+
+        codec = SpdyHeaderCodec()
+        syn = SpdySynStream(1, codec, "origin-a.example", "/img",
+                            priority=2, response_bytes=30_000,
+                            content_type="image/jpeg")
+        conn.send_message(syn, syn.wire_size)
+        sim.run(until=10.0)
+        replies = [m for m in inbox if isinstance(m, SpdySynReply)]
+        frames = [m for m in inbox if isinstance(m, SpdyDataFrame)]
+        assert len(replies) == 1
+        assert sum(f.length for f in frames) == 30_000
+        assert frames[-1].last
+        record = [r for r in trace.records if r.protocol == "spdy"][0]
+        assert record.complete
+
+    def test_stream_before_tls_ignored(self):
+        sim, client_tcp, _, spdy_proxy, _, _, _ = build_proxy_world()
+        conn = client_tcp.connect("proxy", 8443)
+        inbox = []
+        conn.on_message = lambda c, m: inbox.append(m)
+        codec = SpdyHeaderCodec()
+        syn = SpdySynStream(1, codec, "origin-a.example", "/x",
+                            response_bytes=100)
+        conn.on_established = lambda c: c.send_message(syn, syn.wire_size)
+        sim.run(until=5.0)
+        assert not any(isinstance(m, SpdyDataFrame) for m in inbox)
+
+    def test_priorities_order_responses(self):
+        sim, client_tcp, _, spdy_proxy, _, _, _ = build_proxy_world()
+        conn, inbox = self._open_session(sim, client_tcp)
+        sim.run(until=2.0)
+        codec = SpdyHeaderCodec()
+        # Big low-priority stream first, then a small high-priority one.
+        low = SpdySynStream(1, codec, "origin-a.example", "/big",
+                            priority=3, response_bytes=500_000)
+        high = SpdySynStream(3, codec, "origin-a.example", "/small",
+                             priority=0, response_bytes=2_000)
+        conn.send_message(low, low.wire_size)
+        conn.send_message(high, high.wire_size)
+        sim.run(until=20.0)
+        last_frames = [m for m in inbox if isinstance(m, SpdyDataFrame)
+                       and m.last]
+        done_order = [f.stream_id for f in last_frames]
+        assert done_order[0] == 3  # the high-priority stream finishes first

@@ -1,0 +1,74 @@
+"""Tests for the ASCII rendering helpers."""
+
+import pytest
+
+from repro.reporting import (format_seconds, render_bar, render_boxes,
+                             render_cdf, render_series, render_table)
+
+
+class TestTable:
+    def test_basic_alignment(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "22.25" in lines[3]
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_none_rendered_as_dash(self):
+        out = render_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_large_numbers_thousands_separated(self):
+        out = render_table(["x"], [[1234567.0]])
+        assert "1,234,567" in out
+
+
+class TestSeries:
+    def test_empty_series(self):
+        assert "empty" in render_series([])
+
+    def test_plot_dimensions(self):
+        out = render_series([(0.0, 1.0), (10.0, 5.0)], width=30, height=5)
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(rows) == 5
+        assert all(len(r) <= 31 for r in rows)
+
+    def test_peak_marked(self):
+        out = render_series([(0, 0.0), (1, 10.0), (2, 0.0)], width=12,
+                            height=4)
+        assert "#" in out
+
+
+class TestCdfAndBar:
+    def test_cdf_deciles(self):
+        out = render_cdf({"a": [(1.0, 0.5), (2.0, 1.0)]})
+        assert "p50=" in out and "p90=" in out
+
+    def test_bar_scaled(self):
+        out = render_bar({"x": 10.0, "y": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_empty(self):
+        assert "no data" in render_bar({})
+
+
+class TestFormatting:
+    def test_format_seconds(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds(1.234) == "1.23s"
+
+
+class TestBoxesRenderer:
+    def test_winner_column(self):
+        sites = {1: {"http": dict(minimum=1, p25=1, median=2, p75=3,
+                                  maximum=4, mean=2.5, n=3),
+                     "spdy": dict(minimum=1, p25=1, median=1.5, p75=2,
+                                  maximum=3, mean=1.8, n=3)}}
+        out = render_boxes(sites)
+        assert "spdy" in out.splitlines()[-1]

@@ -1,0 +1,148 @@
+"""Tests for the experiment runner, study orchestration and analysis layer."""
+
+import pytest
+
+from repro import (ExperimentConfig, MeasurementStudy, run_experiment,
+                   run_many, summarize_run)
+from repro.core import correlate_idle_retransmissions, evaluate_remedies
+from repro.experiments.runner import visit_order
+
+SMALL = [9, 12]   # tiny sites keep these tests quick
+
+
+class TestVisitOrder:
+    def test_fixed_across_calls(self):
+        assert visit_order(list(range(1, 21))) == visit_order(list(range(1, 21)))
+
+    def test_shuffle_disabled_preserves_order(self):
+        assert visit_order([3, 1, 2], shuffle=False) == [3, 1, 2]
+
+    def test_all_sites_present(self):
+        order = visit_order(list(range(1, 21)))
+        assert sorted(order) == list(range(1, 21))
+
+
+class TestRunExperiment:
+    def test_all_pages_visited_in_order(self):
+        config = ExperimentConfig(protocol="http", network="wifi",
+                                  site_ids=SMALL, think_time=20.0)
+        run = run_experiment(config)
+        assert len(run.pages) == len(SMALL)
+        assert [p.site_id for p in run.pages] == run.visit_order
+
+    def test_pages_spaced_by_think_time(self):
+        config = ExperimentConfig(protocol="http", network="wifi",
+                                  site_ids=SMALL, think_time=20.0)
+        run = run_experiment(config)
+        starts = [p.started_at for p in run.pages]
+        assert starts[1] - starts[0] == pytest.approx(20.0)
+
+    def test_run_many_varies_seed(self):
+        config = ExperimentConfig(protocol="http", network="wifi",
+                                  site_ids=[9], think_time=15.0)
+        runs = run_many(config, 2)
+        assert runs[0].config.seed != runs[1].config.seed
+        assert len(runs) == 2
+
+    def test_run_many_rejects_zero(self):
+        with pytest.raises(ValueError):
+            run_many(ExperimentConfig(), 0)
+
+    def test_same_seed_is_deterministic(self):
+        config = ExperimentConfig(protocol="spdy", network="3g",
+                                  site_ids=SMALL, think_time=20.0, seed=7)
+        a = run_experiment(config)
+        b = run_experiment(config)
+        assert a.plts_by_site() == b.plts_by_site()
+        assert a.total_retransmissions() == b.total_retransmissions()
+
+    def test_keepalive_ping_holds_radio(self):
+        config = ExperimentConfig(protocol="http", network="3g",
+                                  site_ids=[9], think_time=30.0,
+                                  keepalive_ping=True)
+        run = run_experiment(config)
+        machine = run.testbed.radio
+        dch = machine.time_in_states(run.duration).get("CELL_DCH", 0.0)
+        assert dch > 0.8 * run.duration
+
+    def test_warm_cache_seeds_proxy(self):
+        config = ExperimentConfig(protocol="http", network="3g",
+                                  site_ids=[9], think_time=15.0)
+        run = run_experiment(config)
+        entry = run.testbed.proxy_stack.metrics_cache.lookup("client")
+        assert entry is not None
+
+    def test_warm_cache_skipped_on_wifi(self):
+        config = ExperimentConfig(protocol="http", network="wifi",
+                                  site_ids=[9], think_time=15.0)
+        run = run_experiment(config)
+        # No seeding; the cache may still hold organically saved entries,
+        # but at t=0 it was empty: check saves count started from real
+        # connection closes only (>=0 either way, so assert no crash).
+        assert run.pages
+
+    def test_energy_accounting_positive_on_cellular(self):
+        config = ExperimentConfig(protocol="http", network="3g",
+                                  site_ids=[9], think_time=15.0)
+        run = run_experiment(config)
+        assert run.radio_energy_mj() > 0
+
+    def test_energy_zero_on_wifi(self):
+        config = ExperimentConfig(protocol="http", network="wifi",
+                                  site_ids=[9], think_time=15.0)
+        run = run_experiment(config)
+        assert run.radio_energy_mj() == 0.0
+
+
+class TestMeasurementStudy:
+    def test_study_runs_both_protocols(self):
+        study = MeasurementStudy(network="wifi", n_runs=1, site_ids=SMALL)
+        result = study.run()
+        assert set(result.runs) == {"http", "spdy"}
+        assert result.verdict() in ("spdy-clearly-better",
+                                    "http-clearly-better",
+                                    "no-clear-winner")
+        assert set(result.site_boxes("http")) == set(SMALL)
+        assert result.median_plt("http") > 0
+
+    def test_summaries_cover_all_runs(self):
+        study = MeasurementStudy(network="wifi", n_runs=1, site_ids=[9])
+        result = study.run()
+        summaries = result.summaries()
+        assert len(summaries) == 2
+        protocols = {s["protocol"] for s in summaries}
+        assert protocols == {"http", "spdy"}
+
+
+class TestCrossLayerAnalysis:
+    def test_report_fields_consistent(self):
+        config = ExperimentConfig(protocol="spdy", network="3g",
+                                  site_ids=[7, 11], think_time=60.0)
+        run = run_experiment(config)
+        report = correlate_idle_retransmissions(run.testbed.proxy_probe,
+                                                run.testbed.radio)
+        assert report.total_spurious <= report.total_retransmissions
+        assert 0.0 <= report.spurious_fraction <= 1.0
+        assert 0.0 <= report.idle_attribution_fraction <= 1.0
+        assert report.promotions > 0
+
+    def test_summarize_run_keys(self):
+        config = ExperimentConfig(protocol="http", network="3g",
+                                  site_ids=[9], think_time=15.0)
+        run = run_experiment(config)
+        summary = summarize_run(run)
+        for key in ("protocol", "network", "median_plt", "retransmissions",
+                    "spurious_fraction", "radio_promotions",
+                    "radio_energy_mj"):
+            assert key in summary
+
+
+class TestRemedies:
+    def test_evaluate_remedies_shapes(self):
+        results = evaluate_remedies(protocol="spdy", network="3g", n_runs=1,
+                                    site_ids=[9, 12])
+        assert "baseline" in results
+        assert "reset-rtt-after-idle" in results
+        assert "late-binding" in results
+        for stats in results.values():
+            assert stats["median_plt"] > 0

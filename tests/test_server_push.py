@@ -1,0 +1,80 @@
+"""Tests for SPDY server push (§2.2's "server-initiated data exchange")."""
+
+import pytest
+
+from repro.cellular import make_profile
+from repro.experiments import Testbed
+from repro.web import WebObject, WebPage
+
+
+def push_friendly_page():
+    """Main HTML with same-domain children (pushable) and one cross-domain."""
+    main = WebObject("m", "d0.example", "/", 8000, "html",
+                     children=["a", "b", "x"], processing_delay=0.03)
+    a = WebObject("a", "d0.example", "/a.jpg", 15000, "image")
+    b = WebObject("b", "d0.example", "/b.jpg", 15000, "image")
+    x = WebObject("x", "other.example", "/x.jpg", 15000, "image")
+    return WebPage(42, "pushy", "Test",
+                   {o.object_id: o for o in (main, a, b, x)}, "m")
+
+
+def build(server_push, seed=0, profile_name="3g"):
+    testbed = Testbed(profile=make_profile(profile_name), seed=seed)
+    testbed.spdy_proxy.server_push = server_push
+    return testbed
+
+
+class TestServerPush:
+    def test_push_disabled_by_default(self):
+        testbed = build(server_push=False)
+        browser = testbed.make_browser("spdy")
+        record = browser.load_page(push_friendly_page())
+        testbed.sim.run(until=60.0)
+        assert testbed.spdy_proxy.streams_pushed == 0
+        assert record.plt is not None
+
+    def test_same_domain_children_pushed(self):
+        testbed = build(server_push=True)
+        browser = testbed.make_browser("spdy")
+        record = browser.load_page(push_friendly_page())
+        testbed.sim.run(until=60.0)
+        # a and b are same-domain children of the HTML: pushed.
+        assert testbed.spdy_proxy.streams_pushed == 2
+        assert browser.fetcher.pushes_received == 2
+        assert record.plt is not None
+        assert all(t.complete for t in record.objects)
+
+    def test_pushed_objects_not_requested(self):
+        testbed = build(server_push=True)
+        browser = testbed.make_browser("spdy")
+        browser.load_page(push_friendly_page())
+        testbed.sim.run(until=60.0)
+        # Only the main page and the cross-domain image go out as
+        # client-initiated streams.
+        assert browser.fetcher.requests_sent <= 2 + 1
+
+    def test_push_not_duplicated_across_pages(self):
+        testbed = build(server_push=True)
+        browser = testbed.make_browser("spdy")
+        page = push_friendly_page()
+        browser.load_page(page)
+        testbed.sim.run(until=60.0)
+        browser.load_page(push_friendly_page())
+        testbed.sim.run(until=120.0)
+        # The proxy remembers it already pushed these objects.
+        assert testbed.spdy_proxy.streams_pushed == 2
+
+    def test_push_helps_plt_on_3g(self):
+        """Pushed children skip a request round trip over the radio."""
+        plain = build(server_push=False, seed=3)
+        b1 = plain.make_browser("spdy")
+        r1 = b1.load_page(push_friendly_page())
+        plain.sim.run(until=60.0)
+
+        pushy = build(server_push=True, seed=3)
+        b2 = pushy.make_browser("spdy")
+        r2 = b2.load_page(push_friendly_page())
+        pushy.sim.run(until=60.0)
+
+        assert r1.plt is not None and r2.plt is not None
+        assert r2.plt <= r1.plt * 1.02

@@ -1,0 +1,178 @@
+"""Unit tests for Reno and CUBIC congestion control."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp.congestion import (Cubic, Reno, INITIAL_SSTHRESH,
+                                  make_congestion_control)
+
+
+class TestFactory:
+    def test_known_variants(self):
+        assert isinstance(make_congestion_control("reno"), Reno)
+        assert isinstance(make_congestion_control("cubic"), Cubic)
+        assert isinstance(make_congestion_control("CUBIC"), Cubic)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            make_congestion_control("vegas")
+
+    def test_initial_cwnd_applied(self):
+        cc = make_congestion_control("reno", initial_cwnd=4)
+        assert cc.cwnd == 4
+
+
+class TestRenoSlowStart:
+    def test_doubles_per_window(self):
+        cc = Reno(initial_cwnd=10)
+        cc.on_ack(10, now=1.0, rtt=0.1)
+        assert cc.cwnd == pytest.approx(20)
+
+    def test_growth_caps_into_congestion_avoidance(self):
+        cc = Reno(initial_cwnd=10)
+        cc.ssthresh = 12
+        cc.on_ack(10, now=1.0, rtt=0.1)
+        # 2 acks in slow start (10->12), then 8 CA increments of ~1/cwnd.
+        assert 12 < cc.cwnd < 13.1
+
+
+class TestRenoCongestionAvoidance:
+    def test_linear_growth_one_segment_per_rtt(self):
+        cc = Reno(initial_cwnd=10)
+        cc.ssthresh = 5  # force CA
+        start = cc.cwnd
+        cc.on_ack(10, now=1.0, rtt=0.1)  # one full window of acks
+        assert cc.cwnd == pytest.approx(start + 1, abs=0.1)
+
+
+class TestLossReactions:
+    @pytest.mark.parametrize("cls", [Reno, Cubic])
+    def test_timeout_collapses_to_one(self, cls):
+        cc = cls(initial_cwnd=10)
+        cc.cwnd = 40
+        cc.on_timeout(inflight_segments=40, now=1.0)
+        assert cc.cwnd == 1.0
+        assert cc.timeouts == 1
+
+    def test_reno_timeout_halves_ssthresh(self):
+        cc = Reno()
+        cc.cwnd = 40
+        cc.on_timeout(inflight_segments=40, now=1.0)
+        assert cc.ssthresh == pytest.approx(20)
+
+    def test_cubic_timeout_uses_beta(self):
+        cc = Cubic()
+        cc.cwnd = 40
+        cc.on_timeout(inflight_segments=40, now=1.0)
+        assert cc.ssthresh == pytest.approx(40 * Cubic.BETA)
+
+    @pytest.mark.parametrize("cls", [Reno, Cubic])
+    def test_ssthresh_floor_of_two(self, cls):
+        cc = cls()
+        cc.cwnd = 1
+        cc.on_timeout(inflight_segments=1, now=1.0)
+        assert cc.ssthresh == 2.0
+
+    def test_fast_retransmit_sets_cwnd_to_ssthresh(self):
+        cc = Reno()
+        cc.cwnd = 30
+        cc.on_fast_retransmit(inflight_segments=30, now=1.0)
+        assert cc.ssthresh == pytest.approx(15)
+        assert cc.cwnd == pytest.approx(15)
+        assert cc.fast_retransmits == 1
+
+
+class TestIdleRestart:
+    """RFC 2861: cwnd falls back to the initial window, ssthresh untouched."""
+
+    @pytest.mark.parametrize("cls", [Reno, Cubic])
+    def test_cwnd_reset_to_initial(self, cls):
+        cc = cls(initial_cwnd=10)
+        cc.cwnd = 80
+        cc.ssthresh = 60
+        cc.on_idle_restart(now=100.0)
+        assert cc.cwnd == 10
+        assert cc.ssthresh == 60  # the asymmetry the paper highlights
+
+    @pytest.mark.parametrize("cls", [Reno, Cubic])
+    def test_small_cwnd_not_raised_by_restart(self, cls):
+        cc = cls(initial_cwnd=10)
+        cc.cwnd = 2
+        cc.on_idle_restart(now=100.0)
+        assert cc.cwnd == 2
+
+
+class TestCubicShape:
+    def _run_ca(self, cc, rtt=0.1, acks_per_rtt=None, rtts=100):
+        """Simulate steady ACK clocking in congestion avoidance."""
+        t = 0.0
+        trajectory = []
+        for _ in range(rtts):
+            n = acks_per_rtt or max(1, int(cc.cwnd))
+            cc.on_ack(n, now=t, rtt=rtt)
+            trajectory.append(cc.cwnd)
+            t += rtt
+        return trajectory
+
+    def test_concave_then_convex_after_loss(self):
+        cc = Cubic(initial_cwnd=10)
+        cc.cwnd = 100
+        cc.ssthresh = 2  # stay in CA
+        cc.on_fast_retransmit(inflight_segments=100, now=0.0)
+        after_loss = cc.cwnd
+        traj = self._run_ca(cc, rtt=0.05, rtts=400)
+        # Recovers toward the old W_max plateau, then grows past it.
+        assert traj[-1] > 100
+        assert min(traj) >= after_loss * 0.9
+
+    def test_growth_resumes_above_wmax(self):
+        cc = Cubic(initial_cwnd=10)
+        cc.cwnd = 50
+        cc.ssthresh = 2
+        cc.on_fast_retransmit(inflight_segments=50, now=0.0)
+        traj = self._run_ca(cc, rtt=0.05, rtts=600)
+        assert traj[-1] > 60
+
+    def test_slow_start_identical_to_reno(self):
+        cubic = Cubic(initial_cwnd=10)
+        reno = Reno(initial_cwnd=10)
+        cubic.on_ack(10, now=0.0, rtt=0.1)
+        reno.on_ack(10, now=0.0, rtt=0.1)
+        assert cubic.cwnd == reno.cwnd
+
+    def test_fast_convergence_reduces_wmax(self):
+        cc = Cubic()
+        cc.cwnd = 100
+        cc.ssthresh = 2
+        cc.on_fast_retransmit(100, now=0.0)       # W_max = 100
+        cc.cwnd = 50                               # loss again below W_max
+        cc.on_fast_retransmit(50, now=1.0)
+        # fast convergence: W_max < 50 (scaled by (2-beta)/2)
+        assert cc._w_max == pytest.approx(50 * (2 - Cubic.BETA) / 2)
+
+
+class TestCounters:
+    def test_max_cwnd_tracked(self):
+        cc = Reno(initial_cwnd=10)
+        cc.on_ack(30, now=0.0, rtt=0.1)
+        assert cc.max_cwnd_seen >= 40
+
+
+@given(acks=st.lists(st.integers(min_value=1, max_value=20),
+                     min_size=1, max_size=60),
+       variant=st.sampled_from(["reno", "cubic"]))
+def test_property_cwnd_stays_positive_and_finite(acks, variant):
+    cc = make_congestion_control(variant)
+    t = 0.0
+    for i, n in enumerate(acks):
+        cc.on_ack(n, now=t, rtt=0.1)
+        if i % 7 == 3:
+            cc.on_timeout(cc.cwnd, now=t)
+        if i % 11 == 5:
+            cc.on_fast_retransmit(cc.cwnd, now=t)
+        if i % 13 == 7:
+            cc.on_idle_restart(now=t)
+        t += 0.1
+        assert cc.cwnd >= 1.0
+        assert cc.cwnd < 1e9
+        assert cc.ssthresh >= 2.0

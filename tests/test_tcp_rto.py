@@ -1,0 +1,137 @@
+"""Unit tests for the RFC 6298 RTO estimator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp import RtoEstimator
+
+
+class TestFirstSample:
+    def test_initial_rto_before_any_sample(self):
+        est = RtoEstimator(initial_rto=1.0)
+        assert est.rto == 1.0
+        assert est.srtt is None
+
+    def test_first_sample_sets_srtt_and_var(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.2)
+        assert est.srtt == pytest.approx(0.2)
+        assert est.rttvar == pytest.approx(0.1)
+        # RTO = SRTT + 4*RTTVAR = 0.2 + 0.4 = 0.6
+        assert est.rto == pytest.approx(0.6)
+
+    def test_min_rto_floors_the_variance_term(self):
+        """Linux __tcp_set_rto: rto = srtt + max(min_rto, 4*rttvar)."""
+        est = RtoEstimator(min_rto=0.2)
+        est.on_rtt_sample(0.01)
+        assert est.rto == pytest.approx(0.01 + 0.2)
+
+
+class TestSmoothing:
+    def test_steady_samples_converge(self):
+        est = RtoEstimator()
+        for _ in range(100):
+            est.on_rtt_sample(0.25)
+        assert est.srtt == pytest.approx(0.25, rel=1e-3)
+        # Variance decays toward zero with constant samples ->
+        # RTO -> srtt + floored variance term (Linux behaviour).
+        assert est.rto == pytest.approx(0.25 + 0.2, abs=0.01)
+
+    def test_variance_increases_rto(self):
+        stable = RtoEstimator()
+        jittery = RtoEstimator()
+        for i in range(50):
+            stable.on_rtt_sample(0.2)
+            jittery.on_rtt_sample(0.1 if i % 2 else 0.4)
+        assert jittery.rto > stable.rto
+
+    def test_negative_sample_rejected(self):
+        est = RtoEstimator()
+        with pytest.raises(ValueError):
+            est.on_rtt_sample(-0.1)
+
+
+class TestBackoff:
+    def test_timeout_doubles_rto(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.2)
+        base = est.rto
+        est.on_timeout()
+        assert est.rto == pytest.approx(2 * base)
+        est.on_timeout()
+        assert est.rto == pytest.approx(4 * base)
+
+    def test_backoff_capped_at_max_rto(self):
+        est = RtoEstimator(max_rto=10.0)
+        est.on_rtt_sample(1.0)
+        for _ in range(20):
+            est.on_timeout()
+        assert est.rto == 10.0
+
+    def test_fresh_sample_clears_backoff(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.2)
+        est.on_timeout()
+        est.on_timeout()
+        est.on_rtt_sample(0.2)
+        assert est.rto < 1.0
+
+
+class TestIdleReset:
+    """The paper's §6.2.1 remedy."""
+
+    def test_reset_discards_estimate(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.1)
+        est.reset_after_idle(3.0)
+        assert est.srtt is None
+        assert est.rto == 3.0
+        assert est.resets == 1
+
+    def test_reset_rto_exceeds_3g_promotion_delay(self):
+        # The whole point: conservative RTO > ~2s promotion delay.
+        est = RtoEstimator()
+        for _ in range(20):
+            est.on_rtt_sample(0.15)
+        assert est.rto < 2.0          # the flaw: RTO under the promotion delay
+        est.reset_after_idle(3.0)
+        assert est.rto > 2.0          # the fix: RTO above it
+
+    def test_estimate_rebuilt_after_reset(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.1)
+        est.reset_after_idle()
+        est.on_rtt_sample(0.3)
+        assert est.srtt == pytest.approx(0.3)
+
+
+class TestMetricsLoad:
+    def test_load_seeds_estimate(self):
+        est = RtoEstimator()
+        est.load(srtt=0.25, rttvar=0.05)
+        assert est.srtt == pytest.approx(0.25)
+        assert est.rto == pytest.approx(0.45)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RtoEstimator(initial_rto=-1)
+        with pytest.raises(ValueError):
+            RtoEstimator(min_rto=0.5, max_rto=0.1)
+
+
+@given(samples=st.lists(st.floats(min_value=0.001, max_value=5.0,
+                                  allow_nan=False), min_size=1, max_size=100))
+def test_property_rto_bounded(samples):
+    est = RtoEstimator(min_rto=0.2, max_rto=60.0)
+    for s in samples:
+        est.on_rtt_sample(s)
+    assert 0.2 <= est.rto <= 60.0
+
+
+@given(samples=st.lists(st.floats(min_value=0.001, max_value=5.0,
+                                  allow_nan=False), min_size=2, max_size=50))
+def test_property_srtt_within_sample_range(samples):
+    est = RtoEstimator()
+    for s in samples:
+        est.on_rtt_sample(s)
+    assert min(samples) <= est.srtt <= max(samples)

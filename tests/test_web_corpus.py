@@ -1,0 +1,142 @@
+"""Tests for the page model and the Table 1 corpus."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.web import (BackgroundTransfer, TABLE1_SITES, WebObject, WebPage,
+                       build_corpus, build_page, build_test_page,
+                       corpus_statistics)
+from repro.web.resources import KIND_HTML, KIND_IMAGE, KIND_JS
+
+
+class TestWebObject:
+    def test_blocking_kinds(self):
+        js = WebObject("a", "d.example", "/a.js", 1000, "js")
+        img = WebObject("b", "d.example", "/b.jpg", 1000, "image")
+        assert js.blocking and not img.blocking
+
+    def test_priorities_follow_figure_1d(self):
+        html = WebObject("a", "d", "/", 100, "html")
+        img = WebObject("b", "d", "/i", 100, "image")
+        assert html.priority < img.priority
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            WebObject("a", "d", "/", 0, "html")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WebObject("a", "d", "/", 100, "flash")
+
+
+class TestWebPage:
+    def _tiny_page(self):
+        main = WebObject("m", "d0", "/", 5000, "html", children=["c1", "c2"])
+        js = WebObject("c1", "d0", "/a.js", 2000, "js", children=["c3"])
+        img = WebObject("c2", "d1", "/b.jpg", 3000, "image")
+        img2 = WebObject("c3", "d1", "/c.jpg", 4000, "image")
+        return WebPage(99, "tiny", "Test",
+                       {o.object_id: o for o in (main, js, img, img2)}, "m")
+
+    def test_totals(self):
+        page = self._tiny_page()
+        assert page.total_objects == 4
+        assert page.total_bytes == 14000
+        assert page.domains == ["d0", "d1"]
+
+    def test_dependency_depth(self):
+        page = self._tiny_page()
+        assert page.max_dependency_depth() == 2  # m -> c1 -> c3
+
+    def test_unknown_child_rejected(self):
+        main = WebObject("m", "d", "/", 100, "html", children=["ghost"])
+        with pytest.raises(ValueError):
+            WebPage(1, "x", "Test", {"m": main}, "m")
+
+    def test_orphan_rejected(self):
+        main = WebObject("m", "d", "/", 100, "html")
+        orphan = WebObject("o", "d", "/o", 100, "image")
+        with pytest.raises(ValueError):
+            WebPage(1, "x", "Test", {"m": main, "o": orphan}, "m")
+
+    def test_bad_background_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundTransfer(kind="push", start_offset=1.0)
+
+
+class TestCorpus:
+    def test_twenty_sites(self):
+        pages = build_corpus()
+        assert len(pages) == 20
+        assert [p.site_id for p in pages] == list(range(1, 21))
+
+    @pytest.mark.parametrize("spec", TABLE1_SITES,
+                             ids=[f"site{s.site_id}" for s in TABLE1_SITES])
+    def test_matches_table1_marginals(self, spec):
+        page = build_page(spec)
+        assert page.total_objects == max(1, round(spec.total_objects))
+        # Total bytes within 1% of the published figure.
+        assert page.total_bytes == pytest.approx(spec.total_kb * 1024,
+                                                 rel=0.01)
+        assert len(page.domains) == max(1, round(spec.domains))
+
+    def test_deterministic_across_builds(self):
+        a = build_page(TABLE1_SITES[6])
+        b = build_page(TABLE1_SITES[6])
+        assert [(o.object_id, o.size, o.domain) for o in a.objects.values()] \
+            == [(o.object_id, o.size, o.domain) for o in b.objects.values()]
+
+    def test_main_is_html_on_first_party_domain(self):
+        for page in build_corpus():
+            assert page.main.kind == KIND_HTML
+            assert page.main.domain.endswith("-d0.example")
+
+    def test_script_heavy_sites_have_deep_dependencies(self):
+        # Site 14 (Baseball) has 94 JS/CSS objects: discovery must be stepped.
+        page = build_page(TABLE1_SITES[13])
+        assert page.max_dependency_depth() >= 2
+
+    def test_news_sites_carry_background_activity(self):
+        news = build_page(TABLE1_SITES[6])       # News
+        assert any(b.kind == "poll" for b in news.background)
+        assert sum(1 for b in news.background if b.kind == "beacon") >= 2
+
+    def test_small_shopping_site_is_quiet(self):
+        tiny = build_page(TABLE1_SITES[8])       # 5-object shopping site
+        assert tiny.background == []
+
+    def test_subset_selection(self):
+        pages = build_corpus(site_ids=[3, 9])
+        assert [p.site_id for p in pages] == [3, 9]
+
+    def test_statistics_table_shape(self):
+        rows = corpus_statistics(build_corpus())
+        assert len(rows) == 20
+        for row, spec in zip(rows, TABLE1_SITES):
+            assert row["site_id"] == spec.site_id
+            assert row["total_kb"] == pytest.approx(spec.total_kb, rel=0.01)
+
+
+class TestTestPages:
+    def test_same_domain_variant(self):
+        page = build_test_page(same_domain=True)
+        assert page.total_objects == 51
+        assert len(page.domains) == 1
+
+    def test_different_domain_variant(self):
+        page = build_test_page(same_domain=False)
+        assert len(page.domains) == 51  # 50 image domains + main
+
+    def test_no_interdependencies(self):
+        page = build_test_page(same_domain=True)
+        assert page.max_dependency_depth() == 1
+        for oid in page.main.children:
+            assert page.objects[oid].kind == KIND_IMAGE
+            assert page.objects[oid].children == []
+
+
+@given(st.integers(min_value=1, max_value=20))
+def test_property_every_site_page_is_connected_dag(site_id):
+    page = build_page(TABLE1_SITES[site_id - 1])
+    reachable = set(page.reachable_from(page.main_id))
+    assert reachable == set(page.objects)

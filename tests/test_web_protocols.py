@@ -1,0 +1,110 @@
+"""Tests for HTTP/1.1 and SPDY message objects and header compression."""
+
+import pytest
+
+from repro.web import (HttpRequest, HttpResponseBody, HttpResponseHead,
+                       SpdyDataFrame, SpdyHeaderCodec, SpdyStreamIds,
+                       SpdySynReply, SpdySynStream, TlsHandshakeMessage,
+                       build_request_headers, build_response_headers)
+
+
+class TestHeaderGeneration:
+    def test_request_headers_realistic_size(self):
+        raw = build_request_headers("GET", "news.example", "/index.html")
+        # Chrome-era request heads with cookies run 500-900 bytes.
+        assert 400 < len(raw) < 1200
+
+    def test_proxy_form_uses_absolute_uri(self):
+        absolute = build_request_headers("GET", "a.example", "/x",
+                                         via_proxy=True)
+        origin = build_request_headers("GET", "a.example", "/x",
+                                       via_proxy=False)
+        assert len(absolute) > len(origin)
+
+    def test_response_headers_realistic_size(self):
+        raw = build_response_headers(200, "text/html", 5000, "a.example")
+        assert 250 < len(raw) < 700
+
+    def test_deterministic(self):
+        a = build_request_headers("GET", "a.example", "/x")
+        b = build_request_headers("GET", "a.example", "/x")
+        assert a == b
+
+
+class TestSpdyHeaderCompression:
+    def test_compression_beats_plaintext(self):
+        codec = SpdyHeaderCodec()
+        raw = build_request_headers("GET", "news.example", "/")
+        assert codec.compressed_size(raw) < len(raw)
+
+    def test_later_blocks_compress_better(self):
+        """The session context adapts: repeat headers shrink dramatically."""
+        codec = SpdyHeaderCodec()
+        sizes = []
+        for i in range(10):
+            raw = build_request_headers("GET", "news.example", f"/obj/{i}")
+            sizes.append(codec.compressed_size(raw))
+        assert sizes[-1] < sizes[0] * 0.5
+        assert sizes[-1] < 120
+
+    def test_ratio_tracked(self):
+        codec = SpdyHeaderCodec()
+        for i in range(5):
+            codec.compressed_size(
+                build_request_headers("GET", "x.example", f"/{i}"))
+        assert 0 < codec.overall_ratio < 1.0
+
+
+class TestHttpMessages:
+    def test_request_wire_size_is_header_size(self):
+        req = HttpRequest("a.example", "/obj")
+        assert req.wire_size == req.header_bytes
+
+    def test_response_split_head_body(self):
+        req = HttpRequest("a.example", "/obj")
+        head = HttpResponseHead(req, content_length=50_000)
+        body = HttpResponseBody(req, length=50_000)
+        assert head.wire_size < 1000
+        assert body.wire_size == 50_000
+        assert head.request is req and body.request is req
+
+    def test_request_ids_unique(self):
+        a = HttpRequest("a.example", "/1")
+        b = HttpRequest("a.example", "/2")
+        assert a.request_id != b.request_id
+
+
+class TestSpdyMessages:
+    def test_stream_ids_odd_and_increasing(self):
+        ids = SpdyStreamIds()
+        first = [ids.next_id() for _ in range(5)]
+        assert first == [1, 3, 5, 7, 9]
+
+    def test_syn_stream_smaller_than_http_request(self):
+        codec = SpdyHeaderCodec()
+        http_req = HttpRequest("news.example", "/big/page")
+        # Burn one block so the context is warm (a session mid-page).
+        codec.compressed_size(
+            build_request_headers("GET", "news.example", "/"))
+        syn = SpdySynStream(3, codec, "news.example", "/big/page")
+        assert syn.wire_size < http_req.wire_size
+
+    def test_data_frame_overhead(self):
+        frame = SpdyDataFrame(1, 2800, last=True)
+        assert frame.wire_size == 8 + 2800 + 29
+
+    def test_data_frame_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SpdyDataFrame(1, 0)
+
+    def test_syn_reply_compressed(self):
+        codec = SpdyHeaderCodec()
+        reply = SpdySynReply(1, codec, "a.example", 5000, "text/html")
+        raw = build_response_headers(200, "text/html", 5000, "a.example")
+        assert reply.header_bytes < len(raw)
+
+    def test_tls_handshake_stages(self):
+        assert TlsHandshakeMessage("client_hello").wire_size == 300
+        assert TlsHandshakeMessage("server_hello_cert").wire_size == 3500
+        with pytest.raises(ValueError):
+            TlsHandshakeMessage("quantum_hello")
