@@ -1,0 +1,97 @@
+"""Extension: fault injection and graceful degradation.
+
+The paper measured SPDY on clean (if variable) cellular links.  Real
+mobile links also fail: connections are reset by middleboxes, the radio
+hands over between cells, and coverage drops outright.  SPDY multiplexes
+an entire page over one TCP connection, so a single mid-page reset (or a
+blackout spanning one) costs it the whole page, while HTTP's six-way
+parallelism loses one object and a browser retry hides even that.
+
+This bench injects the same fault plan into both protocols, with and
+without the recovery machinery (stall watchdog + SPDY session
+re-establishment), and checks the expected asymmetry.
+"""
+
+from conftest import emit
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.reporting import render_fault_summary, render_table
+
+SITE = 12        # 29 objects, 688 KB: plenty of mid-page exposure
+FAULT_AT = 3.0   # late enough that the radio is up and transfers in flight
+
+
+def _one(protocol, fault_plan, recovery):
+    config = ExperimentConfig(protocol=protocol, network="3g",
+                              site_ids=[SITE], seed=3, think_time=20.0,
+                              fault_plan=fault_plan, recovery=recovery)
+    run = run_experiment(config)
+    page = run.pages[0]
+    return {
+        "plt": page.plt_or(config.load_timeout),
+        "timed_out": page.timed_out,
+        "retries": page.retries,
+        "report": run.fault_report,
+    }
+
+
+def resilience_matrix():
+    results = {}
+    for protocol in ("http", "spdy"):
+        results[protocol, "baseline"] = _one(protocol, None, True)
+        for plan in (f"rst@{FAULT_AT}", f"blackout@{FAULT_AT}:5"):
+            kind = plan.split("@")[0]
+            results[protocol, kind] = _one(protocol, plan, True)
+            results[protocol, f"{kind}-norecover"] = _one(protocol, plan,
+                                                          False)
+    return results
+
+
+def test_fault_resilience(once):
+    data = once(resilience_matrix)
+    rows = [[f"{proto} / {scenario}", cell["plt"],
+             "timeout" if cell["timed_out"] else "ok", cell["retries"]]
+            for (proto, scenario), cell in sorted(data.items())]
+    emit("Fault resilience — PLT of site 12 over 3G (s)",
+         render_table(["configuration", "PLT (s)", "status", "retries"],
+                      rows))
+    emit("Example fault log (spdy / rst)",
+         render_fault_summary(data["spdy", "rst"]["report"]))
+
+    scenarios = ("baseline", "rst", "rst-norecover", "blackout",
+                 "blackout-norecover")
+    http_base, http_rst, http_rst_frail, http_bo, http_bo_frail = \
+        [data["http", s] for s in scenarios]
+    spdy_base, spdy_rst, spdy_rst_frail, spdy_bo, spdy_bo_frail = \
+        [data["spdy", s] for s in scenarios]
+
+    # Without recovery, a mid-page RST is fatal for SPDY (one connection
+    # carries the page) but survivable for HTTP.
+    assert spdy_rst_frail["timed_out"]
+    assert not http_rst_frail["timed_out"]
+
+    # A blackout spanning the load degrades SPDY more than HTTP even
+    # without recovery: its single pipe serializes the whole backlog.
+    spdy_penalty = spdy_bo_frail["plt"] - spdy_base["plt"]
+    http_penalty = http_bo_frail["plt"] - http_base["plt"]
+    assert spdy_penalty > http_penalty
+
+    # With the recovery machinery, every page completes under every fault.
+    for cell in (http_rst, http_bo, spdy_rst, spdy_bo):
+        assert not cell["timed_out"]
+
+    # Recovery is not free: the faulted SPDY load is slower than baseline.
+    assert spdy_rst["plt"] > spdy_base["plt"]
+
+
+def test_fault_replay_determinism(once):
+    def replay():
+        plan = f"rst@{FAULT_AT},blackout@8:2,handover@12"
+        runs = [_one("spdy", plan, True) for _ in range(2)]
+        return runs
+
+    first, second = once(replay)
+    assert first["report"]["log"] == second["report"]["log"]
+    assert first["plt"] == second["plt"]
+    emit("Replay determinism — identical fault logs across runs",
+         "\n".join(first["report"]["log"]))

@@ -32,7 +32,11 @@ class BrowserConfig:
 
     def __init__(self, load_timeout: float = 55.0,
                  background_enabled: bool = True,
-                 discovery_stagger: float = 0.008):
+                 discovery_stagger: float = 0.008,
+                 stall_timeout: Optional[float] = None,
+                 max_retries: int = 3,
+                 retry_backoff_base: float = 0.5,
+                 retry_backoff_cap: float = 8.0):
         self.load_timeout = load_timeout
         self.background_enabled = background_enabled
         #: Documents are tokenized incrementally: each object reference in
@@ -40,6 +44,14 @@ class BrowserConfig:
         #: previous one, so a 60-object first wave spreads over ~0.5 s
         #: instead of issuing one synchronized burst.
         self.discovery_stagger = discovery_stagger
+        #: Per-object stall watchdog: when an issued fetch makes no
+        #: completion progress for this long, the browser cancels it and
+        #: retries with capped exponential backoff.  ``None`` (default)
+        #: disables the watchdog, keeping fault-free runs byte-identical.
+        self.stall_timeout = stall_timeout
+        self.max_retries = max_retries
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
 
 
 class Browser:
@@ -63,6 +75,7 @@ class Browser:
         self._timeout_timer = Timer(sim, self._on_timeout, name="page-timeout")
         self._background_events: list = []
         self._load_epoch = 0
+        self._watchdogs: Dict[str, Timer] = {}
 
     # ------------------------------------------------------------------
     def load_page(self, page: WebPage,
@@ -90,10 +103,16 @@ class Browser:
     def _abandon_current_load(self) -> None:
         """Navigating away: cancel timers and pending background activity."""
         self._timeout_timer.stop()
+        self._stop_watchdogs()
         for event in self._background_events:
             event.cancel()
         self._background_events = []
         self._page = None
+
+    def _stop_watchdogs(self) -> None:
+        for timer in self._watchdogs.values():
+            timer.stop()
+        self._watchdogs.clear()
 
     # ------------------------------------------------------------------
     # discovery & fetching
@@ -133,6 +152,10 @@ class Browser:
                               domain=obj.domain, discovered_at=self.sim.now)
         self._timings[object_id] = timing
         self._record.objects.append(timing)
+        self._issue_fetch(object_id, timing)
+
+    def _issue_fetch(self, object_id: str, timing: ObjectTiming) -> None:
+        obj = self._page.objects[object_id]
         epoch = self._load_epoch
         task = FetchTask(
             key=object_id, domain=obj.domain, path=obj.path,
@@ -144,7 +167,50 @@ class Browser:
             on_first_byte=lambda t: self._stamp(epoch, timing,
                                                 "first_byte_at", t),
             on_complete=lambda t: self._object_complete(epoch, object_id, t))
+        self._arm_watchdog(object_id)
         self.fetcher.fetch(task)
+
+    # ------------------------------------------------------------------
+    # stall watchdog: cancel-and-retry with capped exponential backoff
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self, object_id: str) -> None:
+        if self.config.stall_timeout is None:
+            return
+        timer = self._watchdogs.get(object_id)
+        if timer is None:
+            timer = Timer(self.sim, self._watchdog_fire, name="stall-watchdog")
+            self._watchdogs[object_id] = timer
+        timer.start(self.config.stall_timeout, self._load_epoch, object_id)
+
+    def _disarm_watchdog(self, object_id: str) -> None:
+        timer = self._watchdogs.pop(object_id, None)
+        if timer is not None:
+            timer.stop()
+
+    def _watchdog_fire(self, epoch: int, object_id: str) -> None:
+        if epoch != self._load_epoch or self._page is None:
+            return
+        timing = self._timings.get(object_id)
+        if timing is None or timing.complete_at is not None:
+            return
+        if timing.attempts > self.config.max_retries:
+            return  # out of retries: leave it to the page load timeout
+        cancel = getattr(self.fetcher, "cancel", None)
+        if cancel is not None:
+            cancel(object_id)
+        delay = min(self.config.retry_backoff_cap,
+                    self.config.retry_backoff_base * (2 ** (timing.attempts - 1)))
+        timing.attempts += 1
+        self._record.retries += 1
+        self.sim.schedule(delay, self._retry_fetch, epoch, object_id)
+
+    def _retry_fetch(self, epoch: int, object_id: str) -> None:
+        if epoch != self._load_epoch or self._page is None:
+            return
+        timing = self._timings.get(object_id)
+        if timing is None or timing.complete_at is not None:
+            return
+        self._issue_fetch(object_id, timing)
 
     def _consume_push(self, object_id: str, obj: WebObject) -> bool:
         """Use a server-pushed copy of the object if one exists.
@@ -183,6 +249,9 @@ class Browser:
         if epoch != self._load_epoch or self._page is None:
             return
         timing = self._timings[object_id]
+        if timing.complete_at is not None:
+            return  # a stale attempt completing after a successful retry
+        self._disarm_watchdog(object_id)
         timing.complete_at = time
         obj = self._page.objects[object_id]
         if obj.blocking:
@@ -236,8 +305,15 @@ class Browser:
     def _on_timeout(self) -> None:
         if self._record is not None and self._record.onload_at is None:
             self._record.timed_out = True
-            # The load is abandoned as far as PLT goes; transfers already
-            # in flight keep running, as they would in a real browser.
+            # Abandon the in-flight transfers so their connections go back
+            # to the pool (or are replaced) instead of wedging the next
+            # scheduled page behind dead requests.  The epoch bump kills
+            # pending retries and stale completion callbacks with them.
+            self._load_epoch += 1
+            self._stop_watchdogs()
+            abandon = getattr(self.fetcher, "abandon_all", None)
+            if abandon is not None:
+                abandon()
             if self._on_load is not None:
                 self._on_load(self._record)
 

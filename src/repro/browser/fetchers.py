@@ -87,6 +87,8 @@ class HttpFetcher:
         self._outstanding: Dict[object, int] = {}  # conn -> live requests
         self._busy_by_domain: Dict[str, List] = {}
         self.requests_sent = 0
+        self.requests_retried = 0   # re-issued after a connection reset
+        self.requests_cancelled = 0
 
     def fetch(self, task: FetchTask) -> None:
         if self.pipelining:
@@ -116,11 +118,59 @@ class HttpFetcher:
         if acquired:
             self._busy_by_domain.setdefault(task.domain, []).append(conn)
         conn.on_message = self._on_message
+        conn.on_reset = self._on_conn_reset
         task._fire("on_write_start", self.sim.now)
         conn.send_message(request, request.wire_size)
         conn.notify_when_segmented(
             lambda: task._fire("on_sent", self.sim.now))
         self.requests_sent += 1
+
+    def _on_conn_reset(self, conn) -> None:
+        """A connection died abortively: re-issue its in-flight requests.
+
+        This is always on, mirroring Chrome's behaviour of retrying an
+        idempotent GET when the pipe breaks: HTTP's many short connections
+        make a reset cheap to absorb, which is exactly the resilience
+        asymmetry versus SPDY's single long-lived session.
+        """
+        dead = [rid for rid, (_, c, _) in self._inflight.items() if c is conn]
+        tasks = [self._inflight.pop(rid)[0] for rid in dead]
+        self._outstanding.pop(conn, None)
+        for busy in self._busy_by_domain.values():
+            if conn in busy:
+                busy.remove(conn)
+        # The pool notices the death via on_close and opens a replacement.
+        for task in tasks:
+            self.requests_retried += 1
+            self.fetch(task)
+
+    def cancel(self, key: str) -> bool:
+        """Cancel the in-flight request for object ``key`` (watchdog retry).
+
+        The carrying connection is reset: real browsers cannot un-send a
+        request on a busy HTTP/1.1 connection either, so the retry goes
+        out on a fresh one from the pool.
+        """
+        for rid, (task, conn, _) in list(self._inflight.items()):
+            if task.key == key:
+                del self._inflight[rid]
+                self.requests_cancelled += 1
+                conn.reset(send_rst=True)
+                return True
+        return False
+
+    def abandon_all(self) -> None:
+        """Drop every in-flight request without retry (page load timed out)."""
+        if not self._inflight:
+            return
+        conns = {entry[1] for entry in self._inflight.values()}
+        self._inflight.clear()
+        self._outstanding.clear()
+        self._busy_by_domain.clear()
+        # Reset in conn_id order: set iteration order is id()-dependent
+        # and would make replays diverge across processes.
+        for conn in sorted(conns, key=lambda c: c.conn_id):
+            conn.reset(send_rst=True)
 
     def _on_message(self, conn, message) -> None:
         if isinstance(message, HttpResponseHead):
@@ -159,7 +209,12 @@ class _SpdySession:
                                           fetcher.proxy_port)
         self.conn.on_established = self._on_established
         self.conn.on_message = self._on_message
+        self.conn.on_reset = self._on_reset
         self.established_at: Optional[float] = None
+
+    def _on_reset(self, conn) -> None:
+        self.state = "dead"
+        self.fetcher._session_died(self)
 
     # -- TLS ---------------------------------------------------------------
     def _on_established(self, conn) -> None:
@@ -203,7 +258,7 @@ class _SpdySession:
                             server_delay=task.server_delay,
                             response_bytes=task.response_bytes,
                             content_type=task.content_type)
-        self.fetcher._register_stream(stream_id, task)
+        self.fetcher._register_stream(stream_id, task, self)
         task._fire("on_write_start", self.sim.now)
         self.conn.send_message(syn, syn.wire_size)
         self.conn.notify_when_segmented(
@@ -228,15 +283,17 @@ class SpdyFetcher:
     name = "spdy"
 
     def __init__(self, sim: Simulator, stack: TcpStack, proxy_addr: str,
-                 proxy_port: int, n_sessions: int = 1):
+                 proxy_port: int, n_sessions: int = 1, recover: bool = True):
         if n_sessions < 1:
             raise ValueError("need at least one SPDY session")
         self.sim = sim
         self.stack = stack
         self.proxy_addr = proxy_addr
         self.proxy_port = proxy_port
+        self.recover = recover
         self.stream_ids = SpdyStreamIds()
         self._streams: Dict[int, FetchTask] = {}
+        self._session_of: Dict[int, "_SpdySession"] = {}
         # Per-stream byte accounting: with late binding (§6.1) a stream's
         # DATA frames may arrive over different connections, so frame
         # order is not completion order — only byte counts are.
@@ -252,6 +309,10 @@ class SpdyFetcher:
         self.pings_echoed = 0
         self._ping_counter = 0
         self.requests_sent = 0
+        self.sessions_lost = 0
+        self.sessions_reestablished = 0
+        self.streams_reissued = 0
+        self.streams_cancelled = 0
         self.sessions = [_SpdySession(self, i) for i in range(n_sessions)]
 
     # ------------------------------------------------------------------
@@ -270,12 +331,78 @@ class SpdyFetcher:
         for session in self.sessions:
             session.conn.abort()
 
+    def cancel(self, key: str) -> bool:
+        """Forget the stream for object ``key`` so the browser can retry it.
+
+        SPDY has no per-stream abort in our model (no RST_STREAM); the
+        stale response, if it ever arrives, is dropped at the unknown
+        stream id.
+        """
+        for sid, task in list(self._streams.items()):
+            if task.key == key:
+                self._drop_stream(sid)
+                self.streams_cancelled += 1
+                return True
+        for session in self.sessions:
+            for task in session.pending:
+                if task.key == key:
+                    session.pending.remove(task)
+                    self.streams_cancelled += 1
+                    return True
+        return False
+
+    def abandon_all(self) -> None:
+        """Drop every in-flight stream without retry (page load timed out).
+
+        The sessions themselves survive — a real browser keeps its proxy
+        connection across an aborted page load.
+        """
+        for sid in list(self._streams):
+            self._drop_stream(sid)
+        for session in self.sessions:
+            session.pending.clear()
+
     # -- called by sessions ----------------------------------------------
-    def _register_stream(self, stream_id: int, task: FetchTask) -> None:
+    def _register_stream(self, stream_id: int, task: FetchTask,
+                         session: "_SpdySession") -> None:
         self._streams[stream_id] = task
         self._expected[stream_id] = None
         self._received[stream_id] = 0
         self._got_fin[stream_id] = False
+        self._session_of[stream_id] = session
+
+    def _drop_stream(self, stream_id: int) -> Optional[FetchTask]:
+        task = self._streams.pop(stream_id, None)
+        self._expected.pop(stream_id, None)
+        self._received.pop(stream_id, None)
+        self._got_fin.pop(stream_id, None)
+        self._session_of.pop(stream_id, None)
+        return task
+
+    def _session_died(self, session: "_SpdySession") -> None:
+        """A session's connection was reset.
+
+        With ``recover`` a fresh session replaces it and every queued or
+        in-flight stream is re-issued; without it the tasks are simply
+        lost — the page stalls until its load timeout, which is the
+        fragility the resilience benchmark measures.
+        """
+        self.sessions_lost += 1
+        tasks = list(session.pending)
+        session.pending = []
+        dead = [sid for sid, s in self._session_of.items() if s is session]
+        for sid in dead:
+            task = self._drop_stream(sid)
+            if task is not None:
+                tasks.append(task)
+        if not self.recover:
+            return
+        replacement = _SpdySession(self, session.index)
+        self.sessions[session.index] = replacement
+        self.sessions_reestablished += 1
+        for task in tasks:
+            self.streams_reissued += 1
+            replacement.fetch(task)
 
     def _on_first_byte(self, stream_id: int,
                        content_length: Optional[int] = None) -> None:
@@ -337,9 +464,6 @@ class SpdyFetcher:
         expected = self._expected.get(stream_id)
         if expected is not None and self._received.get(stream_id, 0) < expected:
             return  # FIN frame arrived early on another connection
-        task = self._streams.pop(stream_id, None)
-        self._expected.pop(stream_id, None)
-        self._received.pop(stream_id, None)
-        self._got_fin.pop(stream_id, None)
+        task = self._drop_stream(stream_id)
         if task is not None:
             task._fire("on_complete", self.sim.now)

@@ -28,6 +28,7 @@ class PoolStats:
         self.closed_idle = 0
         self.evicted = 0
         self.max_concurrent = 0
+        self.replaced = 0    # dead connections replaced by a fresh open
 
 
 class _DomainState:
@@ -98,6 +99,8 @@ class ConnectionPool:
         state = self._state(domain)
         state.busy.discard(conn)
         if conn.state != "ESTABLISHED":
+            if state.waiters:
+                self.stats.replaced += 1
             self._serve_starved()
             self._try_open(domain)
             return
@@ -118,7 +121,10 @@ class ConnectionPool:
     def close_all(self) -> None:
         """Tear down every pooled connection (end of run)."""
         for domain, state in self._domains.items():
-            for conn in list(state.free) + list(state.busy):
+            # Sort the busy set so teardown order (and hence event order)
+            # does not depend on object identity hashing.
+            busy = sorted(state.busy, key=lambda c: c.conn_id)
+            for conn in list(state.free) + busy:
                 conn.abort()
             state.free.clear()
             state.busy.clear()
@@ -155,8 +161,12 @@ class ConnectionPool:
         self.stats.max_concurrent = max(self.stats.max_concurrent,
                                         self.total_connections)
         conn = self.stack.connect(self.proxy_addr, self.proxy_port)
+        settled = [False]   # established (or given up) — guards `opening`
 
         def established(c):
+            if settled[0]:
+                return
+            settled[0] = True
             state.opening -= 1
             if state.waiters:
                 state.busy.add(c)
@@ -166,6 +176,14 @@ class ConnectionPool:
                 self._arm_idle_timer(domain, c)
 
         def closed(c):
+            # A connection reset mid-handshake never fires `established`;
+            # settle it here so `opening` doesn't leak and waiters get a
+            # replacement connection.
+            if not settled[0]:
+                settled[0] = True
+                state.opening -= 1
+                if state.waiters:
+                    self.stats.replaced += 1
             self._on_conn_closed(domain, c)
 
         conn.on_established = established
@@ -179,6 +197,7 @@ class ConnectionPool:
         self._disarm_idle_timer(conn)
         if state.waiters:
             self._try_open(domain)
+        self._serve_starved()
 
     def _evict_idle(self, exclude: str) -> bool:
         """Close one idle connection from any other domain; True if done."""

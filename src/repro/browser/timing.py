@@ -36,6 +36,7 @@ class ObjectTiming:
     first_byte_at: Optional[float] = None
     complete_at: Optional[float] = None
     processed_at: Optional[float] = None
+    attempts: int = 1       # fetch attempts (>1 after watchdog retries)
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +84,7 @@ class PageLoadRecord:
     started_at: float
     onload_at: Optional[float] = None
     timed_out: bool = False
+    retries: int = 0        # watchdog-driven object re-fetches
     objects: List[ObjectTiming] = field(default_factory=list)
     background: List[ObjectTiming] = field(default_factory=list)
 

@@ -88,6 +88,7 @@ class RrcStateMachine:
         self._promo_timer = Timer(sim, self._complete_promotion, name=f"{name}/promo")
         self._demote_timer = Timer(sim, self._demote, name=f"{name}/demote")
         self.on_state_change: Optional[Callable[[float, str, str], None]] = None
+        self.handovers = 0
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -141,6 +142,21 @@ class RrcStateMachine:
         if demotion is not None:
             timeout, _ = demotion
             self._demote_timer.start(timeout)
+
+    def force_release(self) -> None:
+        """Drop the radio straight back to the initial (idle) state.
+
+        Models a cell handover / signalling release: any in-progress
+        promotion is abandoned, inactivity timers stop, and the next
+        ``request_channel`` pays a full idle promotion again.  Used by the
+        fault injector; packets already granted a gate time are unaffected.
+        """
+        self._promo_timer.stop()
+        self._demote_timer.stop()
+        self._promotion_target = None
+        self._promotion_done_at = None
+        self._set_state(self._initial_state())
+        self.handovers += 1
 
     def serving_state(self, pending_bytes: int) -> str:
         """State in which a request made *now* would be served."""

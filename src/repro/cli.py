@@ -25,7 +25,8 @@ from typing import List, Optional
 from .core import MeasurementStudy, summarize_run
 from .experiments import figures, tables
 from .experiments.runner import ExperimentConfig, run_experiment
-from .reporting import render_boxes, render_table
+from .faults import FaultPlan, FaultSpecError
+from .reporting import render_boxes, render_fault_summary, render_table
 
 __all__ = ["main"]
 
@@ -35,18 +36,19 @@ FIGURES = {
     "fig03": lambda args: figures.fig03_plt_3g(n_runs=args.runs),
     "fig04": lambda args: figures.fig04_plt_wifi(n_runs=args.runs),
     "fig05": lambda args: figures.fig05_object_breakdown(n_runs=args.runs),
-    "fig06": lambda args: figures.fig06_request_patterns(),
-    "fig07": lambda args: figures.fig07_test_pages(n_runs=args.runs),
-    "fig08": lambda args: figures.fig08_proxy_queueing(),
+    "fig06": lambda args: figures.fig06_request_patterns(seed=args.seed),
+    "fig07": lambda args: figures.fig07_test_pages(n_runs=args.runs,
+                                                   seed=args.seed),
+    "fig08": lambda args: figures.fig08_proxy_queueing(seed=args.seed),
     "fig09": lambda args: figures.fig09_throughput(n_runs=args.runs),
-    "fig10": lambda args: figures.fig10_bytes_in_flight(),
-    "fig11": lambda args: figures.fig11_cwnd_run(),
-    "fig12": lambda args: figures.fig12_idle_zoom(),
-    "fig13": lambda args: figures.fig13_retx_bursts(),
+    "fig10": lambda args: figures.fig10_bytes_in_flight(seed=args.seed),
+    "fig11": lambda args: figures.fig11_cwnd_run(seed=args.seed),
+    "fig12": lambda args: figures.fig12_idle_zoom(seed=args.seed),
+    "fig13": lambda args: figures.fig13_retx_bursts(seed=args.seed),
     "fig14": lambda args: figures.fig14_dch_pinning(n_runs=args.runs),
     "fig15": lambda args: figures.fig15_ss_after_idle(n_runs=args.runs),
     "fig16": lambda args: figures.fig16_plt_lte(n_runs=args.runs),
-    "fig17": lambda args: figures.fig17_lte_cwnd(),
+    "fig17": lambda args: figures.fig17_lte_cwnd(seed=args.seed),
     "sec61": lambda args: tables.sec61_multi_connection(n_runs=args.runs),
     "sec621": lambda args: tables.sec621_rtt_reset(n_runs=args.runs),
     "sec624": lambda args: tables.sec624_metrics_cache(n_runs=args.runs),
@@ -54,25 +56,45 @@ FIGURES = {
 
 
 def _parse_sites(text: Optional[str]) -> Optional[List[int]]:
+    """``--sites`` argument type: "5", "5,9,12", "3-6", or a mix."""
     if not text:
         return None
     sites: List[int] = []
     for part in text.split(","):
         part = part.strip()
-        if "-" in part:
-            lo, hi = part.split("-", 1)
-            sites.extend(range(int(lo), int(hi) + 1))
-        else:
-            sites.append(int(part))
+        try:
+            if "-" in part:
+                lo_text, hi_text = part.split("-", 1)
+                lo, hi = int(lo_text), int(hi_text)
+            else:
+                lo = hi = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad site entry {part!r} (expected N or LO-HI)")
+        if lo > hi:
+            raise argparse.ArgumentTypeError(
+                f"empty site range {part!r} ({lo} > {hi})")
+        sites.extend(range(lo, hi + 1))
     return sites
+
+
+def _parse_faults(text: str) -> FaultPlan:
+    """``--faults`` argument type: validate the spec at parse time."""
+    try:
+        return FaultPlan.parse(text)
+    except FaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _cmd_run(args) -> int:
     config = ExperimentConfig(protocol=args.protocol, network=args.network,
                               seed=args.seed,
-                              site_ids=_parse_sites(args.sites)
-                              or list(range(1, 21)),
-                              keepalive_ping=args.ping)
+                              site_ids=args.sites or list(range(1, 21)),
+                              keepalive_ping=args.ping,
+                              load_timeout=args.timeout,
+                              think_time=args.think_time,
+                              fault_plan=args.faults,
+                              recovery=not args.no_recovery)
     result = run_experiment(config)
     rows = [[p.site_id, p.plt_or(config.load_timeout),
              "timeout" if p.timed_out else "ok", len(p.objects)]
@@ -82,12 +104,15 @@ def _cmd_run(args) -> int:
     print()
     for key, value in summarize_run(result).items():
         print(f"  {key}: {value}")
+    if result.fault_report is not None:
+        print()
+        print(render_fault_summary(result.fault_report))
     return 0
 
 
 def _cmd_study(args) -> int:
     study = MeasurementStudy(network=args.network, n_runs=args.runs,
-                             site_ids=_parse_sites(args.sites), seed=args.seed)
+                             site_ids=args.sites, seed=args.seed)
     result = study.run()
     sites = {site: {"http": result.site_boxes("http")[site],
                     "spdy": result.site_boxes("spdy")[site]}
@@ -141,16 +166,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                        default="http")
     p_run.add_argument("--network", choices=["3g", "lte", "wifi"],
                        default="3g")
-    p_run.add_argument("--sites", help="e.g. 1-20 or 5,9,12")
+    p_run.add_argument("--sites", type=_parse_sites,
+                       help="e.g. 1-20 or 5,9,12")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--ping", action="store_true",
                        help="keepalive ping (Figure 14)")
+    p_run.add_argument("--timeout", type=float, default=55.0,
+                       help="per-page load timeout in seconds (default 55)")
+    p_run.add_argument("--think-time", type=float, default=60.0,
+                       help="seconds between page visits (default 60)")
+    p_run.add_argument("--faults", type=_parse_faults, default=None,
+                       metavar="SPEC",
+                       help="fault plan, e.g. "
+                            "'blackout@120:5,burstloss:0.02,handover@200'")
+    p_run.add_argument("--no-recovery", action="store_true",
+                       help="disable stall retries and SPDY session "
+                            "re-establishment (faults become fatal)")
     p_run.set_defaults(func=_cmd_run)
 
     p_study = sub.add_parser("study", help="HTTP vs SPDY comparison")
     p_study.add_argument("--network", choices=["3g", "lte", "wifi"],
                          default="3g")
-    p_study.add_argument("--sites", help="e.g. 1-20 or 5,9,12")
+    p_study.add_argument("--sites", type=_parse_sites,
+                         help="e.g. 1-20 or 5,9,12")
     p_study.add_argument("--runs", type=int, default=2)
     p_study.add_argument("--seed", type=int, default=0)
     p_study.set_defaults(func=_cmd_study)
@@ -158,6 +196,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
     p_fig.add_argument("--runs", type=int, default=1)
+    p_fig.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for generators that accept one")
     p_fig.set_defaults(func=_cmd_figure)
 
     args = parser.parse_args(argv)

@@ -159,5 +159,10 @@ def summarize_run(run) -> Dict[str, object]:
         "radio_promotions": report.promotions,
         "radio_demotions": report.demotions,
         "radio_energy_mj": run.radio_energy_mj(),
+        "object_retries": sum(getattr(p, "retries", 0) for p in run.pages),
     }
+    fault_report = getattr(run, "fault_report", None)
+    if fault_report:
+        summary["faults_applied"] = fault_report["events_applied"]
+        summary["fault_connections_reset"] = fault_report["connections_reset"]
     return summary

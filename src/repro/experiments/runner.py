@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from ..browser import BrowserConfig, PageLoadRecord
 from ..cellular import RadioEnergyModel, make_profile
 from ..cellular.profiles import perturb_profile
+from ..faults import FaultInjector, FaultPlan
 from ..net import Packet
 from ..sim import Timer
 from ..tcp import TcpConfig
@@ -53,6 +54,16 @@ class ExperimentConfig:
     background_enabled: bool = True
     load_timeout: float = 55.0
     tail_time: float = 60.0             # drain time after the last page
+    # Fault injection: a FaultPlan, a --faults spec string, or None.
+    # ``recovery`` gates the graceful-degradation machinery (SPDY session
+    # re-establishment and the browser's stall watchdog); the HTTP
+    # fetcher's retry-on-reset is always on, like Chrome's.
+    fault_plan: object = None
+    recovery: bool = True
+    # Per-object stall watchdog timeout; None picks a default (10 s) when
+    # faults are injected with recovery on, and disables it otherwise so
+    # fault-free runs are bit-identical to the pre-fault-injection code.
+    stall_timeout: Optional[float] = None
     # Run-to-run environmental variation (signal, cell load): each run
     # draws its own bandwidth/latency scaling.  This is our stand-in for
     # the paper's four months of nightly variability; 0 disables it.
@@ -80,6 +91,7 @@ class RunResult:
     testbed: Testbed
     visit_order: List[int]
     duration: float
+    fault_report: Optional[Dict] = None   # FaultInjector.report() or None
 
     # ------------------------------------------------------------------
     # convenience accessors used throughout the figure generators
@@ -131,13 +143,18 @@ def run_experiment(config: ExperimentConfig,
         env_rng = random.Random(f"environment/{config.seed}")
         profile = perturb_profile(profile, env_rng,
                                   config.environment_variability)
+    stall_timeout = config.stall_timeout
+    if (stall_timeout is None and config.fault_plan is not None
+            and config.recovery):
+        stall_timeout = 10.0
     testbed = Testbed(
         profile=profile, seed=config.seed, proxy_tcp=config.tcp,
         client_tcp=config.client_tcp or config.tcp,
         late_binding=config.late_binding,
         browser_config=BrowserConfig(
             load_timeout=config.load_timeout,
-            background_enabled=config.background_enabled))
+            background_enabled=config.background_enabled,
+            stall_timeout=stall_timeout))
     sim = testbed.sim
 
     if config.warm_metrics_cache and config.network != "wifi":
@@ -157,7 +174,8 @@ def run_experiment(config: ExperimentConfig,
 
     browser = testbed.make_browser(config.protocol,
                                    n_spdy_sessions=config.n_spdy_sessions,
-                                   http_pipelining=config.http_pipelining)
+                                   http_pipelining=config.http_pipelining,
+                                   recover=config.recovery)
 
     for index, site_id in enumerate(order):
         sim.schedule_at(index * config.think_time, browser.load_page,
@@ -166,10 +184,16 @@ def run_experiment(config: ExperimentConfig,
     if config.keepalive_ping and testbed.radio is not None:
         _start_keepalive(testbed, config)
 
+    injector = None
+    if config.fault_plan is not None:
+        injector = FaultInjector(testbed, FaultPlan.parse(config.fault_plan))
+        injector.install()
+
     end = len(order) * config.think_time + config.tail_time
     sim.run(until=end)
     return RunResult(config=config, pages=list(browser.records),
-                     testbed=testbed, visit_order=order, duration=end)
+                     testbed=testbed, visit_order=order, duration=end,
+                     fault_report=injector.report() if injector else None)
 
 
 def _start_keepalive(testbed: Testbed, config: ExperimentConfig) -> None:

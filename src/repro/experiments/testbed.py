@@ -79,8 +79,13 @@ class Testbed:
     # ------------------------------------------------------------------
     def make_browser(self, protocol: str, n_spdy_sessions: int = 1,
                      max_per_domain: int = 6, max_total: int = 32,
-                     http_pipelining: bool = False) -> Browser:
-        """Build a browser speaking ``protocol`` ("http" or "spdy")."""
+                     http_pipelining: bool = False,
+                     recover: bool = True) -> Browser:
+        """Build a browser speaking ``protocol`` ("http" or "spdy").
+
+        ``recover=False`` disables SPDY session re-establishment after a
+        connection reset (the resilience benchmark's fragile baseline).
+        """
         if protocol == "http":
             fetcher = HttpFetcher(self.sim, self.client_stack, "proxy",
                                   HTTP_PROXY_PORT,
@@ -90,7 +95,8 @@ class Testbed:
         elif protocol == "spdy":
             fetcher = SpdyFetcher(self.sim, self.client_stack, "proxy",
                                   SPDY_PROXY_PORT,
-                                  n_sessions=n_spdy_sessions)
+                                  n_sessions=n_spdy_sessions,
+                                  recover=recover)
         else:
             raise ValueError(f"unknown protocol {protocol!r}")
         return Browser(self.sim, fetcher, self.browser_config)

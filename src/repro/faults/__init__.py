@@ -1,0 +1,13 @@
+"""Deterministic fault injection for the testbed.
+
+``FaultPlan`` describes *what* goes wrong and *when* (pure data, with a
+compact ``--faults`` spec grammar); ``FaultInjector`` arms a plan
+against a live :class:`~repro.experiments.testbed.Testbed`.  See
+DESIGN.md §4b ("Fault injection & resilience") for the model.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpecError
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultSpecError", "FaultInjector",
+           "FAULT_KINDS"]

@@ -1,0 +1,135 @@
+"""The fault injector: arms a :class:`FaultPlan` against a live testbed.
+
+Every fault is applied from a scheduled simulator event, so injection is
+deterministic in (plan, seed): the injector draws no randomness of its
+own, and the only RNG it indirectly touches is each link's private loss
+stream (via the Gilbert-Elliott model), which is already seed-derived.
+
+The injector keeps a human-readable ``log`` of every action taken — the
+"fault log" of the acceptance criteria: replaying the same plan and seed
+must reproduce it byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..net.link import GilbertElliottLoss
+from .plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.testbed import Testbed
+
+__all__ = ["FaultInjector"]
+
+#: Client-facing proxy ports (HTTP 8080, SPDY 8443): a "proxy restart"
+#: resets these, not the proxy's upstream connections to origins.
+PROXY_CLIENT_PORTS = (8080, 8443)
+
+
+class FaultInjector:
+    """Schedules and applies the events of one fault plan."""
+
+    def __init__(self, testbed: "Testbed", plan: FaultPlan):
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.plan = plan
+        self.log: List[str] = []
+        self.counters: Dict[str, int] = {kind: 0 for kind in
+                                         ("blackout", "burstloss", "handover",
+                                          "proxyrestart", "rst")}
+        self.connections_reset = 0
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Schedule every plan event on the testbed's simulator."""
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        handlers = {
+            "blackout": self._apply_blackout,
+            "burstloss": self._apply_burstloss,
+            "handover": self._apply_handover,
+            "proxyrestart": self._apply_proxyrestart,
+            "rst": self._apply_rst,
+        }
+        for event in self.plan.events:
+            self.sim.schedule_at(max(event.time, self.sim.now),
+                                 handlers[event.kind], event)
+
+    def _log(self, message: str) -> None:
+        self.log.append(f"{self.sim.now:.6f} {message}")
+
+    def _access_links(self):
+        access = self.testbed.access
+        return (access.downlink, access.uplink)
+
+    # ------------------------------------------------------------------
+    # handlers (each runs at its event's scheduled time)
+    # ------------------------------------------------------------------
+    def _apply_blackout(self, event: FaultEvent) -> None:
+        for link in self._access_links():
+            link.start_outage(event.duration, event.policy)
+        self.counters["blackout"] += 1
+        self._log(f"blackout {event.duration:g}s policy={event.policy} "
+                  f"on access links")
+
+    def _apply_burstloss(self, event: FaultEvent) -> None:
+        # One model instance per link: the two-state chain is stateful,
+        # and sharing it would couple the directions' loss processes.
+        for link in self._access_links():
+            link.loss_model = GilbertElliottLoss.from_average(
+                event.rate, event.mean_burst)
+        self.counters["burstloss"] += 1
+        self._log(f"burstloss rate={event.rate:g} "
+                  f"mean_burst={event.mean_burst:g} on access links")
+
+    def _apply_handover(self, event: FaultEvent) -> None:
+        machine = self.testbed.radio
+        if machine is not None:
+            machine.force_release()
+        if event.duration > 0:
+            for link in self._access_links():
+                link.start_outage(event.duration, "queue")
+        self.counters["handover"] += 1
+        state = machine.state if machine is not None else "n/a"
+        self._log(f"handover outage={event.duration:g}s radio->{state}")
+
+    def _apply_proxyrestart(self, event: FaultEvent) -> None:
+        stack = self.testbed.proxy_stack
+        victims = [c for c in stack.open_connections
+                   if c.local_port in PROXY_CLIENT_PORTS]
+        victims.sort(key=lambda c: c.conn_id)
+        for conn in victims:
+            conn.reset(send_rst=True)
+        self.counters["proxyrestart"] += 1
+        self.connections_reset += len(victims)
+        self._log(f"proxyrestart reset {len(victims)} client-facing "
+                  f"connections")
+
+    def _apply_rst(self, event: FaultEvent) -> None:
+        stack = self.testbed.client_stack
+        live = [c for c in stack.open_connections
+                if c.state == "ESTABLISHED"]
+        # Busiest first (most unacked bytes in flight), conn_id tie-break:
+        # deterministic, and it hits the connection a mid-page fault would.
+        live.sort(key=lambda c: (-c.inflight_bytes, c.conn_id))
+        victims = live[:event.count]
+        for conn in victims:
+            conn.reset(send_rst=True)
+        self.counters["rst"] += 1
+        self.connections_reset += len(victims)
+        names = ",".join(c.conn_id for c in victims) or "none"
+        self._log(f"rst reset {len(victims)} connection(s): {names}")
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        """Summary for RunResult / reporting: counters plus the full log."""
+        return {
+            "plan": self.plan.describe(),
+            "events_applied": len(self.log),
+            "counters": dict(self.counters),
+            "connections_reset": self.connections_reset,
+            "log": list(self.log),
+        }

@@ -1,0 +1,189 @@
+"""Fault plans: a declarative, deterministic schedule of impairments.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` entries,
+each naming a fault kind and the simulated time it strikes.  Plans are
+pure data — no simulator state — so the same plan object (or spec
+string) replayed against the same seed reproduces the exact same run.
+
+The compact spec grammar used by the ``--faults`` CLI flag::
+
+    blackout@T:D[:policy]     link outage for D seconds at time T;
+                              policy "queue" (default) parks packets,
+                              "drop" discards them
+    burstloss[@T]:RATE[:B]    Gilbert-Elliott burst loss on the access
+                              links from time T (default 0) with average
+                              loss RATE and mean burst length B (def. 8)
+    handover@T[:D]            RRC handover at T: radio falls to idle and
+                              the link blacks out for D seconds (def. 0.5)
+    proxyrestart@T            proxy process restart at T: every
+                              client-facing proxy connection is RST
+    rst@T[:N]                 reset the N busiest client connections at T
+                              (default 1)
+
+Entries are comma-separated: ``blackout@120:5,burstloss:0.02,handover@200``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultSpecError", "FAULT_KINDS"]
+
+FAULT_KINDS = ("blackout", "burstloss", "handover", "proxyrestart", "rst")
+
+_ENTRY_RE = re.compile(r"^([a-z]+)(@[0-9.eE+-]+)?((?::[^:,@]+)*)$")
+
+
+class FaultSpecError(ValueError):
+    """Raised for a malformed ``--faults`` spec or invalid event fields."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled impairment.  Unused fields keep their defaults."""
+
+    kind: str
+    time: float = 0.0
+    duration: float = 0.0      # blackout / handover outage length
+    rate: float = 0.0          # burstloss average loss probability
+    mean_burst: float = 8.0    # burstloss mean bad-state run (packets)
+    policy: str = "queue"      # blackout semantics: "queue" | "drop"
+    count: int = 1             # rst: how many connections to kill
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(f"unknown fault kind {self.kind!r} "
+                                 f"(expected one of {', '.join(FAULT_KINDS)})")
+        if self.time < 0:
+            raise FaultSpecError(f"{self.kind}: time must be >= 0")
+        if self.kind == "blackout":
+            if self.duration <= 0:
+                raise FaultSpecError("blackout: duration must be > 0 "
+                                     "(use blackout@T:D)")
+            if self.policy not in ("queue", "drop"):
+                raise FaultSpecError(
+                    f"blackout: policy must be 'queue' or 'drop', "
+                    f"not {self.policy!r}")
+        elif self.kind == "burstloss":
+            if not (0.0 < self.rate < 1.0):
+                raise FaultSpecError("burstloss: rate must be in (0, 1)")
+            if self.mean_burst < 1.0:
+                raise FaultSpecError("burstloss: mean burst must be >= 1")
+        elif self.kind == "handover":
+            if self.duration < 0:
+                raise FaultSpecError("handover: outage must be >= 0")
+        elif self.kind == "rst":
+            if self.count < 1:
+                raise FaultSpecError("rst: count must be >= 1")
+
+    def describe(self) -> str:
+        """Canonical one-token spec for this event (round-trips via parse)."""
+        if self.kind == "blackout":
+            base = f"blackout@{self.time:g}:{self.duration:g}"
+            return base if self.policy == "queue" else f"{base}:{self.policy}"
+        if self.kind == "burstloss":
+            return (f"burstloss@{self.time:g}:{self.rate:g}"
+                    f":{self.mean_burst:g}")
+        if self.kind == "handover":
+            return f"handover@{self.time:g}:{self.duration:g}"
+        if self.kind == "proxyrestart":
+            return f"proxyrestart@{self.time:g}"
+        return f"rst@{self.time:g}:{self.count:d}"
+
+
+class FaultPlan:
+    """An immutable, time-ordered schedule of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent]):
+        for event in events:
+            event.validate()
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.kind)))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: Union[str, "FaultPlan"]) -> "FaultPlan":
+        """Build a plan from a ``--faults`` spec string (idempotent)."""
+        if isinstance(spec, FaultPlan):
+            return spec
+        events: List[FaultEvent] = []
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            events.append(cls._parse_entry(entry))
+        if not events:
+            raise FaultSpecError(f"empty fault spec {spec!r}")
+        return cls(events)
+
+    @staticmethod
+    def _parse_entry(entry: str) -> FaultEvent:
+        match = _ENTRY_RE.match(entry)
+        if match is None:
+            raise FaultSpecError(
+                f"malformed fault entry {entry!r} "
+                f"(expected kind[@time][:arg[:arg]])")
+        kind, at, argstr = match.groups()
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(f"unknown fault kind {kind!r} "
+                                 f"(expected one of {', '.join(FAULT_KINDS)})")
+        args = argstr.split(":")[1:] if argstr else []
+
+        def num(text: str, what: str) -> float:
+            try:
+                return float(text)
+            except ValueError:
+                raise FaultSpecError(f"{kind}: {what} {text!r} is not a number")
+
+        time = num(at[1:], "time") if at else 0.0
+        try:
+            if kind == "blackout":
+                if not args:
+                    raise FaultSpecError("blackout needs a duration "
+                                         "(blackout@T:D)")
+                duration = num(args[0], "duration")
+                policy = args[1] if len(args) > 1 else "queue"
+                event = FaultEvent("blackout", time=time, duration=duration,
+                                   policy=policy)
+            elif kind == "burstloss":
+                if not args:
+                    raise FaultSpecError("burstloss needs a rate "
+                                         "(burstloss:RATE)")
+                rate = num(args[0], "rate")
+                mean_burst = num(args[1], "mean burst") if len(args) > 1 \
+                    else 8.0
+                event = FaultEvent("burstloss", time=time, rate=rate,
+                                   mean_burst=mean_burst)
+            elif kind == "handover":
+                duration = num(args[0], "outage") if args else 0.5
+                event = FaultEvent("handover", time=time, duration=duration)
+            elif kind == "proxyrestart":
+                if args:
+                    raise FaultSpecError("proxyrestart takes no arguments")
+                event = FaultEvent("proxyrestart", time=time)
+            else:  # rst
+                count = int(num(args[0], "count")) if args else 1
+                event = FaultEvent("rst", time=time, count=count)
+        except IndexError:  # pragma: no cover - defensive
+            raise FaultSpecError(f"malformed fault entry {entry!r}")
+        event.validate()
+        return event
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Canonical spec string (parse(describe()) == this plan)."""
+        return ",".join(event.describe() for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultPlan) and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {self.describe()}>"

@@ -1,7 +1,9 @@
 """Generic packet-network substrate: packets, links, hosts, taps."""
 
 from .packet import Packet
-from .link import DuplexLink, Link, LinkTap
+from .link import (BernoulliLoss, DuplexLink, GilbertElliottLoss, Link,
+                   LinkTap, LossModel)
 from .node import Host, RoutingError
 
-__all__ = ["Packet", "Link", "DuplexLink", "LinkTap", "Host", "RoutingError"]
+__all__ = ["Packet", "Link", "DuplexLink", "LinkTap", "Host", "RoutingError",
+           "LossModel", "BernoulliLoss", "GilbertElliottLoss"]

@@ -20,13 +20,104 @@ from .packet import Packet
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Host
 
-__all__ = ["Link", "LinkTap", "DuplexLink"]
+__all__ = ["Link", "LinkTap", "DuplexLink",
+           "LossModel", "BernoulliLoss", "GilbertElliottLoss"]
 
 # Tap event kinds
 ENQUEUE = "enqueue"
 DROP_QUEUE = "drop-queue"
 DROP_LOSS = "drop-loss"
+DROP_OUTAGE = "drop-outage"
 DELIVER = "deliver"
+
+
+class LossModel:
+    """Pluggable per-packet loss process.
+
+    ``should_drop`` is called once per packet at serialization time with
+    the link's private RNG stream; implementations must draw from *that*
+    RNG only, so loss decisions stay deterministic per (seed, link name).
+    """
+
+    def should_drop(self, rng) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-packet loss with fixed probability ``rate``.
+
+    Draw-for-draw identical to the historical inline check, so wrapping a
+    plain ``loss_rate`` in this model does not perturb existing seeds.
+    """
+
+    def __init__(self, rate: float):
+        if not (0.0 <= rate < 1.0):
+            raise ValueError("loss rate must be in [0, 1)")
+        self.rate = rate
+
+    def should_drop(self, rng) -> bool:
+        return rng.random() < self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BernoulliLoss rate={self.rate}>"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state (good/bad) burst-loss model.
+
+    The channel flips between a *good* state (loss ``loss_good``, usually
+    0) and a *bad* state (loss ``loss_bad``, usually 1) with per-packet
+    transition probabilities ``p_good_to_bad`` / ``p_bad_to_good``.  This
+    reproduces the clustered losses of cellular fades that independent
+    Bernoulli drops cannot: the same average loss rate hurts far more
+    when concentrated, because whole windows disappear at once.
+    """
+
+    def __init__(self, p_good_to_bad: float, p_bad_to_good: float,
+                 loss_good: float = 0.0, loss_bad: float = 1.0):
+        for name, p in (("p_good_to_bad", p_good_to_bad),
+                        ("p_bad_to_good", p_bad_to_good)):
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+        if not (0.0 <= loss_good <= 1.0 and 0.0 < loss_bad <= 1.0):
+            raise ValueError("loss probabilities out of range")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    @classmethod
+    def from_average(cls, average_rate: float, mean_burst: float = 8.0,
+                     loss_bad: float = 1.0) -> "GilbertElliottLoss":
+        """Build a model whose stationary loss rate is ``average_rate``.
+
+        ``mean_burst`` is the expected number of packets spent in the bad
+        state per visit (geometric with parameter ``1/mean_burst``).
+        """
+        if not (0.0 < average_rate < loss_bad):
+            raise ValueError("average_rate must be in (0, loss_bad)")
+        if mean_burst < 1.0:
+            raise ValueError("mean_burst must be >= 1")
+        pi_bad = average_rate / loss_bad
+        p_bad_to_good = 1.0 / mean_burst
+        p_good_to_bad = pi_bad * p_bad_to_good / (1.0 - pi_bad)
+        return cls(p_good_to_bad, p_bad_to_good, 0.0, loss_bad)
+
+    def should_drop(self, rng) -> bool:
+        loss = self.loss_bad if self.bad else self.loss_good
+        drop = loss > 0.0 and rng.random() < loss
+        if self.bad:
+            if rng.random() < self.p_bad_to_good:
+                self.bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self.bad = True
+        return drop
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<GilbertElliottLoss p_gb={self.p_good_to_bad:.4f} "
+                f"p_bg={self.p_bad_to_good:.4f} bad={self.bad}>")
 
 
 class LinkTap:
@@ -59,6 +150,10 @@ class Link:
         packet never overtakes one serialized before it.
     loss_rate:
         Independent per-packet drop probability, applied at serialization.
+        Shorthand for ``loss_model=BernoulliLoss(loss_rate)``.
+    loss_model:
+        Explicit :class:`LossModel` instance (e.g. Gilbert–Elliott burst
+        loss).  Takes precedence over ``loss_rate``.
     queue_limit_bytes:
         Drop-tail buffer size.  ``None`` means unbounded (again, tests).
     """
@@ -68,7 +163,8 @@ class Link:
                  latency: float = 0.0,
                  jitter: Optional[Callable] = None,
                  loss_rate: float = 0.0,
-                 queue_limit_bytes: Optional[int] = 256 * 1024):
+                 queue_limit_bytes: Optional[int] = 256 * 1024,
+                 loss_model: Optional[LossModel] = None):
         if latency < 0:
             raise ValueError("latency must be non-negative")
         if not (0.0 <= loss_rate < 1.0):
@@ -80,6 +176,9 @@ class Link:
         self.latency = latency
         self.jitter = jitter
         self.loss_rate = loss_rate
+        if loss_model is None and loss_rate > 0:
+            loss_model = BernoulliLoss(loss_rate)
+        self.loss_model = loss_model
         self.queue_limit_bytes = queue_limit_bytes
 
         self._busy_until = 0.0
@@ -88,10 +187,17 @@ class Link:
         self._taps: List[LinkTap] = []
         self._rng = sim.rng(f"link/{name}")
 
+        # fault-injection state: while an outage is active the link either
+        # parks new packets until it ends ("queue") or drops them ("drop").
+        self._outage_until = 0.0
+        self._outage_policy = "queue"
+
         # counters for quick sanity checks
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+        self.outages = 0
+        self.outage_drops = 0
 
     # ------------------------------------------------------------------
     def add_tap(self, tap: LinkTap) -> None:
@@ -103,9 +209,38 @@ class Link:
             tap.notify(kind, packet, self.sim.now)
 
     # ------------------------------------------------------------------
+    def start_outage(self, duration: float, policy: str = "queue") -> float:
+        """Black out the link for ``duration`` seconds starting now.
+
+        ``policy="queue"`` parks newly submitted packets until the outage
+        ends (serialization is gated, nothing is lost); ``policy="drop"``
+        discards them outright.  Packets already serialized or in flight
+        are unaffected — the fade hits the sender's queue, not photons
+        already past it.  Returns the absolute end time of the outage.
+        """
+        if duration < 0:
+            raise ValueError("outage duration must be non-negative")
+        if policy not in ("queue", "drop"):
+            raise ValueError(f"unknown outage policy {policy!r}")
+        self._outage_until = max(self._outage_until, self.sim.now + duration)
+        self._outage_policy = policy
+        self.outages += 1
+        return self._outage_until
+
+    @property
+    def in_outage(self) -> bool:
+        return self.sim.now < self._outage_until
+
+    # ------------------------------------------------------------------
     def transmit(self, packet: Packet) -> None:
         """Accept a packet for transmission (or drop it at the queue)."""
         now = self.sim.now
+        if now < self._outage_until and self._outage_policy == "drop":
+            packet.lost = True
+            self.packets_dropped += 1
+            self.outage_drops += 1
+            self._notify(DROP_OUTAGE, packet)
+            return
         if self.queue_limit_bytes is not None:
             backlog = self._queued_bytes
             if backlog + packet.size > self.queue_limit_bytes:
@@ -116,7 +251,8 @@ class Link:
         self._notify(ENQUEUE, packet)
         self._queued_bytes += packet.size
 
-        start = max(now, self._busy_until, self._gate_time(packet))
+        start = max(now, self._busy_until, self._gate_time(packet),
+                    self._outage_until)
         rate = self._rate(packet)
         if rate is None:
             tx_time = 0.0
@@ -127,7 +263,7 @@ class Link:
 
         # Loss is decided now so the sender-side spurious-retransmission
         # classifier can inspect packet.lost immediately.
-        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+        if self.loss_model is not None and self.loss_model.should_drop(self._rng):
             packet.lost = True
             self.packets_dropped += 1
             self.sim.schedule_at(end, self._drop_after_tx, packet)

@@ -83,8 +83,8 @@ class HttpProxy:
 
     def _relay(self, conn, request: HttpRequest, body: HttpResponseBody,
                record) -> None:
-        if conn.state == "CLOSED":
-            return
+        if conn.state in ("CLOSED", "RESET"):
+            return  # client connection died while the origin was fetching
         record.t_send_start = self.sim.now
         head = HttpResponseHead(request, content_length=body.length,
                                 content_type=request.content_type)

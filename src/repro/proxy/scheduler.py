@@ -79,13 +79,22 @@ class PriorityScheduler:
     def remove_connection(self, conn) -> None:
         if conn in self._conns:
             self._conns.remove(conn)
+        if not self.late_binding:
+            # Static binding: streams homed on the dead connection can
+            # never be served — drop them so their frames don't sit in
+            # the rings forever (the client re-issues on a new session).
+            dead = [sid for sid, s in self._streams.items() if s.conn is conn]
+            for sid in dead:
+                self._streams.pop(sid).frames.clear()
 
     def open_stream(self, stream: StreamOutput) -> None:
         self._streams[stream.stream_id] = stream
 
     def enqueue(self, stream_id: int, frame, wire_size: int) -> None:
         """Queue one frame (with its wire size) for a stream."""
-        stream = self._streams[stream_id]
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            return  # stream's connection died; the response is discarded
         was_pending = stream.pending
         stream.frames.append((frame, wire_size))
         if not was_pending:
@@ -126,8 +135,8 @@ class PriorityScheduler:
                 ring = self._rings[priority]
                 for _ in range(len(ring)):
                     stream_id = ring[0]
-                    stream = self._streams[stream_id]
-                    if not stream.pending:
+                    stream = self._streams.get(stream_id)
+                    if stream is None or not stream.pending:
                         ring.popleft()
                         continue
                     conn = self._writable_conn(stream)
@@ -153,7 +162,8 @@ class PriorityScheduler:
     def _gc_rings(self) -> None:
         for priority in list(self._rings):
             ring = self._rings[priority]
-            while ring and not self._streams[ring[0]].pending:
+            while ring and (ring[0] not in self._streams
+                            or not self._streams[ring[0]].pending):
                 ring.popleft()
             if not ring:
                 del self._rings[priority]

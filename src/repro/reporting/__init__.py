@@ -1,7 +1,7 @@
 """Plot-free rendering of figure/table datasets as ASCII."""
 
 from .render import (format_seconds, render_bar, render_boxes, render_cdf,
-                     render_series, render_table)
+                     render_fault_summary, render_series, render_table)
 
 __all__ = ["format_seconds", "render_bar", "render_boxes", "render_cdf",
-           "render_series", "render_table"]
+           "render_fault_summary", "render_series", "render_table"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["render_table", "render_boxes", "render_series", "render_cdf",
-           "render_bar", "format_seconds"]
+           "render_bar", "render_fault_summary", "format_seconds"]
 
 
 def format_seconds(value) -> str:
@@ -117,4 +117,23 @@ def render_bar(items: Dict[str, float], width: int = 40,
     for name, value in items.items():
         bar = "#" * max(1, int(abs(value) / vmax * width))
         lines.append(f"{name:>26} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_fault_summary(report: Dict[str, object],
+                         max_log_lines: int = 12) -> str:
+    """Human-readable rendering of a FaultInjector report dict."""
+    if not report:
+        return "faults: none"
+    counters = report.get("counters", {})
+    applied = ", ".join(f"{kind}={count}" for kind, count in counters.items()
+                        if count) or "none"
+    lines = [f"fault plan: {report.get('plan', '')}",
+             f"faults applied: {applied} "
+             f"(connections reset: {report.get('connections_reset', 0)})"]
+    log = report.get("log", [])
+    for entry in log[:max_log_lines]:
+        lines.append(f"  {entry}")
+    if len(log) > max_log_lines:
+        lines.append(f"  ... {len(log) - max_log_lines} more")
     return "\n".join(lines)

@@ -130,10 +130,9 @@ class Simulator:
                     break
         finally:
             self._running = False
-        if until is not None and self.now < until and (
-            not self._queue or self._queue[0].time > until or max_events is None
-        ):
-            if not self._queue or self._queue[0].time > until:
+        if until is not None and self.now < until:
+            nxt = self.peek_time()
+            if nxt is None or nxt > until:
                 self.now = until
         return self.now
 
@@ -154,11 +153,15 @@ class Simulator:
         return sum(1 for e in self._queue if not e.cancelled)
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None if the queue is empty."""
-        for event in sorted(self._queue):
-            if not event.cancelled:
-                return event.time
-        return None
+        """Time of the next live event, or None if the queue is empty.
+
+        Cancelled events accumulated at the top of the heap are discarded
+        on the way, so the amortised cost is O(log n) rather than the full
+        sort this used to do.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
 
     # ------------------------------------------------------------------
     # randomness

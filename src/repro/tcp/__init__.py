@@ -7,7 +7,7 @@ Public surface: :class:`TcpStack` (install on a host, then ``connect`` /
 
 from .config import TcpConfig
 from .congestion import Cubic, Reno, make_congestion_control
-from .connection import Connection
+from .connection import Connection, RESET
 from .metrics_cache import TcpMetricsCache
 from .rto import RtoEstimator
 from .segment import Segment, TCP_HEADER_BYTES
@@ -18,5 +18,5 @@ __all__ = [
     "TcpConfig", "Cubic", "Reno", "make_congestion_control", "Connection",
     "TcpMetricsCache", "RtoEstimator", "Segment", "TCP_HEADER_BYTES",
     "Listener", "TcpStack", "TcpProbe", "ProbeSample", "RetxEvent",
-    "IdleRestartEvent",
+    "IdleRestartEvent", "RESET",
 ]

@@ -35,13 +35,14 @@ from .rto import RtoEstimator
 from .segment import Segment, SegmentRecord
 
 __all__ = ["Connection", "ConnectionStats", "CLOSED", "SYN_SENT", "SYN_RCVD",
-           "ESTABLISHED", "CLOSING"]
+           "ESTABLISHED", "CLOSING", "RESET"]
 
 CLOSED = "CLOSED"
 SYN_SENT = "SYN_SENT"
 SYN_RCVD = "SYN_RCVD"
 ESTABLISHED = "ESTABLISHED"
 CLOSING = "CLOSING"
+RESET = "RESET"
 
 
 class ConnectionStats:
@@ -126,6 +127,10 @@ class Connection:
         self.on_established: Optional[Callable[["Connection"], None]] = None
         self.on_message: Optional[Callable[["Connection", Any], None]] = None
         self.on_close: Optional[Callable[["Connection"], None]] = None
+        # Fired (once, before on_close) when the connection dies abortively:
+        # an incoming RST, or a local reset().  abort() stays silent — it is
+        # the end-of-run teardown and must not trigger recovery machinery.
+        self.on_reset: Optional[Callable[["Connection"], None]] = None
 
         # --- tracing ------------------------------------------------------
         self.probe = None                  # TcpProbe, set by the stack
@@ -170,6 +175,8 @@ class Connection:
         """Enqueue an application message of ``nbytes``; deliver ``obj`` at the peer."""
         if nbytes <= 0:
             raise ValueError("message length must be positive")
+        if self.state == RESET:
+            raise RuntimeError(f"{self.conn_id}: send on reset connection")
         if self.state == CLOSED and not self.active_open:
             raise RuntimeError(f"{self.conn_id}: send on closed connection")
         if self._fin_queued:
@@ -192,6 +199,29 @@ class Connection:
     def abort(self) -> None:
         """Hard teardown (no FIN) — used when an experiment run ends."""
         self._teardown()
+
+    def reset(self, send_rst: bool = True) -> None:
+        """Abortive close (RFC 793 RST semantics).
+
+        Unlike :meth:`abort`, this surfaces the failure to the application:
+        ``on_reset`` then ``on_close`` fire so fetchers/proxies can react
+        (replace the connection, re-issue requests).  With ``send_rst`` a
+        zero-length RST segment is put on the wire so the peer aborts too
+        once it arrives.
+        """
+        if self.state in (CLOSED, RESET):
+            return
+        if send_rst:
+            segment = Segment(self.local_addr, self.local_port,
+                              self.remote_addr, self.remote_port,
+                              seq=self.snd_nxt, rst=True,
+                              window=self.config.receive_window)
+            segment.sent_at = self.sim.now
+            packet = Packet(self.local_addr, self.remote_addr,
+                            segment.wire_size, payload=segment,
+                            created_at=self.sim.now)
+            self.host.send(packet)
+        self._enter_reset()
 
     # ------------------------------------------------------------------
     @property
@@ -527,7 +557,10 @@ class Connection:
     # ======================================================================
     def handle_segment(self, segment: Segment) -> None:
         """Entry point for every segment demuxed to this connection."""
-        if self.state == CLOSED:
+        if self.state in (CLOSED, RESET):
+            return
+        if segment.rst:
+            self._enter_reset()
             return
         if self.state == SYN_SENT:
             self._handle_in_syn_sent(segment)
@@ -787,8 +820,28 @@ class Connection:
         if our_side_done and self._fin_received:
             self._teardown()
 
+    def _enter_reset(self) -> None:
+        """Abortive teardown shared by incoming RSTs and local reset()."""
+        if self.state in (CLOSED, RESET):
+            return
+        self.state = RESET
+        self._rto_timer.stop()
+        self._delack_timer.stop()
+        self.stats.closed_at = self.sim.now
+        # An abortive close teaches us nothing about the path; skip the
+        # metrics-cache save a graceful close would do.
+        self._metrics_saved = True
+        if self.stack is not None:
+            self.stack.forget(self)
+        if self.on_reset is not None:
+            callback, self.on_reset = self.on_reset, None
+            callback(self)
+        if self.on_close is not None:
+            callback, self.on_close = self.on_close, None
+            callback(self)
+
     def _teardown(self) -> None:
-        if self.state == CLOSED and self._metrics_saved:
+        if self.state in (CLOSED, RESET) and self._metrics_saved:
             return
         self.state = CLOSED
         self._rto_timer.stop()

@@ -29,12 +29,12 @@ class Segment:
     """
 
     __slots__ = ("src", "sport", "dst", "dport", "seq", "ack", "length",
-                 "syn", "fin", "is_ack", "window", "markers",
+                 "syn", "fin", "rst", "is_ack", "window", "markers",
                  "retransmit_of", "sent_at", "sack_blocks")
 
     def __init__(self, src: str, sport: int, dst: str, dport: int,
                  seq: int = 0, ack: Optional[int] = None, length: int = 0,
-                 syn: bool = False, fin: bool = False,
+                 syn: bool = False, fin: bool = False, rst: bool = False,
                  window: int = 0,
                  markers: Optional[List[Tuple[int, Any]]] = None,
                  retransmit_of: int = 0,
@@ -48,6 +48,7 @@ class Segment:
         self.length = length
         self.syn = syn
         self.fin = fin
+        self.rst = rst
         self.is_ack = ack is not None
         self.window = window
         self.markers = markers or []
@@ -75,6 +76,8 @@ class Segment:
             flags.append("SYN")
         if self.fin:
             flags.append("FIN")
+        if self.rst:
+            flags.append("RST")
         if self.is_ack:
             flags.append("ACK")
         return "|".join(flags) or "DATA"

@@ -101,7 +101,8 @@ class TcpStack:
                 listener.on_accept(conn)
                 conn.open_passive(segment)
         # Anything else (stray segment for a closed connection) is dropped;
-        # we do not model RST generation.
+        # injected resets carry an explicit RST segment (Connection.reset),
+        # but we do not generate RSTs for stray traffic.
 
     # ------------------------------------------------------------------
     def forget(self, conn: Connection) -> None:

@@ -195,3 +195,105 @@ class TestTimingRecords:
         times = record.request_times()
         assert times == sorted(times)
         assert times[0] >= 0
+
+
+class StallFetcher(FakeFetcher):
+    """Black-holes the first attempt of chosen keys; completes retries."""
+
+    def __init__(self, sim, stall_keys=(), stall_always=(), delay=0.1):
+        super().__init__(sim, delay)
+        self.stall_keys = set(stall_keys)
+        self.stall_always = set(stall_always)
+        self.cancelled = []
+        self.attempts = {}
+
+    def fetch(self, task):
+        n = self.attempts.get(task.key, 0) + 1
+        self.attempts[task.key] = n
+        if task.key in self.stall_always or \
+                (task.key in self.stall_keys and n == 1):
+            self.tasks.append(task)
+            return
+        super().fetch(task)
+
+    def cancel(self, key):
+        self.cancelled.append(key)
+
+    def abandon_all(self):
+        self.cancelled.append("*")
+
+
+class TestStallWatchdog:
+    def test_watchdog_retries_stalled_object(self):
+        sim = Simulator()
+        fetcher = StallFetcher(sim, stall_keys=["img1"])
+        browser = Browser(sim, fetcher, BrowserConfig(stall_timeout=1.0))
+        record = browser.load_page(simple_page())
+        sim.run(until=30.0)
+        assert record.plt is not None
+        assert not record.timed_out
+        assert record.retries == 1
+        timings = {t.key: t for t in record.objects}
+        assert timings["img1"].attempts == 2
+        assert "img1" in fetcher.cancelled
+
+    def test_no_watchdog_by_default(self):
+        sim = Simulator()
+        fetcher = StallFetcher(sim, stall_always=["img1"])
+        browser = Browser(sim, fetcher, BrowserConfig(load_timeout=5.0))
+        record = browser.load_page(simple_page())
+        sim.run(until=30.0)
+        assert record.timed_out          # nobody retried
+        assert record.retries == 0
+        assert fetcher.attempts["img1"] == 1
+
+    def test_watchdog_gives_up_after_max_retries(self):
+        sim = Simulator()
+        fetcher = StallFetcher(sim, stall_always=["img1"])
+        browser = Browser(sim, fetcher,
+                          BrowserConfig(stall_timeout=0.5, max_retries=2,
+                                        load_timeout=20.0))
+        record = browser.load_page(simple_page())
+        sim.run(until=60.0)
+        assert record.timed_out
+        assert record.retries == 2
+        assert fetcher.attempts["img1"] == 3  # original + 2 retries
+
+    def test_retry_backoff_is_capped_exponential(self):
+        sim = Simulator()
+        fetcher = StallFetcher(sim, stall_always=["img1"])
+        config = BrowserConfig(stall_timeout=1.0, max_retries=3,
+                               retry_backoff_base=0.5, retry_backoff_cap=1.0,
+                               load_timeout=30.0)
+        browser = Browser(sim, fetcher, config)
+        browser.load_page(simple_page())
+        sim.run(until=60.0)
+        issued = [t for t in fetcher.tasks if t.key == "img1"]
+        assert len(issued) == 4
+        # gaps: stall_timeout + backoff of 0.5, then 1.0 (capped), then 1.0
+
+
+class TestLoadTimeoutCleanup:
+    def test_timeout_abandons_outstanding_fetches(self):
+        sim = Simulator()
+        fetcher = StallFetcher(sim, stall_always=["img1"], delay=0.05)
+        browser = Browser(sim, fetcher, BrowserConfig(load_timeout=5.0))
+        record = browser.load_page(simple_page())
+        sim.run(until=10.0)
+        assert record.timed_out
+        assert "*" in fetcher.cancelled  # abandon_all() was invoked
+
+    def test_next_page_loads_after_timeout(self):
+        sim = Simulator()
+        fetcher = StallFetcher(sim, stall_always=["img1"], delay=0.05)
+        browser = Browser(sim, fetcher,
+                          BrowserConfig(load_timeout=5.0, stall_timeout=1.0))
+        first = browser.load_page(simple_page())
+        sim.run(until=10.0)
+        assert first.timed_out
+        assert not browser._watchdogs  # all stall timers stopped
+        fetcher.stall_always.clear()
+        second = browser.load_page(simple_page())
+        sim.run(until=20.0)
+        assert second.plt is not None
+        assert not second.timed_out

@@ -151,3 +151,27 @@ class TestMultiSessionSpdy:
                              n_spdy_sessions=4)
         assert record.plt is not None
         assert all(t.complete for t in record.objects)
+
+
+class TestLoadTimeoutRecovery:
+    @pytest.mark.parametrize("protocol", ["http", "spdy"])
+    def test_timeout_does_not_wedge_next_page(self, protocol):
+        # A page that cannot finish inside the deadline must be abandoned
+        # cleanly: its connections go back to the pool (or are replaced)
+        # and the next navigation proceeds normally.
+        testbed = Testbed(profile=make_profile("3g"), seed=4)
+        testbed.browser_config.load_timeout = 3.0   # 3G needs ~6-8 s
+        browser = testbed.make_browser(protocol)
+        pages = {p.site_id: p
+                 for p in build_corpus(site_ids=[SMALL_SITE, MEDIUM_SITE])}
+        first = browser.load_page(pages[MEDIUM_SITE])
+        testbed.sim.run(until=15.0)
+        assert first.timed_out
+        assert first.plt is None
+
+        testbed.browser_config.load_timeout = 55.0
+        second = browser.load_page(pages[SMALL_SITE])
+        testbed.sim.run(until=90.0)
+        assert not second.timed_out
+        assert second.plt is not None
+        assert all(t.complete for t in second.objects)

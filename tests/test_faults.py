@@ -1,0 +1,362 @@
+"""Tests for the fault-injection subsystem (repro.faults) and the
+graceful-degradation paths it exercises across the stack."""
+
+import random
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.faults import (FAULT_KINDS, FaultEvent, FaultPlan, FaultSpecError,
+                          FaultInjector)
+from repro.net import BernoulliLoss, GilbertElliottLoss, Host, Link, Packet
+from repro.net.link import DROP_OUTAGE, LinkTap
+from repro.sim import Simulator
+
+from helpers import ClientApp, EchoApp, Topology
+
+
+# ----------------------------------------------------------------------
+# plan parsing
+# ----------------------------------------------------------------------
+class TestFaultPlanParsing:
+    def test_parse_each_kind(self):
+        plan = FaultPlan.parse("blackout@120:5,burstloss:0.02,handover@200,"
+                               "proxyrestart@30,rst@10:2")
+        kinds = [e.kind for e in plan]
+        assert sorted(kinds) == sorted(FAULT_KINDS)
+
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan.parse("rst@30,blackout@10:5,handover@20")
+        assert [e.time for e in plan] == [10.0, 20.0, 30.0]
+
+    def test_defaults(self):
+        plan = FaultPlan.parse("burstloss:0.02")
+        event = plan.events[0]
+        assert event.time == 0.0
+        assert event.rate == 0.02
+        assert event.mean_burst == 8.0
+        handover = FaultPlan.parse("handover@5").events[0]
+        assert handover.duration == 0.5
+        rst = FaultPlan.parse("rst@5").events[0]
+        assert rst.count == 1
+
+    def test_blackout_policy(self):
+        assert FaultPlan.parse("blackout@1:2").events[0].policy == "queue"
+        assert FaultPlan.parse("blackout@1:2:drop").events[0].policy == "drop"
+
+    def test_describe_round_trips(self):
+        spec = "blackout@120:5,burstloss:0.02,handover@200"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_parse_idempotent_on_plan(self):
+        plan = FaultPlan.parse("rst@3")
+        assert FaultPlan.parse(plan) is plan
+
+    @pytest.mark.parametrize("spec", [
+        "bogus@1",              # unknown kind
+        "blackout@5",           # missing duration
+        "blackout@5:0",         # zero duration
+        "blackout@5:2:park",    # unknown policy
+        "burstloss:1.5",        # rate out of (0, 1)
+        "burstloss:0.02:0.5",   # mean burst < 1
+        "rst@5:0",              # count < 1
+        "blackout@-3:5",        # negative time
+        "proxyrestart@5:1",     # extra argument
+        "blackout@x:5",         # non-numeric time
+        "",                     # empty spec
+        "@@",                   # garbage
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_event_validate_direct(self):
+        with pytest.raises(FaultSpecError):
+            FaultEvent("nope").validate()
+        FaultEvent("rst", time=1.0).validate()  # does not raise
+
+
+# ----------------------------------------------------------------------
+# loss models
+# ----------------------------------------------------------------------
+class TestLossModels:
+    def test_bernoulli_extremes(self):
+        rng = random.Random(1)
+        assert not any(BernoulliLoss(0.0).should_drop(rng)
+                       for _ in range(100))
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.0)
+        drops = sum(BernoulliLoss(0.99).should_drop(rng)
+                    for _ in range(1000))
+        assert drops > 950
+
+    def test_gilbert_elliott_average_rate(self):
+        model = GilbertElliottLoss.from_average(0.05, mean_burst=8.0)
+        rng = random.Random(7)
+        drops = sum(model.should_drop(rng) for _ in range(200_000))
+        assert drops / 200_000 == pytest.approx(0.05, rel=0.15)
+
+    def test_gilbert_elliott_is_bursty(self):
+        # Mean run length of consecutive drops should be near mean_burst,
+        # far above the ~1/(1-p) of a Bernoulli process at the same rate.
+        model = GilbertElliottLoss.from_average(0.05, mean_burst=8.0)
+        rng = random.Random(11)
+        runs, current = [], 0
+        for _ in range(200_000):
+            if model.should_drop(rng):
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        mean_run = sum(runs) / len(runs)
+        assert mean_run > 3.0
+
+    def test_gilbert_elliott_deterministic_in_rng(self):
+        draws = []
+        for _ in range(2):
+            model = GilbertElliottLoss.from_average(0.1, mean_burst=4.0)
+            rng = random.Random(42)
+            draws.append([model.should_drop(rng) for _ in range(1000)])
+        assert draws[0] == draws[1]
+
+
+# ----------------------------------------------------------------------
+# link outages
+# ----------------------------------------------------------------------
+class _Sink(Host):
+    def __init__(self, sim, address):
+        super().__init__(sim, address)
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def _outage_pair(sim, **kwargs):
+    a = _Sink(sim, "a")
+    b = _Sink(sim, "b")
+    link = Link(sim, "a->b", b, **kwargs)
+    a.add_route("b", link)
+    return a, b, link
+
+
+class TestLinkOutage:
+    def test_queue_policy_parks_packets_until_outage_ends(self):
+        sim = Simulator()
+        a, b, link = _outage_pair(sim, latency=0.01, bandwidth_bps=1e6)
+        link.start_outage(2.0)
+        a.send(Packet("a", "b", 100))
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0][0] >= 2.0
+
+    def test_drop_policy_discards_packets(self):
+        sim = Simulator()
+        a, b, link = _outage_pair(sim, latency=0.01)
+        taps = []
+        link.add_tap(LinkTap(lambda kind, pkt, t: taps.append(kind)))
+        link.start_outage(2.0, policy="drop")
+        a.send(Packet("a", "b", 100))
+        sim.run()
+        assert b.received == []
+        assert link.outage_drops == 1
+        assert DROP_OUTAGE in taps
+
+    def test_in_flight_packets_survive_outage(self):
+        sim = Simulator()
+        a, b, link = _outage_pair(sim, latency=1.0)
+        a.send(Packet("a", "b", 100))
+        sim.schedule(0.5, link.start_outage, 5.0, "drop")
+        sim.run()
+        assert len(b.received) == 1  # already past the bottleneck
+
+    def test_outage_extends_not_shrinks(self):
+        sim = Simulator()
+        _, _, link = _outage_pair(sim)
+        end1 = link.start_outage(10.0)
+        end2 = link.start_outage(1.0)
+        assert end2 == end1
+        assert link.outages == 2
+
+    def test_outage_validation(self):
+        sim = Simulator()
+        _, _, link = _outage_pair(sim)
+        with pytest.raises(ValueError):
+            link.start_outage(-1.0)
+        with pytest.raises(ValueError):
+            link.start_outage(1.0, policy="park")
+
+    def test_in_outage_property(self):
+        sim = Simulator()
+        _, _, link = _outage_pair(sim)
+        assert not link.in_outage
+        link.start_outage(3.0)
+        assert link.in_outage
+
+
+# ----------------------------------------------------------------------
+# TCP reset
+# ----------------------------------------------------------------------
+class TestConnectionReset:
+    def _establish(self, topo):
+        server_app = EchoApp()
+        topo.server_tcp.listen(80, server_app.on_accept)
+        client_app = ClientApp()
+        conn = topo.client_tcp.connect("server", 80)
+        client_app.attach(conn)
+        topo.sim.run()
+        return conn, client_app, server_app
+
+    def test_reset_propagates_rst_to_peer(self):
+        topo = Topology()
+        conn, _, server_app = self._establish(topo)
+        peer = server_app.connections[0]
+        resets = []
+        peer.on_reset = resets.append
+        conn.reset(send_rst=True)
+        assert conn.state == "RESET"
+        topo.sim.run()
+        assert peer.state == "RESET"
+        assert resets == [peer]
+
+    def test_on_close_fires_once_on_reset(self):
+        topo = Topology()
+        conn, client_app, _ = self._establish(topo)
+        closes = []
+        conn.on_close = closes.append
+        conn.reset(send_rst=True)
+        conn.reset(send_rst=True)  # idempotent
+        topo.sim.run()
+        assert closes == [conn]
+
+    def test_send_after_reset_raises(self):
+        topo = Topology()
+        conn, _, _ = self._establish(topo)
+        conn.reset(send_rst=True)
+        with pytest.raises(Exception):
+            conn.send_message("x", 100)
+
+    def test_segments_after_reset_ignored(self):
+        topo = Topology()
+        conn, client_app, server_app = self._establish(topo)
+        peer = server_app.connections[0]
+        conn.reset(send_rst=False)  # silent local reset
+        peer.send_message("slow", 5000)
+        # The peer keeps retransmitting into the void, so bound the run.
+        topo.sim.run(until=30.0)
+        assert conn.state == "RESET"
+        assert client_app.received == []
+        assert peer.stats.retransmissions > 0
+
+
+# ----------------------------------------------------------------------
+# RRC handover
+# ----------------------------------------------------------------------
+class TestHandover:
+    def _machine(self):
+        from repro.cellular import UMTS_IDLE, UmtsRrc
+        sim = Simulator()
+        return sim, UmtsRrc(sim), UMTS_IDLE
+
+    def test_force_release_drops_to_initial_state(self):
+        sim, machine, idle = self._machine()
+        machine.request_channel(100_000)
+        sim.run(until=10.0)
+        assert machine.state != idle
+        machine.force_release()
+        assert machine.state == idle
+        assert machine.handovers == 1
+
+    def test_force_release_cancels_pending_promotion(self):
+        sim, machine, idle = self._machine()
+        machine.request_channel(100_000)   # promotion in progress
+        machine.force_release()
+        sim.run(until=10.0)                # stale promo timer must not fire
+        assert machine.state == idle
+        assert not machine.promoting
+
+
+# ----------------------------------------------------------------------
+# injector end-to-end
+# ----------------------------------------------------------------------
+def _run(protocol, fault_plan, recovery=True, seed=3, site=12):
+    config = ExperimentConfig(protocol=protocol, network="3g",
+                              site_ids=[site], seed=seed,
+                              think_time=20.0,
+                              fault_plan=fault_plan, recovery=recovery)
+    return run_experiment(config)
+
+
+class TestInjectorEndToEnd:
+    def test_no_plan_no_report(self):
+        result = _run("http", None)
+        assert result.fault_report is None
+
+    def test_replay_is_deterministic(self):
+        runs = [_run("spdy", "rst@3.0,blackout@6:2,handover@9")
+                for _ in range(2)]
+        assert runs[0].fault_report["log"] == runs[1].fault_report["log"]
+        assert [(p.site_id, p.plt, p.timed_out) for p in runs[0].pages] == \
+               [(p.site_id, p.plt, p.timed_out) for p in runs[1].pages]
+
+    def test_rst_resets_a_connection(self):
+        result = _run("http", "rst@3.0")
+        report = result.fault_report
+        assert report["counters"]["rst"] == 1
+        assert report["connections_reset"] == 1
+        assert len(report["log"]) == 1
+        assert report["log"][0].startswith("3.000000 rst")
+
+    def test_http_recovers_from_rst(self):
+        result = _run("http", "rst@3.0")
+        assert all(not p.timed_out for p in result.pages)
+
+    def test_spdy_recovers_from_rst(self):
+        result = _run("spdy", "rst@3.0")
+        assert all(not p.timed_out for p in result.pages)
+
+    def test_spdy_without_recovery_times_out(self):
+        result = _run("spdy", "rst@3.0", recovery=False)
+        assert any(p.timed_out for p in result.pages)
+
+    def test_recovery_costs_time(self):
+        baseline = _run("spdy", None)
+        faulted = _run("spdy", "rst@3.0")
+        assert faulted.pages[0].plt > baseline.pages[0].plt
+
+    def test_blackout_survived_by_tcp_alone(self):
+        result = _run("http", "blackout@3:2", recovery=False)
+        assert all(not p.timed_out for p in result.pages)
+
+    def test_proxyrestart_resets_client_facing_only(self):
+        result = _run("spdy", "proxyrestart@3.0")
+        report = result.fault_report
+        assert report["counters"]["proxyrestart"] == 1
+        assert all(not p.timed_out for p in result.pages)
+
+    def test_burstloss_installs_models(self):
+        result = _run("http", "burstloss@1:0.05")
+        access = result.testbed.access
+        assert isinstance(access.downlink.loss_model, GilbertElliottLoss)
+        assert isinstance(access.uplink.loss_model, GilbertElliottLoss)
+        assert access.downlink.loss_model is not access.uplink.loss_model
+
+    def test_handover_demotes_radio(self):
+        result = _run("http", "handover@3.0")
+        assert result.testbed.radio.handovers == 1
+
+    def test_double_install_rejected(self):
+        result = _run("http", None)
+        injector = FaultInjector(result.testbed, FaultPlan.parse("rst@1"))
+        injector.install()
+        with pytest.raises(RuntimeError):
+            injector.install()
+
+    def test_fault_summary_keys(self):
+        from repro.core import summarize_run
+        result = _run("http", "rst@3.0")
+        summary = summarize_run(result)
+        assert summary["faults_applied"] == 1
+        assert "fault_connections_reset" in summary
+        assert "object_retries" in summary

@@ -176,3 +176,78 @@ def test_property_events_fire_in_nondecreasing_time(delays):
     sim.run()
     assert len(times) == len(delays)
     assert times == sorted(times)
+
+
+class TestRunUntilAndMaxEvents:
+    def test_until_advances_clock_past_cancelled_tail(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "b").cancel()
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+
+    def test_until_with_empty_queue_still_advances(self):
+        sim = Simulator()
+        assert sim.run(until=7.0) == 7.0
+        assert sim.now == 7.0
+
+    def test_max_events_does_not_jump_to_until(self):
+        # Stopping on the event budget must leave the clock at the last
+        # fired event, not teleport it past work still in the queue.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(3.0, fired.append, "c")
+        stopped_at = sim.run(until=10.0, max_events=2)
+        assert fired == ["a", "b"]
+        assert stopped_at == 2.0
+        assert sim.now == 2.0
+        sim.run(until=10.0)
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 10.0
+
+    def test_until_before_next_event_leaves_it_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(4.0, fired.append, "late")
+        sim.run(until=2.0)
+        assert fired == []
+        assert sim.now == 2.0
+        assert sim.peek_time() == 4.0
+
+
+class TestPeekTime:
+    def test_peek_empty(self):
+        assert Simulator().peek_time() is None
+
+    def test_peek_returns_next_live_time(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        sim.schedule(1.5, lambda: None)
+        assert sim.peek_time() == 1.5
+
+    def test_peek_skips_cancelled_head(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_all_cancelled_is_none_and_prunes(self):
+        sim = Simulator()
+        events = [sim.schedule(t, lambda: None) for t in (1.0, 2.0, 3.0)]
+        for event in events:
+            event.cancel()
+        assert sim.peek_time() is None
+        assert sim.pending() == 0
+
+    def test_peek_does_not_advance_clock_or_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        assert sim.peek_time() == 1.0
+        assert sim.now == 0.0
+        assert fired == []
