@@ -76,6 +76,7 @@ class Browser:
         self._background_events: list = []
         self._load_epoch = 0
         self._watchdogs: Dict[str, Timer] = {}
+        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
 
     # ------------------------------------------------------------------
     def load_page(self, page: WebPage,
@@ -297,6 +298,9 @@ class Browser:
             return
         self._record.onload_at = self.sim.now
         self._timeout_timer.stop()
+        if self.sanitizer is not None:
+            self.sanitizer.emit("browser.onload", self,
+                                detail=f"page{self._record.site_id}")
         if self.config.background_enabled and self._page is not None:
             self._schedule_background()
         if self._on_load is not None:
@@ -314,6 +318,10 @@ class Browser:
             abandon = getattr(self.fetcher, "abandon_all", None)
             if abandon is not None:
                 abandon()
+            if self.sanitizer is not None:
+                self.sanitizer.emit("browser.abandon", self,
+                                    detail=f"page{self._record.site_id}",
+                                    fetcher=self.fetcher)
             if self._on_load is not None:
                 self._on_load(self._record)
 

@@ -90,6 +90,11 @@ class HttpFetcher:
         self.requests_retried = 0   # re-issued after a connection reset
         self.requests_cancelled = 0
 
+    @property
+    def inflight_count(self) -> int:
+        """Requests currently awaiting a response (leak-check hook)."""
+        return len(self._inflight)
+
     def fetch(self, task: FetchTask) -> None:
         if self.pipelining:
             conn = self._pipeline_candidate(task.domain)
@@ -314,6 +319,12 @@ class SpdyFetcher:
         self.streams_reissued = 0
         self.streams_cancelled = 0
         self.sessions = [_SpdySession(self, i) for i in range(n_sessions)]
+
+    @property
+    def inflight_count(self) -> int:
+        """Open streams plus tasks queued on sessions (leak-check hook)."""
+        return (len(self._streams)
+                + sum(len(s.pending) for s in self.sessions))
 
     # ------------------------------------------------------------------
     def fetch(self, task: FetchTask) -> None:

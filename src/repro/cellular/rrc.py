@@ -89,6 +89,7 @@ class RrcStateMachine:
         self._demote_timer = Timer(sim, self._demote, name=f"{name}/demote")
         self.on_state_change: Optional[Callable[[float, str, str], None]] = None
         self.handovers = 0
+        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -106,6 +107,14 @@ class RrcStateMachine:
     def _demotion_after(self, state: str) -> Optional[Tuple[float, str]]:
         """(inactivity timeout, next state) for ``state``, or None."""
         raise NotImplementedError
+
+    def legal_transitions(self) -> Optional[frozenset]:
+        """The machine's state graph as (old, new) pairs, or None.
+
+        ``None`` disables graph checking (a custom machine without a
+        declared graph); subclasses return the edges of Figure 18.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # public interface used by the radio link
@@ -175,6 +184,10 @@ class RrcStateMachine:
             return
         self.state = new_state
         self.state_log.append((self.sim.now, new_state))
+        if self.sanitizer is not None:
+            self.sanitizer.emit("rrc.transition", self,
+                                detail=f"{self.name} {old}->{new_state}",
+                                old=old, new=new_state)
         if self.on_state_change is not None:
             self.on_state_change(self.sim.now, old, new_state)
 
@@ -240,6 +253,15 @@ class UmtsRrc(RrcStateMachine):
             return (self.config.fach_to_idle_timeout, UMTS_IDLE)
         return None
 
+    def legal_transitions(self) -> Optional[frozenset]:
+        # Promotions target CELL_DCH; demotions step DCH->FACH->IDLE; a
+        # forced release (handover) drops any state straight to IDLE.
+        return frozenset({
+            (UMTS_IDLE, UMTS_DCH), (UMTS_FACH, UMTS_DCH),
+            (UMTS_DCH, UMTS_FACH), (UMTS_FACH, UMTS_IDLE),
+            (UMTS_DCH, UMTS_IDLE),
+        })
+
 
 class LteRrc(RrcStateMachine):
     """The LTE state machine: RRC_IDLE <-> RRC_CONNECTED {CRX, short/long DRX}."""
@@ -272,3 +294,13 @@ class LteRrc(RrcStateMachine):
         if state == LTE_LDRX:
             return (self.config.ldrx_to_idle_timeout, LTE_IDLE)
         return None
+
+    def legal_transitions(self) -> Optional[frozenset]:
+        # Promotions (from idle or either DRX level) land in continuous
+        # RX; demotions step CRX->short DRX->long DRX->IDLE; a forced
+        # release drops any connected state straight to IDLE.
+        return frozenset({
+            (LTE_IDLE, LTE_CRX), (LTE_SDRX, LTE_CRX), (LTE_LDRX, LTE_CRX),
+            (LTE_CRX, LTE_SDRX), (LTE_SDRX, LTE_LDRX), (LTE_LDRX, LTE_IDLE),
+            (LTE_CRX, LTE_IDLE), (LTE_SDRX, LTE_IDLE),
+        })

@@ -26,7 +26,10 @@ from .core import MeasurementStudy, summarize_run
 from .experiments import figures, tables
 from .experiments.runner import ExperimentConfig, run_experiment
 from .faults import FaultPlan, FaultSpecError
-from .reporting import render_boxes, render_fault_summary, render_table
+from .reporting import (render_boxes, render_campaign_health,
+                        render_fault_summary, render_table)
+from .sanity import (CHECK_MODES, DEFAULT_EVENT_BUDGET, run_campaign,
+                     sweep_configs)
 
 __all__ = ["main"]
 
@@ -94,7 +97,8 @@ def _cmd_run(args) -> int:
                               load_timeout=args.timeout,
                               think_time=args.think_time,
                               fault_plan=args.faults,
-                              recovery=not args.no_recovery)
+                              recovery=not args.no_recovery,
+                              checks=args.check)
     result = run_experiment(config)
     rows = [[p.site_id, p.plt_or(config.load_timeout),
              "timeout" if p.timed_out else "ok", len(p.objects)]
@@ -112,7 +116,8 @@ def _cmd_run(args) -> int:
 
 def _cmd_study(args) -> int:
     study = MeasurementStudy(network=args.network, n_runs=args.runs,
-                             site_ids=args.sites, seed=args.seed)
+                             site_ids=args.sites, seed=args.seed,
+                             base_config=ExperimentConfig(checks=args.check))
     result = study.run()
     sites = {site: {"http": result.site_boxes("http")[site],
                     "spdy": result.site_boxes("spdy")[site]}
@@ -122,6 +127,31 @@ def _cmd_study(args) -> int:
           f"spdy={result.median_plt('spdy'):.2f}s")
     print(f"verdict: {result.verdict()}")
     return 0
+
+
+def _cmd_campaign(args) -> int:
+    journal = args.resume or args.journal
+    base = ExperimentConfig(network=args.network, seed=args.seed,
+                            site_ids=args.sites or list(range(1, 21)),
+                            load_timeout=args.timeout,
+                            think_time=args.think_time,
+                            fault_plan=args.faults,
+                            checks=args.check)
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    configs = sweep_configs(base, args.runs, protocols=protocols)
+    try:
+        result = run_campaign(configs, journal_path=journal,
+                              resume=args.resume is not None,
+                              event_budget=args.event_budget)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_campaign_health(result.records))
+    print()
+    for condition, stats in sorted(result.aggregate().items()):
+        line = "  ".join(f"{key}={value}" for key, value in stats.items())
+        print(f"{condition}: {line}")
+    return 1 if result.failed_count else 0
 
 
 def _cmd_figure(args) -> int:
@@ -182,6 +212,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--no-recovery", action="store_true",
                        help="disable stall retries and SPDY session "
                             "re-establishment (faults become fatal)")
+    p_run.add_argument("--check", choices=list(CHECK_MODES), default=None,
+                       help="runtime invariant checking (default: the "
+                            "REPRO_CHECKS env var, else off)")
     p_run.set_defaults(func=_cmd_run)
 
     p_study = sub.add_parser("study", help="HTTP vs SPDY comparison")
@@ -191,7 +224,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="e.g. 1-20 or 5,9,12")
     p_study.add_argument("--runs", type=int, default=2)
     p_study.add_argument("--seed", type=int, default=0)
+    p_study.add_argument("--check", choices=list(CHECK_MODES), default=None,
+                         help="runtime invariant checking (default: the "
+                              "REPRO_CHECKS env var, else off)")
     p_study.set_defaults(func=_cmd_study)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="crash-safe multi-run sweep with a resumable journal")
+    p_camp.add_argument("--protocols", default="http,spdy",
+                        help="comma-separated protocol list "
+                             "(default http,spdy)")
+    p_camp.add_argument("--network", choices=["3g", "lte", "wifi"],
+                        default="3g")
+    p_camp.add_argument("--sites", type=_parse_sites,
+                        help="e.g. 1-20 or 5,9,12")
+    p_camp.add_argument("--runs", type=int, default=2,
+                        help="seeds per protocol (default 2)")
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--timeout", type=float, default=55.0,
+                        help="per-page load timeout in seconds (default 55)")
+    p_camp.add_argument("--think-time", type=float, default=60.0,
+                        help="seconds between page visits (default 60)")
+    p_camp.add_argument("--faults", type=_parse_faults, default=None,
+                        metavar="SPEC", help="fault plan for every trial")
+    p_camp.add_argument("--journal", metavar="PATH", default=None,
+                        help="append-only JSONL trial journal")
+    p_camp.add_argument("--resume", metavar="JOURNAL", default=None,
+                        help="journal to resume: journaled (config, seed) "
+                             "trials are skipped, the rest run")
+    p_camp.add_argument("--check", choices=list(CHECK_MODES), default=None,
+                        help="runtime invariant checking (default: the "
+                             "REPRO_CHECKS env var, else off)")
+    p_camp.add_argument("--event-budget", type=int,
+                        default=DEFAULT_EVENT_BUDGET, metavar="N",
+                        help="abort a trial after N simulator events "
+                             "(wedge watchdog; default 20,000,000)")
+    p_camp.set_defaults(func=_cmd_campaign)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")

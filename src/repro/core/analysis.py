@@ -165,4 +165,8 @@ def summarize_run(run) -> Dict[str, object]:
     if fault_report:
         summary["faults_applied"] = fault_report["events_applied"]
         summary["fault_connections_reset"] = fault_report["connections_reset"]
+    sanity_report = getattr(run, "sanity_report", None)
+    if sanity_report:
+        summary["invariant_checks"] = sanity_report["checks_run"]
+        summary["invariant_violations"] = len(sanity_report["violations"])
     return summary

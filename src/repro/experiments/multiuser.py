@@ -83,13 +83,18 @@ def run_contention_experiment(n_clients: int, protocol: str = "http",
                               network: str = "3g", seed: int = 0,
                               site_ids: Optional[List[int]] = None,
                               think_time: float = 60.0,
-                              stagger: float = 7.0) -> Dict[str, object]:
+                              stagger: float = 7.0,
+                              cell_downlink_bps: float = 6.0e6,
+                              cell_uplink_bps: float = 2.4e6
+                              ) -> Dict[str, object]:
     """All clients browse the same site list, offset by ``stagger`` seconds.
 
     Returns per-client PLT lists plus aggregate statistics.
     """
     site_ids = site_ids or [5, 9, 12, 13]
-    testbed = MultiClientTestbed(n_clients, network=network, seed=seed)
+    testbed = MultiClientTestbed(n_clients, network=network, seed=seed,
+                                 cell_downlink_bps=cell_downlink_bps,
+                                 cell_uplink_bps=cell_uplink_bps)
     pages = build_corpus(site_ids=site_ids)
     browsers = []
     for i in range(n_clients):

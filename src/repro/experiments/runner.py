@@ -78,6 +78,41 @@ class ExperimentConfig:
     warm_rttvar: float = 0.25
     warm_ssthresh: float = 40.0
 
+    # Runtime invariant checking: None defers to the REPRO_CHECKS env
+    # var (then "off"); "off" | "warn" | "strict" force a mode.
+    checks: Optional[str] = None
+    # Wedge watchdog: abort the run (WedgeError) if it takes more than
+    # this many events to reach the configured end time.  None = no cap.
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("http", "spdy"):
+            raise ValueError(
+                f"unknown protocol {self.protocol!r} (expected http or spdy)")
+        if self.profile is None and self.network not in ("3g", "lte", "wifi"):
+            raise ValueError(
+                f"unknown network {self.network!r} (expected 3g, lte or wifi)")
+        if not self.site_ids:
+            raise ValueError("site_ids must not be empty")
+        if not (self.think_time >= 0):
+            raise ValueError("think_time must be >= 0")
+        if not (self.load_timeout > 0):
+            raise ValueError("load_timeout must be positive")
+        if not (self.ping_interval > 0):
+            raise ValueError("ping_interval must be positive")
+        if not (self.tail_time >= 0):
+            raise ValueError("tail_time must be >= 0")
+        if self.n_spdy_sessions < 1:
+            raise ValueError("n_spdy_sessions must be >= 1")
+        if self.max_events is not None and self.max_events <= 0:
+            raise ValueError("max_events must be positive when set")
+        # Mirrors repro.sanity.CHECK_MODES; kept inline so the dataclass
+        # does not import the sanity package at module level.
+        if self.checks not in (None, "off", "warn", "strict"):
+            raise ValueError(
+                f"unknown checks mode {self.checks!r} "
+                "(expected off, warn or strict)")
+
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)
 
@@ -92,6 +127,7 @@ class RunResult:
     visit_order: List[int]
     duration: float
     fault_report: Optional[Dict] = None   # FaultInjector.report() or None
+    sanity_report: Optional[Dict] = None  # Sanitizer.report() or None
 
     # ------------------------------------------------------------------
     # convenience accessors used throughout the figure generators
@@ -177,6 +213,14 @@ def run_experiment(config: ExperimentConfig,
                                    http_pipelining=config.http_pipelining,
                                    recover=config.recovery)
 
+    # Imported lazily: repro.sanity imports this module for the campaign
+    # layer, so a module-level import here would be circular.
+    from ..sanity import Sanitizer, install_sanitizer, resolve_check_mode
+    sanitizer = None
+    if resolve_check_mode(config.checks) != "off":
+        sanitizer = Sanitizer(mode=resolve_check_mode(config.checks))
+        install_sanitizer(sanitizer, testbed, browser=browser)
+
     for index, site_id in enumerate(order):
         sim.schedule_at(index * config.think_time, browser.load_page,
                         by_id[site_id])
@@ -190,10 +234,18 @@ def run_experiment(config: ExperimentConfig,
         injector.install()
 
     end = len(order) * config.think_time + config.tail_time
-    sim.run(until=end)
+    sim.run(until=end, max_events=config.max_events)
+    if config.max_events is not None and sim.now < end:
+        # run() stopped on the event budget with simulated time still to
+        # cover: the run is wedged (e.g. a zero-delay event loop).
+        from ..sanity import WedgeError
+        raise WedgeError(sim.events_processed, sim.now, end)
+    if sanitizer is not None:
+        sanitizer.finalize()
     return RunResult(config=config, pages=list(browser.records),
                      testbed=testbed, visit_order=order, duration=end,
-                     fault_report=injector.report() if injector else None)
+                     fault_report=injector.report() if injector else None,
+                     sanity_report=sanitizer.report() if sanitizer else None)
 
 
 def _start_keepalive(testbed: Testbed, config: ExperimentConfig) -> None:
@@ -216,9 +268,28 @@ def _start_keepalive(testbed: Testbed, config: ExperimentConfig) -> None:
 
 
 def run_many(config: ExperimentConfig, n_runs: int,
-             pages: Optional[List[WebPage]] = None) -> List[RunResult]:
-    """Repeat a run with seeds ``seed, seed+1, ...`` (the paper's many nights)."""
+             pages: Optional[List[WebPage]] = None,
+             isolate: bool = False,
+             failures: Optional[List] = None) -> List[RunResult]:
+    """Repeat a run with seeds ``seed, seed+1, ...`` (the paper's many nights).
+
+    With ``isolate=True`` a crashing trial no longer takes the whole
+    sweep down: the exception is converted to a
+    :class:`repro.sanity.TrialFailure` (appended to ``failures`` when a
+    list is given) and the remaining seeds still run.
+    """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
-    return [run_experiment(config.with_overrides(seed=config.seed + i), pages)
-            for i in range(n_runs)]
+    results: List[RunResult] = []
+    for i in range(n_runs):
+        trial = config.with_overrides(seed=config.seed + i)
+        if not isolate:
+            results.append(run_experiment(trial, pages))
+            continue
+        try:
+            results.append(run_experiment(trial, pages))
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            from ..sanity import TrialFailure
+            if failures is not None:
+                failures.append(TrialFailure.from_exception(trial, exc))
+    return results

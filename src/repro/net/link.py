@@ -199,6 +199,20 @@ class Link:
         self.outages = 0
         self.outage_drops = 0
 
+        # conservation accounting: every packet handed to transmit() is
+        # *accepted*, and must end up exactly once in delivered, lost, or
+        # still in flight.  The sanity layer checks the books on every
+        # delivery/drop; the counters themselves are always maintained.
+        self.packets_accepted = 0
+        self.packets_delivered = 0
+        self.packets_lost = 0
+        self.bytes_accepted = 0
+        self.bytes_delivered = 0
+        self.bytes_lost = 0
+        self.packets_in_flight = 0
+        self.bytes_in_flight = 0
+        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
+
     # ------------------------------------------------------------------
     def add_tap(self, tap: LinkTap) -> None:
         """Attach a trace observer to this link."""
@@ -235,21 +249,29 @@ class Link:
     def transmit(self, packet: Packet) -> None:
         """Accept a packet for transmission (or drop it at the queue)."""
         now = self.sim.now
+        self.packets_accepted += 1
+        self.bytes_accepted += packet.size
         if now < self._outage_until and self._outage_policy == "drop":
             packet.lost = True
             self.packets_dropped += 1
             self.outage_drops += 1
+            self._account_loss(packet, in_flight=False)
             self._notify(DROP_OUTAGE, packet)
+            self._emit_sanity(DROP_OUTAGE, packet)
             return
         if self.queue_limit_bytes is not None:
             backlog = self._queued_bytes
             if backlog + packet.size > self.queue_limit_bytes:
                 packet.lost = True
                 self.packets_dropped += 1
+                self._account_loss(packet, in_flight=False)
                 self._notify(DROP_QUEUE, packet)
+                self._emit_sanity(DROP_QUEUE, packet)
                 return
         self._notify(ENQUEUE, packet)
         self._queued_bytes += packet.size
+        self.packets_in_flight += 1
+        self.bytes_in_flight += packet.size
 
         start = max(now, self._busy_until, self._gate_time(packet),
                     self._outage_until)
@@ -294,7 +316,9 @@ class Link:
 
     def _drop_after_tx(self, packet: Packet) -> None:
         self._queued_bytes -= packet.size
+        self._account_loss(packet, in_flight=True)
         self._notify(DROP_LOSS, packet)
+        self._emit_sanity(DROP_LOSS, packet)
 
     def _finish_serialization(self, packet: Packet) -> None:
         self._queued_bytes -= packet.size
@@ -303,8 +327,27 @@ class Link:
 
     def _deliver(self, packet: Packet) -> None:
         packet.delivered_at = self.sim.now
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        self.packets_in_flight -= 1
+        self.bytes_in_flight -= packet.size
         self._notify(DELIVER, packet)
+        self._emit_sanity(DELIVER, packet)
         self.dst.receive(packet)
+
+    # ------------------------------------------------------------------
+    def _account_loss(self, packet: Packet, in_flight: bool) -> None:
+        self.packets_lost += 1
+        self.bytes_lost += packet.size
+        if in_flight:
+            self.packets_in_flight -= 1
+            self.bytes_in_flight -= packet.size
+
+    def _emit_sanity(self, kind: str, packet: Packet) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.emit("link.event", self,
+                                detail=f"{self.name} {kind} {packet.size}B",
+                                kind=kind, packet=packet)
 
     # ------------------------------------------------------------------
     @property

@@ -69,6 +69,7 @@ class PriorityScheduler:
         # Per-priority round-robin rings of stream ids with pending frames.
         self._rings: Dict[int, Deque[int]] = {}
         self.frames_sent = 0
+        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
 
     # ------------------------------------------------------------------
     def add_connection(self, conn) -> None:
@@ -86,6 +87,10 @@ class PriorityScheduler:
             dead = [sid for sid, s in self._streams.items() if s.conn is conn]
             for sid in dead:
                 self._streams.pop(sid).frames.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.emit("proxy.conn-removed", self,
+                                detail=f"conn removed ({len(self._conns)} left)",
+                                conn=conn)
 
     def open_stream(self, stream: StreamOutput) -> None:
         self._streams[stream.stream_id] = stream
@@ -146,6 +151,10 @@ class PriorityScheduler:
                     frame, wire_size = stream.frames.popleft()
                     conn.send_message(frame, wire_size)
                     self.frames_sent += 1
+                    if self.sanitizer is not None:
+                        self.sanitizer.emit("proxy.frame", self,
+                                            detail=f"stream{stream_id}",
+                                            stream=stream, conn=conn)
                     progress = True
                     stream.last_conn = conn
                     if not stream.started:

@@ -65,6 +65,7 @@ class SpdyProxy:
         self.streams_pushed = 0
         self._groups: Dict[str, _ClientGroup] = {}
         self._tls_state: Dict[object, str] = {}
+        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
         stack.listen(port, self._on_accept)
 
     # ------------------------------------------------------------------
@@ -72,6 +73,7 @@ class SpdyProxy:
         group = self._groups.get(client_addr)
         if group is None:
             group = _ClientGroup(self.sim, self.late_binding)
+            group.scheduler.sanitizer = self.sanitizer
             self._groups[client_addr] = group
         return group
 

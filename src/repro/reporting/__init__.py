@@ -1,7 +1,9 @@
 """Plot-free rendering of figure/table datasets as ASCII."""
 
-from .render import (format_seconds, render_bar, render_boxes, render_cdf,
+from .render import (format_seconds, render_bar, render_boxes,
+                     render_campaign_health, render_cdf,
                      render_fault_summary, render_series, render_table)
 
-__all__ = ["format_seconds", "render_bar", "render_boxes", "render_cdf",
-           "render_fault_summary", "render_series", "render_table"]
+__all__ = ["format_seconds", "render_bar", "render_boxes",
+           "render_campaign_health", "render_cdf", "render_fault_summary",
+           "render_series", "render_table"]

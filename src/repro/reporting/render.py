@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["render_table", "render_boxes", "render_series", "render_cdf",
-           "render_bar", "render_fault_summary", "format_seconds"]
+           "render_bar", "render_fault_summary", "render_campaign_health",
+           "format_seconds"]
 
 
 def format_seconds(value) -> str:
@@ -136,4 +137,36 @@ def render_fault_summary(report: Dict[str, object],
         lines.append(f"  {entry}")
     if len(log) > max_log_lines:
         lines.append(f"  ... {len(log) - max_log_lines} more")
+    return "\n".join(lines)
+
+
+def render_campaign_health(records: Sequence[Dict[str, object]],
+                           max_failure_lines: int = 8) -> str:
+    """Per-condition health table for a campaign's journal records."""
+    trials = [r for r in records if r.get("kind") == "trial"]
+    if not trials:
+        return "campaign: no trials"
+    by_key: Dict[str, Dict[str, int]] = {}
+    for record in trials:
+        key = f"{record.get('protocol', '?')}/{record.get('network', '?')}"
+        bucket = by_key.setdefault(
+            key, {"trials": 0, "ok": 0, "failed": 0, "resumed": 0,
+                  "violations": 0})
+        bucket["trials"] += 1
+        bucket["ok" if record.get("status") == "ok" else "failed"] += 1
+        if record.get("resumed"):
+            bucket["resumed"] += 1
+        bucket["violations"] += int(record.get("violations", 0) or 0)
+    headers = ["condition", "trials", "ok", "failed", "resumed", "violations"]
+    rows = [[key, b["trials"], b["ok"], b["failed"], b["resumed"],
+             b["violations"]] for key, b in sorted(by_key.items())]
+    lines = [render_table(headers, rows, title="campaign health")]
+    failures = [r for r in trials if r.get("status") != "ok"]
+    for record in failures[:max_failure_lines]:
+        failure = record.get("failure") or {}
+        lines.append(f"  seed={record.get('seed')} "
+                     f"{failure.get('kind', 'exception')}: "
+                     f"{failure.get('message', '?')}")
+    if len(failures) > max_failure_lines:
+        lines.append(f"  ... {len(failures) - max_failure_lines} more failures")
     return "\n".join(lines)

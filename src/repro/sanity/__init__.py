@@ -1,0 +1,30 @@
+"""Runtime invariant sanitizer and crash-safe campaign orchestration.
+
+Two halves:
+
+* :mod:`repro.sanity.invariants` / :mod:`repro.sanity.checks` — a
+  TSan-style runtime checker for discrete-event state: pluggable
+  :class:`Invariant` checks over the simulator clock, TCP sequence and
+  congestion state, link byte conservation, RRC state-graph legality,
+  browser lifecycle, and the SPDY proxy's stream binding, with modes
+  ``off | warn | strict`` (``ExperimentConfig.checks``, ``--check``, or
+  ``REPRO_CHECKS``).
+* :mod:`repro.sanity.campaign` — isolated, journaled, resumable
+  experiment sweeps with a wedge watchdog.
+"""
+
+from .campaign import (CampaignJournal, CampaignResult, DEFAULT_EVENT_BUDGET,
+                       TrialFailure, config_digest, run_campaign,
+                       sweep_configs)
+from .checks import default_invariants, install_sanitizer
+from .invariants import (CHECK_MODES, Invariant, InvariantViolation,
+                         Sanitizer, ViolationRecord, WedgeError,
+                         resolve_check_mode)
+
+__all__ = [
+    "CHECK_MODES", "CampaignJournal", "CampaignResult",
+    "DEFAULT_EVENT_BUDGET", "Invariant", "InvariantViolation", "Sanitizer",
+    "TrialFailure", "ViolationRecord", "WedgeError", "config_digest",
+    "default_invariants", "install_sanitizer", "resolve_check_mode",
+    "run_campaign", "sweep_configs",
+]

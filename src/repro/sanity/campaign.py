@@ -1,0 +1,328 @@
+"""Crash-safe, resumable experiment campaigns.
+
+The ROADMAP's north star is production-scale sweeps; the failure mode
+that kills those is losing hours of completed trials to one crash — a
+wedged event loop, an unhandled exception in a fault-injected run, or
+simply the operator's laptop going to sleep.  This module makes a sweep
+a *campaign*:
+
+* every trial runs isolated — an exception (including an
+  :class:`InvariantViolation`) becomes a structured
+  :class:`TrialFailure` record instead of killing the sweep;
+* every finished trial is journaled to an append-only JSONL file with
+  atomic single-``write`` appends, so a killed campaign loses at most
+  the trial in flight;
+* ``resume`` skips every (config-digest, seed) pair already journaled —
+  including failed ones, which are deterministic and would fail again —
+  and reconstructs the aggregate from the journal, so an interrupted
+  campaign re-run converges to byte-identical aggregate results;
+* a wedge watchdog (``max_events``) bounds every trial, so a
+  pathological run aborts as a :class:`WedgeError` record instead of
+  hanging the whole campaign.
+
+The config digest deliberately excludes ``seed`` (it is the trial key's
+second half), ``checks`` and ``max_events`` (observability knobs that
+must not change which trials count as done).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.analysis import summarize_run
+from ..experiments.runner import ExperimentConfig, RunResult, run_experiment
+from .invariants import InvariantViolation, WedgeError
+
+__all__ = ["CampaignJournal", "CampaignResult", "TrialFailure",
+           "config_digest", "run_campaign", "sweep_configs",
+           "DEFAULT_EVENT_BUDGET"]
+
+#: Default per-trial event budget.  A full 20-site run fires ~225k
+#: events; this is ~90x that — generous headroom for faulted runs, tight
+#: enough that a zero-delay event loop aborts in seconds, not hours.
+DEFAULT_EVENT_BUDGET = 20_000_000
+
+#: Fields that do not change what a trial *measures* and are therefore
+#: excluded from the digest: the seed is the trial key's second half,
+#: and checks/max_events are observability/watchdog knobs.
+_DIGEST_EXCLUDED = ("seed", "checks", "max_events")
+
+
+def _canon(value):
+    """Canonicalize a config value into JSON-able, process-stable form.
+
+    ``repr`` of callables and plain objects embeds memory addresses, so
+    digests built on it would differ across processes and break resume.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canon(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _canon(v)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(json.dumps(_canon(v), sort_keys=True) for v in value)
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        qualname = getattr(value, "__qualname__", type(value).__qualname__)
+        return f"callable:{module}.{qualname}"
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        canon = {"__class__": type(value).__qualname__}
+        for key in sorted(state):
+            canon[str(key)] = _canon(state[key])
+        return canon
+    return repr(value)
+
+
+def config_digest(config: ExperimentConfig) -> str:
+    """Process-stable digest identifying one experimental condition."""
+    canon = {f.name: _canon(getattr(config, f.name))
+             for f in dataclasses.fields(config)
+             if f.name not in _DIGEST_EXCLUDED}
+    blob = json.dumps(canon, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass
+class TrialFailure:
+    """A trial that died — structured, journal-able, and non-fatal."""
+
+    kind: str                 # "exception" | "wedge" | "invariant-violation"
+    error_type: str
+    message: str
+    digest: str
+    seed: int
+    protocol: str
+    network: str
+    traceback_tail: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_exception(cls, config: ExperimentConfig,
+                       exc: BaseException) -> "TrialFailure":
+        if isinstance(exc, InvariantViolation):
+            kind = "invariant-violation"
+        elif isinstance(exc, WedgeError):
+            kind = "wedge"
+        else:
+            kind = "exception"
+        tail = traceback.format_exception_only(type(exc), exc)
+        return cls(kind=kind, error_type=type(exc).__name__,
+                   message=str(exc), digest=config_digest(config),
+                   seed=config.seed, protocol=config.protocol,
+                   network=config.network,
+                   traceback_tail=[line.rstrip("\n") for line in tail][-8:])
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "error_type": self.error_type,
+                "message": self.message, "digest": self.digest,
+                "seed": self.seed, "protocol": self.protocol,
+                "network": self.network,
+                "traceback_tail": list(self.traceback_tail)}
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of campaign trial outcomes.
+
+    Each record is one ``json.dumps(..., sort_keys=True)`` line, written
+    with a single ``write`` + flush + fsync so a crash leaves at most
+    one truncated final line — which :meth:`load` tolerates by skipping
+    undecodable lines.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def append(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        # A crash can leave a torn final line with no newline; without
+        # this guard the next append would glue itself onto the torn
+        # fragment and both records would be lost.
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    line = "\n" + line
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> List[Dict[str, object]]:
+        """All decodable records (a truncated tail line is skipped)."""
+        records: List[Dict[str, object]] = []
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # crash-truncated write
+                if isinstance(record, dict):
+                    records.append(record)
+        return records
+
+    def completed(self) -> Dict[Tuple[str, int], Dict[str, object]]:
+        """(digest, seed) -> last journaled trial record."""
+        done: Dict[Tuple[str, int], Dict[str, object]] = {}
+        for record in self.load():
+            if record.get("kind") != "trial":
+                continue
+            done[(str(record.get("digest")), int(record.get("seed", 0)))] = \
+                record
+        return done
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, journaled and live."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    results: Dict[Tuple[str, int], RunResult] = field(default_factory=dict)
+    journal_path: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.records if r.get("status") == "ok")
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for r in self.records if r.get("status") == "failed")
+
+    @property
+    def resumed_count(self) -> int:
+        return sum(1 for r in self.records if r.get("resumed"))
+
+    @property
+    def failures(self) -> List[Dict[str, object]]:
+        return [r["failure"] for r in self.records
+                if r.get("status") == "failed" and r.get("failure")]
+
+    @property
+    def violation_count(self) -> int:
+        return sum(int(r.get("violations") or 0) for r in self.records)
+
+    # ------------------------------------------------------------------
+    def aggregate(self) -> Dict[str, Dict[str, object]]:
+        """Per-(protocol, network) aggregates, computed from the journal
+        records only — so a resumed campaign reproduces them exactly."""
+        import statistics
+
+        groups: Dict[str, List[Dict[str, object]]] = {}
+        for record in self.records:
+            key = f"{record.get('protocol')}/{record.get('network')}"
+            groups.setdefault(key, []).append(record)
+        aggregates: Dict[str, Dict[str, object]] = {}
+        for key in sorted(groups):
+            records = groups[key]
+            medians = [r["summary"]["median_plt"] for r in records
+                       if r.get("status") == "ok" and r.get("summary")
+                       and r["summary"].get("median_plt") is not None]
+            aggregates[key] = {
+                "trials": len(records),
+                "ok": sum(1 for r in records if r.get("status") == "ok"),
+                "failed": sum(1 for r in records
+                              if r.get("status") == "failed"),
+                "violations": sum(int(r.get("violations") or 0)
+                                  for r in records),
+                "median_plt": statistics.median(medians) if medians else None,
+                "mean_plt": statistics.mean(medians) if medians else None,
+            }
+        return aggregates
+
+
+def sweep_configs(base: ExperimentConfig, n_runs: int,
+                  protocols: Optional[List[str]] = None
+                  ) -> List[ExperimentConfig]:
+    """Expand a base condition into per-trial configs (seeded, per protocol)."""
+    if n_runs <= 0:
+        raise ValueError("n_runs must be positive")
+    configs: List[ExperimentConfig] = []
+    for protocol in (protocols or [base.protocol]):
+        for i in range(n_runs):
+            configs.append(base.with_overrides(protocol=protocol,
+                                               seed=base.seed + i))
+    return configs
+
+
+def run_campaign(configs: List[ExperimentConfig],
+                 journal_path: Optional[str] = None,
+                 resume: bool = False,
+                 event_budget: Optional[int] = DEFAULT_EVENT_BUDGET,
+                 pages=None) -> CampaignResult:
+    """Run every config as one isolated, journaled, resumable trial.
+
+    ``resume`` (requires ``journal_path``) skips trials whose
+    (config-digest, seed) pair is already journaled; skipped records are
+    carried into the result with ``resumed: true`` so aggregates match
+    an uninterrupted campaign exactly.  ``event_budget`` applies the
+    wedge watchdog to configs that do not set ``max_events`` themselves.
+    """
+    journal = CampaignJournal(journal_path) if journal_path else None
+    done: Dict[Tuple[str, int], Dict[str, object]] = {}
+    if resume:
+        if journal is None:
+            raise ValueError("resume requires a journal path")
+        if not os.path.exists(journal.path):
+            # A missing journal on resume is almost always a typo'd path;
+            # silently re-running every trial would defeat the point.
+            raise FileNotFoundError(
+                f"cannot resume: journal {journal.path!r} does not exist")
+        done = journal.completed()
+
+    result = CampaignResult(journal_path=journal_path)
+    for config in configs:
+        digest = config_digest(config)
+        key = (digest, config.seed)
+        prior = done.get(key)
+        if prior is not None:
+            record = dict(prior)
+            record["resumed"] = True
+            result.records.append(record)
+            continue
+        trial = config
+        if trial.max_events is None and event_budget is not None:
+            trial = trial.with_overrides(max_events=event_budget)
+        record: Dict[str, object] = {
+            "kind": "trial", "digest": digest, "seed": config.seed,
+            "protocol": config.protocol, "network": config.network,
+        }
+        try:
+            run = run_experiment(trial, pages)
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            failure = TrialFailure.from_exception(trial, exc)
+            record.update(status="failed", violations=_exc_violations(exc),
+                          summary=None, failure=failure.as_dict())
+        else:
+            violations = 0
+            if run.sanity_report is not None:
+                violations = len(run.sanity_report["violations"])
+            record.update(status="ok", violations=violations,
+                          summary=summarize_run(run), failure=None)
+            result.results[key] = run
+        if journal is not None:
+            journal.append(record)
+        result.records.append(record)
+    return result
+
+
+def _exc_violations(exc: BaseException) -> int:
+    """An InvariantViolation is itself one recorded violation."""
+    return 1 if isinstance(exc, InvariantViolation) else 0

@@ -1,0 +1,404 @@
+"""The default invariant catalog and testbed wiring.
+
+Each invariant here encodes a law that no correct run — faulted or not —
+may break:
+
+* ``sim.monotonic-time`` — the event loop never fires an event before
+  the current clock, and event times are finite.
+* ``tcp.window-sane`` — cwnd is positive and bounded by the configured
+  maximum; ssthresh is positive; ``snd_una`` never passes ``snd_nxt``;
+  acked bytes never exceed sent bytes.
+* ``tcp.sequence-space`` — no ACK acknowledges data beyond ``snd_nxt``;
+  only sent, still-unacked sequence ranges are retransmitted; the
+  receiver consumes segments only at or below ``rcv_nxt``.
+* ``link.byte-conservation`` — per link, accepted = delivered + lost +
+  in-flight, in packets and in bytes, and queues never go negative.
+* ``rrc.legal-transition`` — radio state changes follow the machine's
+  state graph (promotions, inactivity demotions, forced releases).
+* ``rrc.energy-accounting`` — time-in-state totals are non-negative and
+  sum to no more than the run duration; power constants are non-negative.
+* ``browser.lifecycle`` — at onLoad nothing is outstanding, no stall
+  watchdogs leak, and object timelines are ordered; after a page-load
+  abandon the fetcher holds zero in-flight requests.
+* ``proxy.stream-binding`` — without late binding every frame of a
+  stream is written to its home connection, and streams homed on a
+  removed connection do not keep queued frames.
+* ``tcp.no-connection-leak`` — closed/reset connections do not linger
+  in any stack's demux table at end of run.
+
+:func:`install_sanitizer` attaches a :class:`Sanitizer` to a fully
+wired testbed (simulator, both TCP stacks, every link, the RRC machine,
+the browser, and the SPDY proxy's schedulers) and registers this
+catalog.  Installation is passive: hooks only observe, so enabling
+checks never perturbs RNG draws or event ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from .invariants import Invariant, Sanitizer
+
+__all__ = ["default_invariants", "install_sanitizer",
+           "EventMonotonicity", "TcpWindowSane", "TcpSequenceSpace",
+           "LinkConservation", "RrcLegality", "RrcEnergyAccounting",
+           "BrowserLifecycle", "SchedulerBinding", "ConnectionLeak"]
+
+
+class EventMonotonicity(Invariant):
+    """Simulated time only moves forward, one finite step at a time."""
+
+    name = "sim.monotonic-time"
+    topics = ("sim.event",)
+
+    def observe(self, sanitizer, topic, sim, info) -> None:
+        event = info["event"]
+        if not math.isfinite(event.time):
+            sanitizer.fail(self.name, "Simulator",
+                           f"event scheduled at non-finite time {event.time!r}")
+        elif event.time < sim.now:
+            sanitizer.fail(
+                self.name, "Simulator",
+                f"event at t={event.time:.6f} fired after clock reached "
+                f"t={sim.now:.6f} (heap order corrupted?)")
+
+
+class TcpWindowSane(Invariant):
+    """cwnd/ssthresh positivity and boundedness, sender counters ordered."""
+
+    name = "tcp.window-sane"
+    topics = ("tcp.segment",)
+
+    def observe(self, sanitizer, topic, conn, info) -> None:
+        cwnd = conn.cc.cwnd
+        ssthresh = conn.cc.ssthresh
+        max_cwnd = getattr(conn.config, "max_cwnd_segments", None)
+        if not (cwnd > 0 and math.isfinite(cwnd)):
+            sanitizer.fail(self.name, conn.conn_id,
+                           f"cwnd={cwnd!r} is not positive and finite")
+        elif max_cwnd is not None and cwnd > max_cwnd:
+            sanitizer.fail(self.name, conn.conn_id,
+                           f"cwnd={cwnd:.2f} exceeds configured maximum "
+                           f"{max_cwnd} segments")
+        if not (ssthresh > 0):
+            sanitizer.fail(self.name, conn.conn_id,
+                           f"ssthresh={ssthresh!r} is not positive")
+        if conn.snd_una > conn.snd_nxt:
+            sanitizer.fail(self.name, conn.conn_id,
+                           f"snd_una={conn.snd_una} ahead of "
+                           f"snd_nxt={conn.snd_nxt}")
+        if conn.stats.bytes_acked > conn.stats.bytes_sent:
+            sanitizer.fail(self.name, conn.conn_id,
+                           f"bytes_acked={conn.stats.bytes_acked} exceeds "
+                           f"bytes_sent={conn.stats.bytes_sent}")
+
+
+class TcpSequenceSpace(Invariant):
+    """ACKs, retransmissions and receive-side consumption stay in bounds."""
+
+    name = "tcp.sequence-space"
+    topics = ("tcp.ack", "tcp.retransmit", "tcp.consume")
+
+    def observe(self, sanitizer, topic, conn, info) -> None:
+        if topic == "tcp.ack":
+            ack = info["ack"]
+            if ack > conn.snd_nxt:
+                sanitizer.fail(self.name, conn.conn_id,
+                               f"ACK {ack} acknowledges data beyond "
+                               f"snd_nxt={conn.snd_nxt}")
+        elif topic == "tcp.retransmit":
+            record = info["record"]
+            if record.end_seq > conn.snd_nxt:
+                sanitizer.fail(self.name, conn.conn_id,
+                               f"retransmission of [{record.seq}, "
+                               f"{record.end_seq}) beyond snd_nxt="
+                               f"{conn.snd_nxt} (never sent)")
+            if record.acked:
+                sanitizer.fail(self.name, conn.conn_id,
+                               f"retransmission of already-acked segment "
+                               f"seq={record.seq}")
+        else:  # tcp.consume
+            seq, end_seq = info["seq"], info["end_seq"]
+            if not (seq <= conn.rcv_nxt < end_seq):
+                sanitizer.fail(self.name, conn.conn_id,
+                               f"consumed segment [{seq}, {end_seq}) not "
+                               f"anchored at rcv_nxt={conn.rcv_nxt}")
+
+
+class LinkConservation(Invariant):
+    """delivered + dropped + in-flight == injected, per link, always."""
+
+    name = "link.byte-conservation"
+    topics = ("link.event",)
+
+    def __init__(self, links: Optional[List] = None,
+                 links_fn: Optional[Callable[[], List]] = None):
+        # links_fn re-discovers at finalize time, catching links created
+        # mid-run (origin hosts are built lazily on first request).
+        self.links = list(links or [])
+        self.links_fn = links_fn
+
+    def observe(self, sanitizer, topic, link, info) -> None:
+        self._check(sanitizer, link)
+
+    def finalize(self, sanitizer) -> None:
+        links = self.links_fn() if self.links_fn is not None else self.links
+        for link in links:
+            self._check(sanitizer, link)
+
+    def _check(self, sanitizer, link) -> None:
+        in_flight = link.packets_in_flight
+        if in_flight < 0 or link.bytes_in_flight < 0:
+            sanitizer.fail(self.name, link.name,
+                           f"negative in-flight accounting "
+                           f"({in_flight} packets, "
+                           f"{link.bytes_in_flight} bytes)")
+            return
+        if link.backlog_bytes < 0:
+            sanitizer.fail(self.name, link.name,
+                           f"negative queue backlog {link.backlog_bytes}")
+        if link.packets_accepted != (link.packets_delivered
+                                     + link.packets_lost + in_flight):
+            sanitizer.fail(
+                self.name, link.name,
+                f"packet conservation broken: accepted="
+                f"{link.packets_accepted} != delivered="
+                f"{link.packets_delivered} + lost={link.packets_lost} "
+                f"+ in-flight={in_flight}")
+        elif link.bytes_accepted != (link.bytes_delivered
+                                     + link.bytes_lost + link.bytes_in_flight):
+            sanitizer.fail(
+                self.name, link.name,
+                f"byte conservation broken: accepted={link.bytes_accepted} "
+                f"!= delivered={link.bytes_delivered} + lost="
+                f"{link.bytes_lost} + in-flight={link.bytes_in_flight}")
+
+
+class RrcLegality(Invariant):
+    """Radio state transitions follow the machine's state graph."""
+
+    name = "rrc.legal-transition"
+    topics = ("rrc.transition",)
+
+    def observe(self, sanitizer, topic, machine, info) -> None:
+        legal = machine.legal_transitions()
+        if legal is None:
+            return
+        old, new = info["old"], info["new"]
+        if (old, new) not in legal:
+            sanitizer.fail(self.name, machine.name,
+                           f"illegal RRC transition {old} -> {new}")
+
+
+class RrcEnergyAccounting(Invariant):
+    """Time-in-state and power accounting stay physical (end of run)."""
+
+    name = "rrc.energy-accounting"
+    topics = ()
+
+    def __init__(self, machine=None):
+        self.machine = machine
+
+    def finalize(self, sanitizer) -> None:
+        machine = self.machine
+        if machine is None:
+            return
+        config = getattr(machine, "config", None)
+        totals = machine.time_in_states()
+        for state, seconds in totals.items():
+            if seconds < 0:
+                sanitizer.fail(self.name, machine.name,
+                               f"negative time in state {state}: {seconds}")
+        duration = sanitizer.now
+        if duration > 0 and sum(totals.values()) > duration * (1 + 1e-9) + 1e-6:
+            sanitizer.fail(self.name, machine.name,
+                           f"time in states sums to {sum(totals.values()):.6f}"
+                           f"s over a {duration:.6f}s run")
+        power = getattr(config, "power_mw", {})
+        for state, mw in power.items():
+            if mw < 0:
+                sanitizer.fail(self.name, machine.name,
+                               f"negative power for state {state}: {mw} mW")
+
+
+class BrowserLifecycle(Invariant):
+    """No orphaned work at page-load end; object timelines are ordered."""
+
+    name = "browser.lifecycle"
+    topics = ("browser.onload", "browser.abandon")
+
+    def observe(self, sanitizer, topic, browser, info) -> None:
+        if topic == "browser.onload":
+            self._check_onload(sanitizer, browser)
+        else:
+            self._check_abandon(sanitizer, browser, info)
+
+    def _check_onload(self, sanitizer, browser) -> None:
+        record = browser._record
+        label = f"browser/page{record.site_id}" if record else "browser"
+        if browser._outstanding:
+            sanitizer.fail(self.name, label,
+                           f"onLoad fired with {len(browser._outstanding)} "
+                           f"objects still outstanding")
+        if browser._watchdogs:
+            sanitizer.fail(self.name, label,
+                           f"{len(browser._watchdogs)} stall watchdogs "
+                           f"leaked past onLoad")
+        if record is not None:
+            for timing in record.objects:
+                if (timing.complete_at is not None
+                        and timing.complete_at < timing.discovered_at):
+                    sanitizer.fail(self.name, label,
+                                   f"object {timing.key} completed at "
+                                   f"{timing.complete_at:.6f} before its "
+                                   f"discovery at {timing.discovered_at:.6f}")
+
+    def _check_abandon(self, sanitizer, browser, info) -> None:
+        fetcher = info["fetcher"]
+        inflight = getattr(fetcher, "inflight_count", None)
+        if inflight:  # None (no accounting) and 0 both pass
+            record = browser._record
+            label = f"browser/page{record.site_id}" if record else "browser"
+            sanitizer.fail(self.name, label,
+                           f"abandoned page load left {inflight} requests "
+                           f"in flight in the {fetcher.name} fetcher")
+
+
+class SchedulerBinding(Invariant):
+    """SPDY frame scheduling respects static binding and cleans up."""
+
+    name = "proxy.stream-binding"
+    topics = ("proxy.frame", "proxy.conn-removed")
+
+    def observe(self, sanitizer, topic, scheduler, info) -> None:
+        if topic == "proxy.frame":
+            stream, conn = info["stream"], info["conn"]
+            if not scheduler.late_binding and conn is not stream.conn:
+                sanitizer.fail(self.name, f"stream{stream.stream_id}",
+                               "static binding violated: frame written to a "
+                               "connection other than the stream's home")
+        else:  # proxy.conn-removed
+            conn = info["conn"]
+            if scheduler.late_binding:
+                return
+            for stream in scheduler._streams.values():
+                if stream.conn is conn and stream.pending:
+                    sanitizer.fail(self.name, f"stream{stream.stream_id}",
+                                   "stream kept queued frames after its home "
+                                   "connection was removed")
+
+
+class ConnectionLeak(Invariant):
+    """Dead connections must leave the demux table (end of run)."""
+
+    name = "tcp.no-connection-leak"
+    topics = ()
+
+    def __init__(self, stacks: Optional[List] = None):
+        self.stacks = list(stacks or [])
+
+    def finalize(self, sanitizer) -> None:
+        for stack in self.stacks:
+            for conn in stack.open_connections:
+                if conn.state in ("CLOSED", "RESET"):
+                    sanitizer.fail(self.name, conn.conn_id,
+                                   f"connection in state {conn.state} still "
+                                   f"registered in {stack.host.address}'s "
+                                   f"demux table")
+
+
+class _SchedulerFinalizer(Invariant):
+    """End-of-run sweep over every SPDY scheduler created during the run."""
+
+    name = "proxy.no-stranded-streams"
+    topics = ()
+
+    def __init__(self, spdy_proxy):
+        self.spdy_proxy = spdy_proxy
+
+    def finalize(self, sanitizer) -> None:
+        for group in self.spdy_proxy._groups.values():
+            scheduler = group.scheduler
+            if scheduler.late_binding:
+                continue
+            for stream in scheduler._streams.values():
+                if stream.pending and stream.conn.state == "RESET":
+                    sanitizer.fail(self.name, f"stream{stream.stream_id}",
+                                   "stream holds queued frames on a reset "
+                                   "connection at end of run")
+
+
+# ----------------------------------------------------------------------
+# wiring
+# ----------------------------------------------------------------------
+def _testbed_links(testbed) -> List:
+    """Every link reachable from the testbed's hosts (deduplicated).
+
+    Origin hosts are created lazily during a run, so this is evaluated
+    again at finalize time via :class:`LinkConservation`'s ``links_fn``.
+    """
+    links: List = []
+    seen = set()
+    hosts = [testbed.client_host, testbed.proxy_host]
+    farm = testbed.farm
+    for domain in sorted(farm._origins):
+        hosts.append(farm._origins[domain].stack.host)
+    for host in hosts:
+        candidates = list(host._routes.values())
+        if host._default_route is not None:
+            candidates.append(host._default_route)
+        for link in candidates:
+            if id(link) not in seen:
+                seen.add(id(link))
+                links.append(link)
+    return links
+
+
+def default_invariants(testbed, browser=None) -> List[Invariant]:
+    """The full catalog, bound to one testbed's components."""
+    return [
+        EventMonotonicity(),
+        TcpWindowSane(),
+        TcpSequenceSpace(),
+        LinkConservation(links_fn=lambda: _testbed_links(testbed)),
+        RrcLegality(),
+        RrcEnergyAccounting(machine=testbed.radio),
+        BrowserLifecycle(),
+        SchedulerBinding(),
+        _SchedulerFinalizer(testbed.spdy_proxy),
+        ConnectionLeak(stacks=[testbed.client_stack, testbed.proxy_stack]),
+    ]
+
+
+def install_sanitizer(sanitizer: Sanitizer, testbed, browser=None,
+                      invariants: Optional[List[Invariant]] = None) -> None:
+    """Attach ``sanitizer`` to every instrumented component of a testbed.
+
+    ``invariants=None`` registers the default catalog; pass a list to
+    run a custom set (they still see every emitted topic they subscribe
+    to).  Safe to call exactly once per testbed.
+    """
+    sanitizer.sim = testbed.sim
+    testbed.sim.sanitizer = sanitizer
+    for stack in (testbed.client_stack, testbed.proxy_stack):
+        stack.set_sanitizer(sanitizer)
+    for link in _testbed_links(testbed):
+        link.sanitizer = sanitizer
+    # Origin hosts (and their links/stacks) are created lazily during a
+    # run; the farm propagates the sanitizer to each as it is built.
+    testbed.farm.sanitizer = sanitizer
+    for domain in sorted(testbed.farm._origins):
+        origin = testbed.farm._origins[domain]
+        origin.stack.set_sanitizer(sanitizer)
+    if testbed.radio is not None:
+        testbed.radio.sanitizer = sanitizer
+    testbed.spdy_proxy.sanitizer = sanitizer
+    for group in testbed.spdy_proxy._groups.values():
+        group.scheduler.sanitizer = sanitizer
+    if browser is not None:
+        browser.sanitizer = sanitizer
+    if invariants is None:
+        invariants = default_invariants(testbed, browser)
+    for invariant in invariants:
+        sanitizer.register(invariant)

@@ -1,0 +1,214 @@
+"""Runtime invariant checking: a sanitizer for discrete-event state.
+
+The simulator's results are only as trustworthy as its bookkeeping, and
+PR 1's fault injector now deliberately perturbs the cross-layer state
+(RTT estimators, cwnd collapse, RRC promotions) the paper's headline
+numbers rest on.  This module is the TSan-equivalent for that state: a
+:class:`Sanitizer` that components report events to, and pluggable
+:class:`Invariant` checks that verify the laws of TCP, the RRC state
+graph, and link physics on every event.
+
+Modes
+-----
+``off``
+    No sanitizer is installed; components pay one ``is not None`` test
+    per hook and nothing else.  Runs are byte-identical to a build
+    without the sanity layer.
+``warn``
+    Violations are recorded (and counted in ``summarize_run``) but the
+    run continues — the right mode for long campaigns, where a
+    violation becomes a structured journal entry instead of lost hours.
+``strict``
+    The first violation raises :class:`InvariantViolation` carrying the
+    simulated time, the offending component, and a ring buffer of the
+    most recent simulator events for post-mortem context.
+
+The mode comes from ``ExperimentConfig.checks``, falling back to the
+``REPRO_CHECKS`` environment variable (how CI runs the whole tier-1
+suite under ``strict``), falling back to ``off``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CHECK_MODES", "Invariant", "InvariantViolation", "Sanitizer",
+           "ViolationRecord", "WedgeError", "resolve_check_mode"]
+
+CHECK_MODES = ("off", "warn", "strict")
+
+#: Environment fallback for the check mode (CI sets REPRO_CHECKS=strict).
+CHECKS_ENV_VAR = "REPRO_CHECKS"
+
+
+def resolve_check_mode(explicit: Optional[str] = None) -> str:
+    """Resolve the effective check mode: explicit > $REPRO_CHECKS > off."""
+    mode = explicit if explicit is not None else \
+        os.environ.get(CHECKS_ENV_VAR, "off").strip().lower()
+    if mode not in CHECK_MODES:
+        raise ValueError(
+            f"unknown check mode {mode!r}; choose from {CHECK_MODES}")
+    return mode
+
+
+class InvariantViolation(RuntimeError):
+    """A simulation invariant did not hold.
+
+    Carries enough context for a post-mortem without a debugger: the
+    simulated time, the component, and the tail of the simulator's
+    event stream leading up to the violation.
+    """
+
+    def __init__(self, invariant: str, component: str, message: str,
+                 time: float = 0.0, recent_events: Optional[List[str]] = None):
+        self.invariant = invariant
+        self.component = component
+        self.message = message
+        self.time = time
+        self.recent_events = list(recent_events or [])
+        text = f"[t={time:.6f}] {invariant} violated by {component}: {message}"
+        if self.recent_events:
+            text += "\nrecent events (oldest first):\n" + "\n".join(
+                f"  {line}" for line in self.recent_events)
+        super().__init__(text)
+
+
+class WedgeError(RuntimeError):
+    """A trial exceeded its event budget without reaching its end time.
+
+    Raised by the wedge watchdog so a pathological run (e.g. an event
+    loop re-arming itself at zero delay) aborts one trial instead of
+    hanging an entire campaign.
+    """
+
+    def __init__(self, events: int, sim_time: float, end_time: float):
+        self.events = events
+        self.sim_time = sim_time
+        self.end_time = end_time
+        super().__init__(
+            f"trial wedged: {events} events fired but simulated time "
+            f"only reached {sim_time:.3f}s of {end_time:.3f}s")
+
+
+@dataclass
+class ViolationRecord:
+    """One recorded violation (warn mode keeps a list of these)."""
+
+    invariant: str
+    component: str
+    message: str
+    time: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"invariant": self.invariant, "component": self.component,
+                "message": self.message, "time": self.time}
+
+
+class Invariant:
+    """Base class for pluggable checks.
+
+    An invariant subscribes to one or more *topics* — hook points that
+    instrumented components emit — and calls :meth:`Sanitizer.fail`
+    when a law is broken.  ``finalize`` runs once at the end of a run
+    for whole-run conservation/leak checks.
+    """
+
+    name = "invariant"
+    topics: Tuple[str, ...] = ()
+
+    def observe(self, sanitizer: "Sanitizer", topic: str, obj,
+                info: dict) -> None:
+        """React to one emitted event.  Default: nothing."""
+
+    def finalize(self, sanitizer: "Sanitizer") -> None:
+        """End-of-run check.  Default: nothing."""
+
+
+class Sanitizer:
+    """Event hub wiring instrumented components to registered invariants.
+
+    Components hold an optional ``sanitizer`` attribute (``None`` when
+    checks are off) and call :meth:`emit` at their hook points; the
+    sanitizer keeps a ring buffer of recent events and dispatches each
+    topic to the invariants subscribed to it.
+    """
+
+    def __init__(self, mode: str = "strict", ring_size: int = 64):
+        if mode not in ("warn", "strict"):
+            raise ValueError(
+                f"sanitizer mode must be 'warn' or 'strict', not {mode!r}")
+        self.mode = mode
+        self.sim = None                       # set by install_sanitizer
+        self.violations: List[ViolationRecord] = []
+        self.checks_run = 0
+        self._ring = deque(maxlen=ring_size)  # (time, topic, detail)
+        self._invariants: List[Invariant] = []
+        self._by_topic: Dict[str, List[Invariant]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    def register(self, invariant: Invariant) -> None:
+        """Add a pluggable invariant; it sees every topic it subscribes to."""
+        self._invariants.append(invariant)
+        for topic in invariant.topics:
+            self._by_topic.setdefault(topic, []).append(invariant)
+
+    # ------------------------------------------------------------------
+    def emit(self, topic: str, obj, detail=None, **info) -> None:
+        """Record a component event and run the invariants watching it."""
+        self._ring.append((self.now, topic, detail))
+        handlers = self._by_topic.get(topic)
+        if handlers:
+            self.checks_run += 1
+            for invariant in handlers:
+                invariant.observe(self, topic, obj, info)
+
+    def check(self, condition: bool, invariant: str, component,
+              message: str) -> bool:
+        """Assert ``condition``; on failure record/raise per the mode."""
+        if not condition:
+            self.fail(invariant, component, message)
+        return condition
+
+    def fail(self, invariant, component, message: str) -> None:
+        """Report a violation: record it, and raise in strict mode.
+
+        ``invariant`` may be an :class:`Invariant` (the usual caller is
+        a check reporting itself) or a bare name string.
+        """
+        name = getattr(invariant, "name", None) or str(invariant)
+        record = ViolationRecord(invariant=name, component=str(component),
+                                 message=message, time=self.now)
+        self.violations.append(record)
+        if self.mode == "strict":
+            raise InvariantViolation(name, str(component), message,
+                                     self.now, self.format_ring())
+
+    def finalize(self) -> None:
+        """Run every invariant's end-of-run checks."""
+        for invariant in self._invariants:
+            invariant.finalize(self)
+
+    # ------------------------------------------------------------------
+    def format_ring(self) -> List[str]:
+        """The recent-event ring as readable lines (oldest first)."""
+        lines = []
+        for time, topic, detail in self._ring:
+            suffix = f" {detail}" if detail else ""
+            lines.append(f"t={time:.6f} {topic}{suffix}")
+        return lines
+
+    def report(self) -> Dict[str, object]:
+        """JSON-able summary stored on the RunResult."""
+        return {
+            "mode": self.mode,
+            "checks_run": self.checks_run,
+            "invariants": [inv.name for inv in self._invariants],
+            "violations": [v.as_dict() for v in self.violations],
+        }

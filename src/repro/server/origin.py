@@ -10,6 +10,7 @@ first-byte delay (plus any long-poll hold the request asks for).
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Dict, Optional
 
 from ..net import DuplexLink, Host
@@ -82,17 +83,27 @@ class OriginFarm:
         self.bandwidth_bps = bandwidth_bps
         self.tcp_config = tcp_config or TcpConfig()
         self._origins: Dict[str, OriginServer] = {}
+        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
 
     def ensure_origin(self, domain: str) -> str:
         """Create (once) the origin host for ``domain``; returns its address."""
         if domain not in self._origins:
             host = Host(self.sim, domain)
-            latency = 0.002 + (abs(hash(domain)) % 9) * 0.001  # 2-10 ms
-            DuplexLink(self.sim, self.proxy_host, host,
-                       bandwidth_down_bps=self.bandwidth_bps,
-                       bandwidth_up_bps=self.bandwidth_bps,
-                       latency=latency, queue_limit_bytes=4 * 1024 * 1024)
+            # crc32, not hash(): per-process hash salting would give each
+            # process different latencies and break cross-process replay.
+            latency = 0.002 + (zlib.crc32(domain.encode()) % 9) * 0.001  # 2-10 ms
+            duplex = DuplexLink(self.sim, self.proxy_host, host,
+                                bandwidth_down_bps=self.bandwidth_bps,
+                                bandwidth_up_bps=self.bandwidth_bps,
+                                latency=latency,
+                                queue_limit_bytes=4 * 1024 * 1024)
             stack = TcpStack(self.sim, host, self.tcp_config)
+            if self.sanitizer is not None:
+                # Origins are built lazily mid-run; wire checks in as they
+                # appear so byte conservation covers the wired hops too.
+                duplex.forward.sanitizer = self.sanitizer
+                duplex.backward.sanitizer = self.sanitizer
+                stack.set_sanitizer(self.sanitizer)
             rng = self.sim.rng(f"origin/{domain}")
             self._origins[domain] = OriginServer(
                 self.sim, stack,

@@ -15,6 +15,7 @@ by :meth:`Simulator.rng`.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 from typing import Any, Callable, Dict, List, Optional
 
@@ -75,22 +76,29 @@ class Simulator:
         self._rngs: Dict[str, random.Random] = {}
         self._running = False
         self.events_processed = 0
+        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
+        # `not (delay >= 0)` also rejects NaN, whose comparisons are all
+        # False and would otherwise corrupt the heap order silently.
+        if not (delay >= 0):
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if math.isinf(delay):
+            raise SimulationError("cannot schedule at an infinite delay")
         return self.schedule_at(self.now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run at absolute simulated ``time``."""
-        if time < self.now:
+        if not (time >= self.now):
             raise SimulationError(
                 f"cannot schedule at t={time} which is before now={self.now}"
             )
+        if math.isinf(time):
+            raise SimulationError("cannot schedule at an infinite time")
         event = Event(time, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._queue, event)
@@ -122,6 +130,9 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
+                if self.sanitizer is not None:
+                    self.sanitizer.emit("sim.event", self, detail=repr(event),
+                                        event=event)
                 self.now = event.time
                 event.callback(*event.args)
                 self.events_processed += 1
@@ -142,6 +153,9 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            if self.sanitizer is not None:
+                self.sanitizer.emit("sim.event", self, detail=repr(event),
+                                    event=event)
             self.now = event.time
             event.callback(*event.args)
             self.events_processed += 1

@@ -33,6 +33,10 @@ class TcpConfig:
     delayed_ack_segments: int = 2        # ack at least every 2nd segment
     dupack_threshold: int = 3            # fast-retransmit trigger
     congestion_control: str = "cubic"    # "cubic" | "reno"
+    # Hard ceiling on cwnd, in segments.  Generous (4096 * 1400 B ≈ 5.7 MB
+    # of flight) so it never binds in practice; the sanity layer treats a
+    # cwnd above it as runaway congestion-control state.
+    max_cwnd_segments: int = 4096
 
     # Idle behaviour — the crux of the paper.
     slow_start_after_idle: bool = True   # RFC 2861 / tcp_slow_start_after_idle
@@ -57,3 +61,5 @@ class TcpConfig:
             raise ValueError("receive_window must hold at least one segment")
         if self.dupack_threshold < 1:
             raise ValueError("dupack_threshold must be >= 1")
+        if self.max_cwnd_segments < self.initial_cwnd:
+            raise ValueError("max_cwnd_segments must be >= initial_cwnd")

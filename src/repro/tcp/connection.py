@@ -134,6 +134,7 @@ class Connection:
 
         # --- tracing ------------------------------------------------------
         self.probe = None                  # TcpProbe, set by the stack
+        self.sanitizer = None              # repro.sanity.Sanitizer or None
         self._metrics_saved = False
 
         # --- application backpressure --------------------------------------
@@ -479,6 +480,10 @@ class Connection:
         return spurious
 
     def _retransmit(self, record: SegmentRecord, kind: str) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.emit(
+                "tcp.retransmit", self, record=record,
+                detail=f"{self.conn_id} {kind} seq={record.seq}")
         self._classify_and_count_retransmission(record, kind)
         record.transmissions += 1
         self._transmit(record)
@@ -519,6 +524,10 @@ class Connection:
         self._rto_timer.start(self.rto_estimator.rto)
         if self.probe is not None:
             self.probe.on_sample(self, "timeout")
+        if self.sanitizer is not None:
+            self.sanitizer.emit("tcp.segment", self,
+                                detail=f"{self.conn_id} rto "
+                                       f"cwnd={self.cc.cwnd:.1f}")
 
     def _mark_all_lost(self) -> None:
         """tcp_enter_loss: everything outstanding and un-SACKed is lost."""
@@ -605,6 +614,12 @@ class Connection:
         ack = segment.ack
         assert ack is not None
         self._peer_window = segment.window or self._peer_window
+        if self.sanitizer is not None:
+            # Before the defensive guard below: in a closed simulation no
+            # peer can legitimately ack unsent data, so reaching it means
+            # our own sequence accounting broke.
+            self.sanitizer.emit("tcp.ack", self, ack=ack,
+                                detail=f"{self.conn_id} ack={ack}")
         if ack > self.snd_nxt:
             return  # acks data we never sent; ignore
         if segment.sack_blocks:
@@ -624,6 +639,10 @@ class Connection:
             self._rto_timer.start(self.rto_estimator.rto)
         # Window may have opened either way.
         self._try_send()
+        if self.sanitizer is not None:
+            self.sanitizer.emit("tcp.segment", self,
+                                detail=f"{self.conn_id} post-ack "
+                                       f"cwnd={self.cc.cwnd:.1f}")
 
     def _apply_sack(self, blocks: List[Tuple[int, int]]) -> None:
         for record in self._records.values():
@@ -722,6 +741,13 @@ class Connection:
         if not in_fast_recovery and newly_acked:
             rtt_for_growth = rtt_sample or self.rto_estimator.srtt or 0.1
             self.cc.on_ack(newly_acked, self.sim.now, rtt_for_growth)
+            # Real stacks are bounded by the socket send buffer; without a
+            # cap, slow start on a long-lived connection grows cwnd without
+            # limit (it never matters below the peer window, but the counter
+            # itself becomes meaningless).
+            cap = float(self.config.max_cwnd_segments)
+            if self.cc.cwnd > cap:
+                self.cc.cwnd = cap
 
         if self._records:
             self._rto_timer.start(self.rto_estimator.rto)
@@ -775,6 +801,11 @@ class Connection:
         self._ack_policy()
 
     def _consume(self, segment: Segment) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.emit(
+                "tcp.consume", self, seq=segment.seq, end_seq=segment.end_seq,
+                detail=f"{self.conn_id} consume [{segment.seq},"
+                       f"{segment.end_seq})")
         advance = segment.end_seq - self.rcv_nxt
         payload_bytes = min(segment.length, advance)
         self.rcv_nxt = segment.end_seq

@@ -46,6 +46,7 @@ class TcpStack:
         self.metrics_cache = metrics_cache or TcpMetricsCache(
             enabled=self.config.use_metrics_cache)
         self.probe = None  # TcpProbe or None
+        self.sanitizer = None  # repro.sanity.Sanitizer or None
 
         self._connections: Dict[ConnKey, Connection] = {}
         self._listeners: Dict[int, Listener] = {}
@@ -63,6 +64,7 @@ class TcpStack:
                           remote_port, config or self.config, active=True,
                           stack=self)
         conn.probe = self.probe
+        conn.sanitizer = self.sanitizer
         key = (local_port, remote_addr, remote_port)
         self._connections[key] = conn
         self.all_connections.append(conn)
@@ -96,6 +98,7 @@ class TcpStack:
                                   segment.src, segment.sport, self.config,
                                   active=False, stack=self)
                 conn.probe = self.probe
+                conn.sanitizer = self.sanitizer
                 self._connections[key] = conn
                 self.all_connections.append(conn)
                 listener.on_accept(conn)
@@ -125,3 +128,9 @@ class TcpStack:
         self.probe = probe
         for conn in self._connections.values():
             conn.probe = probe
+
+    def set_sanitizer(self, sanitizer) -> None:
+        """Attach a sanitizer; applies to existing and future connections."""
+        self.sanitizer = sanitizer
+        for conn in self._connections.values():
+            conn.sanitizer = sanitizer

@@ -38,9 +38,22 @@ _USER_AGENT = ("Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.11 "
                "(KHTML, like Gecko) Chrome/23.0.1271.97 Safari/537.11")
 
 
+def _domain_hash(domain: str) -> int:
+    """Process-stable 63-bit hash of a domain name.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), which would make
+    header byte counts — and hence every wire timing — differ between
+    two runs of the same experiment.  Two crc32 passes give us enough
+    stable bits.
+    """
+    lo = zlib.crc32(domain.encode())
+    hi = zlib.crc32(domain.encode(), lo)
+    return ((hi << 32) | lo) % (1 << 63)
+
+
 def _cookie_for(domain: str) -> str:
     """Deterministic pseudo-cookie: session + tracking ids, realistic length."""
-    h = abs(hash(domain)) % (1 << 63)
+    h = _domain_hash(domain)
     return (f"sid={h:016x}{h >> 3:016x}; __utma={h % 10 ** 9}."
             f"{(h >> 7) % 10 ** 9}.{(h >> 11) % 10 ** 9}.1; "
             f"__utmz={(h >> 13) % 10 ** 9}.1.1.1.utmcsr=(direct); "
@@ -82,7 +95,7 @@ def build_response_headers(status: int, content_type: str,
         "Cache-Control: private, max-age=0",
         "Expires: Mon, 09 Dec 2013 08:00:00 GMT",
         "Last-Modified: Sun, 08 Dec 2013 23:59:59 GMT",
-        f"Set-Cookie: srv={abs(hash(domain)) % 97}; path=/",
+        f"Set-Cookie: srv={_domain_hash(domain) % 97}; path=/",
         "Vary: Accept-Encoding",
         "Connection: keep-alive",
     ]

@@ -1,0 +1,234 @@
+"""Crash-safe campaigns: digests, journal, isolation, resume, wedge."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import ExperimentConfig, run_many
+from repro.sanity import (CampaignJournal, TrialFailure, WedgeError,
+                          config_digest, run_campaign, sweep_configs)
+
+SMALL = dict(site_ids=[1], think_time=4.0, tail_time=4.0, load_timeout=4.0)
+
+
+# ----------------------------------------------------------------------
+# config digests
+# ----------------------------------------------------------------------
+def test_digest_stable_for_equal_configs():
+    assert config_digest(ExperimentConfig(**SMALL)) == \
+        config_digest(ExperimentConfig(**SMALL))
+
+
+def test_digest_ignores_seed_checks_and_budget():
+    base = ExperimentConfig(**SMALL)
+    assert config_digest(base) == config_digest(
+        base.with_overrides(seed=7, checks="strict", max_events=1000))
+
+
+def test_digest_sees_measurement_knobs():
+    base = ExperimentConfig(**SMALL)
+    assert config_digest(base) != config_digest(
+        base.with_overrides(protocol="spdy"))
+    assert config_digest(base) != config_digest(
+        base.with_overrides(tcp=base.tcp.with_overrides(initial_cwnd=3.0)))
+
+
+def test_digest_canonicalizes_nested_config():
+    # TcpConfig (a nested dataclass) must round into the digest without
+    # repr()-style memory addresses.
+    digest = config_digest(ExperimentConfig(**SMALL))
+    assert len(digest) == 16
+    int(digest, 16)  # hex
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+def test_journal_appends_and_loads(tmp_path):
+    journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+    journal.append({"kind": "trial", "digest": "abc", "seed": 0,
+                    "status": "ok"})
+    journal.append({"kind": "trial", "digest": "abc", "seed": 1,
+                    "status": "failed"})
+    assert len(journal.load()) == 2
+    assert set(journal.completed()) == {("abc", 0), ("abc", 1)}
+
+
+def test_journal_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = CampaignJournal(str(path))
+    journal.append({"kind": "trial", "digest": "abc", "seed": 0,
+                    "status": "ok"})
+    with open(path, "a") as handle:
+        handle.write('{"kind": "trial", "digest": "de')  # crash mid-write
+    assert len(journal.load()) == 1
+    assert set(journal.completed()) == {("abc", 0)}
+
+
+def test_journal_missing_file_is_empty(tmp_path):
+    journal = CampaignJournal(str(tmp_path / "nope.jsonl"))
+    assert journal.load() == []
+    assert journal.completed() == {}
+
+
+# ----------------------------------------------------------------------
+# trial failures and isolation
+# ----------------------------------------------------------------------
+def test_trial_failure_kinds():
+    cfg = ExperimentConfig(**SMALL)
+    assert TrialFailure.from_exception(cfg, ValueError("x")).kind \
+        == "exception"
+    assert TrialFailure.from_exception(cfg, WedgeError(9, 1.0, 2.0)).kind \
+        == "wedge"
+    from repro.sanity import InvariantViolation
+    violation = InvariantViolation("inv", "comp", "msg")
+    assert TrialFailure.from_exception(cfg, violation).kind \
+        == "invariant-violation"
+
+
+def test_campaign_isolates_a_crashing_trial(tmp_path, monkeypatch):
+    import repro.sanity.campaign as campaign_mod
+
+    real = campaign_mod.run_experiment
+
+    def flaky(config, pages=None):
+        if config.seed == 1:
+            raise RuntimeError("synthetic crash")
+        return real(config, pages)
+
+    monkeypatch.setattr(campaign_mod, "run_experiment", flaky)
+    configs = sweep_configs(ExperimentConfig(**SMALL), 3)
+    result = run_campaign(configs, journal_path=str(tmp_path / "j.jsonl"))
+    assert result.ok_count == 2 and result.failed_count == 1
+    assert result.failures[0]["kind"] == "exception"
+    assert "synthetic crash" in result.failures[0]["message"]
+
+
+def test_run_many_isolate_collects_failures(monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    def always_crash(config, pages=None):
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(runner_mod, "run_experiment", always_crash)
+    failures = []
+    results = run_many(ExperimentConfig(**SMALL), 2, isolate=True,
+                       failures=failures)
+    assert results == []
+    assert [f.kind for f in failures] == ["exception", "exception"]
+
+
+def test_run_many_without_isolation_still_raises(monkeypatch):
+    import repro.experiments.runner as runner_mod
+    monkeypatch.setattr(runner_mod, "run_experiment",
+                        lambda config, pages=None: 1 / 0)
+    with pytest.raises(ZeroDivisionError):
+        run_many(ExperimentConfig(**SMALL), 1)
+
+
+# ----------------------------------------------------------------------
+# wedge watchdog
+# ----------------------------------------------------------------------
+def test_tiny_event_budget_becomes_wedge_record(tmp_path):
+    configs = sweep_configs(ExperimentConfig(**SMALL), 1)
+    result = run_campaign(configs, journal_path=str(tmp_path / "j.jsonl"),
+                          event_budget=50)
+    assert result.failed_count == 1
+    assert result.failures[0]["kind"] == "wedge"
+
+
+def test_generous_budget_does_not_trip():
+    configs = sweep_configs(ExperimentConfig(**SMALL), 1)
+    result = run_campaign(configs)
+    assert result.ok_count == 1 and result.failed_count == 0
+
+
+# ----------------------------------------------------------------------
+# resume
+# ----------------------------------------------------------------------
+def _campaign_configs():
+    return sweep_configs(ExperimentConfig(**SMALL), 2,
+                         protocols=["http", "spdy"])
+
+
+def test_resume_skips_done_and_matches_uninterrupted(tmp_path):
+    full = run_campaign(_campaign_configs(),
+                        journal_path=str(tmp_path / "full.jsonl"))
+
+    # Simulate a crash: keep only the first two journal lines (plus a
+    # torn third), then resume into a fresh journal state.
+    lines = open(tmp_path / "full.jsonl").read().splitlines()
+    partial = tmp_path / "partial.jsonl"
+    partial.write_text("\n".join(lines[:2]) + "\n" + lines[2][:25])
+
+    resumed = run_campaign(_campaign_configs(), journal_path=str(partial),
+                           resume=True)
+    assert resumed.resumed_count == 2
+    assert resumed.ok_count == 4
+    assert resumed.aggregate() == full.aggregate()
+    # After the resumed run the journal holds every trial exactly once.
+    done = CampaignJournal(str(partial)).completed()
+    assert len(done) == 4
+
+
+def test_resume_requires_journal():
+    with pytest.raises(ValueError):
+        run_campaign(_campaign_configs(), resume=True)
+
+
+def test_resume_rejects_missing_journal(tmp_path):
+    missing = str(tmp_path / "nope.jsonl")
+    with pytest.raises(FileNotFoundError, match="does not exist"):
+        run_campaign(_campaign_configs(), journal_path=missing, resume=True)
+    assert not (tmp_path / "nope.jsonl").exists()
+
+
+def test_resume_skips_journaled_failures(tmp_path):
+    configs = sweep_configs(ExperimentConfig(**SMALL), 1)
+    digest = config_digest(configs[0])
+    journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+    journal.append({"kind": "trial", "digest": digest, "seed": 0,
+                    "status": "failed", "violations": 0, "summary": None,
+                    "failure": {"kind": "exception", "message": "old"}})
+    result = run_campaign(configs, journal_path=journal.path, resume=True)
+    assert result.resumed_count == 1 and result.failed_count == 1
+    assert len(journal.load()) == 1  # nothing re-journaled
+
+
+# ----------------------------------------------------------------------
+# sweep expansion and CLI
+# ----------------------------------------------------------------------
+def test_sweep_configs_seeds_and_protocols():
+    base = ExperimentConfig(seed=5, **SMALL)
+    configs = sweep_configs(base, 2, protocols=["http", "spdy"])
+    assert [(c.protocol, c.seed) for c in configs] == [
+        ("http", 5), ("http", 6), ("spdy", 5), ("spdy", 6)]
+    with pytest.raises(ValueError):
+        sweep_configs(base, 0)
+
+
+def test_cli_campaign_smoke(tmp_path, capsys):
+    journal = tmp_path / "cli.jsonl"
+    code = main(["campaign", "--sites", "1", "--runs", "1",
+                 "--think-time", "4", "--timeout", "4",
+                 "--check", "warn", "--journal", str(journal)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "campaign health" in out
+    records = [json.loads(line) for line in journal.read_text().splitlines()]
+    assert all(r["status"] == "ok" for r in records)
+
+
+def test_cli_campaign_resume_smoke(tmp_path, capsys):
+    journal = tmp_path / "cli.jsonl"
+    main(["campaign", "--sites", "1", "--runs", "1", "--think-time", "4",
+          "--timeout", "4", "--journal", str(journal)])
+    first = capsys.readouterr().out
+    code = main(["campaign", "--sites", "1", "--runs", "1",
+                 "--think-time", "4", "--timeout", "4",
+                 "--resume", str(journal)])
+    second = capsys.readouterr().out
+    assert code == 0
+    # Same aggregate lines, everything served from the journal.
+    assert first.splitlines()[-2:] == second.splitlines()[-2:]

@@ -1,0 +1,230 @@
+"""The runtime invariant sanitizer: modes, machinery, and the checks."""
+
+import math
+
+import pytest
+
+from repro.cellular.rrc import LTE_CRX, LTE_SDRX, LteRrc, UMTS_FACH, UmtsRrc
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.sanity import (CHECK_MODES, Invariant, InvariantViolation,
+                          Sanitizer, resolve_check_mode)
+from repro.sim import SimulationError, Simulator
+from repro.tcp import TcpConfig
+
+
+# ----------------------------------------------------------------------
+# mode resolution
+# ----------------------------------------------------------------------
+def test_check_modes_catalogue():
+    assert CHECK_MODES == ("off", "warn", "strict")
+
+
+def test_resolve_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECKS", "strict")
+    assert resolve_check_mode("warn") == "warn"
+
+
+def test_resolve_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECKS", "warn")
+    assert resolve_check_mode(None) == "warn"
+
+
+def test_resolve_default_off(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECKS", raising=False)
+    assert resolve_check_mode(None) == "off"
+
+
+def test_resolve_rejects_unknown(monkeypatch):
+    with pytest.raises(ValueError):
+        resolve_check_mode("paranoid")
+    monkeypatch.setenv("REPRO_CHECKS", "bogus")
+    with pytest.raises(ValueError):
+        resolve_check_mode(None)
+
+
+# ----------------------------------------------------------------------
+# sanitizer machinery
+# ----------------------------------------------------------------------
+class _AlwaysFails(Invariant):
+    name = "test.always-fails"
+    topics = ("test.topic",)
+
+    def observe(self, sanitizer, topic, obj, info):
+        sanitizer.fail(self, obj, "boom")
+
+
+def test_warn_mode_records_without_raising():
+    san = Sanitizer(mode="warn")
+    san.register(_AlwaysFails())
+    san.emit("test.topic", object())
+    assert len(san.violations) == 1
+    assert san.violations[0].invariant == "test.always-fails"
+
+
+def test_strict_mode_raises_with_ring():
+    san = Sanitizer(mode="strict")
+    san.register(_AlwaysFails())
+    san.emit("other.topic", object(), detail="earlier event")
+    with pytest.raises(InvariantViolation) as exc_info:
+        san.emit("test.topic", object(), detail="the bad one")
+    assert "test.always-fails" in str(exc_info.value)
+    assert "earlier event" in str(exc_info.value)  # ring buffer in message
+
+
+def test_ring_buffer_is_bounded():
+    san = Sanitizer(mode="warn", ring_size=4)
+    for i in range(10):
+        san.emit("noise", None, detail=f"event-{i}")
+    ring = "\n".join(san.format_ring())
+    assert "event-9" in ring and "event-5" not in ring
+
+
+def test_report_shape():
+    san = Sanitizer(mode="warn")
+    san.register(_AlwaysFails())
+    san.emit("test.topic", object())
+    report = san.report()
+    assert report["mode"] == "warn"
+    assert report["checks_run"] >= 1
+    assert report["violations"][0]["invariant"] == "test.always-fails"
+
+
+# ----------------------------------------------------------------------
+# the checks themselves, on deliberately broken state
+# ----------------------------------------------------------------------
+def _wired_machine(machine_cls):
+    sim = Simulator(seed=0)
+    machine = machine_cls(sim)
+    san = Sanitizer(mode="strict")
+    from repro.sanity.checks import RrcLegality
+    san.register(RrcLegality())
+    machine.sanitizer = san
+    return machine
+
+
+def test_rrc_legal_transitions_pass():
+    machine = _wired_machine(UmtsRrc)
+    machine.request_channel(4000)
+    machine.sim.run(until=30.0)  # promote, then demote back to idle
+    assert machine.state_log[-1][1] == "IDLE"
+
+
+def test_rrc_illegal_transition_caught():
+    machine = _wired_machine(LteRrc)
+    # IDLE -> SHORT_DRX is not an edge of Figure 18.
+    with pytest.raises(InvariantViolation, match="rrc.legal-transition"):
+        machine._set_state(LTE_SDRX)
+
+
+def test_rrc_illegal_umts_transition_caught():
+    machine = _wired_machine(UmtsRrc)
+    with pytest.raises(InvariantViolation, match="rrc.legal-transition"):
+        machine._set_state(UMTS_FACH)  # IDLE -> FACH: no such edge
+
+
+def test_lte_graph_includes_drx_wakeups():
+    edges = LteRrc(Simulator(seed=0)).legal_transitions()
+    assert (LTE_SDRX, LTE_CRX) in edges
+
+
+# ----------------------------------------------------------------------
+# simulator scheduling guards (satellite: NaN/inf were accepted before)
+# ----------------------------------------------------------------------
+def test_schedule_rejects_negative_delay():
+    sim = Simulator(seed=0)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_rejects_nan_delay():
+    sim = Simulator(seed=0)
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_rejects_inf_delay():
+    sim = Simulator(seed=0)
+    with pytest.raises(SimulationError):
+        sim.schedule(math.inf, lambda: None)
+
+
+def test_schedule_at_rejects_past_and_nan():
+    sim = Simulator(seed=0)
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=1.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("nan"), lambda: None)
+
+
+# ----------------------------------------------------------------------
+# config validation (satellite)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs", [
+    {"protocol": "gopher"},
+    {"network": "5g"},
+    {"site_ids": []},
+    {"think_time": -1.0},
+    {"think_time": float("nan")},
+    {"load_timeout": 0.0},
+    {"ping_interval": -3.0},
+    {"tail_time": -0.1},
+    {"n_spdy_sessions": 0},
+    {"max_events": 0},
+    {"checks": "paranoid"},
+])
+def test_experiment_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        ExperimentConfig(**kwargs)
+
+
+def test_experiment_config_accepts_profile_override():
+    # An explicit profile bypasses the network-name check.
+    cfg = ExperimentConfig(network="custom", profile=object())
+    assert cfg.network == "custom"
+
+
+def test_tcp_config_rejects_tiny_cwnd_cap():
+    with pytest.raises(ValueError):
+        TcpConfig(initial_cwnd=10.0, max_cwnd_segments=4).validate()
+
+
+# ----------------------------------------------------------------------
+# end-to-end: full runs are strict-clean on every protocol/network
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol,network", [
+    ("http", "3g"), ("spdy", "3g"), ("spdy", "lte"), ("http", "wifi"),
+])
+def test_strict_run_is_clean(protocol, network):
+    cfg = ExperimentConfig(protocol=protocol, network=network,
+                           site_ids=[1, 2], think_time=8.0, tail_time=8.0,
+                           checks="strict")
+    run = run_experiment(cfg)
+    assert run.sanity_report["mode"] == "strict"
+    assert run.sanity_report["violations"] == []
+    assert run.sanity_report["checks_run"] > 1000
+
+
+def test_strict_run_with_faults_is_clean():
+    cfg = ExperimentConfig(protocol="spdy", site_ids=[1, 2], think_time=8.0,
+                           tail_time=8.0, checks="strict",
+                           fault_plan="rst@5:2,handover@9,blackout@12:1")
+    run = run_experiment(cfg)
+    assert run.sanity_report["violations"] == []
+
+
+def test_checks_off_leaves_no_report():
+    cfg = ExperimentConfig(site_ids=[1], think_time=5.0, tail_time=5.0,
+                           checks="off")
+    run = run_experiment(cfg)
+    assert run.sanity_report is None
+
+
+def test_summary_counts_checks():
+    from repro.core.analysis import summarize_run
+    cfg = ExperimentConfig(site_ids=[1], think_time=5.0, tail_time=5.0,
+                           checks="warn")
+    summary = summarize_run(run_experiment(cfg))
+    assert summary["invariant_violations"] == 0
+    assert summary["invariant_checks"] > 0
