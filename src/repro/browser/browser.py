@@ -17,7 +17,7 @@ Replicates the browser behaviours the paper identifies as load-bearing:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from ..sim import Simulator, Timer
 from ..web.resources import WebObject, WebPage
@@ -76,7 +76,7 @@ class Browser:
         self._background_events: list = []
         self._load_epoch = 0
         self._watchdogs: Dict[str, Timer] = {}
-        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
+        self.sanitizer: Optional[Any] = None  # repro.sanity.Sanitizer when checks are on
 
     # ------------------------------------------------------------------
     def load_page(self, page: WebPage,

@@ -26,6 +26,7 @@ from .core import MeasurementStudy, summarize_run
 from .experiments import figures, tables
 from .experiments.runner import ExperimentConfig, run_experiment
 from .faults import FaultPlan, FaultSpecError
+from .lint.cli import add_lint_arguments, run_lint
 from .reporting import (render_boxes, render_campaign_health,
                         render_fault_summary, render_table)
 from .sanity import (CHECK_MODES, DEFAULT_EVENT_BUDGET, run_campaign,
@@ -261,6 +262,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="abort a trial after N simulator events "
                              "(wedge watchdog; default 20,000,000)")
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism & units static analysis")
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_lint)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")

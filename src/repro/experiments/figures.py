@@ -11,6 +11,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import statistics
+from collections import Counter
 from typing import Dict, List, Optional
 
 from ..metrics import (box_stats, cdf_points, mean_confidence_interval,
@@ -385,7 +386,7 @@ def fig13_retx_bursts(seed: int = 0,
     for t, conn_id, _ in events:
         windows.setdefault(int(t), []).append(conn_id)
     dense = [conns for conns in windows.values() if len(conns) >= 2]
-    shares = [max(conns.count(c) for c in set(conns)) / len(conns)
+    shares = [max(Counter(conns).values()) / len(conns)
               for conns in dense]
     return {
         "events": events,

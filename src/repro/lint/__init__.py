@@ -1,0 +1,30 @@
+"""repro.lint — AST-based determinism & units static analysis.
+
+The runtime sanitizer (``repro.sanity``) catches invariant violations
+*while* a simulation runs; this package catches the bug classes that are
+visible in the source before any event fires: wall-clock reads, hidden
+global randomness, salted ``hash()``, unordered set iteration, mixed
+time/size units, and simulator-discipline violations.
+
+Usage::
+
+    repro lint src tests benchmarks
+    python -m repro.lint --format json
+    # inline: sim.schedule(-0.1, cb)  # repro-lint: disable=SIM002
+
+See DESIGN.md ("repro lint") for the rule catalogue.
+"""
+
+from .baseline import Baseline, BaselineError, DEFAULT_BASELINE_NAME
+from .engine import (LintReport, iter_python_files, lint_file, lint_paths,
+                     lint_source)
+from .findings import Finding
+from .rules import FileContext, Rule, all_rules, register, rules_by_code
+
+__all__ = [
+    "Baseline", "BaselineError", "DEFAULT_BASELINE_NAME",
+    "Finding", "FileContext", "Rule", "register",
+    "all_rules", "rules_by_code",
+    "LintReport", "lint_source", "lint_file", "lint_paths",
+    "iter_python_files",
+]

@@ -1,0 +1,107 @@
+"""Grandfathered-findings baseline.
+
+The baseline is a checked-in JSON file listing findings that predate a
+rule and are accepted for now.  Entries match on ``(path, code,
+line_text)`` — the stripped text of the flagged line — so edits elsewhere
+in the file do not invalidate them, while any change to the flagged line
+itself (including fixing it) retires the entry.
+
+The ``note`` field is the justification channel (JSON has no comments):
+explain *why* each family of entries is grandfathered when you write one.
+An exhausted entry (the finding it matched is gone) is reported by
+``repro lint`` so stale baselines shrink instead of accreting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised for a malformed baseline file."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted findings plus a human justification note."""
+
+    entries: Counter = field(default_factory=Counter)
+    note: str = ""
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding], note: str = "") -> "Baseline":
+        entries: Counter = Counter(f.baseline_key() for f in findings)
+        return cls(entries=entries, note=note)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise BaselineError(f"{path}: not valid JSON ({exc})")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(f"{path}: expected an object with 'entries'")
+        entries: Counter = Counter()
+        for raw in payload["entries"]:
+            try:
+                key = (raw["path"], raw["code"], raw["line_text"])
+            except (TypeError, KeyError):
+                raise BaselineError(
+                    f"{path}: entries need path/code/line_text: {raw!r}")
+            entries[key] += int(raw.get("count", 1))
+        return cls(entries=entries, note=str(payload.get("note", "")))
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": 1,
+            "note": self.note or ("grandfathered findings; fix and remove "
+                                  "entries rather than adding new ones"),
+            "entries": [
+                {"path": p, "code": c, "line_text": t, "count": n}
+                for (p, c, t), n in sorted(self.entries.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def matcher(self) -> "BaselineMatcher":
+        return BaselineMatcher(dict(self.entries))
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+class BaselineMatcher:
+    """Consumes baseline entries as findings match them (multiset semantics)."""
+
+    def __init__(self, budget: Dict[_Key, int]):
+        self._budget = dict(budget)
+
+    def consume(self, finding: Finding) -> bool:
+        key = finding.baseline_key()
+        remaining = self._budget.get(key, 0)
+        if remaining > 0:
+            self._budget[key] = remaining - 1
+            return True
+        return False
+
+    def unmatched(self) -> List[_Key]:
+        """Entries never consumed — stale baseline lines to delete."""
+        return sorted(k for k, n in self._budget.items() if n > 0)

@@ -1,0 +1,160 @@
+"""`repro lint` / `python -m repro.lint` command-line front end.
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage or
+I/O errors.  ``--format json`` emits a machine-readable document so
+campaigns and CI can archive lint state next to trial journals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from .engine import LintReport, lint_paths
+from .rules import all_rules, rules_by_code
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (default text)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE_NAME} if present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0 (use sparingly; prefer fixing)")
+    parser.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def _resolve_rules(select: Optional[str]):
+    if not select:
+        return None
+    catalogue = rules_by_code()
+    chosen = []
+    for code in select.split(","):
+        code = code.strip().upper()
+        if not code:
+            continue
+        if code not in catalogue:
+            raise SystemExit(
+                f"unknown rule code {code!r}; known: "
+                f"{', '.join(sorted(catalogue))}")
+        chosen.append(catalogue[code])
+    return chosen
+
+
+def _load_baseline(path: Optional[str]) -> Baseline:
+    if path is None:
+        if os.path.exists(DEFAULT_BASELINE_NAME):
+            path = DEFAULT_BASELINE_NAME
+        else:
+            return Baseline.empty()
+    return Baseline.load(path)
+
+
+def _print_rules(out) -> None:
+    print("repro lint rule catalogue:", file=out)
+    for rule in all_rules():
+        scope = "sim code only" if rule.scope == "sim" else "all files"
+        print(f"  {rule.code}  [{scope}] {rule.summary}", file=out)
+        print(f"          e.g. {rule.example}", file=out)
+
+
+def _render_text(report: LintReport, out) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=out)
+    for path, code, line_text in report.stale_baseline:
+        print(f"{path}: stale baseline entry {code} ({line_text!r}) — "
+              f"the finding is gone; delete the entry", file=out)
+    summary = (f"{len(report.findings)} finding(s) in "
+               f"{report.files_checked} file(s)")
+    if report.baselined:
+        summary += f", {report.baselined} baselined"
+    if report.suppressed:
+        summary += f", {report.suppressed} inline suppression(s)"
+    print(summary, file=out)
+
+
+def _render_json(report: LintReport, out) -> None:
+    counts: dict = {}
+    for finding in report.findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "findings": [f.to_json() for f in report.findings],
+        "counts": counts,
+        "baselined": report.baselined,
+        "suppressed": report.suppressed,
+        "stale_baseline": [list(key) for key in report.stale_baseline],
+        "clean": report.clean and not report.stale_baseline,
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def run_lint(args: argparse.Namespace,
+             out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+    paths = args.paths or DEFAULT_PATHS
+    rules = _resolve_rules(args.select)
+
+    if args.write_baseline:
+        baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+        report = lint_paths(paths, rules=rules, baseline=Baseline.empty())
+        if report.errors:
+            for error in report.errors:
+                print(error, file=err)
+            return 2
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}",
+              file=out)
+        return 0
+
+    try:
+        baseline = _load_baseline(args.baseline)
+    except (BaselineError, FileNotFoundError) as exc:
+        print(str(exc), file=err)
+        return 2
+    report = lint_paths(paths, rules=rules, baseline=baseline)
+    if report.errors:
+        for error in report.errors:
+            print(error, file=err)
+        return 2
+    if args.format == "json":
+        _render_json(report, out)
+    else:
+        _render_text(report, out)
+    return 0 if (report.clean and not report.stale_baseline) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & units linter for the simulator")
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

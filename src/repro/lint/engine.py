@@ -1,0 +1,161 @@
+"""Lint driver: discover files, parse, run rules, apply suppressions.
+
+Inline suppression
+------------------
+A finding is suppressed by a trailing comment on the flagged line::
+
+    sim.schedule(-0.1, cb)  # repro-lint: disable=SIM002  -- error-path test
+
+``disable=all`` suppresses every rule on that line.  Suppressions are
+deliberate and visible in the diff; the baseline (see ``baseline.py``)
+is for grandfathered findings that predate a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .baseline import Baseline
+from .findings import Finding
+from .rules import FileContext, Rule, all_rules
+
+__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths",
+           "iter_python_files", "SUPPRESS_ALL"]
+
+SUPPRESS_ALL = "all"
+
+# dirs whose contents are data for the lint tests, not code to lint
+_EXCLUDED_DIRS = {"lint_fixtures", "__pycache__", ".git", ".venv", "venv",
+                  "node_modules", ".mypy_cache", ".pytest_cache"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of suppressed codes ('all' wildcard)."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            spec = match.group(1)
+            codes = {c.strip().upper() for c in spec.split(",") if c.strip()}
+            table[lineno] = codes
+    return table
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a set of paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0      # inline suppression comments seen
+    baselined: int = 0       # findings matched against the baseline
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)  # unreadable paths etc.
+    stale_baseline: List[tuple] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def _lint_source_counted(source: str, path: str,
+                         rules: Optional[Sequence[Rule]]):
+    """Lint one source string -> (findings, n_suppressed_findings)."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, code="PARSE",
+                        message=f"syntax error: {exc.msg}")], 0
+    ctx = FileContext(path, source, tree)
+    suppressed_lines = _suppressions(source)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            codes = suppressed_lines.get(finding.line, set())
+            if SUPPRESS_ALL.upper() in codes or finding.code in codes:
+                suppressed += 1
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, suppressed
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one source string.  Inline suppressions apply; baselines don't.
+
+    A syntax error is reported as a single ``PARSE`` finding — a file the
+    linter cannot read is a finding, not a crash.
+    """
+    findings, _ = _lint_source_counted(source, path, rules)
+    return findings
+
+
+def lint_file(path: str,
+              rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path.replace(os.sep, "/"), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/dirs into a sorted, de-duplicated list of .py files."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _EXCLUDED_DIRS
+                                 and not d.startswith("."))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        full = os.path.join(root, name)
+                        if full not in seen:
+                            seen.add(full)
+                            yield full
+        else:
+            raise FileNotFoundError(path)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Sequence[Rule]] = None,
+               baseline: Optional[Baseline] = None) -> LintReport:
+    """Lint every python file under ``paths`` and fold in the baseline."""
+    report = LintReport()
+    baseline = baseline if baseline is not None else Baseline.empty()
+    matcher = baseline.matcher()
+    try:
+        files = list(iter_python_files(paths))
+    except FileNotFoundError as exc:
+        report.errors.append(f"no such file or directory: {exc.args[0]}")
+        return report
+    for filename in files:
+        report.files_checked += 1
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        path = filename.replace(os.sep, "/")
+        raw, suppressed = _lint_source_counted(source, path, rules)
+        report.suppressed += suppressed
+        for finding in raw:
+            if matcher.consume(finding):
+                report.baselined += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    report.stale_baseline = matcher.unmatched()
+    return report

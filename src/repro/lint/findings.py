@@ -1,0 +1,42 @@
+"""Finding: one diagnostic emitted by a lint rule.
+
+A finding is identified for baseline purposes by ``(path, code,
+line_text)`` — the *content* of the flagged line rather than its number —
+so unrelated edits above a grandfathered finding do not invalidate the
+baseline entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: where it is, which rule fired, and why."""
+
+    path: str          # posix-style path as given on the command line
+    line: int          # 1-based line number
+    col: int           # 0-based column offset
+    code: str          # rule code, e.g. "DET001"
+    message: str       # human-readable explanation
+    line_text: str = ""  # stripped source line (baseline matching key)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Key used to match this finding against baseline entries."""
+        return (self.path, self.code, self.line_text)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

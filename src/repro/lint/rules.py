@@ -1,0 +1,609 @@
+"""The rule catalogue: determinism (DET), units (UNIT), simulator (SIM).
+
+Every rule is a small AST pass over one module.  Rules never import the
+code under analysis — everything is derived from the syntax tree plus a
+per-file import table, so the linter is safe to run on broken or
+side-effectful modules.
+
+Rule scopes
+-----------
+``sim``
+    Only files under ``src/repro/`` (excluding this lint package): the
+    code that runs inside the simulated clock, where a wall-clock read or
+    a blocking call is a determinism bug rather than a style concern.
+``all``
+    Every linted file, including tests and benchmarks.
+
+Adding a rule: subclass :class:`Rule`, set ``code``/``summary``/
+``rationale``/``example``/``scope``, implement :meth:`check`, and
+decorate with :func:`register`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from .findings import Finding
+
+__all__ = ["Rule", "FileContext", "register", "all_rules", "rules_by_code"]
+
+
+# ----------------------------------------------------------------------
+# per-file context shared by every rule
+# ----------------------------------------------------------------------
+
+class FileContext:
+    """One parsed module plus the lookup tables rules need.
+
+    ``path`` is the posix-style path the finding will report.  ``is_sim``
+    marks files that run under the simulated clock (``src/repro/``,
+    excluding the lint package itself).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        parts = path.replace("\\", "/").split("/")
+        self.parts = parts
+        self.is_sim = ("repro" in parts
+                       and "lint" not in parts
+                       and not parts[-1].startswith("test_"))
+        # local name -> module it refers to ("t" -> "time" for `import time as t`)
+        self.module_aliases: Dict[str, str] = {}
+        # local name -> fully qualified origin ("sleep" -> "time.sleep")
+        self.from_imports: Dict[str, str] = {}
+        self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    def resolve(self, func: ast.expr) -> Optional[str]:
+        """Dotted origin of a call target, or None if it can't be traced.
+
+        ``time.time`` -> "time.time"; with ``from datetime import datetime``,
+        ``datetime.now`` -> "datetime.datetime.now"; a method on an unknown
+        object resolves to None.
+        """
+        chain: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        chain.reverse()
+        if base in self.module_aliases:
+            return ".".join([self.module_aliases[base]] + chain)
+        if base in self.from_imports:
+            return ".".join([self.from_imports[base]] + chain)
+        if not chain:  # bare name, not imported: a builtin or local
+            return base
+        return None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(path=self.path, line=lineno,
+                       col=getattr(node, "col_offset", 0),
+                       code=code, message=message,
+                       line_text=self.line_text(lineno))
+
+
+# ----------------------------------------------------------------------
+# rule base + registry
+# ----------------------------------------------------------------------
+
+class Rule:
+    """Base class: one diagnostic code, one AST pass."""
+
+    code: str = ""
+    summary: str = ""        # one line for --list-rules
+    rationale: str = ""      # why this is a reproduction bug
+    example: str = ""        # a minimal triggering snippet
+    scope: str = "all"       # "all" or "sim"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return self.scope == "all" or ctx.is_sim
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [cls() for cls in _REGISTRY]
+
+
+def rules_by_code() -> Dict[str, Rule]:
+    return {rule.code: rule for rule in all_rules()}
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _iteration_sources(tree: ast.Module) -> Iterator[ast.expr]:
+    """Every expression something iterates over: for-loops + comprehensions."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The identifier a value expression bottoms out in, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _is_negative_literal(node: ast.expr) -> bool:
+    return (isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, (int, float))
+            and node.operand.value > 0)
+
+
+# unit tables, longest suffix first so "_secs" wins over "_s"
+_TIME_SUFFIXES: List[Tuple[str, str]] = [
+    ("_seconds", "s"), ("_secs", "s"), ("_sec", "s"), ("_s", "s"),
+    ("_millis", "ms"), ("_ms", "ms"), ("_us", "us"), ("_ns", "ns"),
+]
+_SIZE_SUFFIXES: List[Tuple[str, str]] = [
+    ("_bytes", "bytes"), ("_byte", "bytes"),
+    ("_bits", "bits"), ("_bit", "bits"),
+    ("_gbps", "gbps"), ("_mbps", "mbps"), ("_kbps", "kbps"), ("_bps", "bps"),
+]
+
+
+def _suffix_unit(name: Optional[str], table: List[Tuple[str, str]]) -> Optional[str]:
+    if not name:
+        return None
+    for suffix, unit in table:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return unit
+    return None
+
+
+class _Units:
+    """Result of unit inference: a unit, unitless, or unknown."""
+    UNKNOWN = object()
+
+
+def _infer_unit(node: ast.expr, table: List[Tuple[str, str]]):
+    """Unit of an expression under one suffix convention.
+
+    Returns a unit string, None (no unit information), or
+    ``_Units.UNKNOWN`` for mixed/opaque expressions.  Multiplication and
+    division erase units — that is how conversions are written.
+    """
+    if isinstance(node, (ast.Name, ast.Attribute, ast.Subscript)):
+        return _suffix_unit(_terminal_name(node), table)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = _infer_unit(node.left, table)
+        right = _infer_unit(node.right, table)
+        if left is None:
+            return right
+        if right is None or left == right:
+            return left
+        return _Units.UNKNOWN
+    if isinstance(node, ast.UnaryOp):
+        return _infer_unit(node.operand, table)
+    return None
+
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _unit_conflicts(tree: ast.Module,
+                    table: List[Tuple[str, str]]) -> Iterator[Tuple[ast.AST, str, str]]:
+    """Yield (node, left_unit, right_unit) for add/sub/compare mixing units."""
+    for node in ast.walk(tree):
+        pairs: List[Tuple[ast.expr, ast.expr]] = []
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            pairs.append((node.left, node.right))
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if isinstance(op, _COMPARE_OPS):
+                    pairs.append((left, right))
+        for left, right in pairs:
+            lu = _infer_unit(left, table)
+            ru = _infer_unit(right, table)
+            if (isinstance(lu, str) and isinstance(ru, str) and lu != ru):
+                yield node, lu, ru
+
+
+# ----------------------------------------------------------------------
+# DET: determinism
+# ----------------------------------------------------------------------
+
+@register
+class WallClockRule(Rule):
+    code = "DET001"
+    summary = "wall-clock read (time.time / datetime.now / time.monotonic)"
+    rationale = ("Simulated time is Simulator.now; reading the host clock "
+                 "makes event timing — and therefore every PLT and byte "
+                 "count derived from it — vary run to run.")
+    example = "start = time.time()"
+    scope = "all"
+
+    FORBIDDEN = {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls(ctx.tree):
+            origin = ctx.resolve(call.func)
+            if origin in self.FORBIDDEN:
+                yield ctx.finding(
+                    call, self.code,
+                    f"wall-clock read `{origin}()`: use the simulated clock "
+                    f"(Simulator.now) so runs are reproducible")
+
+
+@register
+class ModuleRandomRule(Rule):
+    code = "DET002"
+    summary = "module-level random.* call instead of a seeded random.Random"
+    rationale = ("The module-level `random` functions share one hidden "
+                 "global state: any new caller perturbs every stream, and "
+                 "library imports can reseed it.  Named Simulator.rng() "
+                 "streams keep HTTP and SPDY runs comparable per seed.")
+    example = "jitter = random.uniform(0, 0.1)"
+    scope = "all"
+
+    ALLOWED = {"random.Random", "random.SystemRandom"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls(ctx.tree):
+            origin = ctx.resolve(call.func)
+            if (origin and origin.startswith("random.")
+                    and origin.count(".") == 1
+                    and origin not in self.ALLOWED):
+                yield ctx.finding(
+                    call, self.code,
+                    f"global-state `{origin}()`: draw from a passed "
+                    f"random.Random (e.g. Simulator.rng(name)) instead")
+
+
+@register
+class BuiltinHashRule(Rule):
+    code = "DET003"
+    summary = "builtin hash() call"
+    rationale = ("hash() on str/bytes is salted per process "
+                 "(PYTHONHASHSEED); the PR 2 postmortem traced "
+                 "process-dependent wire sizes to exactly this.  Use "
+                 "zlib.crc32 or hashlib for stable digests.")
+    example = "bucket = hash(domain) % 97"
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls(ctx.tree):
+            if isinstance(call.func, ast.Name) and call.func.id == "hash":
+                yield ctx.finding(
+                    call, self.code,
+                    "builtin hash() is salted per process (PYTHONHASHSEED); "
+                    "use zlib.crc32 or hashlib for stable values")
+
+
+@register
+class SetIterationRule(Rule):
+    code = "DET004"
+    summary = "iteration over a set (or .keys() view) in unspecified order"
+    rationale = ("Set iteration order depends on insertion history and the "
+                 "per-process hash salt; feeding it into scheduling or "
+                 "digests silently reorders events.  Wrap in sorted().")
+    example = "for conn in set(active): conn.close()"
+    scope = "all"
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in {"set", "frozenset"}):
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "keys" and not node.args):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            # set algebra: a & b, a | b
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for source in _iteration_sources(ctx.tree):
+            if self._is_set_expr(source):
+                yield ctx.finding(
+                    source, self.code,
+                    "iterating a set/.keys() view in unspecified order; "
+                    "wrap in sorted(...) so event order is reproducible")
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "DET005"
+    summary = "mutable default argument holding state across calls"
+    rationale = ("A list/dict/set default is created once at def time and "
+                 "shared by every call — state leaks between experiments "
+                 "that should be independent.")
+    example = "def visit(page, seen=[]): ..."
+    scope = "all"
+
+    _MUTABLE_CTORS = {"list", "dict", "set", "defaultdict", "Counter",
+                      "OrderedDict", "deque"}
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._MUTABLE_CTORS)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        default, self.code,
+                        f"mutable default argument in {node.name}(): shared "
+                        f"across calls; default to None and create inside")
+
+
+@register
+class EntropySourceRule(Rule):
+    code = "DET006"
+    summary = "ambient entropy source (uuid4, os.urandom, secrets, getpid)"
+    rationale = ("Identifiers and nonces must derive from the run seed; OS "
+                 "entropy or the PID makes traces differ across replays of "
+                 "the same (config, seed) pair.")
+    example = "conn_id = uuid.uuid4().hex"
+    scope = "sim"
+
+    FORBIDDEN = {
+        "uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getpid",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+        "secrets.randbelow", "secrets.choice", "secrets.randbits",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls(ctx.tree):
+            origin = ctx.resolve(call.func)
+            if origin in self.FORBIDDEN:
+                yield ctx.finding(
+                    call, self.code,
+                    f"`{origin}()` draws ambient entropy: derive ids from "
+                    f"the run seed so replays are byte-identical")
+
+
+# ----------------------------------------------------------------------
+# UNIT: units discipline
+# ----------------------------------------------------------------------
+
+@register
+class TimeUnitMixRule(Rule):
+    code = "UNIT001"
+    summary = "arithmetic/comparison mixing _s/_ms/_us time suffixes"
+    rationale = ("The paper's pathology lives in sub-RTT timing; adding a "
+                 "milliseconds field to a seconds field is a silent 1000x "
+                 "error that still 'runs fine'.")
+    example = "deadline = promotion_delay_ms + rtt_s"
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, left, right in _unit_conflicts(ctx.tree, _TIME_SUFFIXES):
+            yield ctx.finding(
+                node, self.code,
+                f"mixing time units `{left}` and `{right}` without an "
+                f"explicit conversion")
+
+
+@register
+class SizeUnitMixRule(Rule):
+    code = "UNIT002"
+    summary = "arithmetic/comparison mixing _bytes/_bits/_bps/_mbps suffixes"
+    rationale = ("Byte accounting is the other half of reproduction "
+                 "fidelity: bytes-vs-bits is a silent 8x, kbps-vs-mbps a "
+                 "silent 1000x.")
+    example = "budget = window_bytes - sent_bits"
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, left, right in _unit_conflicts(ctx.tree, _SIZE_SUFFIXES):
+            yield ctx.finding(
+                node, self.code,
+                f"mixing size/rate units `{left}` and `{right}` without an "
+                f"explicit conversion")
+
+
+_TIMEY = re.compile(
+    r"(^|_)(time|now|rto|rtt|srtt|rttvar|plt|delay|deadline|timeout|elapsed)$"
+    r"|_s$|_secs?$|_seconds$|_ms$|_us$|_ns$")
+
+
+def _is_timey(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    return bool(name and _TIMEY.search(name))
+
+
+def _contains_timey_arith(node: ast.expr) -> bool:
+    """True if the expression does float arithmetic on a time-flavoured term."""
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)):
+        return any(_is_timey(sub) for sub in ast.walk(node)
+                   if isinstance(sub, (ast.Name, ast.Attribute)))
+    return False
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    code = "UNIT003"
+    summary = "float == on a computed simulated time"
+    rationale = ("Times that went through float arithmetic (RTO smoothing, "
+                 "delay sums) are not exactly representable; == makes the "
+                 "comparison depend on summation order.  Assignment-exact "
+                 "comparisons (sim.now == 5.5 after scheduling 5.5) are "
+                 "fine and not flagged.")
+    example = "assert t_end == t_start + 3 * rtt_s"
+    scope = "all"
+
+    @staticmethod
+    def _is_approx(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "approx")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_approx(left) or self._is_approx(right):
+                    continue
+                if _contains_timey_arith(left) or _contains_timey_arith(right):
+                    yield ctx.finding(
+                        node, self.code,
+                        "exact == on a time computed with float arithmetic; "
+                        "use pytest.approx / an epsilon instead")
+                    break
+
+
+# ----------------------------------------------------------------------
+# SIM: simulator discipline
+# ----------------------------------------------------------------------
+
+@register
+class BlockingCallRule(Rule):
+    code = "SIM001"
+    summary = "blocking call (time.sleep, sockets, subprocess) in sim code"
+    rationale = ("Inside the event loop, real-world waiting does nothing to "
+                 "the simulated clock — it just wedges the campaign.  Model "
+                 "delay by scheduling an event instead.")
+    example = "time.sleep(rto)"
+    scope = "sim"
+
+    FORBIDDEN_EXACT = {
+        "time.sleep", "os.system", "input",
+        "socket.socket", "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+    FORBIDDEN_PREFIX = ("subprocess.", "requests.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls(ctx.tree):
+            origin = ctx.resolve(call.func)
+            if not origin:
+                continue
+            if (origin in self.FORBIDDEN_EXACT
+                    or origin.startswith(self.FORBIDDEN_PREFIX)):
+                yield ctx.finding(
+                    call, self.code,
+                    f"blocking `{origin}()` in simulator code: schedule an "
+                    f"event on the simulated clock instead")
+
+
+@register
+class NegativeDelayRule(Rule):
+    code = "SIM002"
+    summary = "Simulator.schedule called with a negative literal delay"
+    rationale = ("A negative delay means scheduling into the past; the "
+                 "engine raises at runtime, but a literal can be rejected "
+                 "before any event fires.")
+    example = "sim.schedule(-0.1, cb)"
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _calls(ctx.tree):
+            if not (isinstance(call.func, ast.Attribute)
+                    and call.func.attr in {"schedule", "schedule_at"}):
+                continue
+            if call.args and _is_negative_literal(call.args[0]):
+                yield ctx.finding(
+                    call, self.code,
+                    f"{call.func.attr}() with a negative literal delay "
+                    f"always raises SimulationError")
+
+
+@register
+class CwndMutationRule(Rule):
+    code = "SIM003"
+    summary = "cwnd/ssthresh mutated outside tcp/ modules"
+    rationale = ("Congestion state belongs to the congestion controller; "
+                 "the PR 2 sanitizer exists because out-of-band mutation "
+                 "corrupted Figure 15.  Files with 'tcp' in their path "
+                 "(the stack and its dedicated tests) are exempt.")
+    example = "conn.cwnd = 100  # in web/spdy.py"
+    scope = "all"
+
+    _ATTRS = {"cwnd", "ssthresh"}
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not any("tcp" in part for part in ctx.parts)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in self._ATTRS):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"direct mutation of `.{target.attr}` outside tcp/: "
+                        f"go through the congestion controller API")

@@ -12,7 +12,7 @@ delivery on a link and is the raw input to the packet-trace analysis in
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from ..sim import Simulator
 from .packet import Packet
@@ -211,7 +211,7 @@ class Link:
         self.bytes_lost = 0
         self.packets_in_flight = 0
         self.bytes_in_flight = 0
-        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
+        self.sanitizer: Optional[Any] = None  # repro.sanity.Sanitizer when checks are on
 
     # ------------------------------------------------------------------
     def add_tap(self, tap: LinkTap) -> None:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import os
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["CHECK_MODES", "Invariant", "InvariantViolation", "Sanitizer",
            "ViolationRecord", "WedgeError", "resolve_check_mode"]
@@ -141,7 +141,7 @@ class Sanitizer:
             raise ValueError(
                 f"sanitizer mode must be 'warn' or 'strict', not {mode!r}")
         self.mode = mode
-        self.sim = None                       # set by install_sanitizer
+        self.sim: Optional[Any] = None        # set by install_sanitizer
         self.violations: List[ViolationRecord] = []
         self.checks_run = 0
         self._ring = deque(maxlen=ring_size)  # (time, topic, detail)

@@ -11,7 +11,7 @@ first-byte delay (plus any long-poll hold the request asks for).
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..net import DuplexLink, Host
 from ..sim import Simulator
@@ -83,7 +83,7 @@ class OriginFarm:
         self.bandwidth_bps = bandwidth_bps
         self.tcp_config = tcp_config or TcpConfig()
         self._origins: Dict[str, OriginServer] = {}
-        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
+        self.sanitizer: Optional[Any] = None  # repro.sanity.Sanitizer when checks are on
 
     def ensure_origin(self, domain: str) -> str:
         """Create (once) the origin host for ``domain``; returns its address."""

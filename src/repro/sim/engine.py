@@ -76,7 +76,7 @@ class Simulator:
         self._rngs: Dict[str, random.Random] = {}
         self._running = False
         self.events_processed = 0
-        self.sanitizer = None  # repro.sanity.Sanitizer when checks are on
+        self.sanitizer: Optional[Any] = None  # repro.sanity.Sanitizer when checks are on
 
     # ------------------------------------------------------------------
     # scheduling

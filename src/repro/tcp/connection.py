@@ -133,8 +133,8 @@ class Connection:
         self.on_reset: Optional[Callable[["Connection"], None]] = None
 
         # --- tracing ------------------------------------------------------
-        self.probe = None                  # TcpProbe, set by the stack
-        self.sanitizer = None              # repro.sanity.Sanitizer or None
+        self.probe: Optional[Any] = None   # TcpProbe, set by the stack
+        self.sanitizer: Optional[Any] = None  # repro.sanity.Sanitizer or None
         self._metrics_saved = False
 
         # --- application backpressure --------------------------------------

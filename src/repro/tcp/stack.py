@@ -10,7 +10,7 @@ reports to — our stand-in for the paper's ``tcp_probe`` kernel module.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.node import Host
 from ..net.packet import Packet
@@ -45,8 +45,8 @@ class TcpStack:
         self.config.validate()
         self.metrics_cache = metrics_cache or TcpMetricsCache(
             enabled=self.config.use_metrics_cache)
-        self.probe = None  # TcpProbe or None
-        self.sanitizer = None  # repro.sanity.Sanitizer or None
+        self.probe: Optional[Any] = None  # TcpProbe or None
+        self.sanitizer: Optional[Any] = None  # repro.sanity.Sanitizer or None
 
         self._connections: Dict[ConnKey, Connection] = {}
         self._listeners: Dict[int, Listener] = {}

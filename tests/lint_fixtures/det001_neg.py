@@ -1,0 +1,9 @@
+"""Must NOT trigger DET001: only the simulated clock is read."""
+
+
+def stamp(sim, events):
+    events.append(sim.now)
+
+
+def format_time(t_s):
+    return f"{t_s:.3f}s"

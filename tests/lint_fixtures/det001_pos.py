@@ -1,0 +1,8 @@
+"""Must trigger DET001: wall-clock reads in simulator code."""
+import time
+from datetime import datetime
+
+
+def stamp(events):
+    start = time.time()
+    events.append((start, datetime.now()))

@@ -1,0 +1,10 @@
+"""Must NOT trigger DET002: seeded random.Random instances only."""
+import random
+
+
+def jitter(rng):
+    return rng.uniform(0.0, 0.1)
+
+
+def make_stream(seed):
+    return random.Random(f"{seed}/jitter")

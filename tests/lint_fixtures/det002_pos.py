@@ -1,0 +1,6 @@
+"""Must trigger DET002: module-level random.* draws."""
+import random
+
+
+def jitter():
+    return random.uniform(0.0, 0.1)

@@ -1,0 +1,11 @@
+"""Must NOT trigger DET003: stable digests and dunder definitions."""
+import zlib
+
+
+def bucket(domain):
+    return zlib.crc32(domain.encode()) % 97
+
+
+class Key:
+    def __hash__(self):
+        return 7

@@ -1,0 +1,5 @@
+"""Must trigger DET003: builtin hash() on a string."""
+
+
+def bucket(domain):
+    return hash(domain) % 97

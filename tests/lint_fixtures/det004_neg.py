@@ -1,0 +1,10 @@
+"""Must NOT trigger DET004: sorted() pins the order."""
+
+
+def close_all(active):
+    for conn in sorted(set(active)):
+        conn.close()
+
+
+def pairs(d):
+    return list(d.items())

@@ -1,0 +1,10 @@
+"""Must trigger DET004: iterating sets and .keys() views."""
+
+
+def close_all(active):
+    for conn in set(active):
+        conn.close()
+
+
+def digest(d):
+    return [k for k in d.keys()]

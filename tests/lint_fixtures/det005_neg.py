@@ -1,0 +1,12 @@
+"""Must NOT trigger DET005: the None-default idiom."""
+
+
+def visit(page, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(page)
+    return seen
+
+
+def label(kind, suffix=""):
+    return kind + suffix

@@ -1,0 +1,11 @@
+"""Must trigger DET005: mutable defaults shared across calls."""
+
+
+def visit(page, seen=[]):
+    seen.append(page)
+    return seen
+
+
+def tally(name, counts={}):
+    counts[name] = counts.get(name, 0) + 1
+    return counts

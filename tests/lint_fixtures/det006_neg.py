@@ -1,0 +1,6 @@
+"""Must NOT trigger DET006: ids derived from the run seed."""
+import zlib
+
+
+def conn_id(seed, n):
+    return zlib.crc32(f"{seed}/{n}".encode())

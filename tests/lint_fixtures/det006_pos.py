@@ -1,0 +1,11 @@
+"""Must trigger DET006: ambient entropy for identifiers."""
+import os
+import uuid
+
+
+def conn_id():
+    return uuid.uuid4().hex
+
+
+def nonce():
+    return os.urandom(8)

@@ -1,0 +1,5 @@
+"""Must NOT trigger SIM001: delay modelled on the simulated clock."""
+
+
+def on_timeout(sim, conn):
+    sim.schedule(conn.rto, conn.retransmit)

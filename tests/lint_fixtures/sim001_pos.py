@@ -1,0 +1,7 @@
+"""Must trigger SIM001: real-world blocking inside sim code."""
+import time
+
+
+def on_timeout(conn):
+    time.sleep(conn.rto)
+    conn.retransmit()

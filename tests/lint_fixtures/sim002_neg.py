@@ -1,0 +1,6 @@
+"""Must NOT trigger SIM002: zero and variable delays are legal."""
+
+
+def kick(sim, cb, delay):
+    sim.schedule(0.0, cb)
+    sim.schedule(delay, cb)

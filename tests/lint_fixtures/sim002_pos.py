@@ -1,0 +1,5 @@
+"""Must trigger SIM002: negative literal delay."""
+
+
+def kick(sim, cb):
+    sim.schedule(-0.1, cb)

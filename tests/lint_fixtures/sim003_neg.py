@@ -1,0 +1,9 @@
+"""Must NOT trigger SIM003: reads are fine; writes go via the API."""
+
+
+def throttle(conn):
+    conn.controller.on_loss()
+
+
+def read_only(conn):
+    return conn.cwnd

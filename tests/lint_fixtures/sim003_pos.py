@@ -1,0 +1,6 @@
+"""Must trigger SIM003: congestion state mutated outside tcp/."""
+
+
+def throttle(conn):
+    conn.cwnd = 1.0
+    conn.ssthresh = 2.0

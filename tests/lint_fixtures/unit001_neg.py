@@ -1,0 +1,9 @@
+"""Must NOT trigger UNIT001: explicit conversion or matching units."""
+
+
+def deadline(promotion_delay_ms, rtt_s):
+    return promotion_delay_ms / 1000.0 + rtt_s
+
+
+def total(first_s, second_s):
+    return first_s + second_s

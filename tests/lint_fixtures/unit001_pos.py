@@ -1,0 +1,9 @@
+"""Must trigger UNIT001: seconds and milliseconds mixed raw."""
+
+
+def deadline(promotion_delay_ms, rtt_s):
+    return promotion_delay_ms + rtt_s
+
+
+def overdue(elapsed_s, budget_ms):
+    return elapsed_s > budget_ms

@@ -1,0 +1,9 @@
+"""Must NOT trigger UNIT002: conversions erase the unit."""
+
+
+def budget(window_bytes, sent_bits):
+    return window_bytes - sent_bits // 8
+
+
+def throughput(total_bytes, other_bytes):
+    return total_bytes + other_bytes

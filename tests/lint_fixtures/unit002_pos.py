@@ -1,0 +1,9 @@
+"""Must trigger UNIT002: bytes vs bits and kbps vs mbps mixed raw."""
+
+
+def budget(window_bytes, sent_bits):
+    return window_bytes - sent_bits
+
+
+def saturated(rate_kbps, capacity_mbps):
+    return rate_kbps >= capacity_mbps

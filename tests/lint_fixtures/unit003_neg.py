@@ -1,0 +1,10 @@
+"""Must NOT trigger UNIT003: approx comparison / assignment-exact =="""
+import pytest
+
+
+def check(t_end, t_start, rtt_s):
+    assert t_end == pytest.approx(t_start + 3 * rtt_s)
+
+
+def exact(sim):
+    return sim.now == 5.5

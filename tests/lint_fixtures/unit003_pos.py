@@ -1,0 +1,5 @@
+"""Must trigger UNIT003: exact == on a float-computed time."""
+
+
+def check(t_end, t_start, rtt_s):
+    assert t_end == t_start + 3 * rtt_s

@@ -1,0 +1,237 @@
+"""Lint engine plumbing: suppressions, baseline, CLI, JSON output."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import (Baseline, BaselineError, Finding, lint_paths,
+                        lint_source, iter_python_files)
+from repro.lint.cli import main as lint_main
+
+HASHY = "bucket = hash(domain) % 97\n"
+
+
+# ----------------------------------------------------------------------
+# inline suppression
+# ----------------------------------------------------------------------
+
+class TestSuppression:
+    def test_unsuppressed_line_is_flagged(self):
+        assert any(f.code == "DET003" for f in lint_source(HASHY))
+
+    def test_matching_code_suppresses(self):
+        src = "bucket = hash(d) % 97  # repro-lint: disable=DET003\n"
+        assert lint_source(src) == []
+
+    def test_disable_all_suppresses(self):
+        src = "bucket = hash(d) % 97  # repro-lint: disable=all\n"
+        assert lint_source(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "bucket = hash(d) % 97  # repro-lint: disable=SIM001\n"
+        assert any(f.code == "DET003" for f in lint_source(src))
+
+    def test_suppression_is_per_line(self):
+        src = ("a = hash(x)  # repro-lint: disable=DET003\n"
+               "b = hash(y)\n")
+        findings = lint_source(src)
+        assert [f.line for f in findings if f.code == "DET003"] == [2]
+
+    def test_multiple_codes_in_one_comment(self):
+        src = ("import time\n"
+               "t = time.time(); h = hash(t)"
+               "  # repro-lint: disable=DET001,DET003\n")
+        assert lint_source(src) == []
+
+
+# ----------------------------------------------------------------------
+# parse errors
+# ----------------------------------------------------------------------
+
+class TestParseError:
+    def test_syntax_error_becomes_finding(self):
+        findings = lint_source("def broken(:\n")
+        assert len(findings) == 1
+        assert findings[0].code == "PARSE"
+
+
+# ----------------------------------------------------------------------
+# file discovery
+# ----------------------------------------------------------------------
+
+class TestDiscovery:
+    def test_lint_fixtures_dir_is_excluded(self, tmp_path):
+        pkg = tmp_path / "code"
+        (pkg / "lint_fixtures").mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1\n")
+        (pkg / "lint_fixtures" / "bad.py").write_text(HASHY)
+        files = list(iter_python_files([str(pkg)]))
+        assert [os.path.basename(f) for f in files] == ["ok.py"]
+
+    def test_missing_path_reports_error(self):
+        report = lint_paths(["no/such/dir"])
+        assert report.errors and not report.clean
+
+    def test_explicit_file_is_linted(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(HASHY)
+        report = lint_paths([str(target)])
+        assert [f.code for f in report.findings] == ["DET003"]
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+class TestBaseline:
+    def _finding_file(self, tmp_path):
+        target = tmp_path / "legacy.py"
+        target.write_text(HASHY)
+        return target
+
+    def test_baselined_finding_is_silenced(self, tmp_path):
+        target = self._finding_file(tmp_path)
+        raw = lint_paths([str(target)])
+        baseline = Baseline.from_findings(raw.findings)
+        report = lint_paths([str(target)], baseline=baseline)
+        assert report.findings == [] and report.baselined == 1
+        assert report.stale_baseline == []
+
+    def test_fixed_finding_makes_entry_stale(self, tmp_path):
+        target = self._finding_file(tmp_path)
+        baseline = Baseline.from_findings(lint_paths([str(target)]).findings)
+        target.write_text("bucket = 7\n")
+        report = lint_paths([str(target)], baseline=baseline)
+        assert report.findings == []
+        assert len(report.stale_baseline) == 1
+
+    def test_baseline_is_content_keyed_not_line_keyed(self, tmp_path):
+        target = self._finding_file(tmp_path)
+        baseline = Baseline.from_findings(lint_paths([str(target)]).findings)
+        # Shift the finding down two lines: still matches.
+        target.write_text("import zlib\nx = 1\n" + HASHY)
+        report = lint_paths([str(target)], baseline=baseline)
+        assert report.findings == [] and report.baselined == 1
+
+    def test_multiset_semantics(self, tmp_path):
+        target = tmp_path / "legacy.py"
+        target.write_text(HASHY + HASHY)  # identical line twice
+        raw = lint_paths([str(target)])
+        assert len(raw.findings) == 2
+        baseline = Baseline.from_findings(raw.findings[:1])
+        report = lint_paths([str(target)], baseline=baseline)
+        assert len(report.findings) == 1 and report.baselined == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        entries = [Finding(path="a.py", line=3, col=0, code="DET003",
+                           message="m", line_text="x = hash(y)")]
+        path = str(tmp_path / "base.json")
+        Baseline.from_findings(entries, note="why").save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1 and loaded.note == "why"
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(BaselineError):
+            Baseline.load(str(path))
+
+
+# ----------------------------------------------------------------------
+# CLI (module entry point + repro subcommand)
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(HASHY)
+        assert lint_main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET003" in out and "bad.py" in out
+
+    def test_exit_two_on_missing_path(self, capsys):
+        assert lint_main(["definitely/not/here"]) == 2
+
+    def test_repro_lint_subcommand(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(HASHY)
+        assert repro_main(["lint", str(tmp_path)]) == 1
+        assert "DET003" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "UNIT001", "SIM003"):
+            assert code in out
+
+    def test_select_restricts_rules(self, tmp_path):
+        (tmp_path / "bad.py").write_text(HASHY)
+        assert lint_main([str(tmp_path), "--select", "DET001"]) == 0
+        assert lint_main([str(tmp_path), "--select", "DET003"]) == 1
+
+    def test_unknown_select_code_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            lint_main([str(tmp_path), "--select", "NOPE99"])
+
+    def test_write_then_check_baseline(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.py").write_text(HASHY)
+        assert lint_main(["bad.py", "--write-baseline"]) == 0
+        assert lint_main(["bad.py"]) == 0  # baselined now
+        capsys.readouterr()
+        (tmp_path / "bad.py").write_text("x = 1\n")
+        assert lint_main(["bad.py"]) == 1  # stale entry fails the run
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_python_dash_m_entry_point(self, tmp_path):
+        (tmp_path / "bad.py").write_text(HASHY)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 1
+        assert "DET003" in proc.stdout
+
+
+class TestJsonFormat:
+    def test_json_document_shape(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        assert lint_main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert payload["counts"] == {"DET001": 1}
+        (finding,) = payload["findings"]
+        assert finding["code"] == "DET001"
+        assert finding["line"] == 2
+        assert finding["path"].endswith("bad.py")
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+
+    def test_json_clean_run(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True and payload["findings"] == []
+
+
+# ----------------------------------------------------------------------
+# the repo itself stays clean (the CI gate, as a local test)
+# ----------------------------------------------------------------------
+
+class TestRepoIsClean:
+    def test_src_tests_benchmarks_lint_clean(self):
+        root = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), os.pardir))
+        paths = [os.path.join(root, p) for p in ("src", "tests", "benchmarks")]
+        report = lint_paths(paths)
+        assert report.errors == []
+        assert [f.render() for f in report.findings] == []

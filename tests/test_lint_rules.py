@@ -1,0 +1,107 @@
+"""Every lint rule: one must-flag and one must-not-flag fixture.
+
+Fixtures live in tests/lint_fixtures/ as `<code>_pos.py` / `<code>_neg.py`
+pairs and are discovered by filename, so a new rule without fixtures (or
+fixtures without a rule) fails here rather than rotting silently.
+"""
+
+import os
+
+import pytest
+
+from repro.lint import lint_source, rules_by_code
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+# Lint every fixture as if it lived in sim code so sim-scoped rules apply.
+SIM_PATH = "src/repro/_lint_fixture.py"
+
+
+def _codes(source: str, path: str = SIM_PATH):
+    return {f.code for f in lint_source(source, path=path)}
+
+
+def _read(name: str) -> str:
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _fixture_codes():
+    codes = set()
+    for name in os.listdir(FIXTURES):
+        if name.endswith("_pos.py") or name.endswith("_neg.py"):
+            codes.add(name.rsplit("_", 1)[0].upper())
+    return codes
+
+
+def test_every_rule_has_a_fixture_pair():
+    assert _fixture_codes() == set(rules_by_code())
+
+
+def test_at_least_ten_rules_registered():
+    assert len(rules_by_code()) >= 10
+
+
+@pytest.mark.parametrize("code", sorted(rules_by_code()))
+class TestRuleFixtures:
+    def test_positive_fixture_is_flagged(self, code):
+        findings = _codes(_read(f"{code.lower()}_pos.py"))
+        assert code in findings
+
+    def test_negative_fixture_is_clean(self, code):
+        findings = _codes(_read(f"{code.lower()}_neg.py"))
+        assert code not in findings
+
+
+class TestRuleScoping:
+    def test_sim_rules_skip_test_files(self):
+        # SIM001 (blocking calls) only applies to simulator code.
+        source = _read("sim001_pos.py")
+        assert "SIM001" in _codes(source, path=SIM_PATH)
+        assert "SIM001" not in _codes(source, path="tests/test_thing.py")
+        assert "SIM001" not in _codes(source, path="benchmarks/test_fig.py")
+
+    def test_lint_package_is_not_sim_code(self):
+        source = _read("det006_pos.py")
+        assert "DET006" not in _codes(source, path="src/repro/lint/rules.py")
+
+    def test_cwnd_mutation_allowed_in_tcp_paths(self):
+        source = _read("sim003_pos.py")
+        assert "SIM003" in _codes(source, path="src/repro/web/spdy.py")
+        assert "SIM003" not in _codes(source, path="src/repro/tcp/stack.py")
+        assert "SIM003" not in _codes(source, path="tests/test_tcp_congestion.py")
+
+
+class TestRuleDetails:
+    """Edge cases beyond the fixture pairs."""
+
+    def test_aliased_import_still_resolves(self):
+        assert "DET001" in _codes("import time as t\nx = t.time()\n")
+
+    def test_from_import_resolves(self):
+        assert "DET001" in _codes("from time import monotonic\nx = monotonic()\n")
+        assert "DET002" in _codes("from random import randint\nx = randint(1, 6)\n")
+
+    def test_datetime_now_via_from_import(self):
+        src = "from datetime import datetime\nstamp = datetime.now()\n"
+        assert "DET001" in _codes(src)
+
+    def test_method_named_time_on_object_is_not_flagged(self):
+        assert "DET001" not in _codes("x = event.time()\n")
+
+    def test_set_union_iteration_flagged(self):
+        src = "for x in set(a) | set(b):\n    use(x)\n"
+        assert "DET004" in _codes(src)
+
+    def test_time_unit_mix_inside_nested_sum(self):
+        src = "total = (setup_s + promo_s) + wait_ms\n"
+        assert "UNIT001" in _codes(src)
+
+    def test_multiplication_erases_units(self):
+        assert "UNIT001" not in _codes("x = rate * interval_ms + budget_s\n")
+
+    def test_schedule_at_negative_literal_flagged(self):
+        assert "SIM002" in _codes("sim.schedule_at(-1.0, cb)\n")
+
+    def test_rto_equality_after_arithmetic_flagged(self):
+        assert "UNIT003" in _codes("assert est.rto == srtt + 4 * rttvar\n")

@@ -133,7 +133,7 @@ def test_lte_graph_includes_drx_wakeups():
 def test_schedule_rejects_negative_delay():
     sim = Simulator(seed=0)
     with pytest.raises(SimulationError):
-        sim.schedule(-1.0, lambda: None)
+        sim.schedule(-1.0, lambda: None)  # repro-lint: disable=SIM002 -- exercises the error path
 
 
 def test_schedule_rejects_nan_delay():

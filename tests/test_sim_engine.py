@@ -35,7 +35,7 @@ class TestScheduling:
     def test_negative_delay_rejected(self):
         sim = Simulator()
         with pytest.raises(SimulationError):
-            sim.schedule(-0.1, lambda: None)
+            sim.schedule(-0.1, lambda: None)  # repro-lint: disable=SIM002 -- exercises the error path
 
     def test_schedule_at_in_past_rejected(self):
         sim = Simulator()
