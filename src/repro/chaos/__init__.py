@@ -1,0 +1,38 @@
+"""Chaos fuzzing: randomized scenarios, oracles, shrinking, and a corpus.
+
+The paper's central finding — RRC promotion × TCP RTO producing
+spurious-retransmission storms (Figures 10–13) — is an *emergent*
+cross-layer pathology no single-component test would catch.  This
+package hunts for that class of bug in the simulator itself:
+
+* :mod:`~repro.chaos.generator` draws random ``(config, fault plan,
+  seed)`` scenarios from a declarative :class:`SearchSpace`, replayable
+  from one master seed;
+* :mod:`~repro.chaos.oracles` runs each scenario under strict invariant
+  checks with the wedge watchdog, twice, classifying crashes and
+  flagging event-digest divergence between identical replays;
+* :mod:`~repro.chaos.shrinker` delta-debugs any failure down to a
+  1-minimal scenario within a shrink budget;
+* :mod:`~repro.chaos.corpus` freezes minimal repros as JSON files that
+  the tier-1 suite replays forever after (``tests/chaos_corpus/``);
+* :mod:`~repro.chaos.campaign` drives it all through the crash-safe,
+  resumable campaign journal.
+"""
+
+from .campaign import ChaosResult, run_chaos_campaign
+from .corpus import (corpus_entry, entry_filename, load_corpus,
+                     replay_entry, save_entry)
+from .generator import ScenarioGenerator, SearchSpace
+from .oracles import (CHAOS_EVENT_BUDGET, FAILURE_KINDS, OracleVerdict,
+                      check_scenario, classify_exception, run_digest)
+from .scenario import BASELINE_CONFIG, Scenario
+from .shrinker import DEFAULT_SHRINK_BUDGET, ShrinkResult, shrink
+
+__all__ = [
+    "BASELINE_CONFIG", "CHAOS_EVENT_BUDGET", "ChaosResult",
+    "DEFAULT_SHRINK_BUDGET", "FAILURE_KINDS", "OracleVerdict",
+    "Scenario", "ScenarioGenerator", "SearchSpace", "ShrinkResult",
+    "check_scenario", "classify_exception", "corpus_entry",
+    "entry_filename", "load_corpus", "replay_entry", "run_chaos_campaign",
+    "run_digest", "save_entry", "shrink",
+]

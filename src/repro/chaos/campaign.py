@@ -1,0 +1,155 @@
+"""The chaos campaign driver: generate → check → shrink → archive.
+
+Composes the pieces this package provides with the crash-safe journal
+from :mod:`repro.sanity.campaign`: every trial appends one JSON record
+(scenario included, so any journaled failure replays from the journal
+line alone), resume skips journaled (digest, seed) pairs, and the whole
+campaign is a pure function of its arguments — two invocations with the
+same master seed and trial count write byte-identical journals.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sanity import CampaignJournal
+from .corpus import corpus_entry, save_entry
+from .generator import ScenarioGenerator, SearchSpace
+from .oracles import CHAOS_EVENT_BUDGET, OracleVerdict, check_scenario
+from .scenario import Scenario
+from .shrinker import DEFAULT_SHRINK_BUDGET, shrink
+
+__all__ = ["ChaosResult", "run_chaos_campaign"]
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos campaign produced."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    corpus_paths: List[str] = field(default_factory=list)
+    journal_path: Optional[str] = None
+    stopped_early: bool = False
+
+    @property
+    def trial_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def failures(self) -> List[Dict[str, object]]:
+        return [r for r in self.records if r.get("status") == "failed"]
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failures)
+
+    @property
+    def resumed_count(self) -> int:
+        return sum(1 for r in self.records if r.get("resumed"))
+
+    def by_failure_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.failures:
+            failure = record.get("failure") or {}
+            kind = str(failure.get("status", "exception"))
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+
+def run_chaos_campaign(trials: int,
+                       master_seed: int = 0,
+                       space: Optional[SearchSpace] = None,
+                       shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+                       event_budget: Optional[int] = CHAOS_EVENT_BUDGET,
+                       determinism: bool = True,
+                       journal_path: Optional[str] = None,
+                       resume: bool = False,
+                       corpus_dir: Optional[str] = None,
+                       time_budget: Optional[float] = None,
+                       clock: Optional[Callable[[], float]] = None,
+                       check: Optional[
+                           Callable[[Scenario], OracleVerdict]] = None,
+                       ) -> ChaosResult:
+    """Run a chaos campaign of ``trials`` scenarios.
+
+    ``check`` defaults to the full oracle stack; tests inject synthetic
+    oracles here.  ``time_budget`` (wall-clock seconds, measured by
+    ``clock``) stops the campaign between trials; the journal still
+    holds every finished trial, so ``resume`` picks up where the budget
+    ran out.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    generator = ScenarioGenerator(master_seed, space)
+    if check is None:
+        def check(scenario: Scenario) -> OracleVerdict:
+            return check_scenario(scenario, event_budget=event_budget,
+                                  determinism=determinism)
+    journal = CampaignJournal(journal_path) if journal_path else None
+    done: Dict[Tuple[str, int], Dict[str, object]] = {}
+    if resume:
+        if journal is None:
+            raise ValueError("resume requires a journal path")
+        if not os.path.exists(journal.path):
+            raise FileNotFoundError(
+                f"cannot resume: journal {journal.path!r} does not exist")
+        for record in journal.load():
+            if record.get("kind") != "chaos-trial":
+                continue
+            key = (str(record.get("digest")), int(record.get("seed", 0)))
+            done[key] = record
+
+    # The time budget is inherently wall-clock; it bounds the *campaign
+    # process*, not anything inside the simulated world, and is never
+    # journaled, so determinism of the records is unaffected.
+    if clock is None:
+        clock = time.monotonic  # repro-lint: disable=DET001
+    start = clock()
+
+    result = ChaosResult(journal_path=journal_path)
+    for index in range(trials):
+        if time_budget is not None and clock() - start >= time_budget:
+            result.stopped_early = True
+            break
+        scenario = generator.scenario(index)
+        digest = scenario.digest()
+        prior = done.get((digest, scenario.seed))
+        if prior is not None:
+            record = dict(prior)
+            record["resumed"] = True
+            result.records.append(record)
+            continue
+        verdict = check(scenario)
+        record: Dict[str, object] = {
+            "kind": "chaos-trial", "index": index,
+            "master_seed": master_seed, "digest": digest,
+            "seed": scenario.seed, "faults": scenario.faults,
+            "scenario": scenario.to_dict(),
+        }
+        if not verdict.failed:
+            record.update(status="ok", run_digest=verdict.run_digest,
+                          failure=None)
+        else:
+            shrunk = shrink(scenario, verdict, check, budget=shrink_budget)
+            record.update(
+                status="failed", run_digest=verdict.run_digest,
+                failure=verdict.as_dict(),
+                shrunk={"scenario": shrunk.scenario.to_dict(),
+                        "faults": shrunk.scenario.faults,
+                        "failure": shrunk.verdict.as_dict(),
+                        **shrunk.as_dict()})
+            if corpus_dir is not None:
+                entry = corpus_entry(shrunk.scenario, shrunk.verdict,
+                                     master_seed=master_seed,
+                                     trial_index=index,
+                                     shrink_info=shrunk.as_dict())
+                path = save_entry(entry, corpus_dir)
+                result.corpus_paths.append(path)
+                record["corpus_entry"] = os.path.basename(path)
+        if journal is not None:
+            journal.append(record)
+        result.records.append(record)
+    return result

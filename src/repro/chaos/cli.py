@@ -1,0 +1,195 @@
+"""``repro chaos``: drive fuzzing campaigns and replay repro records.
+
+Campaign mode (the default) runs ``--trials`` generated scenarios;
+``--replay`` instead re-checks an existing record: a raw chaos-journal
+JSON line, a journal path (all failed records, or one with ``PATH:N``),
+or a corpus ``*.json`` file.  Replay exit status means "the record
+behaved as expected": a journaled failure is expected to *still fail*
+the same way (that is what replayable means), while a corpus entry —
+a fixed bug or a sentinel — is expected to pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Optional, Tuple
+
+from .campaign import run_chaos_campaign
+from .corpus import load_corpus
+from .oracles import CHAOS_EVENT_BUDGET, check_scenario
+from .scenario import Scenario
+from .shrinker import DEFAULT_SHRINK_BUDGET
+
+__all__ = ["add_chaos_arguments", "run_chaos"]
+
+
+def add_chaos_arguments(parser) -> None:
+    parser.add_argument("--trials", type=int, default=25,
+                        help="scenarios to generate and check (default 25)")
+    parser.add_argument("--master-seed", type=int, default=0,
+                        help="one seed replays the whole campaign")
+    parser.add_argument("--shrink-budget", type=int,
+                        default=DEFAULT_SHRINK_BUDGET, metavar="N",
+                        help="oracle runs allowed per shrink (default "
+                             f"{DEFAULT_SHRINK_BUDGET})")
+    parser.add_argument("--event-budget", type=int,
+                        default=CHAOS_EVENT_BUDGET, metavar="N",
+                        help="wedge watchdog: simulator events per run "
+                             f"(default {CHAOS_EVENT_BUDGET:,})")
+    parser.add_argument("--corpus-dir", metavar="DIR", default=None,
+                        help="write each shrunk failure as a corpus "
+                             "repro JSON into DIR")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop starting new trials after this much "
+                             "wall-clock time")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="append-only JSONL trial journal")
+    parser.add_argument("--resume", metavar="JOURNAL", default=None,
+                        help="journal to resume: journaled (scenario, "
+                             "seed) trials are skipped")
+    parser.add_argument("--no-determinism", action="store_true",
+                        help="skip the double-run determinism oracle "
+                             "(halves the cost, drops the coverage)")
+    parser.add_argument("--replay", metavar="RECORD", default=None,
+                        help="replay a chaos-journal JSON line, a journal "
+                             "path (optionally PATH:N for line N), or a "
+                             "corpus entry file instead of fuzzing")
+
+
+def run_chaos(args) -> int:
+    from ..reporting import render_chaos_summary
+
+    if args.replay is not None:
+        return _run_replay(args)
+    journal = args.resume or args.journal
+    try:
+        result = run_chaos_campaign(
+            trials=args.trials, master_seed=args.master_seed,
+            shrink_budget=args.shrink_budget,
+            event_budget=args.event_budget,
+            determinism=not args.no_determinism,
+            journal_path=journal, resume=args.resume is not None,
+            corpus_dir=args.corpus_dir, time_budget=args.time_budget)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_chaos_summary(result.records, result.corpus_paths))
+    if result.stopped_early:
+        print("time budget exhausted: campaign stopped early "
+              "(resume with --resume to continue)")
+    return 1 if result.failure_count else 0
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+
+def _scenario_from_record(record: Dict[str, object]
+                          ) -> Tuple[Scenario, Optional[str]]:
+    """(scenario, expected status) from a journal/corpus record.
+
+    Chaos records embed the full scenario.  A plain campaign trial
+    record (``kind: "trial"``) only carries protocol/network/seed plus
+    the failure's exact fault spec, so the rest of the config is
+    reconstructed as defaults — enough for fault-plan failures, stated
+    loudly when used.
+    """
+    if "scenario" in record:
+        expected = None
+        failure = record.get("failure")
+        if isinstance(failure, dict):
+            expected = str(failure.get("status"))
+        if record.get("expected_failure") is not None:
+            # corpus entry: the failure it *used to* exhibit; replay is
+            # expected to pass now that the bug is fixed.
+            expected = "pass"
+        scenario = Scenario.from_dict(record["scenario"])  # type: ignore
+        return scenario, expected
+    failure = record.get("failure") if isinstance(
+        record.get("failure"), dict) else {}
+    faults = failure.get("faults") or record.get("faults")
+    config = {}
+    for key in ("protocol", "network"):
+        if record.get(key):
+            config[key] = record[key]
+    print("note: record has no embedded scenario; replaying "
+          "protocol/network/seed/faults over the default chaos config",
+          file=sys.stderr)
+    scenario = Scenario(seed=int(record.get("seed", 0)),
+                        faults=faults, config=config)
+    expected = str(failure.get("kind")) if failure.get("kind") else None
+    return scenario, expected
+
+
+def _records_to_replay(value: str):
+    """Yield (label, record) pairs for a --replay argument."""
+    if value.lstrip().startswith("{"):
+        yield "<inline>", json.loads(value)
+        return
+    path, line_spec = value, ""
+    if ":" in value and not os.path.exists(value):
+        head, _, tail = value.rpartition(":")
+        if tail.isdigit():
+            path, line_spec = head, tail
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no such replay record: {value!r}")
+    if path.endswith(".json"):
+        with open(path, "r", encoding="utf-8") as handle:
+            yield path, json.load(handle)
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    if line_spec:
+        index = int(line_spec)
+        if not (1 <= index <= len(lines)):
+            raise FileNotFoundError(
+                f"{path} has {len(lines)} lines, no line {index}")
+        yield f"{path}:{index}", json.loads(lines[index - 1])
+        return
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and record.get("status") == "failed":
+            yield f"{path}:{number}", record
+
+
+def _run_replay(args) -> int:
+    try:
+        pairs = list(_records_to_replay(args.replay))
+    except (FileNotFoundError, json.JSONDecodeError, ValueError) as exc:
+        print(f"--replay: {exc}", file=sys.stderr)
+        return 2
+    if not pairs:
+        print("--replay: no failed records found", file=sys.stderr)
+        return 2
+    mismatches = 0
+    for label, record in pairs:
+        scenario, expected = _scenario_from_record(record)
+        verdict = check_scenario(scenario,
+                                 event_budget=args.event_budget,
+                                 determinism=not args.no_determinism)
+        expected = expected or "pass"
+        match = verdict.status == expected
+        mismatches += 0 if match else 1
+        marker = "reproduced" if (match and expected != "pass") else (
+            "ok" if match else "DID NOT MATCH")
+        print(f"{label}: expected {expected}, got {verdict.status} "
+              f"[{marker}]")
+        if verdict.message:
+            print(f"  {verdict.message}")
+    return 1 if mismatches else 0
+
+
+def replay_corpus_dir(corpus_dir: str, event_budget=CHAOS_EVENT_BUDGET):
+    """Programmatic corpus sweep: [(path, entry, verdict), ...]."""
+    results = []
+    for path, entry in load_corpus(corpus_dir):
+        from .corpus import replay_entry
+        results.append((path, entry, replay_entry(
+            entry, event_budget=event_budget)))
+    return results

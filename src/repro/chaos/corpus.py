@@ -1,0 +1,88 @@
+"""The minimal-repro corpus: failures, frozen as regression tests.
+
+Every shrunk failure serializes to one small JSON file — the scenario
+(config overrides + exact fault spec + seed), the failure class it
+exhibited when found, and the shrink accounting.  The pytest harness
+(``tests/test_chaos_corpus.py``) replays every entry under strict
+checks and expects it to *pass*: a corpus entry documents a bug that has
+been fixed, and replaying green proves it stays fixed.
+
+Entries with ``expected_failure: "pass"`` are *sentinels*: hairy
+scenarios from past sweeps checked in as determinism anchors, so the
+replay harness exercises the oracles even when no bug is outstanding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .oracles import CHAOS_EVENT_BUDGET, OracleVerdict, check_scenario
+from .scenario import Scenario
+
+__all__ = ["corpus_entry", "entry_filename", "load_corpus", "replay_entry",
+           "save_entry"]
+
+_SCHEMA = 1
+
+
+def corpus_entry(scenario: Scenario, verdict: OracleVerdict,
+                 master_seed: Optional[int] = None,
+                 trial_index: Optional[int] = None,
+                 shrink_info: Optional[Dict[str, object]] = None,
+                 note: str = "") -> Dict[str, object]:
+    """Build the JSON-able corpus record for one (minimal) scenario."""
+    return {
+        "schema": _SCHEMA,
+        "expected_failure": verdict.status,   # failure class when found
+        "error_type": verdict.error_type,
+        "message": verdict.message,
+        "scenario": scenario.to_dict(),
+        "master_seed": master_seed,
+        "trial_index": trial_index,
+        "shrink": dict(shrink_info or {}),
+        "note": note,
+    }
+
+
+def entry_filename(entry: Dict[str, object]) -> str:
+    """Deterministic, self-describing file name for a corpus entry."""
+    scenario = Scenario.from_dict(entry["scenario"])  # type: ignore[arg-type]
+    return (f"{entry.get('expected_failure', 'pass')}-"
+            f"{scenario.digest()}-s{scenario.seed}.json")
+
+
+def save_entry(entry: Dict[str, object], corpus_dir: str) -> str:
+    """Write one entry (pretty-printed, stable key order); returns path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, entry_filename(entry))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(corpus_dir: str) -> List[Tuple[str, Dict[str, object]]]:
+    """All (path, entry) pairs in a corpus directory, sorted by name."""
+    entries: List[Tuple[str, Dict[str, object]]] = []
+    if not os.path.isdir(corpus_dir):
+        return entries
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        if isinstance(entry, dict) and "scenario" in entry:
+            entries.append((path, entry))
+    return entries
+
+
+def replay_entry(entry: Dict[str, object],
+                 event_budget: Optional[int] = CHAOS_EVENT_BUDGET,
+                 determinism: bool = True) -> OracleVerdict:
+    """Re-run one corpus entry through the full oracle stack."""
+    scenario = Scenario.from_dict(entry["scenario"])  # type: ignore[arg-type]
+    return check_scenario(scenario, event_budget=event_budget,
+                          determinism=determinism)

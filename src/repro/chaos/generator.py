@@ -1,0 +1,129 @@
+"""Seeded scenario generation from a declarative search space.
+
+The generator is a pure function of ``(master_seed, trial_index)``: each
+trial gets its own named :class:`random.Random` stream, so a campaign is
+replayable from one master seed, trials can be regenerated individually
+(resume, replay, shrinking), and inserting a trial never perturbs the
+ones after it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..faults import FAULT_KINDS, FaultEvent, FaultPlan
+from ..tcp import TcpConfig
+from .scenario import BASELINE_CONFIG, Scenario
+
+__all__ = ["SearchSpace", "ScenarioGenerator"]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """What the fuzzer is allowed to vary, as plain value pools.
+
+    Every field is a tuple the generator draws from uniformly (repeat a
+    value to weight it, as ``recovery`` does).  The defaults deliberately
+    cross the paper's sore spots: RTO floors straddling the RRC
+    promotion delay, slow-start-after-idle on/off, the §6.2.1 remedy,
+    and every fault kind the injector knows.
+    """
+
+    protocols: Tuple[str, ...] = ("http", "spdy")
+    networks: Tuple[str, ...] = ("3g", "lte", "wifi")
+    site_pools: Tuple[Tuple[int, ...], ...] = (
+        (1,), (2,), (1, 2), (5, 9), (1, 2, 3))
+    think_times: Tuple[float, ...] = (3.0, 4.0, 6.0)
+    tail_times: Tuple[float, ...] = (4.0, 8.0)
+    load_timeouts: Tuple[float, ...] = (6.0, 10.0)
+    environment_variability: Tuple[float, ...] = (0.0, 0.25)
+    recovery: Tuple[bool, ...] = (True, True, False)
+    min_rtos: Tuple[float, ...] = (0.2, 0.05, 1.0)
+    slow_start_after_idle: Tuple[bool, ...] = (True, False)
+    reset_rtt_after_idle: Tuple[bool, ...] = (False, True)
+    use_metrics_cache: Tuple[bool, ...] = (True, False)
+    congestion_controls: Tuple[str, ...] = ("cubic", "reno")
+    fault_kinds: Tuple[str, ...] = FAULT_KINDS
+    max_fault_events: int = 4
+    seed_bits: int = 16
+
+
+class ScenarioGenerator:
+    """Draws replayable scenarios: ``scenario(i)`` is a pure function."""
+
+    def __init__(self, master_seed: int = 0,
+                 space: Optional[SearchSpace] = None):
+        self.master_seed = master_seed
+        self.space = space or SearchSpace()
+
+    # ------------------------------------------------------------------
+    def scenario(self, index: int) -> Scenario:
+        """The ``index``-th scenario of this master seed's campaign."""
+        space = self.space
+        rng = random.Random(f"chaos/{self.master_seed}/{index}")
+        config = dict(BASELINE_CONFIG)
+        sites = list(rng.choice(space.site_pools))
+        think_time = rng.choice(space.think_times)
+        tail_time = rng.choice(space.tail_times)
+        config.update(
+            protocol=rng.choice(space.protocols),
+            network=rng.choice(space.networks),
+            site_ids=sites,
+            think_time=think_time,
+            tail_time=tail_time,
+            load_timeout=rng.choice(space.load_timeouts),
+            environment_variability=rng.choice(
+                space.environment_variability),
+            recovery=rng.choice(space.recovery),
+        )
+
+        # TCP knobs: record only non-default draws, so scenarios stay
+        # minimal and the shrinker can "snap back" by dropping keys.
+        defaults = TcpConfig()
+        tcp = {}
+        for fld, pool in (("min_rto", space.min_rtos),
+                          ("slow_start_after_idle",
+                           space.slow_start_after_idle),
+                          ("reset_rtt_after_idle",
+                           space.reset_rtt_after_idle),
+                          ("use_metrics_cache", space.use_metrics_cache),
+                          ("congestion_control",
+                           space.congestion_controls)):
+            value = rng.choice(pool)
+            if value != getattr(defaults, fld):
+                tcp[fld] = value
+
+        horizon = len(sites) * think_time + tail_time
+        events = [self._draw_event(rng, horizon, think_time)
+                  for _ in range(rng.randint(1, space.max_fault_events))]
+        plan = FaultPlan(events)
+        return Scenario(seed=rng.randrange(2 ** space.seed_bits),
+                        faults=plan.to_spec(), config=config, tcp=tcp)
+
+    def scenarios(self, n: int, start: int = 0) -> Iterator[Scenario]:
+        for index in range(start, start + n):
+            yield self.scenario(index)
+
+    # ------------------------------------------------------------------
+    def _draw_event(self, rng: random.Random, horizon: float,
+                    think_time: float) -> FaultEvent:
+        kind = rng.choice(self.space.fault_kinds)
+        time = round(rng.uniform(0.0, horizon), 3)
+        if kind == "blackout":
+            return FaultEvent(
+                "blackout", time=time,
+                duration=round(rng.uniform(0.2, max(think_time, 1.0)), 3),
+                policy=rng.choice(("queue", "drop")))
+        if kind == "burstloss":
+            return FaultEvent(
+                "burstloss", time=time,
+                rate=round(rng.uniform(0.005, 0.25), 4),
+                mean_burst=rng.choice((2.0, 8.0, 20.0)))
+        if kind == "handover":
+            return FaultEvent("handover", time=time,
+                              duration=round(rng.uniform(0.0, 2.0), 3))
+        if kind == "proxyrestart":
+            return FaultEvent("proxyrestart", time=time)
+        return FaultEvent("rst", time=time, count=rng.randint(1, 3))

@@ -1,0 +1,126 @@
+"""Failure oracles: decide whether a scenario's run is healthy.
+
+Three oracles run on every chaos trial:
+
+* **crash oracle** — the scenario runs under ``checks="strict"`` with
+  the wedge watchdog armed; any escape is classified by exception type
+  into ``invariant-violation`` / ``wedge`` / ``exception``.
+* **determinism oracle** — the scenario runs *twice*; the two runs'
+  event digests (summary + fault log + visit order) must match exactly.
+  This is the oracle no single-run test can provide, and the one that
+  catches hidden global state, set-iteration ordering, and hash-salt
+  leaks the lint layer cannot prove absent.
+* **pass** — a healthy run still yields its digest, so corpus sentinel
+  entries double as determinism anchors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import traceback
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.analysis import summarize_run
+from ..experiments.runner import run_experiment
+from ..sanity import InvariantViolation, WedgeError
+from .scenario import Scenario
+
+__all__ = ["CHAOS_EVENT_BUDGET", "FAILURE_KINDS", "OracleVerdict",
+           "check_scenario", "classify_exception", "run_digest"]
+
+#: Per-run event budget for chaos trials.  Chaos scenarios are one to
+#: three sites (tens of thousands of events); this is ~100x headroom
+#: while still aborting a zero-delay event loop in seconds.
+CHAOS_EVENT_BUDGET = 3_000_000
+
+FAILURE_KINDS = ("invariant-violation", "wedge", "exception",
+                 "determinism-divergence")
+
+
+@dataclass
+class OracleVerdict:
+    """What the oracles concluded about one scenario."""
+
+    status: str                       # "pass" or one of FAILURE_KINDS
+    error_type: Optional[str] = None
+    message: Optional[str] = None
+    run_digest: Optional[str] = None  # first run's event digest, if any
+    traceback_tail: List[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "pass"
+
+    def as_dict(self) -> dict:
+        return {"status": self.status, "error_type": self.error_type,
+                "message": self.message, "run_digest": self.run_digest,
+                "traceback_tail": list(self.traceback_tail)}
+
+
+def run_digest(run) -> str:
+    """Event digest of one run: summary + fault log + visit order.
+
+    Two replays of the same scenario must agree on this digest; the
+    summary folds in PLTs, retransmission counts, radio accounting and
+    invariant counters, and the fault log pins exact injection times.
+    """
+    parts = {"summary": summarize_run(run),
+             "fault_log": (run.fault_report or {}).get("log", []),
+             "visit_order": run.visit_order}
+    blob = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an escaped exception onto a failure kind."""
+    if isinstance(exc, InvariantViolation):
+        return "invariant-violation"
+    if isinstance(exc, WedgeError):
+        return "wedge"
+    return "exception"
+
+
+def _failure_verdict(exc: BaseException, status: Optional[str] = None,
+                     run_digest_: Optional[str] = None) -> OracleVerdict:
+    tail = traceback.format_exception_only(type(exc), exc)
+    return OracleVerdict(
+        status=status or classify_exception(exc),
+        error_type=type(exc).__name__,
+        # Strict violations append a multi-line event ring buffer; the
+        # first line identifies the failure and keeps records compact.
+        message=str(exc).split("\n", 1)[0][:500],
+        run_digest=run_digest_,
+        traceback_tail=[line.rstrip("\n") for line in tail][-8:])
+
+
+def check_scenario(scenario: Scenario,
+                   event_budget: Optional[int] = CHAOS_EVENT_BUDGET,
+                   determinism: bool = True,
+                   pages=None) -> OracleVerdict:
+    """Run every oracle against one scenario and return the verdict."""
+    config = scenario.experiment_config().with_overrides(
+        checks="strict", max_events=event_budget)
+    try:
+        first = run_experiment(config, pages)
+    except Exception as exc:  # noqa: BLE001 - classification is the point
+        return _failure_verdict(exc)
+    digest = run_digest(first)
+    if determinism:
+        try:
+            second = run_experiment(config, pages)
+        except Exception as exc:  # noqa: BLE001
+            # Passing once then crashing on an identical replay *is* a
+            # determinism failure, whatever the exception type.
+            return _failure_verdict(exc, status="determinism-divergence",
+                                    run_digest_=digest)
+        second_digest = run_digest(second)
+        if second_digest != digest:
+            return OracleVerdict(
+                status="determinism-divergence",
+                error_type="DigestMismatch",
+                message=f"replay digest {second_digest} != first run "
+                        f"digest {digest} for the same scenario",
+                run_digest=digest)
+    return OracleVerdict(status="pass", run_digest=digest)

@@ -1,0 +1,90 @@
+"""The unit of chaos: one fully-described, replayable scenario.
+
+A :class:`Scenario` is pure data — a seed, an exact fault-plan spec
+string, and two small override dicts (:class:`ExperimentConfig` fields
+and :class:`TcpConfig` fields).  Everything the fuzzer touches travels
+through this form: the generator draws Scenarios, the oracles run them,
+the shrinker mutates them, and the corpus serializes them to JSON.
+
+Keeping overrides (rather than a full config object) is deliberate:
+corpus files stay readable, stay small, and keep replaying when
+``ExperimentConfig`` grows new fields with benign defaults.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..experiments.runner import ExperimentConfig
+from ..tcp import TcpConfig
+
+__all__ = ["Scenario", "BASELINE_CONFIG"]
+
+#: The minimal benign scenario the shrinker snaps fields back toward.
+#: Deliberately *not* ExperimentConfig's defaults: chaos trials must be
+#: cheap (one site, seconds of think time), and "minimal" for a repro
+#: means "smallest run that still fails", not "the paper's full §3
+#: procedure".
+BASELINE_CONFIG: Dict[str, object] = {
+    "protocol": "http",
+    "network": "3g",
+    "site_ids": [1],
+    "think_time": 4.0,
+    "tail_time": 4.0,
+    "load_timeout": 8.0,
+    "environment_variability": 0.25,
+    "recovery": True,
+}
+
+
+@dataclass
+class Scenario:
+    """One (config, fault plan, seed) triple, in serializable form."""
+
+    seed: int = 0
+    faults: Optional[str] = None          # exact --faults spec, or None
+    config: Dict[str, object] = field(default_factory=dict)
+    tcp: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def experiment_config(self) -> ExperimentConfig:
+        """Materialize the scenario into a runnable config (validated)."""
+        tcp = TcpConfig(**self.tcp)
+        tcp.validate()
+        overrides = dict(BASELINE_CONFIG)
+        overrides.update(self.config)
+        return ExperimentConfig(seed=self.seed, fault_plan=self.faults,
+                                tcp=tcp, **overrides)
+
+    def digest(self) -> str:
+        """Process-stable condition digest (seed excluded, like campaigns)."""
+        from ..sanity import config_digest
+        return config_digest(self.experiment_config())
+
+    def with_(self, **changes) -> "Scenario":
+        """Copy with fields replaced (dicts are deep-copied first)."""
+        base = {"seed": self.seed, "faults": self.faults,
+                "config": copy.deepcopy(self.config),
+                "tcp": copy.deepcopy(self.tcp)}
+        base.update(changes)
+        return Scenario(**base)
+
+    def key(self) -> str:
+        """Cheap exact-identity key (for shrinker dedup, not journaling)."""
+        import json
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "faults": self.faults,
+                "config": copy.deepcopy(self.config),
+                "tcp": copy.deepcopy(self.tcp)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        return cls(seed=int(data.get("seed", 0)),
+                   faults=data.get("faults"),
+                   config=dict(data.get("config") or {}),
+                   tcp=dict(data.get("tcp") or {}))

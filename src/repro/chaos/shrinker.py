@@ -1,0 +1,199 @@
+"""Delta-debugging shrinker: minimize a failing scenario.
+
+Given a scenario that fails an oracle, greedily try simpler variants —
+fewer fault events first (the biggest wins), then gentler event
+parameters, then config fields snapped back to the chaos baseline —
+re-running the oracle after every mutation and keeping any variant that
+still fails with the *same* failure kind.  The loop restarts from the
+accepted variant until a full pass produces no accepted candidate
+(1-minimal with respect to the candidate moves) or the shrink budget
+(total oracle invocations) runs out.
+
+The oracle is injected as a callable, so tests can shrink against
+synthetic bugs without running the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from ..faults import FaultEvent, FaultPlan, FaultSpecError
+from .oracles import OracleVerdict
+from .scenario import BASELINE_CONFIG, Scenario
+
+__all__ = ["ShrinkResult", "shrink", "DEFAULT_SHRINK_BUDGET"]
+
+#: Default cap on oracle invocations per shrink.  A 4-event scenario is
+#: typically 1-minimal well inside this; the cap exists so one flaky
+#: failure cannot eat a whole campaign's wall clock.
+DEFAULT_SHRINK_BUDGET = 48
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal scenario plus accounting."""
+
+    scenario: Scenario
+    verdict: OracleVerdict
+    attempts: int                 # oracle invocations spent
+    accepted: int                 # candidates that kept the failure
+    initial_events: int
+    final_events: int
+    budget_exhausted: bool = False
+
+    def as_dict(self) -> dict:
+        return {"attempts": self.attempts, "accepted": self.accepted,
+                "initial_events": self.initial_events,
+                "final_events": self.final_events,
+                "budget_exhausted": self.budget_exhausted}
+
+
+def _plan_events(scenario: Scenario) -> List[FaultEvent]:
+    if not scenario.faults:
+        return []
+    return list(FaultPlan.parse(scenario.faults).events)
+
+
+def _with_events(scenario: Scenario,
+                 events: List[FaultEvent]) -> Optional[Scenario]:
+    """Scenario with a replaced (validated) plan; None if invalid."""
+    if not events:
+        return scenario.with_(faults=None)
+    try:
+        plan = FaultPlan(events)
+    except FaultSpecError:
+        return None
+    return scenario.with_(faults=plan.to_spec())
+
+
+def _event_count(scenario: Scenario) -> int:
+    return len(_plan_events(scenario))
+
+
+# ----------------------------------------------------------------------
+# candidate moves, most aggressive first
+# ----------------------------------------------------------------------
+
+def _plan_reductions(scenario: Scenario) -> Iterator[Scenario]:
+    """Drop events: all, then halves, then one at a time."""
+    events = _plan_events(scenario)
+    if not events:
+        return
+    yield scenario.with_(faults=None)
+    n = len(events)
+    if n >= 3:
+        half = n // 2
+        for chunk in (events[half:], events[:half]):
+            candidate = _with_events(scenario, list(chunk))
+            if candidate is not None:
+                yield candidate
+    if n >= 2:
+        for index in range(n):
+            candidate = _with_events(
+                scenario, events[:index] + events[index + 1:])
+            if candidate is not None:
+                yield candidate
+
+
+def _event_simplifications(scenario: Scenario) -> Iterator[Scenario]:
+    """Per event: snap/halve times, durations, rates, counts, policies."""
+    events = _plan_events(scenario)
+    for index, event in enumerate(events):
+        variants: List[FaultEvent] = []
+
+        def patched(**changes) -> FaultEvent:
+            fields = {"kind": event.kind, "time": event.time,
+                      "duration": event.duration, "rate": event.rate,
+                      "mean_burst": event.mean_burst,
+                      "policy": event.policy, "count": event.count}
+            fields.update(changes)
+            return FaultEvent(**fields)
+
+        if event.time > 0:
+            variants.append(patched(time=0.0))
+            if event.time > 0.01:
+                variants.append(patched(time=round(event.time / 2, 6)))
+        if event.kind in ("blackout", "handover") and event.duration > 0.1:
+            variants.append(
+                patched(duration=round(event.duration / 2, 6)))
+        if event.kind == "handover" and event.duration > 0:
+            variants.append(patched(duration=0.0))
+        if event.kind == "blackout" and event.policy != "queue":
+            variants.append(patched(policy="queue"))
+        if event.kind == "burstloss":
+            if event.rate > 0.002:
+                variants.append(patched(rate=round(event.rate / 2, 6)))
+            if event.mean_burst != 8.0:
+                variants.append(patched(mean_burst=8.0))
+        if event.kind == "rst" and event.count > 1:
+            variants.append(patched(count=1))
+
+        for variant in variants:
+            candidate = _with_events(
+                scenario, events[:index] + [variant] + events[index + 1:])
+            if candidate is not None:
+                yield candidate
+
+
+def _config_snaps(scenario: Scenario) -> Iterator[Scenario]:
+    """Snap config overrides back to the chaos baseline, drop TCP knobs."""
+    for key in sorted(scenario.config):
+        baseline = BASELINE_CONFIG.get(key)
+        if baseline is None or scenario.config[key] == baseline:
+            continue
+        candidate = scenario.with_()
+        candidate.config[key] = baseline
+        yield candidate
+    sites = scenario.config.get("site_ids")
+    if isinstance(sites, list) and len(sites) > 1:
+        candidate = scenario.with_()
+        candidate.config["site_ids"] = [sites[0]]
+        yield candidate
+    for key in sorted(scenario.tcp):
+        candidate = scenario.with_()
+        del candidate.tcp[key]
+        yield candidate
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    yield from _plan_reductions(scenario)
+    yield from _event_simplifications(scenario)
+    yield from _config_snaps(scenario)
+
+
+# ----------------------------------------------------------------------
+
+def shrink(scenario: Scenario, verdict: OracleVerdict,
+           check: Callable[[Scenario], OracleVerdict],
+           budget: int = DEFAULT_SHRINK_BUDGET) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while ``check`` keeps failing with
+    ``verdict.status``; returns the last accepted (smallest) scenario."""
+    current, current_verdict = scenario, verdict
+    initial_events = _event_count(scenario)
+    seen = {scenario.key()}
+    attempts = accepted = 0
+    exhausted = False
+    progress = True
+    while progress and not exhausted:
+        progress = False
+        for candidate in _candidates(current):
+            key = candidate.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            if attempts >= budget:
+                exhausted = True
+                break
+            attempts += 1
+            candidate_verdict = check(candidate)
+            if candidate_verdict.status == verdict.status:
+                current, current_verdict = candidate, candidate_verdict
+                accepted += 1
+                progress = True
+                break  # restart candidate generation from the new minimum
+    return ShrinkResult(scenario=current, verdict=current_verdict,
+                        attempts=attempts, accepted=accepted,
+                        initial_events=initial_events,
+                        final_events=_event_count(current),
+                        budget_exhausted=exhausted)

@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .chaos.cli import add_chaos_arguments, run_chaos
 from .core import MeasurementStudy, summarize_run
 from .experiments import figures, tables
 from .experiments.runner import ExperimentConfig, run_experiment
@@ -262,6 +263,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="abort a trial after N simulator events "
                              "(wedge watchdog; default 20,000,000)")
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos fuzzing: random fault scenarios, strict oracles, "
+             "automatic shrinking, replayable repro corpus")
+    add_chaos_arguments(p_chaos)
+    p_chaos.set_defaults(func=run_chaos)
 
     p_lint = sub.add_parser(
         "lint",

@@ -25,6 +25,7 @@ Entries are comma-separated: ``blackout@120:5,burstloss:0.02,handover@200``.
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple, Union
@@ -56,6 +57,14 @@ class FaultEvent:
         if self.kind not in FAULT_KINDS:
             raise FaultSpecError(f"unknown fault kind {self.kind!r} "
                                  f"(expected one of {', '.join(FAULT_KINDS)})")
+        # NaN compares False against everything, so `self.time < 0` alone
+        # would wave float("nan") through; inf durations wedge the sim.
+        for name in ("time", "duration", "rate", "mean_burst"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise FaultSpecError(
+                    f"{self.kind}: {name} must be a finite number, "
+                    f"not {value!r}")
         if self.time < 0:
             raise FaultSpecError(f"{self.kind}: time must be >= 0")
         if self.kind == "blackout":
@@ -79,18 +88,34 @@ class FaultEvent:
                 raise FaultSpecError("rst: count must be >= 1")
 
     def describe(self) -> str:
-        """Canonical one-token spec for this event (round-trips via parse)."""
+        """Human-friendly one-token spec (%g-rounded; see :meth:`to_token`
+        for the exact form)."""
+        return self._token(lambda value: f"{value:g}")
+
+    def to_token(self) -> str:
+        """Exact one-token spec: ``FaultPlan._parse_entry(to_token()) ==
+        self`` for every valid event.
+
+        ``describe`` rounds through ``%g`` (6 significant digits), which
+        is fine for logs but lossy for machine round-trips — the shrinker
+        and the chaos corpus serialize plans through specs and need the
+        floats back bit for bit, so this uses ``repr`` (shortest exact
+        float form).
+        """
+        return self._token(lambda value: repr(float(value)))
+
+    def _token(self, fmt) -> str:
         if self.kind == "blackout":
-            base = f"blackout@{self.time:g}:{self.duration:g}"
+            base = f"blackout@{fmt(self.time)}:{fmt(self.duration)}"
             return base if self.policy == "queue" else f"{base}:{self.policy}"
         if self.kind == "burstloss":
-            return (f"burstloss@{self.time:g}:{self.rate:g}"
-                    f":{self.mean_burst:g}")
+            return (f"burstloss@{fmt(self.time)}:{fmt(self.rate)}"
+                    f":{fmt(self.mean_burst)}")
         if self.kind == "handover":
-            return f"handover@{self.time:g}:{self.duration:g}"
+            return f"handover@{fmt(self.time)}:{fmt(self.duration)}"
         if self.kind == "proxyrestart":
-            return f"proxyrestart@{self.time:g}"
-        return f"rst@{self.time:g}:{self.count:d}"
+            return f"proxyrestart@{fmt(self.time)}"
+        return f"rst@{fmt(self.time)}:{self.count:d}"
 
 
 class FaultPlan:
@@ -173,8 +198,17 @@ class FaultPlan:
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
-        """Canonical spec string (parse(describe()) == this plan)."""
+        """Human-friendly spec string (%g-rounded floats)."""
         return ",".join(event.describe() for event in self.events)
+
+    def to_spec(self) -> str:
+        """Exact inverse of :meth:`parse`: ``parse(to_spec()) == self``.
+
+        The spec string is the plan's serialization format — journaled
+        failures, corpus repros, and shrinker candidates all travel as
+        specs — so unlike ``describe`` it must not lose float precision.
+        """
+        return ",".join(event.to_token() for event in self.events)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -11,7 +11,7 @@ from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["render_table", "render_boxes", "render_series", "render_cdf",
            "render_bar", "render_fault_summary", "render_campaign_health",
-           "format_seconds"]
+           "render_chaos_summary", "format_seconds"]
 
 
 def format_seconds(value) -> str:
@@ -169,4 +169,49 @@ def render_campaign_health(records: Sequence[Dict[str, object]],
                      f"{failure.get('message', '?')}")
     if len(failures) > max_failure_lines:
         lines.append(f"  ... {len(failures) - max_failure_lines} more failures")
+    return "\n".join(lines)
+
+
+def render_chaos_summary(records: Sequence[Dict[str, object]],
+                         corpus_paths: Sequence[str] = (),
+                         max_failure_lines: int = 8) -> str:
+    """Health report for a chaos campaign's journal records."""
+    trials = [r for r in records if r.get("kind") == "chaos-trial"]
+    if not trials:
+        return "chaos: no trials"
+    failed = [r for r in trials if r.get("status") == "failed"]
+    resumed = sum(1 for r in trials if r.get("resumed"))
+    lines = [f"chaos campaign: trials={len(trials)} "
+             f"ok={len(trials) - len(failed)} failed={len(failed)} "
+             f"resumed={resumed}"]
+    by_kind: Dict[str, int] = {}
+    shrink_in = shrink_out = attempts = 0
+    for record in failed:
+        failure = record.get("failure") or {}
+        kind = str(failure.get("status", "exception"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        shrunk = record.get("shrunk") or {}
+        shrink_in += int(shrunk.get("initial_events", 0) or 0)
+        shrink_out += int(shrunk.get("final_events", 0) or 0)
+        attempts += int(shrunk.get("attempts", 0) or 0)
+    if by_kind:
+        kinds = "  ".join(f"{kind}={count}"
+                          for kind, count in sorted(by_kind.items()))
+        lines.append(f"failures by kind: {kinds}")
+        lines.append(f"shrink: {shrink_in} fault events -> {shrink_out} "
+                     f"minimal ({attempts} oracle runs)")
+    for record in failed[:max_failure_lines]:
+        failure = record.get("failure") or {}
+        shrunk = record.get("shrunk") or {}
+        spec = shrunk.get("faults", record.get("faults"))
+        lines.append(f"  #{record.get('index')} "
+                     f"{failure.get('status', '?')} "
+                     f"seed={record.get('seed')} faults={spec!r}")
+        if failure.get("message"):
+            lines.append(f"      {failure['message']}")
+    if len(failed) > max_failure_lines:
+        lines.append(f"  ... {len(failed) - max_failure_lines} "
+                     f"more failures")
+    for path in corpus_paths:
+        lines.append(f"  repro written: {path}")
     return "\n".join(lines)

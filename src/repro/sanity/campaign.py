@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.analysis import summarize_run
 from ..experiments.runner import ExperimentConfig, RunResult, run_experiment
+from ..faults import FaultPlan, FaultSpecError
 from .invariants import InvariantViolation, WedgeError
 
 __all__ = ["CampaignJournal", "CampaignResult", "TrialFailure",
@@ -52,6 +53,16 @@ DEFAULT_EVENT_BUDGET = 20_000_000
 #: excluded from the digest: the seed is the trial key's second half,
 #: and checks/max_events are observability/watchdog knobs.
 _DIGEST_EXCLUDED = ("seed", "checks", "max_events")
+
+
+def _fault_spec(fault_plan) -> Optional[str]:
+    """Exact spec string for a config's fault plan (None if no plan)."""
+    if fault_plan is None:
+        return None
+    try:
+        return FaultPlan.parse(fault_plan).to_spec()
+    except FaultSpecError:
+        return str(fault_plan)
 
 
 def _canon(value):
@@ -106,10 +117,16 @@ class TrialFailure:
     protocol: str
     network: str
     traceback_tail: List[str] = field(default_factory=list)
+    # Replay context: the exact fault spec and (for chaos campaigns) the
+    # master seed, so a journaled failure is reproducible from its JSON
+    # record alone — `repro chaos --replay <journal-line>`.
+    faults: Optional[str] = None
+    master_seed: Optional[int] = None
 
     @classmethod
     def from_exception(cls, config: ExperimentConfig,
-                       exc: BaseException) -> "TrialFailure":
+                       exc: BaseException,
+                       master_seed: Optional[int] = None) -> "TrialFailure":
         if isinstance(exc, InvariantViolation):
             kind = "invariant-violation"
         elif isinstance(exc, WedgeError):
@@ -121,14 +138,17 @@ class TrialFailure:
                    message=str(exc), digest=config_digest(config),
                    seed=config.seed, protocol=config.protocol,
                    network=config.network,
-                   traceback_tail=[line.rstrip("\n") for line in tail][-8:])
+                   traceback_tail=[line.rstrip("\n") for line in tail][-8:],
+                   faults=_fault_spec(config.fault_plan),
+                   master_seed=master_seed)
 
     def as_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "error_type": self.error_type,
                 "message": self.message, "digest": self.digest,
                 "seed": self.seed, "protocol": self.protocol,
                 "network": self.network,
-                "traceback_tail": list(self.traceback_tail)}
+                "traceback_tail": list(self.traceback_tail),
+                "faults": self.faults, "master_seed": self.master_seed}
 
 
 class CampaignJournal:
@@ -150,7 +170,8 @@ class CampaignJournal:
         # A crash can leave a torn final line with no newline; without
         # this guard the next append would glue itself onto the torn
         # fragment and both records would be lost.
-        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+        created = not os.path.exists(self.path)
+        if not created and os.path.getsize(self.path) > 0:
             with open(self.path, "rb") as handle:
                 handle.seek(-1, os.SEEK_END)
                 if handle.read(1) != b"\n":
@@ -159,6 +180,24 @@ class CampaignJournal:
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
+        if created:
+            # fsyncing the file makes its *bytes* durable; the brand-new
+            # directory entry needs its own fsync or a hard kill right
+            # after the first append can lose the whole journal file.
+            self._fsync_directory(directory)
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. Windows
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
 
     def load(self) -> List[Dict[str, object]]:
         """All decodable records (a truncated tail line is skipped)."""

@@ -1,0 +1,161 @@
+"""Chaos campaign driver: journaling, determinism, resume, time budget,
+corpus emission.  Synthetic oracles keep most of these fast; one
+end-to-end test runs the real pipeline against an injected bug."""
+
+import json
+
+import pytest
+
+from repro.chaos import (OracleVerdict, SearchSpace, load_corpus,
+                         replay_entry, run_chaos_campaign)
+from repro.faults import FaultInjector, FaultPlan
+from repro.reporting import render_chaos_summary
+
+#: One-site scenarios only: keeps the single real-simulator test cheap.
+TINY_SPACE = SearchSpace(site_pools=((1,),), think_times=(3.0,),
+                         tail_times=(4.0,), load_timeouts=(5.0,),
+                         networks=("3g",), max_fault_events=3)
+
+
+def _pass_all(scenario):
+    return OracleVerdict(status="pass", run_digest="d" + str(scenario.seed))
+
+
+def _fail_on_rst(scenario):
+    has_rst = scenario.faults and any(
+        e.kind == "rst" for e in FaultPlan.parse(scenario.faults).events)
+    if has_rst:
+        return OracleVerdict(status="invariant-violation",
+                             error_type="InvariantViolation",
+                             message="synthetic")
+    return OracleVerdict(status="pass", run_digest="x")
+
+
+class TestCampaignMechanics:
+    def test_journals_are_deterministic(self, tmp_path):
+        for name in ("a.jsonl", "b.jsonl"):
+            run_chaos_campaign(trials=8, master_seed=7,
+                               journal_path=str(tmp_path / name),
+                               check=_pass_all)
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+            (tmp_path / "b.jsonl").read_bytes()
+
+    def test_records_carry_replay_context(self, tmp_path):
+        result = run_chaos_campaign(trials=4, master_seed=3,
+                                    journal_path=str(tmp_path / "j.jsonl"),
+                                    check=_fail_on_rst)
+        for record in result.records:
+            assert record["kind"] == "chaos-trial"
+            assert record["master_seed"] == 3
+            assert record["faults"]
+            assert "scenario" in record
+        for record in result.failures:
+            assert record["shrunk"]["faults"] is None or \
+                FaultPlan.parse(record["shrunk"]["faults"])
+
+    def test_resume_skips_completed_trials(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        first = run_chaos_campaign(trials=6, master_seed=1,
+                                   journal_path=journal, check=_pass_all)
+        calls = []
+
+        def counting(scenario):
+            calls.append(scenario)
+            return _pass_all(scenario)
+
+        second = run_chaos_campaign(trials=6, master_seed=1,
+                                    journal_path=journal, resume=True,
+                                    check=counting)
+        assert calls == []
+        assert second.resumed_count == 6
+        assert [r["digest"] for r in second.records] == \
+            [r["digest"] for r in first.records]
+
+    def test_resume_requires_existing_journal(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_chaos_campaign(trials=2, journal_path=str(tmp_path / "no"),
+                               resume=True, check=_pass_all)
+        with pytest.raises(ValueError):
+            run_chaos_campaign(trials=2, resume=True, check=_pass_all)
+
+    def test_time_budget_stops_between_trials(self):
+        ticks = [0.0]
+
+        def clock():
+            ticks[0] += 10.0
+            return ticks[0]
+
+        result = run_chaos_campaign(trials=50, master_seed=2,
+                                    time_budget=25.0, clock=clock,
+                                    check=_pass_all)
+        assert result.stopped_early
+        assert result.trial_count < 50
+
+    def test_failed_trials_write_corpus_entries(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        result = run_chaos_campaign(trials=6, master_seed=3,
+                                    corpus_dir=str(corpus),
+                                    check=_fail_on_rst)
+        assert result.failure_count >= 1
+        assert len(result.corpus_paths) == result.failure_count
+        entries = load_corpus(str(corpus))
+        assert len(entries) == result.failure_count
+        for _, entry in entries:
+            assert entry["expected_failure"] == "invariant-violation"
+            assert entry["master_seed"] == 3
+            assert "scenario" in entry
+
+    def test_render_chaos_summary(self):
+        result = run_chaos_campaign(trials=6, master_seed=3,
+                                    check=_fail_on_rst)
+        text = render_chaos_summary(result.records, ["/tmp/x.json"])
+        assert "chaos campaign:" in text
+        assert f"failed={result.failure_count}" in text
+        if result.failure_count:
+            assert "invariant-violation" in text
+            assert "shrink:" in text
+        assert "repro written: /tmp/x.json" in text
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ValueError):
+            run_chaos_campaign(trials=0, check=_pass_all)
+
+
+class TestEndToEndWithInjectedBug:
+    def test_full_pipeline_catches_shrinks_and_archives(self, tmp_path,
+                                                        monkeypatch):
+        # Same intentional bug as test_chaos_oracles: rst corrupts a
+        # link counter, tripping link.byte-conservation under strict
+        # checks.  Drive the *real* campaign loop over a tiny space
+        # until the generator draws an rst somewhere.
+        original = FaultInjector._apply_rst
+
+        def buggy(self, event):
+            original(self, event)
+            self.testbed.access.downlink.packets_accepted += 1
+        monkeypatch.setattr(FaultInjector, "_apply_rst", buggy)
+
+        corpus = tmp_path / "corpus"
+        result = run_chaos_campaign(
+            trials=6, master_seed=9, space=TINY_SPACE,
+            determinism=False, shrink_budget=20,
+            journal_path=str(tmp_path / "j.jsonl"),
+            corpus_dir=str(corpus))
+        assert result.failure_count >= 1
+        failure = result.failures[0]
+        assert failure["failure"]["status"] == "invariant-violation"
+        assert failure["shrunk"]["final_events"] <= 2
+
+        # journaled record replays from the journal line alone
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        journaled = [json.loads(line) for line in lines
+                     if json.loads(line).get("status") == "failed"]
+        assert journaled[0]["scenario"] == failure["scenario"]
+
+        # with the bug fixed (monkeypatch undone), the corpus replays
+        # green — the corpus contract for a fixed bug
+        monkeypatch.setattr(FaultInjector, "_apply_rst", original)
+        entries = load_corpus(str(corpus))
+        assert entries
+        verdict = replay_entry(entries[0][1], determinism=False)
+        assert verdict.status == "pass"

@@ -1,0 +1,84 @@
+"""Corpus mechanics + the tier-1 replay harness.
+
+The parametrized replay test is the regression teeth of the chaos
+subsystem: every checked-in minimal repro in ``tests/chaos_corpus/``
+re-runs under strict invariant checks with the determinism oracle and
+must pass.  A fixed bug that regresses, or fresh nondeterminism in one
+of the sentinel scenarios, fails tier-1.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import (OracleVerdict, Scenario, corpus_entry,
+                         entry_filename, load_corpus, replay_entry,
+                         save_entry)
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "chaos_corpus")
+
+_CORPUS = load_corpus(CORPUS_DIR)
+
+
+class TestCorpusMechanics:
+    def test_entry_save_load_round_trip(self, tmp_path):
+        scenario = Scenario(seed=7, faults="rst@2:1",
+                            config={"protocol": "spdy"})
+        verdict = OracleVerdict(status="invariant-violation",
+                                error_type="InvariantViolation",
+                                message="m")
+        entry = corpus_entry(scenario, verdict, master_seed=5,
+                             trial_index=12,
+                             shrink_info={"attempts": 9},
+                             note="unit test")
+        path = save_entry(entry, str(tmp_path))
+        assert os.path.basename(path) == entry_filename(entry)
+        loaded = load_corpus(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded[0][1] == entry
+        assert Scenario.from_dict(loaded[0][1]["scenario"]) == scenario
+
+    def test_entry_filename_is_deterministic_and_self_describing(self):
+        scenario = Scenario(seed=7, faults="rst@2:1")
+        entry = corpus_entry(scenario, OracleVerdict(status="wedge"))
+        name = entry_filename(entry)
+        assert name.startswith("wedge-")
+        assert name.endswith("-s7.json")
+        assert entry_filename(entry) == name
+
+    def test_load_corpus_ignores_non_entries(self, tmp_path):
+        (tmp_path / "README.md").write_text("not json")
+        (tmp_path / "stray.json").write_text(json.dumps({"no": "scenario"}))
+        assert load_corpus(str(tmp_path)) == []
+
+    def test_load_missing_dir_is_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nope")) == []
+
+
+class TestCheckedInCorpus:
+    def test_corpus_is_not_empty(self):
+        # The corpus is part of the suite's coverage: at minimum the
+        # sentinel scenarios from the first fuzzing sweeps live here.
+        assert _CORPUS, f"no corpus entries found in {CORPUS_DIR}"
+
+    def test_entries_are_well_formed(self):
+        for path, entry in _CORPUS:
+            assert entry.get("schema") == 1, path
+            scenario = Scenario.from_dict(entry["scenario"])
+            scenario.experiment_config()  # must validate
+            assert os.path.basename(path) == entry_filename(entry), \
+                f"{path} is misnamed for its content"
+
+    @pytest.mark.parametrize(
+        "path,entry", _CORPUS,
+        ids=[os.path.basename(p) for p, _ in _CORPUS])
+    def test_corpus_replays_green(self, path, entry):
+        """Tier-1 regression replay: strict checks + determinism oracle."""
+        verdict = replay_entry(entry)
+        assert verdict.status == "pass", (
+            f"{os.path.basename(path)} no longer replays green: "
+            f"{verdict.status}: {verdict.message}\n"
+            f"(this repro was checked in as a fixed "
+            f"{entry.get('expected_failure')!r} bug or a sentinel; "
+            f"replay with: repro chaos --replay {path})")

@@ -1,0 +1,144 @@
+"""Oracle stack against the real simulator: pass, crash classification,
+wedge, determinism divergence — and the acceptance-criteria drill: an
+intentionally injected invariant bug is caught and shrunk to a minimal
+fault plan."""
+
+import pytest
+
+from repro.chaos import (OracleVerdict, Scenario, check_scenario,
+                         run_digest, shrink)
+from repro.chaos import oracles as oracles_module
+from repro.experiments.runner import run_experiment
+from repro.faults import FaultInjector, FaultPlan
+from repro.sanity import InvariantViolation, WedgeError
+
+BENIGN = Scenario(seed=5, faults="handover@3:0.5",
+                  config={"think_time": 3.0, "tail_time": 3.0,
+                          "load_timeout": 5.0})
+
+
+class TestCheckScenario:
+    def test_benign_scenario_passes_with_digest(self):
+        verdict = check_scenario(BENIGN)
+        assert verdict.status == "pass"
+        assert not verdict.failed
+        assert verdict.run_digest
+
+    def test_run_digest_is_reproducible(self):
+        config = BENIGN.experiment_config()
+        assert run_digest(run_experiment(config)) == \
+            run_digest(run_experiment(config))
+
+    def test_tiny_event_budget_classified_as_wedge(self):
+        verdict = check_scenario(BENIGN, event_budget=50)
+        assert verdict.status == "wedge"
+        assert verdict.error_type == "WedgeError"
+
+    def test_crash_classified_as_exception(self, monkeypatch):
+        def boom(self, event):
+            raise RuntimeError("injected crash")
+        monkeypatch.setattr(FaultInjector, "_apply_handover", boom)
+        verdict = check_scenario(BENIGN, determinism=False)
+        assert verdict.status == "exception"
+        assert verdict.error_type == "RuntimeError"
+        assert "injected crash" in verdict.message
+
+    def test_determinism_divergence_detected(self, monkeypatch):
+        # Perturb the digest on every other call: identical replays now
+        # "measure" different things, which is exactly the pathology the
+        # double-run oracle exists to catch.
+        real = oracles_module.run_digest
+        calls = []
+
+        def flaky(run):
+            calls.append(1)
+            digest = real(run)
+            return digest if len(calls) % 2 else "deadbeef00000000"
+        monkeypatch.setattr(oracles_module, "run_digest", flaky)
+        verdict = oracles_module.check_scenario(BENIGN)
+        assert verdict.status == "determinism-divergence"
+        assert "deadbeef" in verdict.message
+
+    def test_crash_on_replay_is_divergence(self, monkeypatch):
+        calls = []
+        original = run_experiment
+
+        def second_run_crashes(config, pages=None):
+            calls.append(1)
+            if len(calls) > 1:
+                raise RuntimeError("only on replay")
+            return original(config, pages)
+        monkeypatch.setattr(oracles_module, "run_experiment",
+                            second_run_crashes)
+        verdict = oracles_module.check_scenario(BENIGN)
+        assert verdict.status == "determinism-divergence"
+
+
+def _install_accounting_bug(monkeypatch):
+    """The intentional bug: an RST fault corrupts a link counter.
+
+    ``rst`` faults now also bump the downlink's ``packets_accepted``
+    without a matching delivery — exactly the kind of cross-layer
+    bookkeeping slip the ``link.byte-conservation`` invariant exists to
+    catch.
+    """
+    original = FaultInjector._apply_rst
+
+    def buggy(self, event):
+        original(self, event)
+        self.testbed.access.downlink.packets_accepted += 1
+    monkeypatch.setattr(FaultInjector, "_apply_rst", buggy)
+
+
+class TestInjectedInvariantBug:
+    FAULTY = Scenario(
+        seed=3,
+        faults=("blackout@2:1:drop,burstloss@1:0.05:8,"
+                "handover@4:0.5,rst@3:2,proxyrestart@5"),
+        config={"protocol": "spdy", "site_ids": [1, 2],
+                "think_time": 4.0, "tail_time": 4.0,
+                "load_timeout": 6.0},
+        tcp={"min_rto": 0.05})
+
+    def test_bug_is_caught_by_strict_oracle(self, monkeypatch):
+        _install_accounting_bug(monkeypatch)
+        verdict = check_scenario(self.FAULTY, determinism=False)
+        assert verdict.status == "invariant-violation"
+        assert verdict.error_type == "InvariantViolation"
+        assert "conservation" in verdict.message
+
+    def test_bug_shrinks_to_minimal_fault_plan(self, monkeypatch):
+        _install_accounting_bug(monkeypatch)
+
+        def check(scenario):
+            return check_scenario(scenario, determinism=False)
+
+        verdict = check(self.FAULTY)
+        assert verdict.failed
+        result = shrink(self.FAULTY, verdict, check, budget=60)
+        # acceptance criterion: <= 2 fault events survive the shrink
+        assert result.final_events <= 2
+        plan = FaultPlan.parse(result.scenario.faults)
+        assert any(e.kind == "rst" for e in plan.events)
+        assert result.verdict.status == "invariant-violation"
+
+    def test_without_bug_the_same_scenario_passes(self):
+        verdict = check_scenario(self.FAULTY, determinism=False)
+        assert verdict.status == "pass"
+
+
+class TestOracleVerdict:
+    def test_as_dict_round_trips_key_fields(self):
+        verdict = OracleVerdict(status="wedge", error_type="WedgeError",
+                                message="m", run_digest="d",
+                                traceback_tail=["t"])
+        data = verdict.as_dict()
+        assert data["status"] == "wedge"
+        assert data["traceback_tail"] == ["t"]
+
+    def test_classify(self):
+        from repro.chaos import classify_exception
+        assert classify_exception(
+            InvariantViolation("i", "c", "m")) == "invariant-violation"
+        assert classify_exception(WedgeError(1, 0.0, 1.0)) == "wedge"
+        assert classify_exception(ValueError("x")) == "exception"

@@ -1,0 +1,126 @@
+"""Shrinker behaviour against synthetic oracles (no simulator runs)."""
+
+from repro.chaos import OracleVerdict, Scenario, shrink
+from repro.chaos.shrinker import _candidates
+from repro.faults import FaultPlan
+
+
+def _verdict(status):
+    return OracleVerdict(status=status)
+
+
+def _fails_if(predicate, kind="invariant-violation"):
+    """Synthetic oracle: fail with `kind` iff predicate(scenario)."""
+    def check(scenario):
+        return _verdict(kind if predicate(scenario) else "pass")
+    return check
+
+
+def _has_kind(scenario, fault_kind):
+    if not scenario.faults:
+        return False
+    return any(e.kind == fault_kind
+               for e in FaultPlan.parse(scenario.faults).events)
+
+
+FIVE_EVENTS = ("blackout@2:1.5:drop,burstloss@4:0.2:20,handover@6:1.5,"
+               "proxyrestart@8,rst@10:3")
+
+
+class TestShrink:
+    def test_shrinks_to_single_culprit_event(self):
+        scenario = Scenario(
+            seed=3, faults=FIVE_EVENTS,
+            config={"protocol": "spdy", "network": "lte",
+                    "site_ids": [1, 2, 3], "think_time": 6.0},
+            tcp={"min_rto": 0.05})
+        check = _fails_if(lambda s: _has_kind(s, "rst"))
+        result = shrink(scenario, _verdict("invariant-violation"), check,
+                        budget=200)
+        assert result.verdict.status == "invariant-violation"
+        assert result.final_events <= 2
+        plan = FaultPlan.parse(result.scenario.faults)
+        assert all(e.kind == "rst" for e in plan.events)
+        # config noise snapped back to baseline, tcp knob dropped
+        assert result.scenario.config["protocol"] == "http"
+        assert result.scenario.config["site_ids"] == [1]
+        assert result.scenario.tcp == {}
+        assert not result.budget_exhausted
+
+    def test_config_only_bug_drops_all_events(self):
+        scenario = Scenario(seed=1, faults=FIVE_EVENTS,
+                            tcp={"min_rto": 0.05})
+        check = _fails_if(lambda s: s.tcp.get("min_rto", 0.2) < 0.1,
+                          kind="wedge")
+        result = shrink(scenario, _verdict("wedge"), check, budget=200)
+        assert result.scenario.faults is None
+        assert result.final_events == 0
+        assert result.scenario.tcp == {"min_rto": 0.05}
+
+    def test_failure_kind_must_match_to_accept(self):
+        # A candidate that fails with a *different* kind is not the same
+        # bug; the shrinker must not chase it.
+        scenario = Scenario(seed=1, faults="rst@5:3,handover@7")
+
+        def check(s):
+            if _has_kind(s, "rst") and _has_kind(s, "handover"):
+                return _verdict("invariant-violation")
+            if _has_kind(s, "rst"):
+                return _verdict("exception")
+            return _verdict("pass")
+
+        result = shrink(scenario, _verdict("invariant-violation"), check,
+                        budget=100)
+        assert _has_kind(result.scenario, "rst")
+        assert _has_kind(result.scenario, "handover")
+        assert result.verdict.status == "invariant-violation"
+
+    def test_budget_bounds_oracle_invocations(self):
+        scenario = Scenario(seed=1, faults=FIVE_EVENTS,
+                            config={"site_ids": [1, 2, 3]})
+        calls = []
+
+        def check(s):
+            calls.append(1)
+            # no candidate reproduces: the shrinker would sweep every
+            # candidate move (far more than 7) without the budget
+            return _verdict("pass")
+
+        result = shrink(scenario, _verdict("exception"), check, budget=7)
+        assert len(calls) == 7
+        assert result.attempts == 7
+        assert result.budget_exhausted
+
+    def test_already_minimal_is_stable(self):
+        scenario = Scenario(seed=1, faults="rst@0:1")
+        check = _fails_if(lambda s: _has_kind(s, "rst"))
+        result = shrink(scenario, _verdict("invariant-violation"), check,
+                        budget=50)
+        assert result.scenario.faults == "rst@0:1"  # untouched
+        assert result.final_events == 1
+
+    def test_event_parameters_get_simplified(self):
+        scenario = Scenario(seed=1, faults="blackout@200:64:drop")
+        check = _fails_if(lambda s: _has_kind(s, "blackout"))
+        result = shrink(scenario, _verdict("invariant-violation"), check,
+                        budget=100)
+        event = FaultPlan.parse(result.scenario.faults).events[0]
+        assert event.time == 0.0
+        assert event.duration < 1.0
+        assert event.policy == "queue"
+
+
+class TestCandidates:
+    def test_candidates_are_all_valid(self):
+        scenario = Scenario(
+            seed=2, faults=FIVE_EVENTS,
+            config={"protocol": "spdy", "site_ids": [5, 9]},
+            tcp={"min_rto": 1.0, "slow_start_after_idle": False})
+        for candidate in _candidates(scenario):
+            candidate.experiment_config()  # must not raise
+            if candidate.faults is not None:
+                FaultPlan.parse(candidate.faults)
+
+    def test_no_candidates_for_fully_minimal_scenario(self):
+        scenario = Scenario(seed=0, faults=None)
+        assert list(_candidates(scenario)) == []

@@ -76,6 +76,97 @@ class TestFaultPlanParsing:
             FaultEvent("nope").validate()
         FaultEvent("rst", time=1.0).validate()  # does not raise
 
+    @pytest.mark.parametrize("field,value", [
+        ("time", float("nan")), ("time", float("inf")),
+        ("duration", float("nan")), ("duration", float("inf")),
+        ("rate", float("nan")), ("mean_burst", float("nan")),
+        ("mean_burst", float("-inf")),
+    ])
+    def test_non_finite_fields_rejected(self, field, value):
+        # NaN slides past ordered comparisons (nan < 0 is False), so
+        # these used to validate; each must now fail loudly.
+        base = {"kind": "blackout", "time": 1.0, "duration": 2.0,
+                "rate": 0.5, "mean_burst": 8.0}
+        base[field] = value
+        with pytest.raises(FaultSpecError, match="finite"):
+            FaultEvent(**base).validate()
+
+    @pytest.mark.parametrize("spec", [
+        "blackout@nan:5", "blackout@5:inf", "burstloss:nan",
+        "handover@inf", "rst@nan",
+    ])
+    def test_non_finite_specs_rejected(self, spec):
+        # Non-finite times are stopped by the entry grammar (no letters
+        # after '@'); non-finite args reach validate() and must be
+        # rejected there.
+        with pytest.raises(FaultSpecError, match="finite|rate|malformed"):
+            FaultPlan.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# to_spec: the exact plan -> spec -> plan round-trip the shrinker and
+# chaos corpus serialization depend on
+# ----------------------------------------------------------------------
+class TestToSpecRoundTrip:
+    def test_to_spec_round_trips_each_kind(self):
+        spec = ("blackout@120:5:drop,burstloss@7:0.02:3,handover@200:1.5,"
+                "proxyrestart@30,rst@10:2")
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_to_spec_is_exact_where_describe_rounds(self):
+        # %g keeps 6 significant digits; to_spec must keep all of them.
+        event = FaultEvent("blackout", time=1.2345678901234, duration=0.5)
+        plan = FaultPlan([event])
+        assert FaultPlan.parse(plan.to_spec()) == plan
+        assert FaultPlan.parse(plan.to_spec()).events[0].time == event.time
+
+    def test_empty_faults_handled_by_constructor(self):
+        assert FaultPlan([]).to_spec() == ""
+
+
+def _finite_time():
+    from hypothesis import strategies as st
+    return st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                     allow_infinity=False)
+
+
+def _random_events():
+    from hypothesis import strategies as st
+    blackout = st.builds(
+        FaultEvent, kind=st.just("blackout"), time=_finite_time(),
+        duration=st.floats(min_value=1e-6, max_value=1e4,
+                           allow_nan=False, allow_infinity=False),
+        policy=st.sampled_from(["queue", "drop"]))
+    burstloss = st.builds(
+        FaultEvent, kind=st.just("burstloss"), time=_finite_time(),
+        rate=st.floats(min_value=1e-9, max_value=0.999999,
+                       allow_nan=False, allow_infinity=False),
+        mean_burst=st.floats(min_value=1.0, max_value=1e3,
+                             allow_nan=False, allow_infinity=False))
+    handover = st.builds(
+        FaultEvent, kind=st.just("handover"), time=_finite_time(),
+        duration=st.floats(min_value=0.0, max_value=1e3,
+                           allow_nan=False, allow_infinity=False))
+    proxyrestart = st.builds(FaultEvent, kind=st.just("proxyrestart"),
+                             time=_finite_time())
+    rst = st.builds(FaultEvent, kind=st.just("rst"), time=_finite_time(),
+                    count=st.integers(min_value=1, max_value=50))
+    return st.one_of(blackout, burstloss, handover, proxyrestart, rst)
+
+
+class TestToSpecProperty:
+    def test_random_plans_round_trip(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.lists(_random_events(), min_size=1, max_size=6))
+        def check(events):
+            plan = FaultPlan(events)
+            assert FaultPlan.parse(plan.to_spec()) == plan
+
+        check()
+
 
 # ----------------------------------------------------------------------
 # loss models

@@ -87,6 +87,50 @@ def test_trial_failure_kinds():
         == "invariant-violation"
 
 
+def test_trial_failure_carries_replay_context():
+    # Journaled failures must be self-contained enough for
+    # `repro chaos --replay <journal-line>`: fault spec + master seed.
+    cfg = ExperimentConfig(**SMALL, fault_plan="rst@3:2,blackout@1:2:drop")
+    failure = TrialFailure.from_exception(cfg, ValueError("x"),
+                                          master_seed=42)
+    data = failure.as_dict()
+    assert data["master_seed"] == 42
+    # normalized via FaultPlan.to_spec(): exact, parseable, canonical
+    assert data["faults"] == "blackout@1.0:2.0:drop,rst@3.0:2"
+    from repro.faults import FaultPlan
+    assert FaultPlan.parse(data["faults"]) == FaultPlan.parse(cfg.fault_plan)
+
+    plain = TrialFailure.from_exception(ExperimentConfig(**SMALL),
+                                        ValueError("x"))
+    assert plain.as_dict()["faults"] is None
+    assert plain.as_dict()["master_seed"] is None
+
+
+def test_journal_append_fsyncs_records_and_directory(tmp_path, monkeypatch):
+    import repro.sanity.campaign as campaign_mod
+
+    synced = {"file": 0, "dir": 0}
+    real_fsync = campaign_mod.os.fsync
+
+    def counting_fsync(fd):
+        synced["file"] += 1
+        return real_fsync(fd)
+
+    def counting_dir(directory):
+        synced["dir"] += 1
+
+    monkeypatch.setattr(campaign_mod.os, "fsync", counting_fsync)
+    monkeypatch.setattr(CampaignJournal, "_fsync_directory",
+                        staticmethod(counting_dir))
+    journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+    journal.append({"kind": "trial", "digest": "a", "seed": 0})
+    journal.append({"kind": "trial", "digest": "a", "seed": 1})
+    # every record hits the platter; the directory entry only needs
+    # syncing when the file first appears
+    assert synced["file"] == 2
+    assert synced["dir"] == 1
+
+
 def test_campaign_isolates_a_crashing_trial(tmp_path, monkeypatch):
     import repro.sanity.campaign as campaign_mod
 
