@@ -20,8 +20,12 @@ package hunts for that class of bug in the simulator itself:
 """
 
 from .campaign import ChaosResult, run_chaos_campaign
-from .corpus import (corpus_entry, entry_filename, load_corpus,
-                     replay_entry, save_entry)
+from .corpus import (CorpusFormatError, corpus_entry, entry_filename,
+                     load_corpus, replay_entry, save_entry, validate_entry)
+from .differential import (RELATION_NAMES, RELATIONS, check_differential,
+                           differential_digest, differential_report,
+                           pair_scenarios, relation_for_trial,
+                           run_differential_campaign)
 from .generator import ScenarioGenerator, SearchSpace
 from .oracles import (CHAOS_EVENT_BUDGET, FAILURE_KINDS, OracleVerdict,
                       check_scenario, classify_exception, run_digest)
@@ -30,9 +34,13 @@ from .shrinker import DEFAULT_SHRINK_BUDGET, ShrinkResult, shrink
 
 __all__ = [
     "BASELINE_CONFIG", "CHAOS_EVENT_BUDGET", "ChaosResult",
-    "DEFAULT_SHRINK_BUDGET", "FAILURE_KINDS", "OracleVerdict",
+    "CorpusFormatError", "DEFAULT_SHRINK_BUDGET", "FAILURE_KINDS",
+    "OracleVerdict", "RELATIONS", "RELATION_NAMES",
     "Scenario", "ScenarioGenerator", "SearchSpace", "ShrinkResult",
-    "check_scenario", "classify_exception", "corpus_entry",
-    "entry_filename", "load_corpus", "replay_entry", "run_chaos_campaign",
-    "run_digest", "save_entry", "shrink",
+    "check_differential", "check_scenario", "classify_exception",
+    "corpus_entry", "differential_digest", "differential_report",
+    "entry_filename", "load_corpus", "pair_scenarios",
+    "relation_for_trial", "replay_entry", "run_chaos_campaign",
+    "run_differential_campaign", "run_digest", "save_entry", "shrink",
+    "validate_entry",
 ]

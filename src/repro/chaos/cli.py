@@ -16,8 +16,10 @@ import os
 import sys
 from typing import Dict, Optional, Tuple
 
+from ..faults import FaultPlan, FaultSpecError
 from .campaign import run_chaos_campaign
-from .corpus import load_corpus
+from .corpus import CorpusFormatError, load_corpus, replay_entry
+from .differential import check_differential, run_differential_campaign
 from .oracles import CHAOS_EVENT_BUDGET, check_scenario
 from .scenario import Scenario
 from .shrinker import DEFAULT_SHRINK_BUDGET
@@ -53,6 +55,12 @@ def add_chaos_arguments(parser) -> None:
     parser.add_argument("--no-determinism", action="store_true",
                         help="skip the double-run determinism oracle "
                              "(halves the cost, drops the coverage)")
+    parser.add_argument("--differential", action="store_true",
+                        help="run the metamorphic/differential campaign: "
+                             "each trial runs its scenario under a paired "
+                             "configuration (cc-bytes, proto-bytes, "
+                             "checks, dch-pin, frto in rotation) and "
+                             "asserts the relation between the two runs")
     parser.add_argument("--replay", metavar="RECORD", default=None,
                         help="replay a chaos-journal JSON line, a journal "
                              "path (optionally PATH:N for line N), or a "
@@ -66,13 +74,22 @@ def run_chaos(args) -> int:
         return _run_replay(args)
     journal = args.resume or args.journal
     try:
-        result = run_chaos_campaign(
-            trials=args.trials, master_seed=args.master_seed,
-            shrink_budget=args.shrink_budget,
-            event_budget=args.event_budget,
-            determinism=not args.no_determinism,
-            journal_path=journal, resume=args.resume is not None,
-            corpus_dir=args.corpus_dir, time_budget=args.time_budget)
+        if getattr(args, "differential", False):
+            result = run_differential_campaign(
+                trials=args.trials, master_seed=args.master_seed,
+                shrink_budget=args.shrink_budget,
+                event_budget=args.event_budget,
+                journal_path=journal, resume=args.resume is not None,
+                corpus_dir=args.corpus_dir,
+                time_budget=args.time_budget)
+        else:
+            result = run_chaos_campaign(
+                trials=args.trials, master_seed=args.master_seed,
+                shrink_budget=args.shrink_budget,
+                event_budget=args.event_budget,
+                determinism=not args.no_determinism,
+                journal_path=journal, resume=args.resume is not None,
+                corpus_dir=args.corpus_dir, time_budget=args.time_budget)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -158,6 +175,44 @@ def _records_to_replay(value: str):
             yield f"{path}:{number}", record
 
 
+def _replay_record(record: Dict[str, object], label: str, args
+                   ) -> Tuple[object, Optional[str]]:
+    """Replay one record through the oracle stack it belongs to.
+
+    Corpus entries (they carry ``schema``/``expected_failure``) go
+    through :func:`replay_entry`, which validates forward compatibility
+    first; journal records get their fault spec pre-parsed so an
+    unknown fault kind fails loudly instead of masquerading as an
+    ``exception`` verdict.  Raises :class:`CorpusFormatError`.
+    """
+    if "schema" in record or record.get("expected_failure") is not None:
+        verdict = replay_entry(record, event_budget=args.event_budget,
+                               determinism=not args.no_determinism,
+                               name=label)
+        return verdict, "pass"
+    scenario, expected = _scenario_from_record(record)
+    if scenario.faults is not None:
+        try:
+            FaultPlan.parse(scenario.faults)
+        except FaultSpecError as exc:
+            raise CorpusFormatError(f"{label}: cannot replay fault spec "
+                                    f"{scenario.faults!r}: {exc}")
+    relation = record.get("relation")
+    if relation is not None:
+        from .differential import RELATION_NAMES
+        if relation not in RELATION_NAMES:
+            raise CorpusFormatError(
+                f"{label}: unknown differential relation {relation!r} "
+                f"(this code knows: {', '.join(RELATION_NAMES)})")
+        verdict = check_differential(scenario, str(relation),
+                                     event_budget=args.event_budget)
+    else:
+        verdict = check_scenario(scenario,
+                                 event_budget=args.event_budget,
+                                 determinism=not args.no_determinism)
+    return verdict, expected
+
+
 def _run_replay(args) -> int:
     try:
         pairs = list(_records_to_replay(args.replay))
@@ -169,10 +224,11 @@ def _run_replay(args) -> int:
         return 2
     mismatches = 0
     for label, record in pairs:
-        scenario, expected = _scenario_from_record(record)
-        verdict = check_scenario(scenario,
-                                 event_budget=args.event_budget,
-                                 determinism=not args.no_determinism)
+        try:
+            verdict, expected = _replay_record(record, label, args)
+        except CorpusFormatError as exc:
+            print(f"--replay: {exc}", file=sys.stderr)
+            return 2
         expected = expected or "pass"
         match = verdict.status == expected
         mismatches += 0 if match else 1

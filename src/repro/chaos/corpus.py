@@ -18,22 +18,41 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from ..faults import FaultPlan, FaultSpecError
 from .oracles import CHAOS_EVENT_BUDGET, OracleVerdict, check_scenario
 from .scenario import Scenario
 
-__all__ = ["corpus_entry", "entry_filename", "load_corpus", "replay_entry",
-           "save_entry"]
+__all__ = ["CorpusFormatError", "corpus_entry", "entry_filename",
+           "load_corpus", "replay_entry", "save_entry", "validate_entry"]
 
 _SCHEMA = 1
+
+#: Every top-level field this version of the code knows how to honour.
+#: Forward compatibility is *loud*: an entry written by a newer repro
+#: (extra fields, higher schema, unknown fault kind) is refused with a
+#: clear error naming the entry, never silently half-replayed.
+_KNOWN_FIELDS = frozenset({
+    "schema", "expected_failure", "error_type", "message", "scenario",
+    "master_seed", "trial_index", "shrink", "note", "relation"})
+_KNOWN_SCENARIO_FIELDS = frozenset({"seed", "faults", "config", "tcp"})
+
+
+class CorpusFormatError(ValueError):
+    """A corpus entry this version of the code cannot faithfully replay."""
 
 
 def corpus_entry(scenario: Scenario, verdict: OracleVerdict,
                  master_seed: Optional[int] = None,
                  trial_index: Optional[int] = None,
                  shrink_info: Optional[Dict[str, object]] = None,
-                 note: str = "") -> Dict[str, object]:
-    """Build the JSON-able corpus record for one (minimal) scenario."""
-    return {
+                 note: str = "",
+                 relation: Optional[str] = None) -> Dict[str, object]:
+    """Build the JSON-able corpus record for one (minimal) scenario.
+
+    ``relation`` marks a differential repro: replay re-checks the
+    metamorphic relation instead of the single-run oracle stack.
+    """
+    entry = {
         "schema": _SCHEMA,
         "expected_failure": verdict.status,   # failure class when found
         "error_type": verdict.error_type,
@@ -44,6 +63,52 @@ def corpus_entry(scenario: Scenario, verdict: OracleVerdict,
         "shrink": dict(shrink_info or {}),
         "note": note,
     }
+    if relation is not None:
+        entry["relation"] = relation
+    return entry
+
+
+def validate_entry(entry: Dict[str, object],
+                   name: str = "<entry>") -> None:
+    """Refuse entries this code cannot faithfully replay.
+
+    Raises :class:`CorpusFormatError` (a ``ValueError``) naming the
+    entry for: a schema newer than ours, unknown top-level or scenario
+    fields, an unknown fault kind or malformed fault spec, and an
+    unknown differential relation.
+    """
+    schema = entry.get("schema")
+    if isinstance(schema, (int, float)) and schema > _SCHEMA:
+        raise CorpusFormatError(
+            f"{name}: schema {schema} is newer than this code's "
+            f"{_SCHEMA}; upgrade repro to replay it")
+    unknown = sorted(set(entry) - _KNOWN_FIELDS)
+    if unknown:
+        raise CorpusFormatError(
+            f"{name}: unknown corpus field(s) {', '.join(unknown)} "
+            f"(written by a newer repro?)")
+    scenario = entry.get("scenario")
+    if not isinstance(scenario, dict):
+        raise CorpusFormatError(f"{name}: no scenario object to replay")
+    unknown = sorted(set(scenario) - _KNOWN_SCENARIO_FIELDS)
+    if unknown:
+        raise CorpusFormatError(
+            f"{name}: unknown scenario field(s) {', '.join(unknown)} "
+            f"(written by a newer repro?)")
+    faults = scenario.get("faults")
+    if faults is not None:
+        try:
+            FaultPlan.parse(str(faults))
+        except FaultSpecError as exc:
+            raise CorpusFormatError(
+                f"{name}: cannot replay fault spec {faults!r}: {exc}")
+    relation = entry.get("relation")
+    if relation is not None:
+        from .differential import RELATION_NAMES
+        if relation not in RELATION_NAMES:
+            raise CorpusFormatError(
+                f"{name}: unknown differential relation {relation!r} "
+                f"(this code knows: {', '.join(RELATION_NAMES)})")
 
 
 def entry_filename(entry: Dict[str, object]) -> str:
@@ -81,8 +146,20 @@ def load_corpus(corpus_dir: str) -> List[Tuple[str, Dict[str, object]]]:
 
 def replay_entry(entry: Dict[str, object],
                  event_budget: Optional[int] = CHAOS_EVENT_BUDGET,
-                 determinism: bool = True) -> OracleVerdict:
-    """Re-run one corpus entry through the full oracle stack."""
+                 determinism: bool = True,
+                 name: str = "<entry>") -> OracleVerdict:
+    """Re-run one corpus entry through the oracle stack it was found by.
+
+    Entries carrying a ``relation`` replay through the differential
+    oracle; all others through the crash/determinism stack.  Raises
+    :class:`CorpusFormatError` for entries this code cannot honour.
+    """
+    validate_entry(entry, name=name)
     scenario = Scenario.from_dict(entry["scenario"])  # type: ignore[arg-type]
+    relation = entry.get("relation")
+    if relation is not None:
+        from .differential import check_differential
+        return check_differential(scenario, str(relation),
+                                  event_budget=event_budget)
     return check_scenario(scenario, event_budget=event_budget,
                           determinism=determinism)

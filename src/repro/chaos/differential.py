@@ -1,0 +1,438 @@
+"""Differential & metamorphic oracles: catch the self-consistently wrong.
+
+The crash/determinism oracles prove a run is *internally* healthy; they
+cannot notice a simulator that is deterministically, reproducibly wrong —
+a CUBIC path that corrupts byte accounting, a sanitizer that perturbs
+the run it observes, a remedy that quietly hurts the protocol it is
+supposed to help.  Those are exactly the cross-configuration comparisons
+the paper's §5–§6 conclusions rest on, so this module runs every fuzzed
+scenario under a *pair* of configurations and asserts a metamorphic
+relation that must hold between the two runs:
+
+========== ============================================================
+relation    what must hold (and which paper claim it protects)
+========== ============================================================
+cc-bytes    per-link byte/packet conservation residuals are zero under
+            Reno and CUBIC alike (Table 2: protocol comparisons assume
+            the transport moves bytes correctly under either cc)
+proto-bytes with a fixed site corpus, a page completed under HTTP and
+            under SPDY transfers the same origin object bytes (§4:
+            PLT differences must come from scheduling, not content)
+checks      the strict-checks run is byte-identical to the checks-off
+            run modulo sanitizer counters (the §3 measurement harness
+            must not perturb what it measures)
+dch-pin     the §5.6.1/Figure 14 DCH-pinning remedy never makes SPDY
+            page loads slower (beyond a fixed tolerance)
+frto        with F-RTO disabled the spurious-RTO undo machinery stays
+            silent: zero frto_undos, conservation still intact (§5.3's
+            spurious-timeout accounting is really driven by F-RTO)
+========== ============================================================
+
+A violated relation is classified ``relation-violation`` and flows
+through the same shrinker and corpus as any crash: the pair is bound to
+the trial (never derived from scenario content), so delta-debugging
+mutates the scenario while holding the comparison fixed and produces a
+1-minimal *paired* repro.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.analysis import summarize_run
+from ..experiments.runner import run_experiment
+from ..sanity import CampaignJournal
+from ..sanity.checks import _testbed_links
+from .corpus import corpus_entry, save_entry
+from .generator import ScenarioGenerator, SearchSpace
+from .campaign import ChaosResult
+from .oracles import (CHAOS_EVENT_BUDGET, OracleVerdict, _failure_verdict,
+                      run_digest)
+from .scenario import Scenario
+from .shrinker import DEFAULT_SHRINK_BUDGET, shrink
+
+__all__ = ["RELATION_NAMES", "RELATIONS", "check_differential",
+           "differential_digest", "differential_report", "pair_scenarios",
+           "relation_for_trial", "run_differential_campaign",
+           "DCH_PINNING_TOLERANCE"]
+
+#: Slack for the dch-pin relation, in seconds of median PLT.  Keepalive
+#: pings share the uplink with requests, so under a hostile fault plan
+#: pinning can cost a serialization quantum or two; anything beyond this
+#: is a real regression of the Figure 14 remedy.
+DCH_PINNING_TOLERANCE = 0.5
+
+
+# ----------------------------------------------------------------------
+# run profiles: what each relation compares
+# ----------------------------------------------------------------------
+
+def _link_residuals(run) -> Dict[str, Tuple[int, int]]:
+    """Per-link conservation residuals (packets, bytes) from the final
+    counters: accepted - delivered - lost - in_flight.  Computed here,
+    independently of the sanitizer, so the relation holds teeth even in
+    checks-off runs."""
+    residuals: Dict[str, Tuple[int, int]] = {}
+    for link in _testbed_links(run.testbed):
+        residuals[link.name] = (
+            link.packets_accepted - link.packets_delivered
+            - link.packets_lost - link.packets_in_flight,
+            link.bytes_accepted - link.bytes_delivered
+            - link.bytes_lost - link.bytes_in_flight)
+    return residuals
+
+
+def _page_bytes(run) -> Dict[int, int]:
+    """site_id -> completed origin object bytes, for *completed* pages.
+
+    Timed-out pages are excluded: which objects made it before the
+    timeout is legitimately protocol-dependent.  For a page whose onload
+    fired, the object set is the site corpus and every object's size is
+    corpus metadata — invariant across protocol and congestion control.
+    """
+    profile: Dict[int, int] = {}
+    for page in run.pages:
+        if page.timed_out or page.onload_at is None:
+            continue
+        profile[page.site_id] = sum(
+            t.size for t in page.objects if t.complete)
+    return profile
+
+
+def _frto_undos(run) -> int:
+    stacks = (run.testbed.client_stack, run.testbed.proxy_stack)
+    return sum(c.stats.frto_undos
+               for stack in stacks for c in stack.all_connections)
+
+
+def differential_digest(run) -> str:
+    """``run_digest`` with the sanitizer's own counters stripped.
+
+    The checks relation demands that strict checks observe without
+    perturbing; the only keys allowed to differ are the sanitizer's
+    bookkeeping (``invariant_checks`` / ``invariant_violations``), so
+    they are excluded from the hash and everything else must match.
+    """
+    summary = {key: value for key, value in summarize_run(run).items()
+               if not key.startswith("invariant_")}
+    parts = {"summary": summary,
+             "fault_log": (run.fault_report or {}).get("log", []),
+             "visit_order": run.visit_order}
+    blob = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# the relation catalogue
+# ----------------------------------------------------------------------
+
+def _median_plt(run) -> Optional[float]:
+    plts = list(run.plts_by_site().values())
+    return statistics.median(plts) if plts else None
+
+
+def _verify_cc_bytes(run_a, run_b) -> Optional[str]:
+    for tag, run in (("cubic", run_a), ("reno", run_b)):
+        for name, (packets, bytes_) in sorted(_link_residuals(run).items()):
+            if packets or bytes_:
+                return (f"byte conservation broken under {tag}: link "
+                        f"{name} residual packets={packets} "
+                        f"bytes={bytes_} (accepted != delivered + lost "
+                        f"+ in-flight)")
+    return None
+
+
+def _verify_proto_bytes(run_a, run_b) -> Optional[str]:
+    http, spdy = _page_bytes(run_a), _page_bytes(run_b)
+    for site in sorted(set(http) & set(spdy)):
+        if http[site] != spdy[site]:
+            return (f"site {site} transferred {http[site]} origin bytes "
+                    f"under http but {spdy[site]} under spdy with the "
+                    f"same fixed corpus")
+    return None
+
+
+def _verify_checks(run_a, run_b) -> Optional[str]:
+    off, strict = differential_digest(run_a), differential_digest(run_b)
+    if off != strict:
+        return (f"strict checks perturbed the run: checks-off digest "
+                f"{off} != checks-strict digest {strict} (modulo "
+                f"sanitizer counters)")
+    return None
+
+
+def _verify_dch_pin(run_a, run_b) -> Optional[str]:
+    base, pinned = _median_plt(run_a), _median_plt(run_b)
+    if base is None or pinned is None:
+        return None
+    if pinned > base + DCH_PINNING_TOLERANCE:
+        return (f"DCH pinning made SPDY slower: median PLT {pinned:.3f}s "
+                f"pinned vs {base:.3f}s baseline (tolerance "
+                f"{DCH_PINNING_TOLERANCE}s)")
+    return None
+
+
+def _verify_frto(run_a, run_b) -> Optional[str]:
+    undos_off = _frto_undos(run_b)
+    if undos_off:
+        return (f"frto=off run still recorded {undos_off} F-RTO "
+                f"undo(s): the ablation gate is leaking")
+    for tag, run in (("frto-on", run_a), ("frto-off", run_b)):
+        for name, (packets, bytes_) in sorted(_link_residuals(run).items()):
+            if packets or bytes_:
+                return (f"byte conservation broken under {tag}: link "
+                        f"{name} residual packets={packets} "
+                        f"bytes={bytes_}")
+    return None
+
+
+#: name -> (A overrides, B overrides, verify, blurb).  Overrides are
+#: (config dict, tcp dict) layered onto the scenario; A is the baseline
+#: side of the comparison and B the variant.
+RELATIONS: Dict[str, Tuple[Tuple[Dict, Dict], Tuple[Dict, Dict],
+                           Callable, str]] = {
+    "cc-bytes": (
+        ({}, {"congestion_control": "cubic"}),
+        ({}, {"congestion_control": "reno"}),
+        _verify_cc_bytes,
+        "per-link byte conservation identical across cubic/reno"),
+    "proto-bytes": (
+        ({"protocol": "http"}, {}),
+        ({"protocol": "spdy"}, {}),
+        _verify_proto_bytes,
+        "completed pages transfer identical origin bytes across "
+        "http/spdy"),
+    "checks": (
+        ({}, {}),
+        ({}, {}),
+        _verify_checks,
+        "checks=strict run digest identical to checks=off modulo "
+        "sanitizer counters"),
+    "dch-pin": (
+        ({"protocol": "spdy", "keepalive_ping": False}, {}),
+        ({"protocol": "spdy", "keepalive_ping": True}, {}),
+        _verify_dch_pin,
+        "DCH pinning never increases SPDY median PLT (tolerance "
+        f"{DCH_PINNING_TOLERANCE}s)"),
+    "frto": (
+        ({}, {"frto": True}),
+        ({}, {"frto": False}),
+        _verify_frto,
+        "frto=off records zero undos; conservation intact either way"),
+}
+
+RELATION_NAMES: Tuple[str, ...] = tuple(RELATIONS)
+
+
+def relation_for_trial(index: int) -> str:
+    """Deterministic relation assignment: bound to the trial index, never
+    to scenario content, so shrinker mutations cannot flip the pair."""
+    return RELATION_NAMES[index % len(RELATION_NAMES)]
+
+
+def pair_scenarios(scenario: Scenario,
+                   relation: str) -> Tuple[Scenario, Scenario]:
+    """The (A, B) scenario variants one relation compares."""
+    (config_a, tcp_a), (config_b, tcp_b), _, _ = _relation(relation)
+    return (scenario.with_(config={**scenario.config, **config_a},
+                           tcp={**scenario.tcp, **tcp_a}),
+            scenario.with_(config={**scenario.config, **config_b},
+                           tcp={**scenario.tcp, **tcp_b}))
+
+
+def _relation(name: str):
+    try:
+        return RELATIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown relation {name!r} (expected one of "
+                         f"{', '.join(RELATION_NAMES)})")
+
+
+# ----------------------------------------------------------------------
+# the differential oracle
+# ----------------------------------------------------------------------
+
+def check_differential(scenario: Scenario, relation: str,
+                       event_budget: Optional[int] = CHAOS_EVENT_BUDGET
+                       ) -> OracleVerdict:
+    """Run one scenario under a relation's paired configs and verdict it.
+
+    Both runs use ``checks="off"`` — except the checks relation, whose
+    entire point is comparing off against strict — so a corrupted
+    counter surfaces as a *relation* violation computed from the final
+    books, not as the sanitizer's own in-run exception.  A crash in
+    either half still classifies through the usual exception taxonomy.
+    """
+    _, _, verify, _ = _relation(relation)
+    variant_a, variant_b = pair_scenarios(scenario, relation)
+    checks = ("off", "strict") if relation == "checks" else ("off", "off")
+    runs = []
+    for variant, mode in zip((variant_a, variant_b), checks):
+        config = variant.experiment_config().with_overrides(
+            checks=mode, max_events=event_budget)
+        try:
+            runs.append(run_experiment(config))
+        except Exception as exc:  # noqa: BLE001 - classification is the point
+            return _failure_verdict(exc)
+    run_a, run_b = runs
+    message = verify(run_a, run_b)
+    digest = run_digest(run_a)
+    if message is not None:
+        return OracleVerdict(status="relation-violation",
+                             error_type="RelationViolation",
+                             message=f"{relation}: {message}",
+                             run_digest=digest)
+    return OracleVerdict(status="pass", run_digest=digest)
+
+
+def differential_report(scenario: Scenario, relation: str,
+                        event_budget: Optional[int] = CHAOS_EVENT_BUDGET
+                        ) -> Dict[str, object]:
+    """Side-by-side profile of one scenario under a relation pair.
+
+    The data behind ``repro diff``: per-side digests and headline
+    metrics plus the verdict.  Runs the pair once more than
+    :func:`check_differential` would strictly need, in exchange for
+    symmetric reporting.
+    """
+    _, _, verify, blurb = _relation(relation)
+    variant_a, variant_b = pair_scenarios(scenario, relation)
+    checks = ("off", "strict") if relation == "checks" else ("off", "off")
+    sides = []
+    runs = []
+    for variant, mode in zip((variant_a, variant_b), checks):
+        config = variant.experiment_config().with_overrides(
+            checks=mode, max_events=event_budget)
+        run = run_experiment(config)
+        runs.append(run)
+        summary = summarize_run(run)
+        sides.append({
+            "config": dict(variant.config), "tcp": dict(variant.tcp),
+            "checks": mode,
+            "digest": run_digest(run),
+            "differential_digest": differential_digest(run),
+            "median_plt": summary["median_plt"],
+            "retransmissions": summary["retransmissions"],
+            "spurious_retransmissions":
+                summary["spurious_retransmissions"],
+            "page_bytes": _page_bytes(run),
+            "link_residuals": {name: list(residual) for name, residual
+                               in sorted(_link_residuals(run).items())},
+            "frto_undos": _frto_undos(run),
+        })
+    message = verify(runs[0], runs[1])
+    return {"relation": relation, "description": blurb,
+            "scenario": scenario.to_dict(),
+            "a": sides[0], "b": sides[1],
+            "violation": message}
+
+
+# ----------------------------------------------------------------------
+# the differential campaign
+# ----------------------------------------------------------------------
+
+def run_differential_campaign(trials: int,
+                              master_seed: int = 0,
+                              space: Optional[SearchSpace] = None,
+                              shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+                              event_budget: Optional[int]
+                              = CHAOS_EVENT_BUDGET,
+                              journal_path: Optional[str] = None,
+                              resume: bool = False,
+                              corpus_dir: Optional[str] = None,
+                              time_budget: Optional[float] = None,
+                              clock: Optional[Callable[[], float]] = None,
+                              check: Optional[
+                                  Callable[[Scenario, str],
+                                           OracleVerdict]] = None,
+                              ) -> ChaosResult:
+    """Run ``trials`` scenarios, each checked under its trial's relation.
+
+    The same crash-safe journal/resume/corpus contract as
+    :func:`~repro.chaos.campaign.run_chaos_campaign`; records carry a
+    ``relation`` field, resume keys include it, and shrinking re-checks
+    candidates under the *same* relation the failure was found with.
+    ``check`` (scenario, relation) -> verdict is injectable for tests.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    generator = ScenarioGenerator(master_seed, space)
+    if check is None:
+        def check(scenario: Scenario, relation: str) -> OracleVerdict:
+            return check_differential(scenario, relation,
+                                      event_budget=event_budget)
+    journal = CampaignJournal(journal_path) if journal_path else None
+    done: Dict[Tuple[str, int, str], Dict[str, object]] = {}
+    if resume:
+        if journal is None:
+            raise ValueError("resume requires a journal path")
+        if not os.path.exists(journal.path):
+            raise FileNotFoundError(
+                f"cannot resume: journal {journal.path!r} does not exist")
+        for record in journal.load():
+            if record.get("kind") != "chaos-trial":
+                continue
+            key = (str(record.get("digest")), int(record.get("seed", 0)),
+                   str(record.get("relation")))
+            done[key] = record
+
+    # Wall-clock only; bounds the campaign process, never journaled.
+    if clock is None:
+        clock = time.monotonic  # repro-lint: disable=DET001
+    start = clock()
+
+    result = ChaosResult(journal_path=journal_path)
+    for index in range(trials):
+        if time_budget is not None and clock() - start >= time_budget:
+            result.stopped_early = True
+            break
+        scenario = generator.scenario(index)
+        relation = relation_for_trial(index)
+        digest = scenario.digest()
+        prior = done.get((digest, scenario.seed, relation))
+        if prior is not None:
+            record = dict(prior)
+            record["resumed"] = True
+            result.records.append(record)
+            continue
+        verdict = check(scenario, relation)
+        record: Dict[str, object] = {
+            "kind": "chaos-trial", "mode": "differential",
+            "index": index, "relation": relation,
+            "master_seed": master_seed, "digest": digest,
+            "seed": scenario.seed, "faults": scenario.faults,
+            "scenario": scenario.to_dict(),
+        }
+        if not verdict.failed:
+            record.update(status="ok", run_digest=verdict.run_digest,
+                          failure=None)
+        else:
+            def recheck(candidate: Scenario) -> OracleVerdict:
+                return check(candidate, relation)
+            shrunk = shrink(scenario, verdict, recheck,
+                            budget=shrink_budget)
+            record.update(
+                status="failed", run_digest=verdict.run_digest,
+                failure=verdict.as_dict(),
+                shrunk={"scenario": shrunk.scenario.to_dict(),
+                        "faults": shrunk.scenario.faults,
+                        "failure": shrunk.verdict.as_dict(),
+                        **shrunk.as_dict()})
+            if corpus_dir is not None:
+                entry = corpus_entry(shrunk.scenario, shrunk.verdict,
+                                     master_seed=master_seed,
+                                     trial_index=index,
+                                     shrink_info=shrunk.as_dict(),
+                                     relation=relation)
+                path = save_entry(entry, corpus_dir)
+                result.corpus_paths.append(path)
+                record["corpus_entry"] = os.path.basename(path)
+        if journal is not None:
+            journal.append(record)
+        result.records.append(record)
+    return result

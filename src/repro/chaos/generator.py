@@ -111,6 +111,15 @@ class ScenarioGenerator:
                     think_time: float) -> FaultEvent:
         kind = rng.choice(self.space.fault_kinds)
         time = round(rng.uniform(0.0, horizon), 3)
+        if kind == "arq":
+            return FaultEvent(
+                "arq", time=time,
+                rate=round(rng.uniform(0.01, 0.3), 4),
+                jitter=round(rng.uniform(0.05, 1.5), 3))
+        if kind == "delayspike":
+            return FaultEvent(
+                "delayspike", time=time,
+                duration=round(rng.uniform(0.5, 5.0), 3))
         if kind == "blackout":
             return FaultEvent(
                 "blackout", time=time,

@@ -36,7 +36,7 @@ __all__ = ["CHAOS_EVENT_BUDGET", "FAILURE_KINDS", "OracleVerdict",
 CHAOS_EVENT_BUDGET = 3_000_000
 
 FAILURE_KINDS = ("invariant-violation", "wedge", "exception",
-                 "determinism-divergence")
+                 "determinism-divergence", "relation-violation")
 
 
 @dataclass

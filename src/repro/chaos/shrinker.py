@@ -106,7 +106,8 @@ def _event_simplifications(scenario: Scenario) -> Iterator[Scenario]:
             fields = {"kind": event.kind, "time": event.time,
                       "duration": event.duration, "rate": event.rate,
                       "mean_burst": event.mean_burst,
-                      "policy": event.policy, "count": event.count}
+                      "policy": event.policy, "count": event.count,
+                      "jitter": event.jitter}
             fields.update(changes)
             return FaultEvent(**fields)
 
@@ -114,18 +115,24 @@ def _event_simplifications(scenario: Scenario) -> Iterator[Scenario]:
             variants.append(patched(time=0.0))
             if event.time > 0.01:
                 variants.append(patched(time=round(event.time / 2, 6)))
-        if event.kind in ("blackout", "handover") and event.duration > 0.1:
+        if event.kind in ("blackout", "handover", "delayspike") \
+                and event.duration > 0.1:
             variants.append(
                 patched(duration=round(event.duration / 2, 6)))
         if event.kind == "handover" and event.duration > 0:
             variants.append(patched(duration=0.0))
         if event.kind == "blackout" and event.policy != "queue":
             variants.append(patched(policy="queue"))
-        if event.kind == "burstloss":
+        if event.kind in ("burstloss", "arq"):
             if event.rate > 0.002:
                 variants.append(patched(rate=round(event.rate / 2, 6)))
-            if event.mean_burst != 8.0:
-                variants.append(patched(mean_burst=8.0))
+        if event.kind == "burstloss" and event.mean_burst != 8.0:
+            variants.append(patched(mean_burst=8.0))
+        if event.kind == "arq":
+            if event.jitter != 0.2:
+                variants.append(patched(jitter=0.2))
+            if event.jitter > 0.4:
+                variants.append(patched(jitter=round(event.jitter / 2, 6)))
         if event.kind == "rst" and event.count > 1:
             variants.append(patched(count=1))
 

@@ -14,6 +14,10 @@ Regenerate a figure or table::
 
     python -m repro figure fig03 --runs 2
     python -m repro figure table2
+
+Check one scenario under a metamorphic relation pair::
+
+    python -m repro diff cc-bytes --faults 'arq@2:0.2:0.8' --seed 7
 """
 
 from __future__ import annotations
@@ -156,6 +160,80 @@ def _cmd_campaign(args) -> int:
     return 1 if result.failed_count else 0
 
 
+def _cmd_diff(args) -> int:
+    import json
+
+    from .chaos import (RELATIONS, Scenario, differential_report,
+                        validate_entry)
+    from .chaos.corpus import CorpusFormatError
+
+    if args.scenario is not None:
+        try:
+            with open(args.scenario, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if "scenario" in data:   # a corpus entry: unwrap it
+                validate_entry(data, name=args.scenario)
+                data = data["scenario"]
+            scenario = Scenario.from_dict(data)
+            scenario.experiment_config()  # validate early
+        except (OSError, json.JSONDecodeError, CorpusFormatError,
+                ValueError, TypeError) as exc:
+            print(f"diff: cannot load scenario {args.scenario!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        config = {}
+        if args.network:
+            config["network"] = args.network
+        if args.sites:
+            config["site_ids"] = args.sites
+        scenario = Scenario(
+            seed=args.seed,
+            faults=args.faults.to_spec() if args.faults else None,
+            config=config)
+
+    report = differential_report(scenario, args.relation,
+                                 event_budget=args.event_budget)
+    _, _, _, blurb = RELATIONS[args.relation]
+    side_a, side_b = report["a"], report["b"]
+
+    def label(side):
+        parts = [f"{k}={v}" for k, v in sorted(side["tcp"].items())]
+        for key in ("protocol", "keepalive_ping"):
+            if key in side["config"]:
+                parts.append(f"{key}={side['config'][key]}")
+        parts.append(f"checks={side['checks']}")
+        return " ".join(parts)
+
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rows = []
+    for key in ("digest", "differential_digest", "median_plt",
+                "retransmissions", "spurious_retransmissions",
+                "frto_undos"):
+        rows.append([key, fmt(side_a[key]), fmt(side_b[key])])
+    rows.append(["page_bytes",
+                 fmt(sum(side_a["page_bytes"].values())),
+                 fmt(sum(side_b["page_bytes"].values()))])
+    rows.append(["conservation_residuals",
+                 fmt(sum(abs(v) for r in side_a["link_residuals"].values()
+                         for v in r)),
+                 fmt(sum(abs(v) for r in side_b["link_residuals"].values()
+                         for v in r))])
+    print(render_table(["metric", f"A: {label(side_a)}",
+                        f"B: {label(side_b)}"], rows,
+                       title=f"relation {args.relation}: {blurb}"))
+    print()
+    if report["violation"]:
+        print(f"RELATION VIOLATED: {report['violation']}")
+        return 1
+    print("relation holds")
+    return 0
+
+
 def _cmd_figure(args) -> int:
     generator = FIGURES.get(args.name)
     if generator is None:
@@ -270,6 +348,32 @@ def main(argv: Optional[List[str]] = None) -> int:
              "automatic shrinking, replayable repro corpus")
     add_chaos_arguments(p_chaos)
     p_chaos.set_defaults(func=run_chaos)
+
+    from .chaos.differential import RELATION_NAMES
+    from .chaos.oracles import CHAOS_EVENT_BUDGET
+    p_diff = sub.add_parser(
+        "diff",
+        help="run one scenario under a metamorphic relation pair and "
+             "print a side-by-side digest/metric report")
+    p_diff.add_argument("relation", choices=list(RELATION_NAMES),
+                        help="which paired comparison to run")
+    p_diff.add_argument("--seed", type=int, default=0)
+    p_diff.add_argument("--network", choices=["3g", "lte", "wifi"],
+                        default=None,
+                        help="override the chaos baseline network (3g)")
+    p_diff.add_argument("--sites", type=_parse_sites,
+                        help="e.g. 1-20 or 5,9,12 (default: site 1)")
+    p_diff.add_argument("--faults", type=_parse_faults, default=None,
+                        metavar="SPEC",
+                        help="fault plan applied to both sides of the pair")
+    p_diff.add_argument("--scenario", metavar="FILE", default=None,
+                        help="load the scenario (or a corpus entry) from "
+                             "a JSON file instead of flags")
+    p_diff.add_argument("--event-budget", type=int,
+                        default=CHAOS_EVENT_BUDGET, metavar="N",
+                        help="wedge watchdog: simulator events per run "
+                             f"(default {CHAOS_EVENT_BUDGET:,})")
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_lint = sub.add_parser(
         "lint",

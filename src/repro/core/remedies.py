@@ -15,7 +15,8 @@ from ..tcp import TcpConfig
 
 __all__ = ["reset_rtt_after_idle_config", "no_slow_start_after_idle_config",
            "no_metrics_cache_config", "multi_connection_config",
-           "late_binding_config", "dch_pinning_config", "evaluate_remedies"]
+           "late_binding_config", "dch_pinning_config", "frto_config",
+           "evaluate_remedies"]
 
 
 def reset_rtt_after_idle_config(conservative_rto: float = 3.0) -> TcpConfig:
@@ -50,6 +51,14 @@ def late_binding_config(n_sessions: int = 20) -> ExperimentConfig:
                             late_binding=True)
 
 
+def frto_config(enabled: bool = True) -> TcpConfig:
+    """§5.3's counterweight — RFC 5682 F-RTO detects the spurious RTOs
+    that radio promotion delays provoke and undoes the cwnd collapse.
+    On by default (as in Linux); ``frto_config(False)`` is the ablation
+    axis the differential matrix uses to price spurious timeouts."""
+    return TcpConfig(frto=enabled)
+
+
 def dch_pinning_config() -> ExperimentConfig:
     """§5.6.1 / Figure 14 — continual pings keep the radio in DCH
     (effective but wasteful of radio resources and battery)."""
@@ -77,6 +86,11 @@ def evaluate_remedies(protocol: str = "spdy", network: str = "3g",
         "dch-pinning": ExperimentConfig(
             protocol=protocol, network=network, site_ids=site_ids,
             keepalive_ping=True),
+        # Not a remedy but the ablation that prices spurious timeouts:
+        # how much of the baseline's health does F-RTO's undo account for?
+        "frto-off": ExperimentConfig(
+            protocol=protocol, network=network, site_ids=site_ids,
+            tcp=frto_config(False), client_tcp=frto_config(False)),
     }
     if protocol == "spdy":
         conditions["multi-connection"] = multi_connection_config().with_overrides(

@@ -36,7 +36,8 @@ class FaultInjector:
         self.plan = plan
         self.log: List[str] = []
         self.counters: Dict[str, int] = {kind: 0 for kind in
-                                         ("blackout", "burstloss", "handover",
+                                         ("arq", "blackout", "burstloss",
+                                          "delayspike", "handover",
                                           "proxyrestart", "rst")}
         self.connections_reset = 0
         self._installed = False
@@ -48,8 +49,10 @@ class FaultInjector:
             raise RuntimeError("fault plan already installed")
         self._installed = True
         handlers = {
+            "arq": self._apply_arq,
             "blackout": self._apply_blackout,
             "burstloss": self._apply_burstloss,
+            "delayspike": self._apply_delayspike,
             "handover": self._apply_handover,
             "proxyrestart": self._apply_proxyrestart,
             "rst": self._apply_rst,
@@ -68,6 +71,23 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # handlers (each runs at its event's scheduled time)
     # ------------------------------------------------------------------
+    def _apply_arq(self, event: FaultEvent) -> None:
+        # RLC acknowledged mode: radio losses recovered below TCP, seen
+        # above as bounded per-packet delay jitter (arXiv:0903.4959 §2).
+        for link in self._access_links():
+            link.enable_arq(event.rate, event.jitter)
+        self.counters["arq"] += 1
+        self._log(f"arq rate={event.rate:g} jitter<={event.jitter:g}s "
+                  f"on access links")
+
+    def _apply_delayspike(self, event: FaultEvent) -> None:
+        # Cell-reselection stall: the access links freeze — packets queued
+        # and in flight are delayed, never dropped.
+        for link in self._access_links():
+            link.start_delay_spike(event.duration)
+        self.counters["delayspike"] += 1
+        self._log(f"delayspike {event.duration:g}s on access links")
+
     def _apply_blackout(self, event: FaultEvent) -> None:
         for link in self._access_links():
             link.start_outage(event.duration, event.policy)

@@ -13,6 +13,15 @@ The compact spec grammar used by the ``--faults`` CLI flag::
     burstloss[@T]:RATE[:B]    Gilbert-Elliott burst loss on the access
                               links from time T (default 0) with average
                               loss RATE and mean burst length B (def. 8)
+    arq[@T]:RATE[:J]          RLC-layer link retransmission from time T
+                              (default 0): radio-layer losses at RATE are
+                              recovered below TCP, surfacing as additive
+                              per-packet delay jitter bounded by J seconds
+                              (default 0.2) instead of drops
+    delayspike@T:D            cell-reselection stall at T: the access
+                              links freeze for D seconds — packets are
+                              delayed, never dropped, including those
+                              already in flight
     handover@T[:D]            RRC handover at T: radio falls to idle and
                               the link blacks out for D seconds (def. 0.5)
     proxyrestart@T            proxy process restart at T: every
@@ -21,6 +30,10 @@ The compact spec grammar used by the ``--faults`` CLI flag::
                               (default 1)
 
 Entries are comma-separated: ``blackout@120:5,burstloss:0.02,handover@200``.
+The ``arq`` and ``delayspike`` kinds model the two dominant cellular
+link-layer behaviours of "TCP over 3G links" (arXiv:0903.4959): RLC
+retransmission hides loss as delay variation, and cell reselection
+produces multi-second delay spikes without packet loss.
 """
 
 from __future__ import annotations
@@ -32,7 +45,8 @@ from typing import List, Sequence, Tuple, Union
 
 __all__ = ["FaultEvent", "FaultPlan", "FaultSpecError", "FAULT_KINDS"]
 
-FAULT_KINDS = ("blackout", "burstloss", "handover", "proxyrestart", "rst")
+FAULT_KINDS = ("arq", "blackout", "burstloss", "delayspike", "handover",
+               "proxyrestart", "rst")
 
 _ENTRY_RE = re.compile(r"^([a-z]+)(@[0-9.eE+-]+)?((?::[^:,@]+)*)$")
 
@@ -47,11 +61,12 @@ class FaultEvent:
 
     kind: str
     time: float = 0.0
-    duration: float = 0.0      # blackout / handover outage length
-    rate: float = 0.0          # burstloss average loss probability
+    duration: float = 0.0      # blackout / handover / delayspike length
+    rate: float = 0.0          # burstloss / arq radio-layer loss prob.
     mean_burst: float = 8.0    # burstloss mean bad-state run (packets)
     policy: str = "queue"      # blackout semantics: "queue" | "drop"
     count: int = 1             # rst: how many connections to kill
+    jitter: float = 0.2        # arq: RLC recovery delay bound (seconds)
 
     def validate(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -59,7 +74,7 @@ class FaultEvent:
                                  f"(expected one of {', '.join(FAULT_KINDS)})")
         # NaN compares False against everything, so `self.time < 0` alone
         # would wave float("nan") through; inf durations wedge the sim.
-        for name in ("time", "duration", "rate", "mean_burst"):
+        for name in ("time", "duration", "rate", "mean_burst", "jitter"):
             value = getattr(self, name)
             if not isinstance(value, (int, float)) or not math.isfinite(value):
                 raise FaultSpecError(
@@ -80,6 +95,16 @@ class FaultEvent:
                 raise FaultSpecError("burstloss: rate must be in (0, 1)")
             if self.mean_burst < 1.0:
                 raise FaultSpecError("burstloss: mean burst must be >= 1")
+        elif self.kind == "arq":
+            if not (0.0 < self.rate < 1.0):
+                raise FaultSpecError("arq: rate must be in (0, 1)")
+            if self.jitter <= 0:
+                raise FaultSpecError("arq: jitter must be > 0 "
+                                     "(seconds of RLC recovery delay)")
+        elif self.kind == "delayspike":
+            if self.duration <= 0:
+                raise FaultSpecError("delayspike: duration must be > 0 "
+                                     "(use delayspike@T:D)")
         elif self.kind == "handover":
             if self.duration < 0:
                 raise FaultSpecError("handover: outage must be >= 0")
@@ -105,6 +130,11 @@ class FaultEvent:
         return self._token(lambda value: repr(float(value)))
 
     def _token(self, fmt) -> str:
+        if self.kind == "arq":
+            return (f"arq@{fmt(self.time)}:{fmt(self.rate)}"
+                    f":{fmt(self.jitter)}")
+        if self.kind == "delayspike":
+            return f"delayspike@{fmt(self.time)}:{fmt(self.duration)}"
         if self.kind == "blackout":
             base = f"blackout@{fmt(self.time)}:{fmt(self.duration)}"
             return base if self.policy == "queue" else f"{base}:{self.policy}"
@@ -181,6 +211,20 @@ class FaultPlan:
                     else 8.0
                 event = FaultEvent("burstloss", time=time, rate=rate,
                                    mean_burst=mean_burst)
+            elif kind == "arq":
+                if not args:
+                    raise FaultSpecError("arq needs a rate (arq:RATE[:J])")
+                rate = num(args[0], "rate")
+                jitter = num(args[1], "jitter") if len(args) > 1 else 0.2
+                event = FaultEvent("arq", time=time, rate=rate,
+                                   jitter=jitter)
+            elif kind == "delayspike":
+                if not args:
+                    raise FaultSpecError("delayspike needs a duration "
+                                         "(delayspike@T:D)")
+                duration = num(args[0], "duration")
+                event = FaultEvent("delayspike", time=time,
+                                   duration=duration)
             elif kind == "handover":
                 duration = num(args[0], "outage") if args else 0.5
                 event = FaultEvent("handover", time=time, duration=duration)

@@ -186,8 +186,11 @@ def _is_negative_literal(node: ast.expr) -> bool:
 
 
 # unit tables, longest suffix first so "_secs" wins over "_s"
+# _jitter (arq RLC recovery bound) and _spike (delay-spike duration) are
+# seconds by convention throughout the fault layer.
 _TIME_SUFFIXES: List[Tuple[str, str]] = [
     ("_seconds", "s"), ("_secs", "s"), ("_sec", "s"), ("_s", "s"),
+    ("_jitter", "s"), ("_spike", "s"),
     ("_millis", "ms"), ("_ms", "ms"), ("_us", "us"), ("_ns", "ns"),
 ]
 _SIZE_SUFFIXES: List[Tuple[str, str]] = [

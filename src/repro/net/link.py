@@ -192,12 +192,23 @@ class Link:
         self._outage_until = 0.0
         self._outage_policy = "queue"
 
+        # link-layer ARQ (RLC retransmission): radio losses at _arq_rate
+        # are recovered below TCP, surfacing as bounded extra delay.
+        self._arq_rate = 0.0
+        self._arq_max_delay = 0.0
+
+        # cell-reselection delay spike: the link freezes until _spike_until;
+        # packets (queued or in flight) are delayed, never dropped.
+        self._spike_until = 0.0
+
         # counters for quick sanity checks
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
         self.outages = 0
         self.outage_drops = 0
+        self.arq_recoveries = 0
+        self.delay_spikes = 0
 
         # conservation accounting: every packet handed to transmit() is
         # *accepted*, and must end up exactly once in delivered, lost, or
@@ -246,6 +257,44 @@ class Link:
         return self.sim.now < self._outage_until
 
     # ------------------------------------------------------------------
+    def enable_arq(self, rate: float, max_delay: float) -> None:
+        """Turn on RLC-layer link retransmission from now on.
+
+        With probability ``rate`` a packet's radio frame is lost and
+        recovered by the link layer below TCP: the packet is *delayed* by
+        up to ``max_delay`` seconds instead of dropped.  This is the 3G
+        RLC acknowledged mode of arXiv:0903.4959 — TCP above sees a
+        (nearly) loss-free link with heavy delay variation.  All draws
+        come from the link's private RNG, so enabling ARQ never perturbs
+        other seed streams.
+        """
+        if not (0.0 < rate < 1.0):
+            raise ValueError("arq rate must be in (0, 1)")
+        if max_delay <= 0:
+            raise ValueError("arq max_delay must be > 0")
+        self._arq_rate = rate
+        self._arq_max_delay = max_delay
+
+    def start_delay_spike(self, duration: float) -> float:
+        """Freeze the link for ``duration`` seconds starting now.
+
+        Models a cell-reselection stall (arXiv:0903.4959): serialization
+        is gated and packets already in flight are held and released when
+        the spike ends.  Nothing is ever dropped — the defining contrast
+        with :meth:`start_outage` — so byte conservation is untouched.
+        Returns the absolute end time of the spike.
+        """
+        if duration <= 0:
+            raise ValueError("delay spike duration must be > 0")
+        self._spike_until = max(self._spike_until, self.sim.now + duration)
+        self.delay_spikes += 1
+        return self._spike_until
+
+    @property
+    def in_delay_spike(self) -> bool:
+        return self.sim.now < self._spike_until
+
+    # ------------------------------------------------------------------
     def transmit(self, packet: Packet) -> None:
         """Accept a packet for transmission (or drop it at the queue)."""
         now = self.sim.now
@@ -274,7 +323,7 @@ class Link:
         self.bytes_in_flight += packet.size
 
         start = max(now, self._busy_until, self._gate_time(packet),
-                    self._outage_until)
+                    self._outage_until, self._spike_until)
         rate = self._rate(packet)
         if rate is None:
             tx_time = 0.0
@@ -292,6 +341,11 @@ class Link:
             return
 
         extra = self.jitter(self._rng) if self.jitter is not None else 0.0
+        if self._arq_rate > 0.0 and self._rng.random() < self._arq_rate:
+            # RLC recovery: the frame was lost on the air and retransmitted
+            # below TCP — bounded extra delay, never a drop.
+            extra += self._rng.random() * self._arq_max_delay
+            self.arq_recoveries += 1
         arrival = end + self._latency_for(packet) + max(0.0, extra)
         # FIFO: never let jitter reorder packets on the same link.
         arrival = max(arrival, self._last_delivery)
@@ -326,6 +380,13 @@ class Link:
         self.bytes_sent += packet.size
 
     def _deliver(self, packet: Packet) -> None:
+        if self.sim.now < self._spike_until:
+            # Cell-reselection stall caught this packet in flight: hold it
+            # at the radio and release when the spike ends.  Reschedules
+            # happen in original arrival order at a common release time,
+            # so (time, seq) heap ordering preserves FIFO delivery.
+            self.sim.schedule_at(self._spike_until, self._deliver, packet)
+            return
         packet.delivered_at = self.sim.now
         self.packets_delivered += 1
         self.bytes_delivered += packet.size

@@ -46,6 +46,12 @@ class TcpConfig:
     # Destination metrics cache (§6.2.4).
     use_metrics_cache: bool = True
 
+    # F-RTO spurious-timeout detection (RFC 5682, Linux default on).
+    # Off, every promotion-delay RTO collapses cwnd and stays collapsed —
+    # the differential matrix uses this axis to measure what the paper's
+    # §5 spurious retransmissions cost.
+    frto: bool = True
+
     def with_overrides(self, **kwargs) -> "TcpConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)

@@ -498,7 +498,7 @@ class Connection:
         # the backoff retransmissions that follow (e.g. while a radio
         # promotion holds all ACKs) keep cwnd at 1 without re-slashing it.
         first_of_episode = self._timeout_recovery_point is None
-        if first_of_episode:
+        if first_of_episode and self.config.frto:
             # Arm F-RTO: keep an undo snapshot and defer the wholesale
             # loss-marking until the next ACKs vote genuine vs spurious.
             self._frto_state = 1

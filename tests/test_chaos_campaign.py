@@ -127,7 +127,9 @@ class TestEndToEndWithInjectedBug:
         # Same intentional bug as test_chaos_oracles: rst corrupts a
         # link counter, tripping link.byte-conservation under strict
         # checks.  Drive the *real* campaign loop over a tiny space
-        # until the generator draws an rst somewhere.
+        # until the generator draws an rst somewhere (master seed 6
+        # draws one in four of the six trials under the 7-kind fault
+        # vocabulary).
         original = FaultInjector._apply_rst
 
         def buggy(self, event):
@@ -137,7 +139,7 @@ class TestEndToEndWithInjectedBug:
 
         corpus = tmp_path / "corpus"
         result = run_chaos_campaign(
-            trials=6, master_seed=9, space=TINY_SPACE,
+            trials=6, master_seed=6, space=TINY_SPACE,
             determinism=False, shrink_budget=20,
             journal_path=str(tmp_path / "j.jsonl"),
             corpus_dir=str(corpus))

@@ -1,0 +1,214 @@
+"""Differential & metamorphic oracles: paired runs, relation catalogue,
+campaign mechanics, and the CUBIC byte-accounting drill.
+
+Mirrors the PR-5 acceptance pattern: an intentionally injected bug that
+only the *cross-configuration* comparison can see must be caught,
+classified ``relation-violation``, shrunk to a tiny paired repro, and
+archived in the corpus — then replay green once the bug is gone.
+"""
+
+import pytest
+
+from repro.chaos import (CorpusFormatError, OracleVerdict, RELATION_NAMES,
+                         Scenario, SearchSpace, check_differential,
+                         corpus_entry, differential_report, load_corpus,
+                         pair_scenarios, relation_for_trial, replay_entry,
+                         run_differential_campaign, validate_entry)
+from repro.faults import FaultInjector
+
+#: Same tiny space as test_chaos_campaign: one cheap site, short clocks.
+TINY_SPACE = SearchSpace(site_pools=((1,),), think_times=(3.0,),
+                         tail_times=(4.0,), load_timeouts=(5.0,),
+                         networks=("3g",), max_fault_events=3)
+
+#: A cheap scenario exercising both 3G-realistic fault kinds.
+CHEAP = Scenario(seed=7, faults="arq@1:0.15:0.6,delayspike@2:1.5")
+
+
+def _pass_all(scenario, relation):
+    return OracleVerdict(status="pass",
+                         run_digest=f"d{scenario.seed}-{relation}")
+
+
+# ----------------------------------------------------------------------
+# relation plumbing
+# ----------------------------------------------------------------------
+class TestRelationPlumbing:
+    def test_relation_for_trial_cycles_deterministically(self):
+        cycle = [relation_for_trial(i) for i in range(2 * len(RELATION_NAMES))]
+        assert cycle == list(RELATION_NAMES) * 2
+
+    def test_pair_scenarios_layers_overrides(self):
+        scenario = Scenario(seed=3, faults="rst@1",
+                            config={"think_time": 9.0},
+                            tcp={"initial_cwnd": 4})
+        a, b = pair_scenarios(scenario, "cc-bytes")
+        assert a.tcp == {"initial_cwnd": 4, "congestion_control": "cubic"}
+        assert b.tcp == {"initial_cwnd": 4, "congestion_control": "reno"}
+        # scenario-level config survives on both sides, original untouched
+        assert a.config["think_time"] == b.config["think_time"] == 9.0
+        assert scenario.tcp == {"initial_cwnd": 4}
+
+    def test_pair_scenarios_proto_overrides_win(self):
+        scenario = Scenario(seed=3, config={"protocol": "spdy"})
+        a, b = pair_scenarios(scenario, "proto-bytes")
+        assert a.config["protocol"] == "http"
+        assert b.config["protocol"] == "spdy"
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError, match="unknown relation"):
+            pair_scenarios(CHEAP, "nope")
+        with pytest.raises(ValueError, match="unknown relation"):
+            check_differential(CHEAP, "nope")
+
+
+# ----------------------------------------------------------------------
+# the clean tree satisfies every relation
+# ----------------------------------------------------------------------
+class TestRelationsHoldOnCleanTree:
+    @pytest.mark.parametrize("relation", RELATION_NAMES)
+    def test_relation_passes(self, relation):
+        verdict = check_differential(CHEAP, relation)
+        assert verdict.status == "pass", verdict.message
+        assert verdict.run_digest
+
+    def test_report_shape(self):
+        report = differential_report(CHEAP, "cc-bytes")
+        assert report["violation"] is None
+        assert report["a"]["tcp"]["congestion_control"] == "cubic"
+        assert report["b"]["tcp"]["congestion_control"] == "reno"
+        for side in (report["a"], report["b"]):
+            assert side["digest"] and side["differential_digest"]
+            assert all(residual == [0, 0] for residual
+                       in side["link_residuals"].values())
+
+
+# ----------------------------------------------------------------------
+# campaign mechanics (synthetic oracle: fast)
+# ----------------------------------------------------------------------
+class TestDifferentialCampaign:
+    def test_journals_deterministic_and_carry_relation(self, tmp_path):
+        for name in ("a.jsonl", "b.jsonl"):
+            run_differential_campaign(trials=8, master_seed=7,
+                                      journal_path=str(tmp_path / name),
+                                      check=_pass_all)
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+            (tmp_path / "b.jsonl").read_bytes()
+
+    def test_records_carry_mode_and_relation(self):
+        result = run_differential_campaign(trials=6, master_seed=2,
+                                           check=_pass_all)
+        for index, record in enumerate(result.records):
+            assert record["kind"] == "chaos-trial"
+            assert record["mode"] == "differential"
+            assert record["relation"] == relation_for_trial(index)
+
+    def test_resume_skips_by_relation_key(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        run_differential_campaign(trials=6, master_seed=1,
+                                  journal_path=journal, check=_pass_all)
+        calls = []
+
+        def counting(scenario, relation):
+            calls.append((scenario, relation))
+            return _pass_all(scenario, relation)
+
+        second = run_differential_campaign(trials=6, master_seed=1,
+                                           journal_path=journal,
+                                           resume=True, check=counting)
+        assert calls == []
+        assert all(r.get("resumed") for r in second.records)
+
+
+# ----------------------------------------------------------------------
+# the CUBIC byte-accounting drill (end-to-end, real simulator)
+# ----------------------------------------------------------------------
+class TestCubicByteAccountingDrill:
+    def test_injected_bug_caught_shrunk_archived_and_fixed(self, tmp_path,
+                                                           monkeypatch):
+        # Intentional bug: the CUBIC path corrupts the downlink's
+        # delivered-bytes ledger.  Single-run oracles cannot see it
+        # (checks-off runs have no sanitizer; the run is internally
+        # self-consistent) — only the cc-bytes relation, which demands
+        # zero conservation residuals under cubic AND reno, can.
+        original = FaultInjector._apply_arq
+
+        def buggy(self, event):
+            original(self, event)
+            if self.testbed.proxy_tcp_config.congestion_control == "cubic":
+                self.testbed.access.downlink.bytes_delivered += 1
+        monkeypatch.setattr(FaultInjector, "_apply_arq", buggy)
+
+        # master seed 3: trial 0 (a cc-bytes trial) draws three fault
+        # events including arq, so the buggy handler fires.
+        corpus = tmp_path / "corpus"
+        result = run_differential_campaign(
+            trials=1, master_seed=3, space=TINY_SPACE, shrink_budget=40,
+            journal_path=str(tmp_path / "j.jsonl"),
+            corpus_dir=str(corpus))
+        assert result.failure_count == 1
+        failure = result.failures[0]
+        assert failure["relation"] == "cc-bytes"
+        assert failure["failure"]["status"] == "relation-violation"
+        assert "cubic" in failure["failure"]["message"]
+        assert failure["shrunk"]["final_events"] <= 2
+        assert failure["shrunk"]["failure"]["status"] == "relation-violation"
+
+        # the shrunk paired repro is archived with its relation...
+        entries = load_corpus(str(corpus))
+        assert len(entries) == 1
+        entry = entries[0][1]
+        assert entry["relation"] == "cc-bytes"
+        assert entry["expected_failure"] == "relation-violation"
+
+        # ...and with the bug fixed, replays green through the
+        # differential oracle (the corpus contract for a fixed bug)
+        monkeypatch.setattr(FaultInjector, "_apply_arq", original)
+        verdict = replay_entry(entry)
+        assert verdict.status == "pass"
+
+
+# ----------------------------------------------------------------------
+# corpus forward compatibility
+# ----------------------------------------------------------------------
+class TestCorpusForwardCompat:
+    def _entry(self, **overrides):
+        verdict = OracleVerdict(status="pass", run_digest="x")
+        entry = corpus_entry(Scenario(seed=1, faults="rst@1"), verdict)
+        entry.update(overrides)
+        return entry
+
+    def test_known_entry_validates(self):
+        validate_entry(self._entry(), name="good.json")
+        validate_entry(self._entry(relation="cc-bytes"), name="good.json")
+
+    def test_newer_schema_refused(self):
+        with pytest.raises(CorpusFormatError, match=r"x\.json.*schema 99"):
+            validate_entry(self._entry(schema=99), name="x.json")
+
+    def test_unknown_top_level_field_refused(self):
+        with pytest.raises(CorpusFormatError,
+                           match=r"x\.json.*quantum_field"):
+            validate_entry(self._entry(quantum_field=1), name="x.json")
+
+    def test_unknown_scenario_field_refused(self):
+        entry = self._entry()
+        entry["scenario"]["warp"] = 9
+        with pytest.raises(CorpusFormatError, match=r"x\.json.*warp"):
+            validate_entry(entry, name="x.json")
+
+    def test_unknown_fault_kind_refused(self):
+        entry = self._entry()
+        entry["scenario"]["faults"] = "wormhole@2:1"
+        with pytest.raises(CorpusFormatError, match=r"x\.json.*wormhole"):
+            validate_entry(entry, name="x.json")
+
+    def test_unknown_relation_refused(self):
+        with pytest.raises(CorpusFormatError,
+                           match=r"x\.json.*superluminal"):
+            validate_entry(self._entry(relation="superluminal"),
+                           name="x.json")
+
+    def test_replay_entry_validates_first(self):
+        with pytest.raises(CorpusFormatError, match="quantum_field"):
+            replay_entry(self._entry(quantum_field=1))

@@ -101,3 +101,73 @@ class TestChaosCommand:
     def test_chaos_replay_missing_file(self, capsys):
         rc = main(["chaos", "--replay", "does/not/exist.json"])
         assert rc == 2
+
+    def test_chaos_replay_unknown_corpus_field_exits_2(self, tmp_path,
+                                                       capsys):
+        import json
+        entry = {"schema": 1, "expected_failure": "pass",
+                 "error_type": None, "message": "",
+                 "scenario": {"seed": 1, "faults": None,
+                              "config": {}, "tcp": {}},
+                 "master_seed": 0, "trial_index": 0, "shrink": {},
+                 "note": "", "quantum_field": True}
+        path = tmp_path / "entry.json"
+        path.write_text(json.dumps(entry))
+        rc = main(["chaos", "--replay", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "quantum_field" in err and str(path) in err
+
+    def test_chaos_replay_unknown_fault_kind_exits_2(self, tmp_path,
+                                                     capsys):
+        import json
+        entry = {"schema": 1, "expected_failure": "pass",
+                 "error_type": None, "message": "",
+                 "scenario": {"seed": 1, "faults": "wormhole@2:1",
+                              "config": {}, "tcp": {}},
+                 "master_seed": 0, "trial_index": 0, "shrink": {},
+                 "note": ""}
+        path = tmp_path / "entry.json"
+        path.write_text(json.dumps(entry))
+        rc = main(["chaos", "--replay", str(path)])
+        assert rc == 2
+        assert "wormhole" in capsys.readouterr().err
+
+    def test_chaos_differential_smoke(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        rc = main(["chaos", "--differential", "--trials", "2",
+                   "--master-seed", "7", "--journal", str(journal)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign: trials=2" in out
+        assert journal.exists()
+
+
+class TestDiffCommand:
+    def test_diff_relation_holds(self, capsys):
+        rc = main(["diff", "cc-bytes", "--seed", "5",
+                   "--faults", "arq@1:0.2:0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "relation holds" in out
+        assert "cc-bytes" in out
+
+    def test_diff_unknown_relation_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["diff", "teleport"])
+
+    def test_diff_scenario_file(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(
+            {"seed": 3, "faults": "delayspike@2:1",
+             "config": {}, "tcp": {}}))
+        rc = main(["diff", "frto", "--scenario", str(path)])
+        assert rc == 0
+        assert "relation holds" in capsys.readouterr().out
+
+    def test_diff_bad_scenario_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        rc = main(["diff", "cc-bytes", "--scenario", str(path)])
+        assert rc == 2

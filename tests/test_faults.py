@@ -21,7 +21,8 @@ from helpers import ClientApp, EchoApp, Topology
 class TestFaultPlanParsing:
     def test_parse_each_kind(self):
         plan = FaultPlan.parse("blackout@120:5,burstloss:0.02,handover@200,"
-                               "proxyrestart@30,rst@10:2")
+                               "proxyrestart@30,rst@10:2,arq@40:0.1:0.5,"
+                               "delayspike@60:2")
         kinds = [e.kind for e in plan]
         assert sorted(kinds) == sorted(FAULT_KINDS)
 
@@ -39,6 +40,16 @@ class TestFaultPlanParsing:
         assert handover.duration == 0.5
         rst = FaultPlan.parse("rst@5").events[0]
         assert rst.count == 1
+        arq = FaultPlan.parse("arq:0.1").events[0]
+        assert arq.time == 0.0
+        assert arq.rate == 0.1
+        assert arq.jitter == 0.2
+
+    def test_parse_arq_and_delayspike_args(self):
+        arq = FaultPlan.parse("arq@7:0.25:1.5").events[0]
+        assert (arq.time, arq.rate, arq.jitter) == (7.0, 0.25, 1.5)
+        spike = FaultPlan.parse("delayspike@9:3.5").events[0]
+        assert (spike.time, spike.duration) == (9.0, 3.5)
 
     def test_blackout_policy(self):
         assert FaultPlan.parse("blackout@1:2").events[0].policy == "queue"
@@ -66,6 +77,14 @@ class TestFaultPlanParsing:
         "blackout@x:5",         # non-numeric time
         "",                     # empty spec
         "@@",                   # garbage
+        "arq@5",                # missing rate
+        "arq:0",                # rate out of (0, 1)
+        "arq:1.0",              # rate out of (0, 1)
+        "arq:0.5:0",            # zero jitter
+        "arq:0.5:-1",           # negative jitter
+        "delayspike@3",         # missing duration
+        "delayspike@3:0",       # zero duration
+        "delayspike@3:-2",      # negative duration
     ])
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(FaultSpecError):
@@ -80,7 +99,8 @@ class TestFaultPlanParsing:
         ("time", float("nan")), ("time", float("inf")),
         ("duration", float("nan")), ("duration", float("inf")),
         ("rate", float("nan")), ("mean_burst", float("nan")),
-        ("mean_burst", float("-inf")),
+        ("mean_burst", float("-inf")), ("jitter", float("nan")),
+        ("jitter", float("inf")),
     ])
     def test_non_finite_fields_rejected(self, field, value):
         # NaN slides past ordered comparisons (nan < 0 is False), so
@@ -91,15 +111,34 @@ class TestFaultPlanParsing:
         with pytest.raises(FaultSpecError, match="finite"):
             FaultEvent(**base).validate()
 
+    @pytest.mark.parametrize("value", [
+        float("nan"), float("inf"), float("-inf"), -0.5,
+    ])
+    def test_arq_jitter_rejected(self, value):
+        # The same NaN gap PR 5 closed for rate/mean_burst, now for the
+        # RLC recovery bound: a NaN jitter would poison every arrival
+        # time downstream without ever tripping an ordered comparison.
+        with pytest.raises(FaultSpecError, match="finite|jitter"):
+            FaultEvent("arq", rate=0.1, jitter=value).validate()
+
+    @pytest.mark.parametrize("value", [
+        float("nan"), float("inf"), float("-inf"), -1.0, 0.0,
+    ])
+    def test_delayspike_duration_rejected(self, value):
+        with pytest.raises(FaultSpecError, match="finite|duration"):
+            FaultEvent("delayspike", time=1.0, duration=value).validate()
+
     @pytest.mark.parametrize("spec", [
         "blackout@nan:5", "blackout@5:inf", "burstloss:nan",
-        "handover@inf", "rst@nan",
+        "handover@inf", "rst@nan", "arq:nan", "arq:0.5:inf",
+        "delayspike@3:nan",
     ])
     def test_non_finite_specs_rejected(self, spec):
         # Non-finite times are stopped by the entry grammar (no letters
         # after '@'); non-finite args reach validate() and must be
         # rejected there.
-        with pytest.raises(FaultSpecError, match="finite|rate|malformed"):
+        with pytest.raises(FaultSpecError,
+                           match="finite|rate|malformed|duration"):
             FaultPlan.parse(spec)
 
 
@@ -110,7 +149,8 @@ class TestFaultPlanParsing:
 class TestToSpecRoundTrip:
     def test_to_spec_round_trips_each_kind(self):
         spec = ("blackout@120:5:drop,burstloss@7:0.02:3,handover@200:1.5,"
-                "proxyrestart@30,rst@10:2")
+                "proxyrestart@30,rst@10:2,arq@40:0.123:0.456,"
+                "delayspike@60:2.5")
         plan = FaultPlan.parse(spec)
         assert FaultPlan.parse(plan.to_spec()) == plan
 
@@ -152,7 +192,18 @@ def _random_events():
                              time=_finite_time())
     rst = st.builds(FaultEvent, kind=st.just("rst"), time=_finite_time(),
                     count=st.integers(min_value=1, max_value=50))
-    return st.one_of(blackout, burstloss, handover, proxyrestart, rst)
+    arq = st.builds(
+        FaultEvent, kind=st.just("arq"), time=_finite_time(),
+        rate=st.floats(min_value=1e-9, max_value=0.999999,
+                       allow_nan=False, allow_infinity=False),
+        jitter=st.floats(min_value=1e-6, max_value=1e3,
+                         allow_nan=False, allow_infinity=False))
+    delayspike = st.builds(
+        FaultEvent, kind=st.just("delayspike"), time=_finite_time(),
+        duration=st.floats(min_value=1e-6, max_value=1e4,
+                           allow_nan=False, allow_infinity=False))
+    return st.one_of(blackout, burstloss, handover, proxyrestart, rst,
+                     arq, delayspike)
 
 
 class TestToSpecProperty:
@@ -284,6 +335,103 @@ class TestLinkOutage:
         assert not link.in_outage
         link.start_outage(3.0)
         assert link.in_outage
+
+
+# ----------------------------------------------------------------------
+# RLC ARQ recovery delay and cell-reselection delay spikes
+# (arXiv:0903.4959: the radio layer recovers losses itself; TCP just
+# sees extra delay — so both faults must delay, never drop.)
+# ----------------------------------------------------------------------
+class TestArqAndDelaySpike:
+    def _conserved(self, link):
+        assert link.packets_in_flight == 0 and link.bytes_in_flight == 0
+        assert link.packets_accepted == link.packets_delivered + \
+            link.packets_lost
+        assert link.bytes_accepted == link.bytes_delivered + link.bytes_lost
+
+    def test_arq_delays_but_never_drops(self):
+        slow, fast = [], []
+        for rate in (0.9, None):
+            sim = Simulator()
+            a, b, link = _outage_pair(sim, latency=0.01, bandwidth_bps=1e6)
+            if rate is not None:
+                link.enable_arq(rate, 2.0)
+            for _ in range(50):
+                a.send(Packet("a", "b", 500))
+            sim.run()
+            assert len(b.received) == 50
+            assert link.packets_lost == 0
+            self._conserved(link)
+            (slow if rate is not None else fast).append(b.received[-1][0])
+        assert slow[0] > fast[0]
+
+    def test_arq_counts_recoveries(self):
+        sim = Simulator()
+        a, b, link = _outage_pair(sim, latency=0.01)
+        link.enable_arq(0.999999, 1.0)
+        for _ in range(10):
+            a.send(Packet("a", "b", 100))
+        sim.run()
+        assert link.arq_recoveries == 10
+
+    def test_arq_validation(self):
+        sim = Simulator()
+        _, _, link = _outage_pair(sim)
+        for rate, delay in ((0.0, 1.0), (1.0, 1.0), (0.5, 0.0),
+                            (0.5, -1.0)):
+            with pytest.raises(ValueError):
+                link.enable_arq(rate, delay)
+
+    def test_delayspike_parks_new_packets_until_spike_ends(self):
+        sim = Simulator()
+        a, b, link = _outage_pair(sim, latency=0.01, bandwidth_bps=1e6)
+        link.start_delay_spike(3.0)
+        a.send(Packet("a", "b", 100))
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0][0] >= 3.0
+        assert link.packets_lost == 0
+        self._conserved(link)
+
+    def test_delayspike_holds_in_flight_packets(self):
+        # Unlike an outage (in-flight packets already past the
+        # bottleneck still arrive), a reselection stall freezes the
+        # radio path: packets mid-flight are held until the spike ends.
+        sim = Simulator()
+        a, b, link = _outage_pair(sim, latency=1.0)
+        a.send(Packet("a", "b", 100))
+        sim.schedule(0.5, link.start_delay_spike, 5.0)
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0][0] >= 5.5
+        self._conserved(link)
+
+    def test_delayspike_preserves_fifo_order(self):
+        sim = Simulator()
+        a, b, link = _outage_pair(sim, latency=0.01, bandwidth_bps=1e6)
+        packets = [Packet("a", "b", 200) for _ in range(5)]
+        for packet in packets:
+            a.send(packet)
+        sim.schedule(0.001, link.start_delay_spike, 2.0)
+        sim.run()
+        assert [p for _, p in b.received] == packets
+
+    def test_delayspike_extends_not_shrinks(self):
+        sim = Simulator()
+        _, _, link = _outage_pair(sim)
+        end1 = link.start_delay_spike(10.0)
+        end2 = link.start_delay_spike(1.0)
+        assert end2 == end1
+        assert link.delay_spikes == 2
+
+    def test_delayspike_validation_and_property(self):
+        sim = Simulator()
+        _, _, link = _outage_pair(sim)
+        with pytest.raises(ValueError):
+            link.start_delay_spike(0.0)
+        assert not link.in_delay_spike
+        link.start_delay_spike(3.0)
+        assert link.in_delay_spike
 
 
 # ----------------------------------------------------------------------
@@ -436,6 +584,31 @@ class TestInjectorEndToEnd:
     def test_handover_demotes_radio(self):
         result = _run("http", "handover@3.0")
         assert result.testbed.radio.handovers == 1
+
+    def test_arq_slows_page_without_losing_bytes(self):
+        baseline = _run("spdy", None)
+        faulted = _run("spdy", "arq@0:0.3:1.0")
+        report = faulted.fault_report
+        assert report["counters"]["arq"] == 1
+        access = faulted.testbed.access
+        assert access.downlink.arq_recoveries + \
+            access.uplink.arq_recoveries > 0
+        for link in (access.downlink, access.uplink):
+            assert link.packets_accepted == link.packets_delivered + \
+                link.packets_lost
+        assert faulted.pages[0].plt > baseline.pages[0].plt
+        assert all(not p.timed_out for p in faulted.pages)
+
+    def test_delayspike_stalls_page_without_timeout(self):
+        baseline = _run("http", None)
+        faulted = _run("http", "delayspike@1:3")
+        report = faulted.fault_report
+        assert report["counters"]["delayspike"] == 1
+        access = faulted.testbed.access
+        assert access.downlink.delay_spikes == 1
+        assert access.uplink.delay_spikes == 1
+        assert faulted.pages[0].plt > baseline.pages[0].plt
+        assert all(not p.timed_out for p in faulted.pages)
 
     def test_double_install_rejected(self):
         result = _run("http", None)

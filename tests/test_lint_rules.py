@@ -100,6 +100,13 @@ class TestRuleDetails:
     def test_multiplication_erases_units(self):
         assert "UNIT001" not in _codes("x = rate * interval_ms + budget_s\n")
 
+    def test_jitter_and_spike_suffixes_infer_seconds(self):
+        # The 3G fault knobs carry implicit seconds: arq jitter bounds
+        # and delay-spike durations mix safely with _s but not _ms.
+        assert "UNIT001" in _codes("t = arq_jitter + backoff_ms\n")
+        assert "UNIT001" in _codes("t = delay_spike + wait_ms\n")
+        assert "UNIT001" not in _codes("t = arq_jitter + delay_spike + tail_s\n")
+
     def test_schedule_at_negative_literal_flagged(self):
         assert "SIM002" in _codes("sim.schedule_at(-1.0, cb)\n")
 

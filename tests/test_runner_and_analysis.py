@@ -144,5 +144,6 @@ class TestRemedies:
         assert "baseline" in results
         assert "reset-rtt-after-idle" in results
         assert "late-binding" in results
+        assert "frto-off" in results
         for stats in results.values():
             assert stats["median_plt"] > 0

@@ -140,3 +140,22 @@ class TestFRto:
         sim.run(until=60.0)
         assert srv.stats.spurious_retransmissions > 0
         assert srv.cc.ssthresh < ssthresh_before
+
+    def test_frto_gate_disables_undo_machinery(self):
+        """``TcpConfig.frto=False`` is the differential ablation axis: the
+        same delay-spiked transfer that provokes undos with F-RTO on must
+        record exactly zero with it off (conventional RTO path only)."""
+        from repro.chaos import Scenario
+        from repro.experiments.runner import run_experiment
+
+        def total_undos(enabled):
+            scenario = Scenario(seed=7,
+                                faults="arq@1:0.15:0.6,delayspike@5:2",
+                                tcp={"frto": enabled})
+            run = run_experiment(scenario.experiment_config())
+            stacks = (run.testbed.client_stack, run.testbed.proxy_stack)
+            return sum(c.stats.frto_undos for stack in stacks
+                       for c in stack.all_connections)
+
+        assert total_undos(True) > 0
+        assert total_undos(False) == 0
