@@ -1,0 +1,33 @@
+"""Performance harness: measure the simulator so every PR has a trajectory.
+
+PRs 1-6 built the correctness stack (faults -> invariants -> lint ->
+chaos -> differential oracles); this package is the other axis the
+ROADMAP asks for: *how fast?*  `repro bench` times canonical workloads —
+raw engine events/sec, end-to-end pages/sec, and a figure-sweep macro
+run — with warmup, repetition and median-of-N timing, and writes the
+results to ``BENCH_<rev>.json`` so the next PR has a number to beat.
+
+Two disciplines carry over from the sanity layer:
+
+* **Determinism digests.**  Every workload computes a digest over its
+  *simulated* outcomes (bytes delivered, PLTs, event counts) — never
+  over wall-clock timings.  An optimization that changes a digest
+  changed behaviour, not just speed; the harness fails loudly and CI's
+  ``bench-smoke`` job compares digests against the committed reference.
+* **Zero cost when off.**  The hot paths pay one ``is not None`` test
+  for instrumentation; the bench harness itself imports nothing into
+  the simulation and perturbs no RNG stream.
+"""
+
+from .harness import (BENCH_SCHEMA, BenchError, BenchResult, WorkloadTiming,
+                      compare_digests, default_output_name, load_report,
+                      run_bench, write_report)
+from .workloads import (Workload, WorkloadOutcome, all_workloads,
+                        workloads_by_name)
+
+__all__ = [
+    "BENCH_SCHEMA", "BenchError", "BenchResult", "Workload",
+    "WorkloadOutcome", "WorkloadTiming", "all_workloads", "compare_digests",
+    "default_output_name", "load_report", "run_bench", "workloads_by_name",
+    "write_report",
+]

@@ -1,0 +1,108 @@
+"""``repro bench``: time the canonical workloads and write the report.
+
+Examples
+--------
+Full run (5 reps, median), written to ``BENCH_<rev>.json``::
+
+    python -m repro bench
+
+CI smoke: one rep per workload, digests gated against the committed
+reference::
+
+    python -m repro bench --quick --out bench-ci.json \
+        --compare BENCH_<rev>.json
+
+Record a speedup claim against the previous revision's report::
+
+    python -m repro bench --baseline BENCH_<prev>.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..reporting import render_table
+from .harness import (BenchError, compare_digests, default_output_name,
+                      load_report, run_bench, write_report)
+from .workloads import all_workloads
+
+__all__ = ["add_bench_arguments", "run_bench_cli"]
+
+
+def add_bench_arguments(parser) -> None:
+    parser.add_argument("--workloads", default=None, metavar="NAMES",
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--list", action="store_true", dest="list_workloads",
+                        help="list registered workloads and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help="single rep, no warmup (CI smoke; digests "
+                             "stay comparable with a full run)")
+    parser.add_argument("--reps", type=int, default=None, metavar="N",
+                        help="timed repetitions per workload "
+                             "(default 5, or 1 with --quick)")
+    parser.add_argument("--warmup", type=int, default=None, metavar="N",
+                        help="untimed warmup runs (default 1, 0 with --quick)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="report path (default BENCH_<rev>.json)")
+    parser.add_argument("--baseline", default=None, metavar="REPORT",
+                        help="previous BENCH_*.json: embed its rates and "
+                             "per-workload speedups in the new report")
+    parser.add_argument("--compare", default=None, metavar="REPORT",
+                        help="fail (exit 1) if any workload's determinism "
+                             "digest drifts from this reference report")
+
+
+def run_bench_cli(args) -> int:
+    if args.list_workloads:
+        rows = [[w.name, w.kind, w.metric, w.description]
+                for w in all_workloads()]
+        print(render_table(["workload", "kind", "metric", "description"],
+                           rows, title="registered bench workloads"))
+        return 0
+
+    names = None
+    if args.workloads:
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+
+    try:
+        baseline = load_report(args.baseline) if args.baseline else None
+        reference = load_report(args.compare) if args.compare else None
+    except (OSError, ValueError) as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(workload) -> None:
+        print(f"  timing {workload.name} ...", flush=True)
+
+    try:
+        result = run_bench(names=names, quick=args.quick, reps=args.reps,
+                           warmup=args.warmup, progress=progress)
+    except BenchError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+    out_path = args.out or default_output_name()
+    report = write_report(result, out_path, baseline=baseline)
+
+    rows = []
+    speedups = report.get("baseline", {}).get("speedup", {})
+    for timing in result.timings:
+        rows.append([timing.name, timing.metric, f"{timing.rate:,.0f}",
+                     f"{timing.median_s:.4f}",
+                     f"{speedups[timing.name]:.2f}x"
+                     if timing.name in speedups else "-",
+                     timing.digest])
+    print(render_table(
+        ["workload", "metric", "rate", "median_s", "vs baseline", "digest"],
+        rows, title=f"bench @ {report['rev']} -> {out_path}"))
+
+    if reference is not None:
+        mismatches = compare_digests(result, reference)
+        if mismatches:
+            print("\nDETERMINISM DIGEST DRIFT:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\ndigests match reference {args.compare} "
+              f"(rev {reference.get('rev', '?')})")
+    return 0

@@ -1,0 +1,255 @@
+"""Timing, digests and the ``BENCH_<rev>.json`` report format.
+
+Measurement protocol, per workload: ``warmup`` untimed invocations,
+then ``reps`` timed ones; the reported rate is ``units / median(times)``.
+Every invocation (warmup included) must produce the identical
+determinism digest — a digest change means the code under test changed
+*behaviour*, and the harness raises :class:`BenchError` rather than
+report a speedup bought with different work.
+
+The report file is the perf trajectory: it carries this revision's
+rates *and* (via ``--baseline``) the rates of the revision being
+beaten, so "3x faster" is a recorded claim, not a commit-message one.
+Digests are machine-independent (pure simulation outcomes); rates are
+machine-dependent and only comparable within one file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import statistics
+import subprocess  # repro-lint: disable=SIM001 -- host-side git rev lookup, not sim code
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .workloads import Workload, all_workloads
+
+__all__ = ["BENCH_SCHEMA", "BenchError", "BenchResult", "WorkloadTiming",
+           "compare_digests", "default_output_name", "git_revision",
+           "run_bench", "write_report"]
+
+#: Bumped when the report layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+
+class BenchError(RuntimeError):
+    """A workload misbehaved: digest drift between invocations, or an
+    unknown workload/baseline was requested."""
+
+
+@dataclass
+class WorkloadTiming:
+    """Measured result for one workload."""
+
+    name: str
+    kind: str
+    metric: str
+    units: int
+    samples_s: List[float]
+    digest: str
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples_s)
+
+    @property
+    def rate(self) -> float:
+        median = self.median_s
+        return self.units / median if median > 0 else float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind, "metric": self.metric, "units": self.units,
+            "reps": len(self.samples_s),
+            "samples_s": [round(s, 6) for s in self.samples_s],
+            "median_s": round(self.median_s, 6),
+            "rate": round(self.rate, 3),
+            "digest": self.digest,
+        }
+
+
+@dataclass
+class BenchResult:
+    """All workload timings from one harness run."""
+
+    timings: List[WorkloadTiming] = field(default_factory=list)
+    quick: bool = False
+    scale: float = 1.0
+
+    def digests(self) -> Dict[str, str]:
+        return {t.name: t.digest for t in self.timings}
+
+    def rates(self) -> Dict[str, float]:
+        return {t.name: round(t.rate, 3) for t in self.timings}
+
+
+def digest_outcome(parts: dict) -> str:
+    """Canonical digest of a workload's simulated outcomes."""
+    blob = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def git_revision(short: bool = True) -> str:
+    """The working tree's revision, or "unknown" outside a checkout."""
+    cmd = ["git", "rev-parse", "--short" if short else "HEAD", "HEAD"]
+    if not short:
+        cmd = ["git", "rev-parse", "HEAD"]
+    try:
+        out = subprocess.run(  # repro-lint: disable=SIM001 -- host-side git lookup, not sim code
+            cmd, capture_output=True, text=True, timeout=10, check=True)
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def default_output_name(rev: Optional[str] = None) -> str:
+    return f"BENCH_{rev or git_revision()}.json"
+
+
+def run_bench(names: Optional[List[str]] = None, quick: bool = False,
+              reps: Optional[int] = None, warmup: Optional[int] = None,
+              scale: float = 1.0, progress=None) -> BenchResult:
+    """Run the selected workloads (all, by default) and time them.
+
+    ``quick`` reduces repetitions (1 rep, no warmup) — meant for CI
+    smoke, where the digests (not the rates) are the contract.  The
+    workload *scale* stays 1.0 so quick-run digests remain comparable
+    with a committed full-run reference; pass an explicit ``scale`` < 1
+    only for same-scale A/B comparisons (unit tests do).
+    """
+    registry = {w.name: w for w in all_workloads()}
+    if names:
+        unknown = sorted(set(names) - set(registry))
+        if unknown:
+            raise BenchError(
+                f"unknown workload(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(registry))}")
+        selected = [registry[n] for n in names]
+    else:
+        selected = list(registry.values())
+
+    if not (0.0 < scale <= 1.0):
+        raise BenchError("scale must be in (0, 1]")
+    n_reps = reps if reps is not None else (1 if quick else 5)
+    n_warmup = warmup if warmup is not None else (0 if quick else 1)
+    if n_reps < 1:
+        raise BenchError("reps must be >= 1")
+
+    result = BenchResult(quick=quick, scale=scale)
+    for workload in selected:
+        if progress is not None:
+            progress(workload)
+        timing = _time_workload(workload, scale, n_reps, n_warmup)
+        result.timings.append(timing)
+    return result
+
+
+def _time_workload(workload: Workload, scale: float, reps: int,
+                   warmup: int) -> WorkloadTiming:
+    digest: Optional[str] = None
+    units = 0
+
+    def invoke_timed():
+        nonlocal digest, units
+        start = time.perf_counter()  # repro-lint: disable=DET001 -- the harness measures wall time by design
+        outcome = workload.run(scale)
+        elapsed = time.perf_counter() - start  # repro-lint: disable=DET001 -- see above
+        this_digest = digest_outcome(outcome.digest_parts)
+        if digest is None:
+            digest = this_digest
+            units = outcome.units
+        elif this_digest != digest:
+            raise BenchError(
+                f"workload {workload.name!r} is nondeterministic: digest "
+                f"{this_digest} != {digest} across invocations — refusing "
+                f"to time code whose behaviour varies run to run")
+        return elapsed
+
+    for _ in range(warmup):
+        invoke_timed()
+    samples = [invoke_timed() for _ in range(reps)]
+    assert digest is not None
+    return WorkloadTiming(name=workload.name, kind=workload.kind,
+                          metric=workload.metric, units=units,
+                          samples_s=samples, digest=digest)
+
+
+# ----------------------------------------------------------------------
+# report I/O
+# ----------------------------------------------------------------------
+
+def write_report(result: BenchResult, path: str, rev: Optional[str] = None,
+                 baseline: Optional[dict] = None) -> dict:
+    """Write ``BENCH_<rev>.json``; returns the report dict.
+
+    ``baseline`` is a previously written report (parsed); its rates and
+    digests are embedded under ``"baseline"`` with per-workload speedups
+    so the file itself records the before/after claim.
+    """
+    report: dict = {
+        "schema": BENCH_SCHEMA,
+        "rev": rev or git_revision(),
+        "python": platform.python_version(),
+        "quick": result.quick,
+        "scale": result.scale,
+        "workloads": {t.name: t.as_dict() for t in result.timings},
+    }
+    if baseline is not None:
+        base_workloads = baseline.get("workloads", {})
+        speedups = {}
+        for timing in result.timings:
+            base = base_workloads.get(timing.name)
+            if base and base.get("rate"):
+                speedups[timing.name] = round(timing.rate / base["rate"], 3)
+        report["baseline"] = {
+            "rev": baseline.get("rev", "unknown"),
+            "rates": {n: w.get("rate") for n, w in base_workloads.items()},
+            "digests": {n: w.get("digest")
+                        for n, w in base_workloads.items()},
+            "speedup": speedups,
+        }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict) or "workloads" not in report:
+        raise BenchError(f"{path}: not a bench report (no 'workloads' key)")
+    if report.get("schema", 0) > BENCH_SCHEMA:
+        raise BenchError(
+            f"{path}: schema {report.get('schema')} is newer than this "
+            f"harness ({BENCH_SCHEMA}); refusing to misread it")
+    return report
+
+
+def compare_digests(result: BenchResult, reference: dict) -> List[str]:
+    """Determinism drift between a run and a reference report.
+
+    Returns human-readable mismatch lines, one per drifted workload.
+    Workloads present on only one side are ignored (the reference may
+    predate a new workload); digest *disagreement* is never ignored.
+    """
+    if result.scale != reference.get("scale", 1.0):
+        return [f"scale mismatch: run at {result.scale}, reference at "
+                f"{reference.get('scale', 1.0)} — digests are only "
+                f"comparable at identical workload scale"]
+    mismatches = []
+    ref_workloads = reference.get("workloads", {})
+    for timing in result.timings:
+        ref = ref_workloads.get(timing.name)
+        if ref is None:
+            continue
+        ref_digest = ref.get("digest")
+        if ref_digest and ref_digest != timing.digest:
+            mismatches.append(
+                f"{timing.name}: digest {timing.digest} != reference "
+                f"{ref_digest} (rev {reference.get('rev', '?')}) — "
+                f"simulated behaviour drifted")
+    return mismatches

@@ -1,0 +1,213 @@
+"""The canonical workload registry.
+
+Three tiers, mirroring how the simulator is actually exercised:
+
+* ``micro`` — raw :mod:`repro.sim.engine` throughput.  The timer-churn
+  workload reproduces the TCP pattern that dominates long runs (an RTO
+  timer re-armed on every ACK that almost never fires, leaving a trail
+  of cancelled heap entries); the link-delivery workload pushes packets
+  through a :class:`~repro.net.link.Link` with no taps attached, the
+  checks-off configuration every headline number is measured in.
+* ``page`` — end-to-end pages/sec through :func:`run_experiment` for
+  the paper's four corners (HTTP vs SPDY, 3G vs LTE).
+* ``macro`` — a reduced figure sweep, the shape of a full
+  reproduction run.
+
+Every workload returns a :class:`WorkloadOutcome` whose ``units`` is
+the work accomplished (events, pages, figures) and whose ``digest_parts``
+fold every *simulated* outcome into the determinism digest.  Wall-clock
+time never enters the digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+__all__ = ["Workload", "WorkloadOutcome", "all_workloads",
+           "workloads_by_name", "register"]
+
+
+@dataclass
+class WorkloadOutcome:
+    """What one invocation of a workload accomplished (no timing here)."""
+
+    units: int                  # work units completed (events, pages, ...)
+    digest_parts: dict          # simulated outcomes; folded into the digest
+
+
+@dataclass
+class Workload:
+    """One named, registered benchmark workload."""
+
+    name: str
+    kind: str                   # "micro" | "page" | "macro"
+    metric: str                 # what a rate of units/second measures
+    description: str
+    run: Callable[[float], WorkloadOutcome]   # scale in (0, 1]
+
+
+_REGISTRY: List[Workload] = []
+
+
+def register(name: str, kind: str, metric: str, description: str):
+    def decorator(func: Callable[[float], WorkloadOutcome]):
+        _REGISTRY.append(Workload(name=name, kind=kind, metric=metric,
+                                  description=description, run=func))
+        return func
+    return decorator
+
+
+def all_workloads() -> List[Workload]:
+    return list(_REGISTRY)
+
+
+def workloads_by_name() -> Dict[str, Workload]:
+    return {w.name: w for w in _REGISTRY}
+
+
+# ----------------------------------------------------------------------
+# micro: raw engine throughput
+# ----------------------------------------------------------------------
+
+class _Sink:
+    """Minimal packet destination for link microbenchmarks."""
+
+    address = "sink"
+
+    def __init__(self):
+        self.packets = 0
+        self.bytes = 0
+
+    def receive(self, packet) -> None:
+        self.packets += 1
+        self.bytes += packet.size
+
+
+@register("engine-timer-churn", "micro", "events/s",
+          "re-armed timers (the per-ACK RTO pattern): schedule + cancel "
+          "churn through the event heap, few timers ever fire")
+def engine_timer_churn(scale: float = 1.0) -> WorkloadOutcome:
+    from ..sim import Simulator, Timer
+
+    n_ticks = max(1, int(2000 * scale))
+    n_timers = 64
+    sim = Simulator(seed=7)
+    fired = [0]
+
+    def expire() -> None:
+        fired[0] += 1
+
+    timers = [Timer(sim, expire, name=f"rto-{i}") for i in range(n_timers)]
+    ticks = [0]
+
+    def tick() -> None:
+        # Every tick re-arms all timers 10 s out (none reaches expiry
+        # until the driver stops), exactly like an RTO pushed out by
+        # every ACK: each restart cancels a live heap entry.
+        for timer in timers:
+            timer.start(10.0)
+        ticks[0] += 1
+        if ticks[0] < n_ticks:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    # Work units: every timer (re)arm plus every event the loop fired.
+    units = n_ticks * n_timers + sim.events_processed
+    return WorkloadOutcome(units=units, digest_parts={
+        "ticks": ticks[0], "timers_fired": fired[0],
+        "events_processed": sim.events_processed,
+        "final_time": round(sim.now, 9), "seq": sim._seq,
+    })
+
+
+@register("engine-link-delivery", "micro", "events/s",
+          "packets through a tap-free Link (serialization + propagation "
+          "+ delivery), the checks-off fast path of every measurement")
+def engine_link_delivery(scale: float = 1.0) -> WorkloadOutcome:
+    from ..net.link import Link
+    from ..net.packet import Packet
+    from ..sim import Simulator
+
+    n_packets = max(1, int(20_000 * scale))
+    sim = Simulator(seed=11)
+    sink = _Sink()
+    link = Link(sim, "bench", sink, bandwidth_bps=100e6, latency=0.02,
+                queue_limit_bytes=None)
+    sizes = (1460, 40, 1460, 600)
+
+    def submit(index: int) -> None:
+        link.transmit(Packet("bench-src", "sink", sizes[index % 4],
+                             payload=index, created_at=sim.now))
+        if index + 1 < n_packets:
+            sim.schedule(0.0005, submit, index + 1)
+
+    sim.schedule(0.0, submit, 0)
+    sim.run()
+    return WorkloadOutcome(units=sim.events_processed, digest_parts={
+        "packets_delivered": link.packets_delivered,
+        "bytes_delivered": link.bytes_delivered,
+        "packets_lost": link.packets_lost,
+        "sink_bytes": sink.bytes,
+        "events_processed": sim.events_processed,
+        "final_time": round(sim.now, 9),
+    })
+
+
+# ----------------------------------------------------------------------
+# page: end-to-end pages/sec
+# ----------------------------------------------------------------------
+
+def _page_workload(protocol: str, network: str,
+                   scale: float) -> WorkloadOutcome:
+    from ..chaos.oracles import run_digest
+    from ..experiments.runner import ExperimentConfig, run_experiment
+
+    site_ids = [1, 5, 9, 14] if scale >= 1.0 else [1, 5]
+    config = ExperimentConfig(protocol=protocol, network=network, seed=3,
+                              site_ids=site_ids, think_time=12.0,
+                              tail_time=10.0, checks="off")
+    result = run_experiment(config)
+    return WorkloadOutcome(units=len(result.pages), digest_parts={
+        "run_digest": run_digest(result),
+        "pages": len(result.pages),
+        "events_processed": result.testbed.sim.events_processed,
+    })
+
+
+for _proto in ("http", "spdy"):
+    for _net in ("3g", "lte"):
+        register(f"pages-{_proto}-{_net}", "page", "pages/s",
+                 f"end-to-end page loads, {_proto} over {_net} "
+                 f"(checks off, the measurement configuration)")(
+            # bind loop vars by default args
+            lambda scale=1.0, p=_proto, n=_net: _page_workload(p, n, scale))
+
+
+# ----------------------------------------------------------------------
+# macro: reduced figure sweep
+# ----------------------------------------------------------------------
+
+@register("figure-sweep", "macro", "figures/s",
+          "a reduced sweep of single-run figure generators "
+          "(request patterns, proxy queueing, idle zoom)")
+def figure_sweep(scale: float = 1.0) -> WorkloadOutcome:
+    import hashlib
+    import json
+
+    from ..experiments import figures
+
+    generators = [
+        ("fig06", lambda: figures.fig06_request_patterns(seed=0)),
+        ("fig08", lambda: figures.fig08_proxy_queueing(seed=0)),
+        ("fig12", lambda: figures.fig12_idle_zoom(seed=0)),
+    ]
+    if scale < 1.0:
+        generators = generators[:2]
+    digests = {}
+    for name, generator in generators:
+        blob = json.dumps(generator(), sort_keys=True, default=str)
+        digests[name] = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    return WorkloadOutcome(units=len(generators),
+                           digest_parts={"figures": digests})

@@ -387,6 +387,7 @@ def run_differential_campaign(trials: int,
     start = clock()
 
     result = ChaosResult(journal_path=journal_path)
+    records = result.records
     for index in range(trials):
         if time_budget is not None and clock() - start >= time_budget:
             result.stopped_early = True
@@ -398,7 +399,7 @@ def run_differential_campaign(trials: int,
         if prior is not None:
             record = dict(prior)
             record["resumed"] = True
-            result.records.append(record)
+            records.append(record)
             continue
         verdict = check(scenario, relation)
         record: Dict[str, object] = {
@@ -434,5 +435,5 @@ def run_differential_campaign(trials: int,
                 record["corpus_entry"] = os.path.basename(path)
         if journal is not None:
             journal.append(record)
-        result.records.append(record)
+        records.append(record)
     return result

@@ -26,6 +26,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .bench.cli import add_bench_arguments, run_bench_cli
 from .chaos.cli import add_chaos_arguments, run_chaos
 from .core import MeasurementStudy, summarize_run
 from .experiments import figures, tables
@@ -374,6 +375,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="wedge watchdog: simulator events per run "
                              f"(default {CHAOS_EVENT_BUDGET:,})")
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time canonical workloads (events/sec, pages/sec, figure "
+             "sweep) and write BENCH_<rev>.json with determinism digests")
+    add_bench_arguments(p_bench)
+    p_bench.set_defaults(func=run_bench_cli)
 
     p_lint = sub.add_parser(
         "lint",

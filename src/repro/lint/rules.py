@@ -581,6 +581,104 @@ class NegativeDelayRule(Rule):
 
 
 @register
+class HotLoopAttributeRule(Rule):
+    code = "PERF001"
+    summary = "identical attribute chain read repeatedly inside one loop"
+    rationale = ("Every `self.a.b` read is two dict lookups; repeated in a "
+                 "per-event or per-packet loop it dominates the profile "
+                 "(the PR 7 bench work bought much of its speedup by "
+                 "hoisting exactly these).  Bind the chain to a local "
+                 "before the loop — or, when the value legitimately "
+                 "changes mid-loop, disable with a reason.")
+    example = ("while queue:\n"
+               "    if queue[0].time > self.sim.now: ...\n"
+               "    log(self.sim.now)")
+    scope = "sim"
+
+    #: A chain must be read this many times in one loop body to be worth
+    #: a local; two reads is already a win in a hot loop.
+    MIN_READS = 2
+    #: Chains shorter than this (`self.x`) are one lookup — not flagged.
+    MIN_DEPTH = 2
+
+    def _chain(self, node: ast.expr) -> Optional[str]:
+        """Dotted text of a pure attribute-load chain off a bare name."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            if not isinstance(node.ctx, ast.Load):
+                return None
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name) or len(parts) < self.MIN_DEPTH:
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def _loop_reads(self, loop) -> Iterator[Tuple[str, ast.Attribute]]:
+        """(chain, node) for every qualifying read in the loop body.
+
+        Each chain is yielded together with its qualifying prefixes, so
+        ``self.link.dst.receive(x)`` + ``self.link.dst.flush()`` counts
+        as two reads of ``self.link.dst``.  Nested function bodies are
+        skipped — their loops are visited on their own.
+        """
+        stack = list(loop.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Attribute):
+                chain = self._chain(node)
+                if chain is not None:
+                    parts = chain.split(".")
+                    for depth in range(self.MIN_DEPTH, len(parts)):
+                        yield ".".join(parts[:depth + 1]), node
+                    continue  # prefixes covered above; don't re-walk
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _stored_names(self, loop) -> set:
+        """Attribute names and bare names assigned anywhere in the loop."""
+        stored = set()
+        for node in ast.walk(loop):
+            if isinstance(node, (ast.Attribute, ast.Name)) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                stored.add(node.attr if isinstance(node, ast.Attribute)
+                           else node.id)
+        return stored
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            reads: Dict[str, List[ast.Attribute]] = {}
+            for chain, node in self._loop_reads(loop):
+                reads.setdefault(chain, []).append(node)
+            if not reads:
+                continue
+            stored = self._stored_names(loop)
+            flagged = [
+                chain for chain, nodes in reads.items()
+                if len(nodes) >= self.MIN_READS
+                # Any link of the chain being assigned in the loop means
+                # the read may legitimately see a new value each pass.
+                and not any(part in stored for part in chain.split("."))
+            ]
+            for chain in sorted(flagged):
+                # Report only the longest flagged chain: hoisting
+                # `self.sim.now` already covers its `self.sim` prefix.
+                if any(other.startswith(chain + ".") for other in flagged):
+                    continue
+                nodes = reads[chain]
+                first = min(nodes, key=lambda n: (n.lineno, n.col_offset))
+                yield ctx.finding(
+                    first, self.code,
+                    f"`{chain}` read {len(nodes)} times in this loop: bind "
+                    f"it to a local before the loop (two dict lookups per "
+                    f"read add up in per-event code)")
+
+
+@register
 class CwndMutationRule(Rule):
     code = "SIM003"
     summary = "cwnd/ssthresh mutated outside tcp/ modules"

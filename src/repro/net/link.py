@@ -230,8 +230,11 @@ class Link:
         self._taps.append(tap)
 
     def _notify(self, kind: str, packet: Packet) -> None:
+        # Hot paths guard calls with `if self._taps:` so an untapped link
+        # (every headline run) pays nothing here.
+        now = self.sim.now
         for tap in self._taps:
-            tap.notify(kind, packet, self.sim.now)
+            tap.notify(kind, packet, now)
 
     # ------------------------------------------------------------------
     def start_outage(self, duration: float, policy: str = "queue") -> float:
@@ -297,39 +300,42 @@ class Link:
     # ------------------------------------------------------------------
     def transmit(self, packet: Packet) -> None:
         """Accept a packet for transmission (or drop it at the queue)."""
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
+        size = packet.size
         self.packets_accepted += 1
-        self.bytes_accepted += packet.size
+        self.bytes_accepted += size
         if now < self._outage_until and self._outage_policy == "drop":
             packet.lost = True
             self.packets_dropped += 1
             self.outage_drops += 1
             self._account_loss(packet, in_flight=False)
-            self._notify(DROP_OUTAGE, packet)
+            if self._taps:
+                self._notify(DROP_OUTAGE, packet)
             self._emit_sanity(DROP_OUTAGE, packet)
             return
-        if self.queue_limit_bytes is not None:
-            backlog = self._queued_bytes
-            if backlog + packet.size > self.queue_limit_bytes:
-                packet.lost = True
-                self.packets_dropped += 1
-                self._account_loss(packet, in_flight=False)
+        queue_limit = self.queue_limit_bytes
+        if queue_limit is not None and self._queued_bytes + size > queue_limit:
+            packet.lost = True
+            self.packets_dropped += 1
+            self._account_loss(packet, in_flight=False)
+            if self._taps:
                 self._notify(DROP_QUEUE, packet)
-                self._emit_sanity(DROP_QUEUE, packet)
-                return
-        self._notify(ENQUEUE, packet)
-        self._queued_bytes += packet.size
+            self._emit_sanity(DROP_QUEUE, packet)
+            return
+        if self._taps:
+            self._notify(ENQUEUE, packet)
+        self._queued_bytes += size
         self.packets_in_flight += 1
-        self.bytes_in_flight += packet.size
+        self.bytes_in_flight += size
 
         start = max(now, self._busy_until, self._gate_time(packet),
                     self._outage_until, self._spike_until)
         rate = self._rate(packet)
         if rate is None:
-            tx_time = 0.0
+            end = start
         else:
-            tx_time = packet.size * 8.0 / rate
-        end = start + tx_time
+            end = start + size * 8.0 / rate
         self._busy_until = end
 
         # Loss is decided now so the sender-side spurious-retransmission
@@ -337,21 +343,30 @@ class Link:
         if self.loss_model is not None and self.loss_model.should_drop(self._rng):
             packet.lost = True
             self.packets_dropped += 1
-            self.sim.schedule_at(end, self._drop_after_tx, packet)
+            sim.schedule_at(end, self._drop_after_tx, packet)
             return
 
-        extra = self.jitter(self._rng) if self.jitter is not None else 0.0
-        if self._arq_rate > 0.0 and self._rng.random() < self._arq_rate:
-            # RLC recovery: the frame was lost on the air and retransmitted
-            # below TCP — bounded extra delay, never a drop.
-            extra += self._rng.random() * self._arq_max_delay
-            self.arq_recoveries += 1
-        arrival = end + self._latency_for(packet) + max(0.0, extra)
+        # RNG draw order (jitter, then ARQ) is part of the determinism
+        # contract; the no-jitter/no-ARQ fast path below draws nothing,
+        # exactly like the general expression with both features off.
+        if self.jitter is None and self._arq_rate == 0.0:
+            arrival = end + self._latency_for(packet)
+        else:
+            extra = self.jitter(self._rng) if self.jitter is not None else 0.0
+            if self._arq_rate > 0.0 and self._rng.random() < self._arq_rate:
+                # RLC recovery: the frame was lost on the air and
+                # retransmitted below TCP — bounded extra delay, never a
+                # drop.
+                extra += self._rng.random() * self._arq_max_delay
+                self.arq_recoveries += 1
+            arrival = end + self._latency_for(packet) + max(0.0, extra)
         # FIFO: never let jitter reorder packets on the same link.
-        arrival = max(arrival, self._last_delivery)
-        self._last_delivery = arrival
-        self.sim.schedule_at(end, self._finish_serialization, packet)
-        self.sim.schedule_at(arrival, self._deliver, packet)
+        if arrival < self._last_delivery:
+            arrival = self._last_delivery
+        else:
+            self._last_delivery = arrival
+        sim.schedule_at(end, self._finish_serialization, packet)
+        sim.schedule_at(arrival, self._deliver, packet)
 
     # ------------------------------------------------------------------
     # hooks for subclasses (the cellular radio link overrides these)
@@ -380,20 +395,25 @@ class Link:
         self.bytes_sent += packet.size
 
     def _deliver(self, packet: Packet) -> None:
-        if self.sim.now < self._spike_until:
+        sim = self.sim
+        now = sim.now
+        if now < self._spike_until:
             # Cell-reselection stall caught this packet in flight: hold it
             # at the radio and release when the spike ends.  Reschedules
             # happen in original arrival order at a common release time,
             # so (time, seq) heap ordering preserves FIFO delivery.
-            self.sim.schedule_at(self._spike_until, self._deliver, packet)
+            sim.schedule_at(self._spike_until, self._deliver, packet)
             return
-        packet.delivered_at = self.sim.now
+        size = packet.size
+        packet.delivered_at = now
         self.packets_delivered += 1
-        self.bytes_delivered += packet.size
+        self.bytes_delivered += size
         self.packets_in_flight -= 1
-        self.bytes_in_flight -= packet.size
-        self._notify(DELIVER, packet)
-        self._emit_sanity(DELIVER, packet)
+        self.bytes_in_flight -= size
+        if self._taps:
+            self._notify(DELIVER, packet)
+        if self.sanitizer is not None:
+            self._emit_sanity(DELIVER, packet)
         self.dst.receive(packet)
 
     # ------------------------------------------------------------------

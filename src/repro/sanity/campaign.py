@@ -327,6 +327,7 @@ def run_campaign(configs: List[ExperimentConfig],
         done = journal.completed()
 
     result = CampaignResult(journal_path=journal_path)
+    records = result.records
     for config in configs:
         digest = config_digest(config)
         key = (digest, config.seed)
@@ -334,7 +335,7 @@ def run_campaign(configs: List[ExperimentConfig],
         if prior is not None:
             record = dict(prior)
             record["resumed"] = True
-            result.records.append(record)
+            records.append(record)
             continue
         trial = config
         if trial.max_events is None and event_budget is not None:
@@ -358,7 +359,7 @@ def run_campaign(configs: List[ExperimentConfig],
             result.results[key] = run
         if journal is not None:
             journal.append(record)
-        result.records.append(record)
+        records.append(record)
     return result
 
 

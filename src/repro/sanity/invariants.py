@@ -161,7 +161,12 @@ class Sanitizer:
 
     # ------------------------------------------------------------------
     def emit(self, topic: str, obj, detail=None, **info) -> None:
-        """Record a component event and run the invariants watching it."""
+        """Record a component event and run the invariants watching it.
+
+        ``detail`` may be any object; it is kept as-is and only rendered
+        (via ``str``) if a violation report formats the ring, so hot
+        paths can pass live objects instead of pre-built strings.
+        """
         self._ring.append((self.now, topic, detail))
         handlers = self._by_topic.get(topic)
         if handlers:

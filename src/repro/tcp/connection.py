@@ -25,7 +25,8 @@ byte.  This gives real framing semantics without materialising payloads.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
+                    Tuple)
 
 from ..net.packet import Packet
 from ..sim import Simulator, Timer
@@ -158,7 +159,7 @@ class Connection:
         self.state = SYN_SENT
         self.snd_una = self.iss
         self.snd_nxt = self.iss
-        self._send_record(length=0, markers=[], syn=True)
+        self._send_record(length=0, markers=(), syn=True)
 
     def open_passive(self, syn: Segment) -> None:
         """Server side: respond to a received SYN."""
@@ -170,7 +171,7 @@ class Connection:
         self.rcv_nxt = syn.seq + 1
         self.snd_una = self.iss
         self.snd_nxt = self.iss
-        self._send_record(length=0, markers=[], syn=True)  # SYN-ACK (ack piggybacked)
+        self._send_record(length=0, markers=(), syn=True)  # SYN-ACK (ack piggybacked)
 
     def send_message(self, obj: Any, nbytes: int) -> None:
         """Enqueue an application message of ``nbytes``; deliver ``obj`` at the peer."""
@@ -337,25 +338,38 @@ class Connection:
             self._fin_queued and not self._fin_sent)
         if first_new_data:
             self._maybe_idle_restart()
-        while self._segmented < self._stream_len:
-            if self.pipe_segments >= int(self.cc.cwnd):
-                break
-            length = min(self.config.mss, self._stream_len - self._segmented)
-            if self.inflight_bytes + length > self._peer_window:
-                break
-            start = self._segmented
-            end = start + length
-            markers: List[Tuple[int, Any]] = []
-            while self._markers and self._markers[0][0] <= end:
-                markers.append(self._markers.popleft())
-            self._segmented = end
-            self._send_record(length=length, markers=markers)
-            sent_any = True
+        if self._segmented < self._stream_len:
+            # Loop invariants hoisted: cwnd, peer window and MSS cannot
+            # change while we cut segments, and the O(n) pipe estimate
+            # grows by exactly one per segment sent, so it is computed
+            # once and counted locally instead of rescanned per segment.
+            cwnd_cap = int(self.cc.cwnd)
+            peer_window = self._peer_window
+            mss = self.config.mss
+            pipe = self.pipe_segments
+            pending = self._markers
+            while self._segmented < self._stream_len:
+                if pipe >= cwnd_cap:
+                    break
+                length = min(mss, self._stream_len - self._segmented)
+                if self.inflight_bytes + length > peer_window:
+                    break
+                end = self._segmented + length
+                markers: Sequence[Tuple[int, Any]] = ()
+                if pending and pending[0][0] <= end:
+                    collected: List[Tuple[int, Any]] = []
+                    while pending and pending[0][0] <= end:
+                        collected.append(pending.popleft())
+                    markers = collected
+                self._segmented = end
+                self._send_record(length=length, markers=markers)
+                pipe += 1
+                sent_any = True
         if (self._fin_queued and not self._fin_sent
                 and self._segmented >= self._stream_len
                 and self.inflight_segments < max(int(self.cc.cwnd), 1)):
             self._fin_sent = True
-            self._send_record(length=0, markers=[], fin=True)
+            self._send_record(length=0, markers=(), fin=True)
             sent_any = True
         if sent_any and self.probe is not None:
             self.probe.on_sample(self, "send")
@@ -389,7 +403,7 @@ class Connection:
                 and self.unsent_bytes < self.writable_watermark):
             self.on_writable(self)
 
-    def _send_record(self, length: int, markers: List[Tuple[int, Any]],
+    def _send_record(self, length: int, markers: Sequence[Tuple[int, Any]],
                      syn: bool = False, fin: bool = False) -> None:
         """Create a record for new sequence space and transmit it."""
         record = SegmentRecord(self.snd_nxt, length, markers, syn=syn,
@@ -400,30 +414,33 @@ class Connection:
 
     def _transmit(self, record: SegmentRecord) -> None:
         """Put one copy of ``record`` on the wire."""
+        now = self.sim.now
         ack = self.rcv_nxt if self.state not in (SYN_SENT, CLOSED) else None
+        # record.markers is shared, not copied: segments never mutate it,
+        # and every retransmission carries the same framing markers.
         segment = Segment(self.local_addr, self.local_port, self.remote_addr,
                           self.remote_port, seq=record.seq, ack=ack,
                           length=record.length, syn=record.syn,
                           fin=record.fin, window=self.config.receive_window,
-                          markers=list(record.markers),
+                          markers=record.markers,
                           retransmit_of=record.transmissions - 1,
                           sack_blocks=self._build_sack_blocks())
-        segment.sent_at = self.sim.now
+        segment.sent_at = now
         packet = Packet(self.local_addr, self.remote_addr, segment.wire_size,
-                        payload=segment, created_at=self.sim.now)
+                        payload=segment, created_at=now)
         record.packets.append(packet)
-        record.last_sent_at = self.sim.now
-        self._last_send_time = self.sim.now
+        record.last_sent_at = now
+        self._last_send_time = now
         self.stats.segments_sent += 1
         self.stats.bytes_sent += record.length
         self.host.send(packet)
         if not self._rto_timer.armed:
             self._rto_timer.start(self.rto_estimator.rto)
 
-    def _build_sack_blocks(self) -> List[Tuple[int, int]]:
+    def _build_sack_blocks(self) -> Sequence[Tuple[int, int]]:
         """Merge out-of-order holdings into SACK blocks (max 4, as on the wire)."""
         if not self._ooo:
-            return []
+            return ()
         spans = sorted((s.seq, s.end_seq) for s in self._ooo.values())
         blocks: List[Tuple[int, int]] = []
         start, end = spans[0]
@@ -644,7 +661,7 @@ class Connection:
                                 detail=f"{self.conn_id} post-ack "
                                        f"cwnd={self.cc.cwnd:.1f}")
 
-    def _apply_sack(self, blocks: List[Tuple[int, int]]) -> None:
+    def _apply_sack(self, blocks: Sequence[Tuple[int, int]]) -> None:
         for record in self._records.values():
             if record.sacked or record.acked:
                 continue
@@ -687,16 +704,22 @@ class Connection:
         newly_acked = 0
         acked_bytes = 0
         rtt_sample: Optional[float] = None
-        while self._records:
-            seq, record = next(iter(self._records.items()))
+        records = self._records
+        now = self.sim.now
+        while records:
+            # Pop first, re-insert at the front on overshoot: one pop per
+            # acked record instead of a peek (items-view + iterator
+            # allocation) followed by a pop.
+            seq, record = records.popitem(last=False)
             if record.end_seq > ack:
+                records[seq] = record
+                records.move_to_end(seq, last=False)
                 break
-            self._records.popitem(last=False)
             record.acked = True
             newly_acked += 1
             acked_bytes += record.length
             if not record.retransmitted:
-                rtt_sample = self.sim.now - record.last_sent_at
+                rtt_sample = now - record.last_sent_at
         self.snd_una = ack
         self.stats.bytes_acked += acked_bytes
         self._dupacks = 0

@@ -11,12 +11,17 @@ fully received, in order) without byte shuffling.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 __all__ = ["Segment", "SegmentRecord", "TCP_HEADER_BYTES"]
 
 #: IP + TCP header overhead added to every packet (20 + 20, no options).
 TCP_HEADER_BYTES = 40
+
+#: Shared empty marker/SACK sequence.  Most segments carry neither, and a
+#: tuple is immutable, so every markerless segment can alias this one
+#: object instead of allocating a fresh list per transmission.
+_EMPTY: Tuple = ()
 
 
 class Segment:
@@ -36,9 +41,9 @@ class Segment:
                  seq: int = 0, ack: Optional[int] = None, length: int = 0,
                  syn: bool = False, fin: bool = False, rst: bool = False,
                  window: int = 0,
-                 markers: Optional[List[Tuple[int, Any]]] = None,
+                 markers: Optional[Sequence[Tuple[int, Any]]] = None,
                  retransmit_of: int = 0,
-                 sack_blocks: Optional[List[Tuple[int, int]]] = None):
+                 sack_blocks: Optional[Sequence[Tuple[int, int]]] = None):
         self.src = src
         self.sport = sport
         self.dst = dst
@@ -51,10 +56,12 @@ class Segment:
         self.rst = rst
         self.is_ack = ack is not None
         self.window = window
-        self.markers = markers or []
+        # Segments never mutate these after construction, so callers may
+        # hand over (and share) their own sequences without copying.
+        self.markers: Sequence[Tuple[int, Any]] = markers or _EMPTY
         self.retransmit_of = retransmit_of
         self.sent_at = 0.0
-        self.sack_blocks = sack_blocks or []
+        self.sack_blocks: Sequence[Tuple[int, int]] = sack_blocks or _EMPTY
 
     @property
     def wire_size(self) -> int:
@@ -102,7 +109,8 @@ class SegmentRecord:
                  "last_sent_at", "transmissions", "packets", "acked",
                  "sacked", "recovery_retransmitted", "presumed_lost")
 
-    def __init__(self, seq: int, length: int, markers: List[Tuple[int, Any]],
+    def __init__(self, seq: int, length: int,
+                 markers: Sequence[Tuple[int, Any]],
                  syn: bool = False, fin: bool = False, sent_at: float = 0.0):
         self.seq = seq
         self.length = length

@@ -1,0 +1,29 @@
+"""Must NOT trigger PERF001: hoisted locals, mutated chains, single reads."""
+
+
+class Pump:
+    def drain(self, packets):
+        # Hoisted to a local: the loop reads the chain zero times.
+        now = self.sim.now
+        for packet in packets:
+            packet.stamp = now
+            self.log.append((now, packet))
+
+    def track(self, packets):
+        for packet in packets:
+            # Single read per loop body: nothing to hoist.
+            self.log.append((self.sim.now, packet))
+
+    def retune(self, packets):
+        for packet in packets:
+            # A link of the chain is reassigned in the loop, so the
+            # repeated read may legitimately see a fresh value.
+            if packet.urgent:
+                self.sim = packet.owner_sim
+            packet.stamp = self.sim.now
+            self.log.append((self.sim.now, packet))
+
+    def shallow(self, packets):
+        for packet in packets:
+            # Depth-1 reads (`self.count`) are one lookup; not flagged.
+            self.count = self.count + packet.size

@@ -1,0 +1,15 @@
+"""Must trigger PERF001: repeated attribute-chain reads in hot loops."""
+
+
+class Pump:
+    def drain(self, packets):
+        for packet in packets:
+            # self.sim.now read twice per iteration, never rebound.
+            packet.stamp = self.sim.now
+            self.log.append((self.sim.now, packet))
+
+    def flush(self, queue):
+        while queue:
+            item = queue.pop()
+            self.link.dst.receive(item)
+            self.link.dst.flush()

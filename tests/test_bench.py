@@ -1,0 +1,315 @@
+"""The bench harness: registry, report schema, digests, and the guard
+tests that keep the engine's fast paths honest.
+
+Two properties are load-bearing:
+
+* every workload's determinism digest is identical across invocations
+  (the harness refuses to time nondeterministic code), and
+* the no-sanitizer fast path in ``Simulator.run`` fires events in
+  exactly the order the instrumented path does — speed must never buy
+  a different simulation.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (BENCH_SCHEMA, BenchError, all_workloads,
+                         compare_digests, load_report, run_bench,
+                         workloads_by_name, write_report)
+from repro.bench.harness import WorkloadTiming, _time_workload
+from repro.bench.workloads import Workload, WorkloadOutcome
+from repro.sanity import Sanitizer
+from repro.sim import Simulator, Timer
+
+
+# ----------------------------------------------------------------------
+# workload registry
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_at_least_five_workloads_registered(self):
+        assert len(all_workloads()) >= 5
+
+    def test_names_unique_and_kinds_known(self):
+        workloads = all_workloads()
+        names = [w.name for w in workloads]
+        assert len(names) == len(set(names))
+        assert {w.kind for w in workloads} <= {"micro", "page", "macro"}
+
+    def test_every_workload_fully_described(self):
+        for w in all_workloads():
+            assert w.name and w.metric and w.description
+            assert callable(w.run)
+
+    def test_canonical_workloads_present(self):
+        names = set(workloads_by_name())
+        assert {"engine-timer-churn", "engine-link-delivery",
+                "pages-http-3g", "pages-spdy-3g", "figure-sweep"} <= names
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(BenchError, match="unknown workload"):
+            run_bench(names=["no-such-workload"])
+
+
+# ----------------------------------------------------------------------
+# harness protocol
+# ----------------------------------------------------------------------
+
+def _micro_result(scale=0.02, reps=2):
+    return run_bench(names=["engine-timer-churn", "engine-link-delivery"],
+                     reps=reps, warmup=0, scale=scale)
+
+
+class TestHarness:
+    def test_digest_stable_across_two_invocations(self):
+        first = _micro_result()
+        second = _micro_result()
+        assert first.digests() == second.digests()
+
+    def test_reps_and_units_recorded(self):
+        result = _micro_result(reps=3)
+        for timing in result.timings:
+            assert len(timing.samples_s) == 3
+            assert timing.units > 0
+            assert timing.rate > 0
+
+    def test_nondeterministic_workload_refused(self):
+        ticks = [0]
+
+        def run(scale):
+            ticks[0] += 1
+            return WorkloadOutcome(units=1, digest_parts={"tick": ticks[0]})
+
+        fake = Workload(name="flappy", kind="micro", metric="events/s",
+                        description="varies per call", run=run)
+        with pytest.raises(BenchError, match="nondeterministic"):
+            _time_workload(fake, scale=1.0, reps=2, warmup=0)
+
+    def test_quick_keeps_full_scale(self):
+        result = run_bench(names=["engine-timer-churn"], quick=True,
+                           reps=1, warmup=0)
+        assert result.quick and result.scale == 1.0
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(BenchError, match="scale"):
+            run_bench(names=["engine-timer-churn"], scale=0.0)
+
+
+# ----------------------------------------------------------------------
+# report schema + digest comparison
+# ----------------------------------------------------------------------
+
+class TestReport:
+    def test_report_schema_roundtrip(self, tmp_path):
+        result = _micro_result()
+        path = tmp_path / "BENCH_test.json"
+        report = write_report(result, str(path), rev="deadbee")
+        on_disk = load_report(str(path))
+        assert on_disk == report
+        assert on_disk["schema"] == BENCH_SCHEMA
+        assert on_disk["rev"] == "deadbee"
+        assert on_disk["scale"] == result.scale
+        for name, entry in on_disk["workloads"].items():
+            assert {"kind", "metric", "units", "reps", "samples_s",
+                    "median_s", "rate", "digest"} <= set(entry)
+
+    def test_baseline_embeds_speedups(self, tmp_path):
+        result = _micro_result()
+        base_path = tmp_path / "base.json"
+        write_report(result, str(base_path), rev="base111")
+        report = write_report(result, str(tmp_path / "new.json"),
+                              rev="new2222",
+                              baseline=load_report(str(base_path)))
+        assert report["baseline"]["rev"] == "base111"
+        for timing in result.timings:
+            # identical run against itself: speedup 1.0 by construction
+            assert report["baseline"]["speedup"][timing.name] == pytest.approx(
+                1.0, abs=0.001)
+
+    def test_load_report_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(BenchError, match="not a bench report"):
+            load_report(str(path))
+
+    def test_load_report_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(
+            {"schema": BENCH_SCHEMA + 1, "workloads": {}}))
+        with pytest.raises(BenchError, match="newer"):
+            load_report(str(path))
+
+    def test_compare_digests_flags_drift_only(self):
+        result = _micro_result()
+        reference = {
+            "rev": "ref0000", "scale": result.scale,
+            "workloads": {t.name: {"digest": t.digest}
+                          for t in result.timings},
+        }
+        assert compare_digests(result, reference) == []
+        reference["workloads"]["engine-timer-churn"]["digest"] = "0" * 16
+        mismatches = compare_digests(result, reference)
+        assert len(mismatches) == 1
+        assert "engine-timer-churn" in mismatches[0]
+
+    def test_compare_digests_rejects_scale_mismatch(self):
+        result = _micro_result(scale=0.02)
+        reference = {"scale": 1.0, "workloads": {}}
+        mismatches = compare_digests(result, reference)
+        assert mismatches and "scale mismatch" in mismatches[0]
+
+    def test_committed_reference_matches_live_run(self):
+        """The repo's BENCH_<rev>.json digests must match a fresh run.
+
+        This is the same gate CI's bench-smoke job applies; running it
+        in-tree catches digest drift before a PR ever reaches CI.
+        """
+        import glob
+        candidates = sorted(glob.glob("BENCH_*.json"))
+        if not candidates:
+            pytest.skip("no committed bench reference")
+        reference = load_report(candidates[-1])
+        names = [n for n in ("engine-timer-churn", "engine-link-delivery")
+                 if n in reference["workloads"]]
+        result = run_bench(names=names, quick=True, reps=1, warmup=0)
+        assert compare_digests(result, reference) == []
+
+
+# ----------------------------------------------------------------------
+# fast-path guards: the optimized loops must not change the simulation
+# ----------------------------------------------------------------------
+
+def _churn_scenario(sim):
+    """A small timer-churn scenario exercising cancel + re-arm + cascade."""
+    fired = []
+    timers = [Timer(sim, lambda i=i: fired.append(("t", i, sim.now)),
+                    name=f"t{i}") for i in range(8)]
+
+    def tick(round_no):
+        fired.append(("tick", round_no, sim.now))
+        for timer in timers:
+            timer.start(5.0)   # re-arm: cancels the previous event
+        if round_no < 40:
+            sim.schedule(0.25, tick, round_no + 1)
+
+    sim.schedule(0.0, tick, 0)
+    return fired
+
+
+class TestFastPathEquivalence:
+    def test_sanitizer_and_fast_path_fire_identical_order(self):
+        plain = Simulator(seed=11)
+        plain_fired = _churn_scenario(plain)
+        plain.run()
+
+        checked = Simulator(seed=11)
+        sanitizer = Sanitizer(mode="warn")
+        sanitizer.sim = checked
+        checked.sanitizer = sanitizer
+        checked_fired = _churn_scenario(checked)
+        checked.run()
+
+        assert plain_fired == checked_fired
+        assert plain.events_processed == checked.events_processed
+        assert plain.now == checked.now
+
+    def test_until_fast_path_matches_budgeted_path(self):
+        fast = Simulator(seed=5)
+        fast_fired = _churn_scenario(fast)
+        fast.run(until=6.0)
+
+        slow = Simulator(seed=5)
+        slow_fired = _churn_scenario(slow)
+        # max_events forces the instrumented loop; large enough to
+        # process everything until the same horizon.
+        slow.run(until=6.0, max_events=10**9)
+
+        assert fast_fired == slow_fired
+        assert fast.now == slow.now == 6.0
+
+    def test_step_matches_run(self):
+        stepped = Simulator(seed=3)
+        stepped_fired = _churn_scenario(stepped)
+        while stepped.step():
+            pass
+        ran = Simulator(seed=3)
+        ran_fired = _churn_scenario(ran)
+        ran.run()
+        assert stepped_fired == ran_fired
+        assert stepped.events_processed == ran.events_processed
+
+
+# ----------------------------------------------------------------------
+# O(1) pending + lazy heap compaction
+# ----------------------------------------------------------------------
+
+class TestPendingAndCompaction:
+    def test_pending_counts_live_events_after_cancels(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        assert sim.pending() == 10
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending() == 5
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, fired.append, "y")
+        sim.run(until=1.5)
+        event.cancel()   # too late: it already fired
+        assert fired == ["x"]
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["x", "y"]
+        assert sim.pending() == 0
+
+    def test_compaction_shrinks_heap_when_cancelled_dominate(self):
+        sim = Simulator()
+        doomed = [sim.schedule(float(i), lambda: None) for i in range(200)]
+        survivors = [sim.schedule(1000.0 + i, lambda: None)
+                     for i in range(10)]
+        for event in doomed:
+            event.cancel()
+        # Far fewer than 210 entries remain: the heap was compacted.
+        assert len(sim._queue) <= len(survivors) + 130
+        assert sim.pending() == 10
+        for event in survivors:
+            event.cancel()
+        assert sim.pending() == 0
+        assert sim.run() == 0.0
+
+    def test_compaction_preserves_fire_order(self):
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(2.0 + i * 0.001, lambda: None)
+                  for i in range(150)]
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, fired.append, label)
+        for event in doomed:
+            event.cancel()
+        sim.schedule(0.5, fired.append, "first")
+        sim.run()
+        assert fired == ["first", "a", "b", "c"]
+
+    def test_timer_rearm_churn_keeps_books_balanced(self):
+        sim = Simulator()
+        fires = []
+        timer = Timer(sim, lambda: fires.append(sim.now), name="rto")
+        for i in range(500):
+            sim.schedule(i * 0.01, timer.start, 10.0)
+        sim.run(until=5.0)
+        assert fires == []            # always re-armed before the deadline
+        assert sim.pending() == 1     # exactly the last armed deadline
+        sim.run()
+        assert len(fires) == 1
