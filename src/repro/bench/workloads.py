@@ -186,6 +186,84 @@ for _proto in ("http", "spdy"):
 
 
 # ----------------------------------------------------------------------
+# macro: campaign throughput, serial vs supervised workers
+# ----------------------------------------------------------------------
+
+def _campaign_configs(scale: float):
+    from ..experiments.runner import ExperimentConfig
+    from ..sanity.campaign import sweep_configs
+
+    runs = 3 if scale >= 1.0 else 2
+    base = ExperimentConfig(network="3g", seed=5, site_ids=[1],
+                            think_time=4.0, tail_time=4.0,
+                            load_timeout=4.0, checks="off")
+    return sweep_configs(base, runs, protocols=["http", "spdy"])
+
+
+def _journal_digest_parts(journal_path: str, records) -> dict:
+    import hashlib
+
+    with open(journal_path, "rb") as handle:
+        journal_sha = hashlib.sha256(handle.read()).hexdigest()[:16]
+    return {
+        # The same sha for the serial and the --workers workload IS the
+        # byte-identity contract, visible right in the bench report.
+        "journal_sha": journal_sha,
+        "trials": len(records),
+        "ok": sum(1 for r in records if r.get("status") == "ok"),
+    }
+
+
+@register("campaign-throughput", "macro", "trials/s",
+          "serial campaign trials through the crash-safe journal "
+          "(the --workers baseline; journal_sha must match it)")
+def campaign_throughput_serial(scale: float = 1.0) -> WorkloadOutcome:
+    import os
+    import shutil
+    import tempfile
+
+    from ..sanity.campaign import run_campaign
+
+    configs = _campaign_configs(scale)
+    workdir = tempfile.mkdtemp(prefix="repro-bench-campaign-")
+    try:
+        journal_path = os.path.join(workdir, "serial.jsonl")
+        result = run_campaign(configs, journal_path=journal_path)
+        parts = _journal_digest_parts(journal_path, result.records)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return WorkloadOutcome(units=len(configs), digest_parts=parts)
+
+
+@register("campaign-throughput-w2", "macro", "trials/s",
+          "the same campaign under two supervised workers; its digest "
+          "equals campaign-throughput's exactly when the parallel "
+          "merge is byte-identical to the serial journal")
+def campaign_throughput_workers(scale: float = 1.0) -> WorkloadOutcome:
+    import os
+    import shutil
+    import tempfile
+
+    from ..parallel import run_parallel_campaign
+
+    configs = _campaign_configs(scale)
+    workdir = tempfile.mkdtemp(prefix="repro-bench-campaign-")
+    try:
+        journal_path = os.path.join(workdir, "parallel.jsonl")
+        result = run_parallel_campaign(configs, journal_path=journal_path,
+                                       workers=2)
+        lost = int((result.parallel or {}).get("lost", 0))
+        if lost:
+            raise RuntimeError(
+                f"parallel bench campaign lost {lost} trial(s); the "
+                f"digest would not be comparable")
+        parts = _journal_digest_parts(journal_path, result.records)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return WorkloadOutcome(units=len(configs), digest_parts=parts)
+
+
+# ----------------------------------------------------------------------
 # macro: reduced figure sweep
 # ----------------------------------------------------------------------
 

@@ -15,14 +15,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..sanity import CampaignJournal
+from ..sanity import CampaignJournal, JOURNAL_SCHEMA
 from .corpus import corpus_entry, save_entry
 from .generator import ScenarioGenerator, SearchSpace
 from .oracles import CHAOS_EVENT_BUDGET, OracleVerdict, check_scenario
 from .scenario import Scenario
 from .shrinker import DEFAULT_SHRINK_BUDGET, shrink
 
-__all__ = ["ChaosResult", "run_chaos_campaign"]
+__all__ = ["ChaosResult", "run_chaos_campaign", "run_chaos_trial"]
 
 
 @dataclass
@@ -33,6 +33,9 @@ class ChaosResult:
     corpus_paths: List[str] = field(default_factory=list)
     journal_path: Optional[str] = None
     stopped_early: bool = False
+    #: Supervision counters when the campaign ran under ``--workers``
+    #: (see :mod:`repro.parallel`); None for serial runs.
+    parallel: Optional[Dict[str, object]] = None
 
     @property
     def trial_count(self) -> int:
@@ -57,6 +60,48 @@ class ChaosResult:
             kind = str(failure.get("status", "exception"))
             counts[kind] = counts.get(kind, 0) + 1
         return counts
+
+
+def run_chaos_trial(scenario: Scenario, index: int, master_seed: int,
+                    check: Callable[[Scenario], OracleVerdict],
+                    shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+                    corpus_dir: Optional[str] = None,
+                    ) -> Tuple[Dict[str, object], Optional[str]]:
+    """Check one scenario and build its journal record.
+
+    The single place a chaos-trial record is built, shared by the serial
+    loop and the parallel workers; for a given (scenario, index,
+    master_seed) the record is byte-identical no matter which process
+    produced it.  Returns ``(record, corpus_path_or_None)``.
+    """
+    verdict = check(scenario)
+    record: Dict[str, object] = {
+        "kind": "chaos-trial", "schema": JOURNAL_SCHEMA, "index": index,
+        "master_seed": master_seed, "digest": scenario.digest(),
+        "seed": scenario.seed, "faults": scenario.faults,
+        "scenario": scenario.to_dict(),
+    }
+    corpus_path: Optional[str] = None
+    if not verdict.failed:
+        record.update(status="ok", run_digest=verdict.run_digest,
+                      failure=None)
+    else:
+        shrunk = shrink(scenario, verdict, check, budget=shrink_budget)
+        record.update(
+            status="failed", run_digest=verdict.run_digest,
+            failure=verdict.as_dict(),
+            shrunk={"scenario": shrunk.scenario.to_dict(),
+                    "faults": shrunk.scenario.faults,
+                    "failure": shrunk.verdict.as_dict(),
+                    **shrunk.as_dict()})
+        if corpus_dir is not None:
+            entry = corpus_entry(shrunk.scenario, shrunk.verdict,
+                                 master_seed=master_seed,
+                                 trial_index=index,
+                                 shrink_info=shrunk.as_dict())
+            corpus_path = save_entry(entry, corpus_dir)
+            record["corpus_entry"] = os.path.basename(corpus_path)
+    return record, corpus_path
 
 
 def run_chaos_campaign(trials: int,
@@ -123,34 +168,14 @@ def run_chaos_campaign(trials: int,
             record["resumed"] = True
             records.append(record)
             continue
-        verdict = check(scenario)
-        record: Dict[str, object] = {
-            "kind": "chaos-trial", "index": index,
-            "master_seed": master_seed, "digest": digest,
-            "seed": scenario.seed, "faults": scenario.faults,
-            "scenario": scenario.to_dict(),
-        }
-        if not verdict.failed:
-            record.update(status="ok", run_digest=verdict.run_digest,
-                          failure=None)
-        else:
-            shrunk = shrink(scenario, verdict, check, budget=shrink_budget)
-            record.update(
-                status="failed", run_digest=verdict.run_digest,
-                failure=verdict.as_dict(),
-                shrunk={"scenario": shrunk.scenario.to_dict(),
-                        "faults": shrunk.scenario.faults,
-                        "failure": shrunk.verdict.as_dict(),
-                        **shrunk.as_dict()})
-            if corpus_dir is not None:
-                entry = corpus_entry(shrunk.scenario, shrunk.verdict,
-                                     master_seed=master_seed,
-                                     trial_index=index,
-                                     shrink_info=shrunk.as_dict())
-                path = save_entry(entry, corpus_dir)
-                result.corpus_paths.append(path)
-                record["corpus_entry"] = os.path.basename(path)
+        record, corpus_path = run_chaos_trial(
+            scenario, index, master_seed, check,
+            shrink_budget=shrink_budget, corpus_dir=corpus_dir)
+        if corpus_path is not None:
+            result.corpus_paths.append(corpus_path)
         if journal is not None:
             journal.append(record)
         records.append(record)
+    if journal is not None:
+        journal.close()
     return result

@@ -65,16 +65,37 @@ def add_chaos_arguments(parser) -> None:
                         help="replay a chaos-journal JSON line, a journal "
                              "path (optionally PATH:N for line N), or a "
                              "corpus entry file instead of fuzzing")
+    from ..parallel.cli import add_parallel_arguments
+    add_parallel_arguments(parser)
 
 
 def run_chaos(args) -> int:
-    from ..reporting import render_chaos_summary
+    from ..parallel.cli import notify_stderr, supervision_exit_code
+    from ..reporting import render_chaos_summary, render_parallel_stats
+    from ..sanity import JournalFormatError
 
     if args.replay is not None:
         return _run_replay(args)
     journal = args.resume or args.journal
+    workers = getattr(args, "workers", 0)
     try:
-        if getattr(args, "differential", False):
+        if workers > 0:
+            from ..parallel import run_parallel_chaos
+            if args.time_budget is not None:
+                print("--time-budget is serial-only; ignoring it under "
+                      "--workers (interrupt with ^C to drain instead)",
+                      file=sys.stderr)
+            result = run_parallel_chaos(
+                trials=args.trials, master_seed=args.master_seed,
+                shrink_budget=args.shrink_budget,
+                event_budget=args.event_budget,
+                determinism=not args.no_determinism,
+                journal_path=journal, resume=args.resume is not None,
+                corpus_dir=args.corpus_dir,
+                differential=getattr(args, "differential", False),
+                workers=workers, trial_timeout=args.trial_timeout,
+                max_retries=args.max_retries, notify=notify_stderr)
+        elif getattr(args, "differential", False):
             result = run_differential_campaign(
                 trials=args.trials, master_seed=args.master_seed,
                 shrink_budget=args.shrink_budget,
@@ -90,10 +111,17 @@ def run_chaos(args) -> int:
                 determinism=not args.no_determinism,
                 journal_path=journal, resume=args.resume is not None,
                 corpus_dir=args.corpus_dir, time_budget=args.time_budget)
-    except FileNotFoundError as exc:
+    except (FileNotFoundError, JournalFormatError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     print(render_chaos_summary(result.records, result.corpus_paths))
+    if result.parallel is not None:
+        print(render_parallel_stats(result.parallel))
+        code = supervision_exit_code(result, result.failure_count)
+        if code in (3, 130) and journal:
+            print(f"campaign incomplete: resume with --resume {journal}",
+                  file=sys.stderr)
+        return code
     if result.stopped_early:
         print("time budget exhausted: campaign stopped early "
               "(resume with --resume to continue)")

@@ -119,12 +119,20 @@ def entry_filename(entry: Dict[str, object]) -> str:
 
 
 def save_entry(entry: Dict[str, object], corpus_dir: str) -> str:
-    """Write one entry (pretty-printed, stable key order); returns path."""
+    """Write one entry (pretty-printed, stable key order); returns path.
+
+    The write is atomic (temp file + rename) so a repro entry can never
+    be observed half-written — parallel chaos workers may be SIGKILLed
+    mid-campaign and their retry rewrites the same deterministic name.
+    """
     os.makedirs(corpus_dir, exist_ok=True)
-    path = os.path.join(corpus_dir, entry_filename(entry))
-    with open(path, "w", encoding="utf-8") as handle:
+    name = entry_filename(entry)
+    path = os.path.join(corpus_dir, name)
+    tmp_path = os.path.join(corpus_dir, f".{name}.tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(entry, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(tmp_path, path)
     return path
 
 

@@ -46,7 +46,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.analysis import summarize_run
 from ..experiments.runner import run_experiment
-from ..sanity import CampaignJournal
+from ..sanity import CampaignJournal, JOURNAL_SCHEMA
 from ..sanity.checks import _testbed_links
 from .corpus import corpus_entry, save_entry
 from .generator import ScenarioGenerator, SearchSpace
@@ -59,7 +59,7 @@ from .shrinker import DEFAULT_SHRINK_BUDGET, shrink
 __all__ = ["RELATION_NAMES", "RELATIONS", "check_differential",
            "differential_digest", "differential_report", "pair_scenarios",
            "relation_for_trial", "run_differential_campaign",
-           "DCH_PINNING_TOLERANCE"]
+           "run_differential_trial", "DCH_PINNING_TOLERANCE"]
 
 #: Slack for the dch-pin relation, in seconds of median PLT.  Keepalive
 #: pings share the uplink with requests, so under a hostile fault plan
@@ -336,6 +336,53 @@ def differential_report(scenario: Scenario, relation: str,
 # the differential campaign
 # ----------------------------------------------------------------------
 
+def run_differential_trial(scenario: Scenario, relation: str, index: int,
+                           master_seed: int,
+                           check: Callable[[Scenario, str], OracleVerdict],
+                           shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+                           corpus_dir: Optional[str] = None,
+                           ) -> Tuple[Dict[str, object], Optional[str]]:
+    """Check one scenario under its relation and build its record.
+
+    Shared by the serial loop and the parallel workers (see
+    :func:`repro.chaos.campaign.run_chaos_trial`); shrinking re-checks
+    candidates under the *same* relation the failure was found with.
+    Returns ``(record, corpus_path_or_None)``.
+    """
+    verdict = check(scenario, relation)
+    record: Dict[str, object] = {
+        "kind": "chaos-trial", "schema": JOURNAL_SCHEMA,
+        "mode": "differential", "index": index, "relation": relation,
+        "master_seed": master_seed, "digest": scenario.digest(),
+        "seed": scenario.seed, "faults": scenario.faults,
+        "scenario": scenario.to_dict(),
+    }
+    corpus_path: Optional[str] = None
+    if not verdict.failed:
+        record.update(status="ok", run_digest=verdict.run_digest,
+                      failure=None)
+    else:
+        def recheck(candidate: Scenario) -> OracleVerdict:
+            return check(candidate, relation)
+        shrunk = shrink(scenario, verdict, recheck, budget=shrink_budget)
+        record.update(
+            status="failed", run_digest=verdict.run_digest,
+            failure=verdict.as_dict(),
+            shrunk={"scenario": shrunk.scenario.to_dict(),
+                    "faults": shrunk.scenario.faults,
+                    "failure": shrunk.verdict.as_dict(),
+                    **shrunk.as_dict()})
+        if corpus_dir is not None:
+            entry = corpus_entry(shrunk.scenario, shrunk.verdict,
+                                 master_seed=master_seed,
+                                 trial_index=index,
+                                 shrink_info=shrunk.as_dict(),
+                                 relation=relation)
+            corpus_path = save_entry(entry, corpus_dir)
+            record["corpus_entry"] = os.path.basename(corpus_path)
+    return record, corpus_path
+
+
 def run_differential_campaign(trials: int,
                               master_seed: int = 0,
                               space: Optional[SearchSpace] = None,
@@ -401,39 +448,14 @@ def run_differential_campaign(trials: int,
             record["resumed"] = True
             records.append(record)
             continue
-        verdict = check(scenario, relation)
-        record: Dict[str, object] = {
-            "kind": "chaos-trial", "mode": "differential",
-            "index": index, "relation": relation,
-            "master_seed": master_seed, "digest": digest,
-            "seed": scenario.seed, "faults": scenario.faults,
-            "scenario": scenario.to_dict(),
-        }
-        if not verdict.failed:
-            record.update(status="ok", run_digest=verdict.run_digest,
-                          failure=None)
-        else:
-            def recheck(candidate: Scenario) -> OracleVerdict:
-                return check(candidate, relation)
-            shrunk = shrink(scenario, verdict, recheck,
-                            budget=shrink_budget)
-            record.update(
-                status="failed", run_digest=verdict.run_digest,
-                failure=verdict.as_dict(),
-                shrunk={"scenario": shrunk.scenario.to_dict(),
-                        "faults": shrunk.scenario.faults,
-                        "failure": shrunk.verdict.as_dict(),
-                        **shrunk.as_dict()})
-            if corpus_dir is not None:
-                entry = corpus_entry(shrunk.scenario, shrunk.verdict,
-                                     master_seed=master_seed,
-                                     trial_index=index,
-                                     shrink_info=shrunk.as_dict(),
-                                     relation=relation)
-                path = save_entry(entry, corpus_dir)
-                result.corpus_paths.append(path)
-                record["corpus_entry"] = os.path.basename(path)
+        record, corpus_path = run_differential_trial(
+            scenario, relation, index, master_seed, check,
+            shrink_budget=shrink_budget, corpus_dir=corpus_dir)
+        if corpus_path is not None:
+            result.corpus_paths.append(corpus_path)
         if journal is not None:
             journal.append(record)
         records.append(record)
+    if journal is not None:
+        journal.close()
     return result

@@ -34,7 +34,8 @@ from .experiments.runner import ExperimentConfig, run_experiment
 from .faults import FaultPlan, FaultSpecError
 from .lint.cli import add_lint_arguments, run_lint
 from .reporting import (render_boxes, render_campaign_health,
-                        render_fault_summary, render_table)
+                        render_fault_summary, render_parallel_stats,
+                        render_table)
 from .sanity import (CHECK_MODES, DEFAULT_EVENT_BUDGET, run_campaign,
                      sweep_configs)
 
@@ -137,6 +138,10 @@ def _cmd_study(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    from .parallel.cli import (graceful_interrupt, notify_stderr,
+                               supervision_exit_code)
+    from .sanity import JournalFormatError
+
     journal = args.resume or args.journal
     base = ExperimentConfig(network=args.network, seed=args.seed,
                             site_ids=args.sites or list(range(1, 21)),
@@ -147,18 +152,41 @@ def _cmd_campaign(args) -> int:
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     configs = sweep_configs(base, args.runs, protocols=protocols)
     try:
-        result = run_campaign(configs, journal_path=journal,
-                              resume=args.resume is not None,
-                              event_budget=args.event_budget)
-    except FileNotFoundError as exc:
+        if args.workers > 0:
+            from .parallel import run_parallel_campaign
+            result = run_parallel_campaign(
+                configs, journal_path=journal,
+                resume=args.resume is not None,
+                event_budget=args.event_budget,
+                workers=args.workers,
+                trial_timeout=args.trial_timeout,
+                max_retries=args.max_retries,
+                notify=notify_stderr)
+        else:
+            with graceful_interrupt() as should_stop:
+                result = run_campaign(configs, journal_path=journal,
+                                      resume=args.resume is not None,
+                                      event_budget=args.event_budget,
+                                      should_stop=should_stop)
+    except (FileNotFoundError, JournalFormatError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     print(render_campaign_health(result.records))
+    if result.parallel is not None:
+        print(render_parallel_stats(result.parallel))
     print()
     for condition, stats in sorted(result.aggregate().items()):
         line = "  ".join(f"{key}={value}" for key, value in stats.items())
         print(f"{condition}: {line}")
-    return 1 if result.failed_count else 0
+    if result.parallel is not None:
+        code = supervision_exit_code(result, result.failed_count)
+    else:
+        code = 130 if result.stopped_early \
+            else (1 if result.failed_count else 0)
+    if code in (3, 130) and journal:
+        print(f"campaign incomplete: resume with --resume {journal}",
+              file=sys.stderr)
+    return code
 
 
 def _cmd_diff(args) -> int:
@@ -341,6 +369,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=DEFAULT_EVENT_BUDGET, metavar="N",
                         help="abort a trial after N simulator events "
                              "(wedge watchdog; default 20,000,000)")
+    from .parallel.cli import add_parallel_arguments
+    add_parallel_arguments(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 
     p_chaos = sub.add_parser(

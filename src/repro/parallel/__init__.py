@@ -1,0 +1,36 @@
+"""Fault-tolerant parallel campaign execution.
+
+``repro campaign --workers N`` and ``repro chaos --workers N`` run
+their trials across N supervised worker processes.  The package is
+organised by responsibility:
+
+* :mod:`repro.parallel.worker` — the worker loop: pull a trial, run it
+  through the *same* deterministic trial builders the serial loops use,
+  append to a private journal, heartbeat.
+* :mod:`repro.parallel.supervisor` — all the policy: hang detection,
+  crash detection, infrastructure-vs-genuine failure classification,
+  capped-backoff retries, worker respawn, graceful drain.
+* :mod:`repro.parallel.merge` — the deterministic merge that makes the
+  aggregate journal byte-identical to a serial run's, tolerant of
+  SIGKILLed workers and a hard-killed supervisor (``--resume``).
+* :mod:`repro.parallel.cli` — the shared ``--workers`` flags and exit
+  codes for both campaign commands.
+"""
+
+from .merge import (MergeError, MergeResult, collect_records,
+                    merge_records, record_identity, write_merged)
+from .supervisor import (DEFAULT_MAX_RETRIES, DEFAULT_TRIAL_TIMEOUT,
+                         ParallelStats, Supervisor, SupervisorError,
+                         backoff_delay, run_parallel_campaign,
+                         run_parallel_chaos)
+from .worker import (CampaignSpec, DEFAULT_WORKER_FSYNC_EVERY, TrialTask,
+                     worker_main)
+
+__all__ = [
+    "CampaignSpec", "DEFAULT_MAX_RETRIES", "DEFAULT_TRIAL_TIMEOUT",
+    "DEFAULT_WORKER_FSYNC_EVERY", "MergeError", "MergeResult",
+    "ParallelStats", "Supervisor", "SupervisorError", "TrialTask",
+    "backoff_delay", "collect_records", "merge_records",
+    "record_identity", "run_parallel_campaign", "run_parallel_chaos",
+    "worker_main", "write_merged",
+]

@@ -1,0 +1,98 @@
+"""Shared CLI plumbing for ``--workers`` campaign execution.
+
+Both ``repro campaign`` and ``repro chaos`` grow the same three flags
+and the same exit-code discipline, so both register through here.
+
+Exit codes for supervised runs:
+
+* ``0``   — campaign complete, no trial failures
+* ``1``   — campaign complete, genuine trial failures journaled
+* ``3``   — campaign *incomplete*: trials lost to exhausted retries or
+  left outstanding by a drain; re-run with ``--resume`` to finish
+* ``130`` — interrupted (SIGINT/SIGTERM drain); the merged journal
+  holds everything that finished, ``--resume`` continues it
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import sys
+import threading
+
+from .supervisor import DEFAULT_MAX_RETRIES, DEFAULT_TRIAL_TIMEOUT
+
+__all__ = ["add_parallel_arguments", "graceful_interrupt", "notify_stderr",
+           "supervision_exit_code"]
+
+EXIT_INTERRUPTED = 130
+EXIT_INCOMPLETE = 3
+
+
+def add_parallel_arguments(parser) -> None:
+    """Register the ``--workers`` family on a campaign subparser."""
+    group = parser.add_argument_group("parallel execution")
+    group.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run trials across N supervised worker processes "
+             "(0 = serial, the default); the merged journal is "
+             "byte-identical to a serial run's")
+    group.add_argument(
+        "--trial-timeout", type=float, default=DEFAULT_TRIAL_TIMEOUT,
+        metavar="SECONDS",
+        help="wall-clock seconds without a worker heartbeat before the "
+             "trial is declared hung, the worker killed, and the trial "
+             f"retried (default: {DEFAULT_TRIAL_TIMEOUT:.0f})")
+    group.add_argument(
+        "--max-retries", type=int, default=DEFAULT_MAX_RETRIES,
+        metavar="N",
+        help="infrastructure retries per trial (crash/hang of the "
+             "worker) before the trial is declared lost; genuine "
+             "simulator failures are journaled, never retried "
+             f"(default: {DEFAULT_MAX_RETRIES})")
+
+
+def notify_stderr(message: str) -> None:
+    """Supervision events go to stderr; reports own stdout."""
+    print(f"[repro] {message}", file=sys.stderr)
+
+
+@contextlib.contextmanager
+def graceful_interrupt(notify=notify_stderr):
+    """Serial campaigns' interrupt discipline, as a context manager.
+
+    Yields a ``should_stop`` callable for ``run_campaign``-style loops:
+    the first SIGINT/SIGTERM flips it (finish the current trial, then
+    stop — the journal stays resumable), a second raises
+    ``KeyboardInterrupt``.  Off the main thread, signals cannot be
+    hooked; the callable then just always says "keep going".
+    """
+    state = {"stop": False}
+
+    def handler(signum, frame):
+        if state["stop"]:
+            raise KeyboardInterrupt
+        state["stop"] = True
+        notify("interrupt: finishing the current trial, then stopping "
+               "(press again to abort; --resume continues the journal)")
+
+    if threading.current_thread() is not threading.main_thread():
+        yield lambda: False
+        return
+    previous = {s: signal.signal(s, handler)
+                for s in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        yield lambda: state["stop"]
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+def supervision_exit_code(result, failure_count: int) -> int:
+    """Map a supervised campaign result onto the exit-code contract."""
+    stats = result.parallel or {}
+    if stats.get("drained"):
+        return EXIT_INTERRUPTED
+    if stats.get("lost") or result.stopped_early:
+        return EXIT_INCOMPLETE
+    return 1 if failure_count else 0

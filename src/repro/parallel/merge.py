@@ -1,0 +1,141 @@
+"""Deterministic, crash-safe merge of per-worker journals.
+
+The contract that makes parallel campaigns trustworthy: merging the
+per-worker journals (plus any prior aggregate journal, when resuming)
+in *serial order* produces an aggregate journal **byte-identical** to
+the one a serial run of the same campaign would have written.  That
+holds because
+
+* every record is built by the same deterministic trial builder the
+  serial loop uses, then serialized with the same canonical
+  ``json.dumps(..., sort_keys=True)`` — so a given trial's line is the
+  same bytes no matter which process produced it (and JSON round-trips
+  are stable, so re-serializing a loaded record is a no-op);
+* the merge orders records by the campaign's serial task order, not by
+  arrival time;
+* duplicates (a worker killed between journaling and reporting gets its
+  trial re-run elsewhere) collapse, and a *conflicting* duplicate —
+  same trial identity, different bytes — is a determinism bug and
+  fails the merge loudly rather than silently picking a side.
+
+The output write is atomic (temp file + rename + fsync), so a crash
+mid-merge leaves either the old aggregate or the new one, never a
+half-written hybrid; the worker journals it was built from are only
+removed by the caller after the rename lands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sanity.campaign import CampaignJournal
+
+__all__ = ["MergeError", "MergeResult", "collect_records", "merge_records",
+           "record_identity", "write_merged"]
+
+
+class MergeError(RuntimeError):
+    """Conflicting records for one trial — a determinism violation."""
+
+
+def record_identity(record: Dict[str, object]) -> Optional[Tuple]:
+    """The merge identity of one journal record, or None for non-trials.
+
+    Plain campaign records have no index field and are identified by
+    (digest, seed) — a campaign whose configs collide under that pair
+    produces byte-identical records anyway, so the collapse is safe.
+    Chaos records carry their trial index, which pins each record to
+    its serial position even if the generator ever drew the same
+    (scenario, seed) twice.
+    """
+    kind = record.get("kind")
+    if kind == "trial":
+        return ("trial", str(record.get("digest")),
+                int(record.get("seed", 0)))
+    if kind == "chaos-trial":
+        return ("chaos-trial", str(record.get("digest")),
+                int(record.get("seed", 0)), int(record.get("index", 0)))
+    return None
+
+
+@dataclass
+class MergeResult:
+    """What a merge produced: ordered records plus accounting."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    lines: List[str] = field(default_factory=list)   # canonical, newline-free
+    missing: List[Tuple] = field(default_factory=list)
+    sources: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+def collect_records(paths: Sequence[str]
+                    ) -> Dict[Tuple, Tuple[str, Dict[str, object]]]:
+    """identity -> (canonical line, record) over every source journal.
+
+    Tolerates missing files and torn tails (``CampaignJournal.load``
+    discipline); raises :class:`MergeError` if two sources disagree on
+    the bytes of one trial — re-running a trial must be idempotent, so
+    disagreement means nondeterminism, and aggregating either side
+    would silently poison the campaign.
+    """
+    by_identity: Dict[Tuple, Tuple[str, Dict[str, object]]] = {}
+    for path in paths:
+        for record in CampaignJournal(path).load():
+            identity = record_identity(record)
+            if identity is None:
+                continue
+            line = json.dumps(record, sort_keys=True)
+            prior = by_identity.get(identity)
+            if prior is not None and prior[0] != line:
+                raise MergeError(
+                    f"conflicting records for trial {identity} "
+                    f"(latest from {path}): re-running a trial must "
+                    f"reproduce it byte-for-byte — this campaign is "
+                    f"nondeterministic or the code changed between runs")
+            by_identity[identity] = (line, record)
+    return by_identity
+
+
+def merge_records(expected: Sequence[Tuple],
+                  sources: Sequence[str]) -> MergeResult:
+    """Merge source journals into serial order.
+
+    ``expected`` is the campaign's full merge-identity list in serial
+    order (one entry per trial).  Identities with no record anywhere
+    (trials still outstanding after a drain or lost to exhausted
+    retries) are reported in ``missing`` — the merged output is then
+    the serial-order subset, which a later ``--resume`` completes.
+    """
+    by_identity = collect_records(sources)
+    result = MergeResult(sources=len(list(sources)))
+    for identity in expected:
+        found = by_identity.get(identity)
+        if found is None:
+            result.missing.append(identity)
+            continue
+        line, record = found
+        result.lines.append(line)
+        result.records.append(record)
+    return result
+
+
+def write_merged(result: MergeResult, out_path: str) -> None:
+    """Atomically write the merged journal (temp + rename + fsync)."""
+    directory = os.path.dirname(os.path.abspath(out_path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = os.path.join(
+        directory, f".{os.path.basename(out_path)}.merge-tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        for line in result.lines:
+            handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, out_path)
+    CampaignJournal._fsync_directory(directory)

@@ -1,0 +1,644 @@
+"""Fault-tolerant parallel campaign execution: the supervisor.
+
+Trials are embarrassingly parallel and already journaled with per-trial
+identities, so the scale-out shape is simple — N worker processes, one
+append-only journal each, a deterministic merge.  What makes it *usable*
+is that the harness survives its own failures:
+
+* **Supervision.**  Every worker carries a heartbeat (a shared
+  monotonic timestamp its beat thread refreshes).  A worker whose
+  heartbeat goes stale past the wall-clock trial timeout — frozen,
+  thrashing, stopped — is SIGKILLed and replaced; a worker that simply
+  dies (OOM killer, segfault, self-chaos) is detected by its exit code
+  and replaced.  This complements the *in-trial* event-budget wedge
+  watchdog, which can only fire while the trial's event loop is alive.
+* **Classification.**  Failures *inside* the simulator (invariant
+  violation, wedge, exception, relation violation) are genuine results:
+  the trial builders journal them as ``status: failed`` records and
+  they are never retried — they are deterministic and would fail again.
+  Failures *of the harness* (worker crash, kill, hang, an exception
+  escaping the trial builder) are infrastructure: the trial is re-queued
+  with capped exponential backoff, up to ``max_retries`` attempts.
+* **Crash-safe determinism.**  Workers journal locally with the same
+  torn-tail-tolerant, canonically-serialized records the serial loop
+  writes, so the merge (:mod:`repro.parallel.merge`) reproduces the
+  serial journal byte-for-byte — after worker SIGKILLs, after a drain,
+  and after the supervisor itself is ``kill -9``'d and the campaign
+  resumed (completed trials are recovered from all surviving worker
+  journals, not just the aggregate).
+* **Graceful drain.**  SIGINT/SIGTERM stop dispatch, let in-flight
+  trials finish journaling, then merge what exists; a second signal
+  aborts hard (the journals stay safe either way).
+"""
+
+from __future__ import annotations
+
+import glob
+import heapq
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.runner import ExperimentConfig
+from ..sanity.campaign import (CampaignResult, DEFAULT_EVENT_BUDGET,
+                               config_digest)
+from .merge import MergeResult, merge_records, write_merged
+from .worker import (CampaignSpec, DEFAULT_WORKER_FSYNC_EVERY, TrialTask,
+                     worker_main)
+
+__all__ = ["DEFAULT_MAX_RETRIES", "DEFAULT_TRIAL_TIMEOUT", "ParallelStats",
+           "Supervisor", "SupervisorError", "run_parallel_campaign",
+           "run_parallel_chaos"]
+
+#: Wall-clock seconds without a heartbeat before a busy worker is
+#: declared hung and killed.  Generous by default: the event-budget
+#: watchdog inside the trial catches wedged simulations much earlier;
+#: this net exists for frozen *processes*.
+DEFAULT_TRIAL_TIMEOUT = 120.0
+
+#: Infrastructure retries per trial before it is declared lost.
+DEFAULT_MAX_RETRIES = 3
+
+_BACKOFF_BASE = 0.25     # seconds; doubles per attempt
+_BACKOFF_CAP = 4.0       # seconds; retry delay never exceeds this
+
+_STATUS_POLL = 0.05      # supervisor tick, seconds
+_JOIN_TIMEOUT = 5.0      # graceful worker shutdown allowance, seconds
+
+
+class SupervisorError(RuntimeError):
+    """The supervisor could not complete the campaign."""
+
+
+@dataclass
+class ParallelStats:
+    """Supervision counters, rendered into the campaign health report."""
+
+    workers: int = 0
+    restarts: int = 0          # workers respawned after death/kill
+    retries: int = 0           # trials re-queued after infra failures
+    infra_failures: int = 0    # crashes + hangs + harness errors
+    timeouts: int = 0          # hang-detector kills (subset of above)
+    lost: int = 0              # trials whose retries were exhausted
+    drained: bool = False      # SIGINT/SIGTERM graceful stop
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"workers": self.workers, "restarts": self.restarts,
+                "retries": self.retries,
+                "infra_failures": self.infra_failures,
+                "timeouts": self.timeouts, "lost": self.lost,
+                "drained": self.drained}
+
+
+def backoff_delay(attempt: int) -> float:
+    """Capped exponential backoff before retry number ``attempt``."""
+    return min(_BACKOFF_CAP, _BACKOFF_BASE * (2.0 ** (attempt - 1)))
+
+
+def _context():
+    """Fork where available (fast respawn, no re-import); spawn portably."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one worker process.
+
+    ``inbox`` is the write end of the worker's task pipe; ``status``
+    the read end of its report pipe.  Per-worker pipes (not shared
+    queues) are deliberate: see :func:`repro.parallel.worker.worker_main`
+    — a SIGKILLed worker must not be able to wedge anyone else's
+    channel.
+    """
+
+    def __init__(self, wid: int, proc, inbox, status, heartbeat,
+                 journal_path: str):
+        self.wid = wid
+        self.proc = proc
+        self.inbox = inbox
+        self.status = status
+        self.heartbeat = heartbeat
+        self.journal_path = journal_path
+        self.current: Optional[TrialTask] = None
+        self.dispatched_at = 0.0
+        self.timed_out = False
+        self.status_closed = False
+
+
+class Supervisor:
+    """Runs one campaign's outstanding tasks across worker processes."""
+
+    def __init__(self, spec: CampaignSpec, workdir: str,
+                 workers: int = 2,
+                 trial_timeout: float = DEFAULT_TRIAL_TIMEOUT,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 notify: Optional[Callable[[str], None]] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.workdir = workdir
+        self.n_workers = workers
+        self.trial_timeout = trial_timeout
+        self.max_retries = max_retries
+        self.notify = notify or (lambda message: None)
+        self.stats = ParallelStats(workers=workers)
+        self.lost_tasks: List[TrialTask] = []
+        self.corpus_by_position: Dict[int, str] = {}
+        self._ctx = _context()
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._next_wid = 0
+        self._draining = False
+        self._aborted = False
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _WorkerHandle:
+        wid = self._next_wid
+        self._next_wid += 1
+        task_read, task_write = self._ctx.Pipe(duplex=False)
+        status_read, status_write = self._ctx.Pipe(duplex=False)
+        heartbeat = self._ctx.Value("d", 0.0, lock=False)
+        journal_path = os.path.join(
+            self.workdir,
+            f"worker-{os.getpid()}-w{wid}.jsonl")  # repro-lint: disable=DET006 -- supervisor pid keeps resumed runs from colliding with an orphan's journal; never journaled
+        proc = self._ctx.Process(
+            target=worker_main, name=f"repro-worker-{wid}",
+            args=(wid, self.spec, task_read, status_write, heartbeat,
+                  journal_path), daemon=True)
+        proc.start()
+        # Close the child's ends in this process so a dead worker shows
+        # up as EOF on its status pipe instead of a silent stall.
+        task_read.close()
+        status_write.close()
+        handle = _WorkerHandle(wid, proc, task_write, status_read,
+                               heartbeat, journal_path)
+        self._handles[wid] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def _install_signals(self):
+        """Route SIGINT/SIGTERM to a graceful drain (main thread only)."""
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous = {}
+
+        def drain(signum, frame):
+            if self._draining:
+                # Second signal: the operator means it. Abort hard; the
+                # journals are already safe on disk.
+                self._aborted = True
+                raise KeyboardInterrupt
+            self._draining = True
+            self.stats.drained = True
+            self.notify("interrupt: draining in-flight trials, then "
+                        "merging (press again to abort hard)")
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, drain)
+        return previous
+
+    @staticmethod
+    def _restore_signals(previous) -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _requeue(self, task: TrialTask, reason: str, now: float,
+                 pending: list, outstanding: set) -> None:
+        """Infrastructure failure: retry with capped backoff, or declare
+        the trial lost once retries are exhausted."""
+        self.stats.infra_failures += 1
+        task.attempt += 1
+        if task.attempt > self.max_retries:
+            self.lost_tasks.append(task)
+            self.stats.lost += 1
+            outstanding.discard(task.position)
+            self.notify(f"trial #{task.position} LOST after "
+                        f"{self.max_retries} retries ({reason})")
+            return
+        delay = backoff_delay(task.attempt)
+        task.not_before = now + delay
+        heapq.heappush(pending, (task.not_before, task.position, task))
+        self.stats.retries += 1
+        self.notify(f"trial #{task.position} infra failure ({reason}); "
+                    f"retry {task.attempt}/{self.max_retries} "
+                    f"in {delay:.2f}s")
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[TrialTask]) -> set:
+        """Run every task; returns the set of completed positions."""
+        completed: set = set()
+        if not tasks:
+            return completed
+        pending: list = []
+        for task in tasks:
+            heapq.heappush(pending, (task.not_before, task.position, task))
+        outstanding = {task.position for task in tasks}
+
+        previous_signals = self._install_signals()
+        try:
+            for _ in range(min(self.n_workers, len(tasks))):
+                self._spawn_worker()
+
+            while outstanding:
+                in_flight = sum(1 for h in self._handles.values()
+                                if h.current is not None)
+                if self._draining and in_flight == 0:
+                    break
+                if not pending and in_flight == 0:
+                    # Everything dispatched died lost — nothing left.
+                    break
+
+                self._drain_status(completed, outstanding, pending)
+                now = time.monotonic()  # repro-lint: disable=DET001 -- supervision clock, never journaled
+                self._check_liveness(now, pending, outstanding)
+                self._check_hangs(now)
+                if not self._draining:
+                    self._dispatch(now, pending, completed)
+        except KeyboardInterrupt:
+            self._aborted = True
+        finally:
+            self._shutdown()
+            self._restore_signals(previous_signals)
+        return completed
+
+    def _drain_status(self, completed: set, outstanding: set,
+                      pending: list) -> None:
+        """Read every ready status pipe; waits at most one poll tick.
+
+        A handle whose pipe hits EOF (worker gone) is only *marked*
+        here — reaping, requeueing its trial, and respawning belong to
+        :meth:`_check_liveness`, which also covers workers that died
+        without ever tearing their pipe.
+        """
+        by_connection = {h.status: h for h in self._handles.values()
+                         if not h.status_closed}
+        if not by_connection:
+            time.sleep(_STATUS_POLL)  # repro-lint: disable=SIM001 -- supervisor poll tick, not sim code
+            return
+        ready = mp_connection.wait(list(by_connection), _STATUS_POLL)
+        for conn in ready:
+            handle = by_connection[conn]
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Worker gone; an EOF'd pipe polls ready forever,
+                    # so drop it from the wait set.
+                    handle.status_closed = True
+                    break
+                kind, _, position, extra = message
+                if kind == "done":
+                    completed.add(position)
+                    outstanding.discard(position)
+                    if extra is not None:
+                        self.corpus_by_position[position] = extra
+                    if handle.current is not None \
+                            and handle.current.position == position:
+                        handle.current = None
+                elif kind == "error":
+                    task = None
+                    if handle.current is not None \
+                            and handle.current.position == position:
+                        task = handle.current
+                        handle.current = None
+                    if task is not None and position in outstanding:
+                        self._requeue(task, extra,
+                                      time.monotonic(),  # repro-lint: disable=DET001 -- supervision clock
+                                      pending, outstanding)
+                # "bye" is informational
+
+    def _check_liveness(self, now: float, pending: list,
+                        outstanding: set) -> None:
+        """Reap dead workers; requeue their trial; respawn replacements."""
+        for wid in list(self._handles):
+            handle = self._handles[wid]
+            if handle.proc.exitcode is None:
+                continue
+            del self._handles[wid]
+            task = handle.current
+            if task is not None:
+                reason = ("hang: no heartbeat for "
+                          f"{self.trial_timeout:.0f}s, killed"
+                          if handle.timed_out else
+                          f"worker died (exitcode {handle.proc.exitcode})")
+                self._requeue(task, reason, now, pending, outstanding)
+            if outstanding and not self._draining:
+                self._spawn_worker()
+                self.stats.restarts += 1
+                self.notify(f"worker w{wid} replaced "
+                            f"(exitcode {handle.proc.exitcode})")
+
+    def _check_hangs(self, now: float) -> None:
+        """SIGKILL busy workers whose heartbeat went stale."""
+        for handle in self._handles.values():
+            if handle.current is None or handle.timed_out:
+                continue
+            last_sign_of_life = max(handle.dispatched_at,
+                                    handle.heartbeat.value)
+            if now - last_sign_of_life > self.trial_timeout:
+                handle.timed_out = True
+                self.stats.timeouts += 1
+                handle.proc.kill()
+
+    def _dispatch(self, now: float, pending: list, completed: set) -> None:
+        idle = [h for h in self._handles.values()
+                if h.current is None and h.proc.exitcode is None]
+        for handle in idle:
+            task = None
+            while pending:
+                not_before, _, candidate = pending[0]
+                if not_before > now:
+                    break  # heap is not_before-ordered: rest are later
+                heapq.heappop(pending)
+                if candidate.position in completed:
+                    continue  # a stale retry beat us to it
+                task = candidate
+                break
+            if task is None:
+                return
+            try:
+                handle.inbox.send(task)
+            except (OSError, ValueError):
+                # Worker died between liveness check and dispatch; put
+                # the task back — _check_liveness reaps the handle.
+                heapq.heappush(pending,
+                               (task.not_before, task.position, task))
+                continue
+            handle.current = task
+            handle.dispatched_at = now
+
+    def _shutdown(self) -> None:
+        for handle in self._handles.values():
+            if self._aborted:
+                handle.proc.terminate()
+                continue
+            try:
+                handle.inbox.send(None)
+            except (OSError, ValueError):
+                handle.proc.terminate()
+        deadline = time.monotonic() + _JOIN_TIMEOUT  # repro-lint: disable=DET001 -- supervision clock
+        for handle in self._handles.values():
+            remaining = max(0.1, deadline - time.monotonic())  # repro-lint: disable=DET001 -- supervision clock
+            handle.proc.join(timeout=remaining)
+            if handle.proc.exitcode is None:
+                handle.proc.kill()
+                handle.proc.join(timeout=1.0)
+            for conn in (handle.inbox, handle.status):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        self._handles.clear()
+
+
+# ----------------------------------------------------------------------
+# campaign drivers: plan -> supervise -> merge -> result
+# ----------------------------------------------------------------------
+
+@dataclass
+class _PlannedTrial:
+    """One serial position with both identities it is known by."""
+
+    position: int
+    merge_identity: Tuple     # per-record identity used by the merge
+    resume_key: Tuple         # serial resume semantics (digest, seed[, rel])
+
+
+def _resume_key_of(record: Dict[str, object]) -> Optional[Tuple]:
+    """The serial resume identity of a journaled record."""
+    kind = record.get("kind")
+    if kind == "trial":
+        return (str(record.get("digest")), int(record.get("seed", 0)))
+    if kind == "chaos-trial":
+        key = (str(record.get("digest")), int(record.get("seed", 0)))
+        if record.get("mode") == "differential":
+            return key + (str(record.get("relation")),)
+        return key
+    return None
+
+
+def _plan_campaign(configs: Sequence[ExperimentConfig]) -> List[_PlannedTrial]:
+    plan = []
+    for position, config in enumerate(configs):
+        digest = config_digest(config)
+        identity = ("trial", digest, config.seed)
+        plan.append(_PlannedTrial(position, identity, (digest, config.seed)))
+    return plan
+
+
+def _plan_chaos(trials: int, master_seed: int, space,
+                differential: bool) -> List[_PlannedTrial]:
+    from ..chaos.generator import ScenarioGenerator
+    generator = ScenarioGenerator(master_seed, space)
+    plan = []
+    for position in range(trials):
+        scenario = generator.scenario(position)
+        digest = scenario.digest()
+        identity = ("chaos-trial", digest, scenario.seed, position)
+        resume_key = (digest, scenario.seed)
+        if differential:
+            from ..chaos.differential import relation_for_trial
+            resume_key = resume_key + (relation_for_trial(position),)
+        plan.append(_PlannedTrial(position, identity, resume_key))
+    return plan
+
+
+def _run_supervised(spec: CampaignSpec, plan: List[_PlannedTrial],
+                    journal_path: Optional[str], resume: bool,
+                    workers: int, trial_timeout: float, max_retries: int,
+                    notify: Optional[Callable[[str], None]]
+                    ) -> Tuple[MergeResult, set, ParallelStats, Dict[int, str]]:
+    """Shared driver: resume-plan, supervise, merge, clean up.
+
+    Returns ``(merged, resumed_positions, stats, corpus_by_position)``.
+    The merged journal (when ``journal_path`` is given) is written
+    atomically; worker journals are removed once their records are
+    safely in the aggregate, so only a hard-killed supervisor leaves a
+    ``<journal>.workers/`` directory behind — exactly the case where
+    ``--resume`` needs it.
+    """
+    from .merge import collect_records
+
+    if resume and not journal_path:
+        raise ValueError("resume requires a journal path")
+
+    temp_workdir = journal_path is None
+    workdir = (tempfile.mkdtemp(prefix="repro-parallel-")
+               if temp_workdir else journal_path + ".workers")
+
+    done_before: Dict[Tuple, Dict[str, object]] = {}
+    resume_sources: List[str] = []
+    if resume:
+        if os.path.exists(journal_path):
+            resume_sources.append(journal_path)
+        resume_sources.extend(
+            sorted(glob.glob(os.path.join(workdir, "worker-*.jsonl"))))
+        if not resume_sources:
+            raise FileNotFoundError(
+                f"cannot resume: neither journal {journal_path!r} nor "
+                f"worker journals under {workdir!r} exist")
+        for _, record in collect_records(resume_sources).values():
+            key = _resume_key_of(record)
+            if key is not None:
+                done_before[key] = record
+    elif not temp_workdir and os.path.isdir(workdir):
+        # A fresh (non-resume) run must not inherit stale worker
+        # journals from an earlier campaign at the same path.
+        shutil.rmtree(workdir)
+    os.makedirs(workdir, exist_ok=True)
+
+    resumed_positions = {p.position for p in plan
+                         if p.resume_key in done_before}
+    tasks = [TrialTask(position=p.position, key=p.resume_key)
+             for p in plan if p.position not in resumed_positions]
+
+    supervisor = Supervisor(spec, workdir, workers=workers,
+                            trial_timeout=trial_timeout,
+                            max_retries=max_retries, notify=notify)
+    try:
+        supervisor.run(tasks)
+    finally:
+        # Merge whatever exists even if the loop raised: every journaled
+        # record is durable and the aggregate is the resume anchor.
+        sources = list(resume_sources)
+        sources.extend(
+            sorted(glob.glob(os.path.join(workdir, "worker-*.jsonl"))))
+        merged = merge_records([p.merge_identity for p in plan],
+                               sources)
+        if journal_path is not None:
+            write_merged(merged, journal_path)
+        if temp_workdir or journal_path is not None:
+            # All merged records now live in the aggregate (or the
+            # caller never asked for persistence); the per-worker
+            # journals are redundant.
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    return merged, resumed_positions, supervisor.stats, \
+        supervisor.corpus_by_position
+
+
+def run_parallel_campaign(configs: Sequence[ExperimentConfig],
+                          journal_path: Optional[str] = None,
+                          resume: bool = False,
+                          event_budget: Optional[int] = DEFAULT_EVENT_BUDGET,
+                          workers: int = 2,
+                          trial_timeout: float = DEFAULT_TRIAL_TIMEOUT,
+                          max_retries: int = DEFAULT_MAX_RETRIES,
+                          fsync_every: int = DEFAULT_WORKER_FSYNC_EVERY,
+                          notify: Optional[Callable[[str], None]] = None
+                          ) -> CampaignResult:
+    """Parallel, supervised equivalent of
+    :func:`repro.sanity.campaign.run_campaign`.
+
+    The merged journal is byte-identical to the serial run's; the
+    result's ``records`` match a serial resume of the same journal
+    (``resumed: true`` on carried-over records).  Live
+    :class:`RunResult` objects are not transported across processes, so
+    ``result.results`` stays empty.  Supervision counters land in
+    ``result.parallel``.
+    """
+    configs = list(configs)
+    spec = CampaignSpec(mode="campaign", configs=configs,
+                        event_budget=event_budget, fsync_every=fsync_every)
+    plan = _plan_campaign(configs)
+    merged, resumed_positions, stats, _ = _run_supervised(
+        spec, plan, journal_path, resume, workers, trial_timeout,
+        max_retries, notify)
+
+    result = CampaignResult(journal_path=journal_path)
+    result.parallel = stats.as_dict()
+    result.stopped_early = stats.drained or bool(merged.missing)
+    for planned, record in zip(plan, _aligned(merged, plan)):
+        if record is None:
+            continue
+        record = dict(record)
+        if planned.position in resumed_positions:
+            record["resumed"] = True
+        result.records.append(record)
+    return result
+
+
+def run_parallel_chaos(trials: int,
+                       master_seed: int = 0,
+                       space=None,
+                       shrink_budget: Optional[int] = None,
+                       event_budget: Optional[int] = None,
+                       determinism: bool = True,
+                       journal_path: Optional[str] = None,
+                       resume: bool = False,
+                       corpus_dir: Optional[str] = None,
+                       differential: bool = False,
+                       workers: int = 2,
+                       trial_timeout: float = DEFAULT_TRIAL_TIMEOUT,
+                       max_retries: int = DEFAULT_MAX_RETRIES,
+                       fsync_every: int = DEFAULT_WORKER_FSYNC_EVERY,
+                       notify: Optional[Callable[[str], None]] = None):
+    """Parallel, supervised equivalent of ``run_chaos_campaign`` /
+    ``run_differential_campaign`` (selected by ``differential``)."""
+    from ..chaos.campaign import ChaosResult
+    from ..chaos.oracles import CHAOS_EVENT_BUDGET
+    from ..chaos.shrinker import DEFAULT_SHRINK_BUDGET
+
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if shrink_budget is None:
+        shrink_budget = DEFAULT_SHRINK_BUDGET
+    if event_budget is None:
+        event_budget = CHAOS_EVENT_BUDGET
+    mode = "differential" if differential else "chaos"
+    spec = CampaignSpec(mode=mode, event_budget=event_budget,
+                        master_seed=master_seed, space=space,
+                        shrink_budget=shrink_budget,
+                        determinism=determinism, corpus_dir=corpus_dir,
+                        fsync_every=fsync_every)
+    plan = _plan_chaos(trials, master_seed, space, differential)
+    merged, resumed_positions, stats, corpus_by_position = _run_supervised(
+        spec, plan, journal_path, resume, workers, trial_timeout,
+        max_retries, notify)
+
+    result = ChaosResult(journal_path=journal_path)
+    result.parallel = stats.as_dict()
+    result.stopped_early = stats.drained or bool(merged.missing)
+    for planned, record in zip(plan, _aligned(merged, plan)):
+        if record is None:
+            continue
+        record = dict(record)
+        if planned.position in resumed_positions:
+            record["resumed"] = True
+        result.records.append(record)
+        name = record.get("corpus_entry")
+        if name and corpus_dir and planned.position not in resumed_positions:
+            result.corpus_paths.append(os.path.join(corpus_dir, str(name)))
+    return result
+
+
+def _aligned(merged: MergeResult, plan: List[_PlannedTrial]):
+    """Merged records aligned to the plan (None where missing)."""
+    missing = set(merged.missing)
+    aligned: List[Optional[Dict[str, object]]] = []
+    index = 0
+    for planned in plan:
+        if planned.merge_identity in missing:
+            aligned.append(None)
+            continue
+        aligned.append(merged.records[index])
+        index += 1
+    return aligned

@@ -1,0 +1,253 @@
+"""The campaign worker process: pull trials, journal locally, heartbeat.
+
+A worker is deliberately *dumb*: it pulls one task at a time from its
+inbox, runs it through the exact same trial builders the serial loops
+use (:func:`repro.sanity.campaign.run_trial`,
+:func:`repro.chaos.campaign.run_chaos_trial`,
+:func:`repro.chaos.differential.run_differential_trial`), appends the
+record to its own append-only journal, and reports back.  All policy —
+retry, backoff, hang detection, merge — lives in the supervisor, so a
+worker can be SIGKILLed at any instruction without corrupting anything:
+its journal loses at most one torn tail line, and the trial it held is
+simply re-run elsewhere (producing a byte-identical record, because the
+builders are deterministic).
+
+Failure classification starts here: a *genuine* failure (invariant
+violation, wedge, simulator exception, relation violation) is caught by
+the trial builder and becomes a journaled ``status: failed`` record —
+the worker reports ``done`` and is never retried.  Only harness-level
+trouble — the worker dying, hanging, or raising outside the builder —
+surfaces as an *infrastructure* failure for the supervisor to retry.
+
+Self-chaos hooks (used by ``tests/test_parallel_supervision.py`` and
+the CI ``parallel-smoke`` job to turn the fault-injection discipline on
+the harness itself):
+
+* ``REPRO_PARALLEL_KILL=3,11`` — SIGKILL the worker right before it
+  would run the trial at a listed serial position (first attempt only,
+  so the retry goes through).
+* ``REPRO_PARALLEL_WEDGE=5`` — silence the heartbeat and sleep forever
+  before a listed position (first attempt only), simulating a frozen
+  worker for the hang detector.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..experiments.runner import ExperimentConfig
+from ..sanity.campaign import CampaignJournal, run_trial
+
+__all__ = ["CampaignSpec", "TrialTask", "worker_main",
+           "DEFAULT_WORKER_FSYNC_EVERY"]
+
+#: Heartbeat period, seconds.  The supervisor's hang threshold is a
+#: wall-clock *trial timeout*, orders of magnitude larger than this.
+BEAT_INTERVAL = 0.2
+
+#: How long a worker waits on its inbox before checking whether its
+#: supervisor still exists (a re-parented worker is an orphan from a
+#: ``kill -9``'d supervisor and must exit rather than fight a resumed
+#: campaign for its journal files).
+_ORPHAN_POLL = 0.5
+
+#: Batched-fsync default for worker journals: one fsync per N records
+#: keeps parallel trial throughput from being fsync-bound.  A killed
+#: *process* loses nothing (the OS already holds the writes); only a
+#: machine crash can lose the unsynced tail, and resume re-runs it.
+DEFAULT_WORKER_FSYNC_EVERY = 16
+
+
+@dataclass
+class CampaignSpec:
+    """Everything a worker needs to run any trial of one campaign.
+
+    Shipped to each worker once at spawn; tasks then only carry their
+    serial position.  Must stay picklable (spawn-safe), which it is:
+    plain data plus :class:`ExperimentConfig`/`SearchSpace` dataclasses.
+    """
+
+    mode: str                     # "campaign" | "chaos" | "differential"
+    configs: Optional[List[ExperimentConfig]] = None      # campaign mode
+    event_budget: Optional[int] = None
+    master_seed: int = 0                                  # chaos modes
+    space: Optional[object] = None                        # SearchSpace
+    shrink_budget: int = 0
+    determinism: bool = True
+    corpus_dir: Optional[str] = None
+    fsync_every: int = DEFAULT_WORKER_FSYNC_EVERY
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("campaign", "chaos", "differential"):
+            raise ValueError(f"unknown campaign mode {self.mode!r}")
+        if self.mode == "campaign" and not self.configs:
+            raise ValueError("campaign mode needs configs")
+
+
+@dataclass
+class TrialTask:
+    """One unit of work: the trial at one serial position.
+
+    ``key`` is the trial's resume identity — (digest, seed) for plain
+    campaigns and chaos, (digest, seed, relation) for differential —
+    and ``position`` its serial-order index, which doubles as the merge
+    order and the self-chaos injection key.  ``attempt`` counts
+    infrastructure retries; ``not_before`` is the supervisor-side
+    backoff gate (never shipped anywhere meaningful — workers ignore
+    it).
+    """
+
+    position: int
+    key: Tuple
+    attempt: int = 0
+    not_before: float = 0.0
+
+
+class TrialRunner:
+    """Executes tasks for one spec, caching per-campaign state."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+        self._generator = None
+        if spec.mode in ("chaos", "differential"):
+            from ..chaos.generator import ScenarioGenerator
+            self._generator = ScenarioGenerator(spec.master_seed, spec.space)
+
+    def run(self, position: int) -> Tuple[dict, Optional[str]]:
+        """(journal record, corpus path or None) for one serial position."""
+        spec = self.spec
+        if spec.mode == "campaign":
+            record = run_trial(spec.configs[position],
+                               event_budget=spec.event_budget)
+            return record, None
+        scenario = self._generator.scenario(position)
+        if spec.mode == "chaos":
+            from ..chaos.campaign import run_chaos_trial
+            from ..chaos.oracles import check_scenario
+
+            def check(candidate):
+                return check_scenario(candidate,
+                                      event_budget=spec.event_budget,
+                                      determinism=spec.determinism)
+            return run_chaos_trial(scenario, position, spec.master_seed,
+                                   check, shrink_budget=spec.shrink_budget,
+                                   corpus_dir=spec.corpus_dir)
+        from ..chaos.differential import (check_differential,
+                                          relation_for_trial,
+                                          run_differential_trial)
+
+        def check2(candidate, relation):
+            return check_differential(candidate, relation,
+                                      event_budget=spec.event_budget)
+        return run_differential_trial(scenario, relation_for_trial(position),
+                                      position, spec.master_seed, check2,
+                                      shrink_budget=spec.shrink_budget,
+                                      corpus_dir=spec.corpus_dir)
+
+
+def _positions_env(name: str) -> FrozenSet[int]:
+    """Self-chaos injection positions from an env var ("3,11" style)."""
+    raw = os.environ.get(name, "")
+    positions = set()
+    for part in raw.split(","):
+        part = part.strip()
+        if part.isdigit():
+            positions.add(int(part))
+    return frozenset(positions)
+
+
+def worker_main(worker_id: int, spec: CampaignSpec, inbox, status,
+                heartbeat, journal_path: str) -> None:
+    """Worker process entry point.
+
+    ``inbox`` (a read :class:`multiprocessing.connection.Connection`)
+    delivers :class:`TrialTask`s (``None`` = clean shutdown); ``status``
+    (a write connection) carries ``("done"|"error", worker_id,
+    position, extra)`` tuples back; ``heartbeat`` is a shared double the
+    beat thread stamps with ``time.monotonic()`` — CLOCK_MONOTONIC is
+    system-wide on Linux, so the supervisor compares it against its own
+    clock.
+
+    Channels are per-worker *pipes*, never shared queues, and that is a
+    load-bearing choice: a ``multiprocessing.Queue`` shared by many
+    writers guards its pipe with a cross-process lock, and a worker
+    SIGKILLed mid-``put`` dies holding it — silently wedging every
+    *other* worker's reporting.  With one single-writer pipe per worker,
+    status messages are small enough to be atomic kernel writes and a
+    dead worker can only tear its own channel, which the supervisor
+    already treats as a worker death.
+    """
+    # The supervisor owns interrupt policy: a ^C in the terminal goes to
+    # the whole process group, and workers must keep draining their
+    # in-flight trial rather than die mid-record.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+    parent = os.getppid()
+    stop_beat = threading.Event()
+
+    def beat() -> None:
+        while not stop_beat.wait(BEAT_INTERVAL):
+            heartbeat.value = time.monotonic()  # repro-lint: disable=DET001 -- liveness signal, never journaled
+
+    heartbeat.value = time.monotonic()  # repro-lint: disable=DET001 -- liveness signal, never journaled
+    threading.Thread(target=beat, name="heartbeat", daemon=True).start()
+
+    def report(kind: str, position: int, extra) -> bool:
+        """Send one status tuple; False once the supervisor is gone.
+
+        Messages stay far under PIPE_BUF so a SIGKILL cannot leave a
+        half-written tuple in the pipe.
+        """
+        if isinstance(extra, str):
+            extra = extra[:400]
+        try:
+            status.send((kind, worker_id, position, extra))
+            return True
+        except (OSError, ValueError):  # supervisor dead or pipe closed
+            return False
+
+    kills = _positions_env("REPRO_PARALLEL_KILL")
+    wedges = _positions_env("REPRO_PARALLEL_WEDGE")
+    runner = TrialRunner(spec)
+    journal = CampaignJournal(journal_path, fsync_every=spec.fsync_every)
+    try:
+        while True:
+            if not inbox.poll(_ORPHAN_POLL):
+                if os.getppid() != parent:
+                    return  # orphaned: the supervisor was hard-killed
+                continue
+            try:
+                task = inbox.recv()
+            except (EOFError, OSError):
+                return  # supervisor closed our inbox (or died mid-send)
+            if task is None:
+                return
+            if task.attempt == 0 and task.position in kills:
+                # Self-chaos: die exactly where a real OOM kill would.
+                os.kill(os.getpid(), signal.SIGKILL)  # repro-lint: disable=DET006 -- self-chaos test hook, not sim code
+            if task.attempt == 0 and task.position in wedges:
+                # Self-chaos: look frozen — no heartbeat, no progress.
+                stop_beat.set()
+                time.sleep(3600)  # repro-lint: disable=SIM001 -- deliberate harness wedge, not sim code
+            try:
+                record, corpus_path = runner.run(task.position)
+                journal.append(record)
+            except BaseException as exc:  # noqa: BLE001 - harness fault
+                # Anything escaping the trial builders is infrastructure
+                # trouble (the builders already convert genuine simulator
+                # failures into records); report it for a capped retry.
+                if not report("error", task.position,
+                              f"{type(exc).__name__}: {exc}"):
+                    return
+                continue
+            if not report("done", task.position, corpus_path):
+                return
+    finally:
+        journal.close()
+        report("bye", -1, None)

@@ -3,8 +3,9 @@
 from .render import (format_seconds, render_bar, render_boxes,
                      render_campaign_health, render_cdf,
                      render_chaos_summary, render_fault_summary,
-                     render_series, render_table)
+                     render_parallel_stats, render_series, render_table)
 
 __all__ = ["format_seconds", "render_bar", "render_boxes",
            "render_campaign_health", "render_cdf", "render_chaos_summary",
-           "render_fault_summary", "render_series", "render_table"]
+           "render_fault_summary", "render_parallel_stats",
+           "render_series", "render_table"]

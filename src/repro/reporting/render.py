@@ -11,7 +11,25 @@ from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["render_table", "render_boxes", "render_series", "render_cdf",
            "render_bar", "render_fault_summary", "render_campaign_health",
-           "render_chaos_summary", "format_seconds"]
+           "render_chaos_summary", "render_parallel_stats",
+           "format_seconds"]
+
+
+def render_parallel_stats(stats: Dict[str, object]) -> str:
+    """One-line supervision summary for a ``--workers`` campaign.
+
+    Quiet runs stay quiet: counters that stayed zero are omitted, so a
+    healthy campaign prints just the worker count.
+    """
+    parts = [f"workers={stats.get('workers', 0)}"]
+    for key in ("restarts", "retries", "infra_failures", "timeouts",
+                "lost"):
+        value = int(stats.get(key, 0) or 0)
+        if value:
+            parts.append(f"{key}={value}")
+    if stats.get("drained"):
+        parts.append("drained")
+    return "supervision: " + " ".join(parts)
 
 
 def format_seconds(value) -> str:

@@ -14,8 +14,8 @@ Two halves:
 """
 
 from .campaign import (CampaignJournal, CampaignResult, DEFAULT_EVENT_BUDGET,
-                       TrialFailure, config_digest, run_campaign,
-                       sweep_configs)
+                       JOURNAL_SCHEMA, JournalFormatError, TrialFailure,
+                       config_digest, run_campaign, run_trial, sweep_configs)
 from .checks import default_invariants, install_sanitizer
 from .invariants import (CHECK_MODES, Invariant, InvariantViolation,
                          Sanitizer, ViolationRecord, WedgeError,
@@ -23,8 +23,9 @@ from .invariants import (CHECK_MODES, Invariant, InvariantViolation,
 
 __all__ = [
     "CHECK_MODES", "CampaignJournal", "CampaignResult",
-    "DEFAULT_EVENT_BUDGET", "Invariant", "InvariantViolation", "Sanitizer",
-    "TrialFailure", "ViolationRecord", "WedgeError", "config_digest",
-    "default_invariants", "install_sanitizer", "resolve_check_mode",
-    "run_campaign", "sweep_configs",
+    "DEFAULT_EVENT_BUDGET", "Invariant", "InvariantViolation",
+    "JOURNAL_SCHEMA", "JournalFormatError", "Sanitizer", "TrialFailure",
+    "ViolationRecord", "WedgeError", "config_digest", "default_invariants",
+    "install_sanitizer", "resolve_check_mode", "run_campaign", "run_trial",
+    "sweep_configs",
 ]

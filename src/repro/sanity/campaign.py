@@ -33,16 +33,23 @@ import json
 import os
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.analysis import summarize_run
 from ..experiments.runner import ExperimentConfig, RunResult, run_experiment
 from ..faults import FaultPlan, FaultSpecError
 from .invariants import InvariantViolation, WedgeError
 
-__all__ = ["CampaignJournal", "CampaignResult", "TrialFailure",
-           "config_digest", "run_campaign", "sweep_configs",
-           "DEFAULT_EVENT_BUDGET"]
+__all__ = ["CampaignJournal", "CampaignResult", "JournalFormatError",
+           "JOURNAL_SCHEMA", "TrialFailure", "config_digest", "run_campaign",
+           "run_trial", "sweep_configs", "DEFAULT_EVENT_BUDGET"]
+
+#: Version stamped into every journal record this code writes.  Loading
+#: a record with a *newer* schema is refused loudly (mirroring the
+#: corpus's :class:`~repro.chaos.corpus.CorpusFormatError`): a silently
+#: misparsed journal would corrupt resume sets and aggregates.  Records
+#: with no ``schema`` field predate versioning and load as legacy.
+JOURNAL_SCHEMA = 1
 
 #: Default per-trial event budget.  A full 20-site run fires ~225k
 #: events; this is ~90x that — generous headroom for faulted runs, tight
@@ -151,40 +158,91 @@ class TrialFailure:
                 "faults": self.faults, "master_seed": self.master_seed}
 
 
+class JournalFormatError(ValueError):
+    """A journal record this version of the code cannot faithfully read."""
+
+
 class CampaignJournal:
     """Append-only JSONL checkpoint of campaign trial outcomes.
 
     Each record is one ``json.dumps(..., sort_keys=True)`` line, written
-    with a single ``write`` + flush + fsync so a crash leaves at most
-    one truncated final line — which :meth:`load` tolerates by skipping
+    with a single ``write`` + flush so a crash leaves at most one
+    truncated final line — which :meth:`load` tolerates by skipping
     undecodable lines.
+
+    ``fsync_every`` batches durability: the file is fsynced once per N
+    appends (and on :meth:`close`/:meth:`sync`) instead of per record.
+    The default of 1 keeps the serial per-record discipline; parallel
+    workers raise it so a journal-per-worker campaign is not fsync-bound.
+    A hard *machine* crash can lose up to N-1 buffered records — a
+    killed *process* loses nothing, the OS already has the writes — and
+    resume simply re-runs whatever the tail lost.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, fsync_every: int = 1):
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
         self.path = path
+        self.fsync_every = fsync_every
+        self._handle = None
+        self._pending = 0
+        self._new_file_dir: Optional[str] = None
 
-    def append(self, record: Dict[str, object]) -> None:
-        line = json.dumps(record, sort_keys=True) + "\n"
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        # A crash can leave a torn final line with no newline; without
-        # this guard the next append would glue itself onto the torn
-        # fragment and both records would be lost.
         created = not os.path.exists(self.path)
+        torn_tail = False
         if not created and os.path.getsize(self.path) > 0:
             with open(self.path, "rb") as handle:
                 handle.seek(-1, os.SEEK_END)
-                if handle.read(1) != b"\n":
-                    line = "\n" + line
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+                torn_tail = handle.read(1) != b"\n"
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if torn_tail:
+            # A crash can leave a torn final line with no newline;
+            # without this guard the next append would glue itself onto
+            # the torn fragment and both records would be lost.
+            self._handle.write("\n")
         if created:
+            self._new_file_dir = directory
+
+    def append(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._handle is None:
+            self._open()
+        self._handle.write(line)
+        self._handle.flush()
+        self._pending += 1
+        if self._pending >= self.fsync_every:
+            self._fsync_now()
+
+    def _fsync_now(self) -> None:
+        os.fsync(self._handle.fileno())
+        self._pending = 0
+        if self._new_file_dir is not None:
             # fsyncing the file makes its *bytes* durable; the brand-new
             # directory entry needs its own fsync or a hard kill right
             # after the first append can lose the whole journal file.
-            self._fsync_directory(directory)
+            self._fsync_directory(self._new_file_dir)
+            self._new_file_dir = None
+
+    def sync(self) -> None:
+        """Flush any batched appends to the platter."""
+        if self._handle is not None and self._pending:
+            self._fsync_now()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @staticmethod
     def _fsync_directory(directory: str) -> None:
@@ -200,12 +258,18 @@ class CampaignJournal:
             os.close(fd)
 
     def load(self) -> List[Dict[str, object]]:
-        """All decodable records (a truncated tail line is skipped)."""
+        """All decodable records (a truncated tail line is skipped).
+
+        Raises :class:`JournalFormatError` for any record stamped with a
+        schema newer than this code's :data:`JOURNAL_SCHEMA` — resuming
+        or aggregating through a misread record would silently corrupt
+        the campaign, so the refusal is loud and names the line.
+        """
         records: List[Dict[str, object]] = []
         if not os.path.exists(self.path):
             return records
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -213,8 +277,15 @@ class CampaignJournal:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # crash-truncated write
-                if isinstance(record, dict):
-                    records.append(record)
+                if not isinstance(record, dict):
+                    continue
+                schema = record.get("schema")
+                if isinstance(schema, (int, float)) and schema > JOURNAL_SCHEMA:
+                    raise JournalFormatError(
+                        f"{self.path}:{number}: journal record schema "
+                        f"{schema} is newer than this code's "
+                        f"{JOURNAL_SCHEMA}; upgrade repro to read it")
+                records.append(record)
         return records
 
     def completed(self) -> Dict[Tuple[str, int], Dict[str, object]]:
@@ -235,6 +306,10 @@ class CampaignResult:
     records: List[Dict[str, object]] = field(default_factory=list)
     results: Dict[Tuple[str, int], RunResult] = field(default_factory=dict)
     journal_path: Optional[str] = None
+    stopped_early: bool = False
+    #: Supervision counters when the campaign ran under ``--workers``
+    #: (see :mod:`repro.parallel`); None for serial runs.
+    parallel: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -301,11 +376,52 @@ def sweep_configs(base: ExperimentConfig, n_runs: int,
     return configs
 
 
+def run_trial(config: ExperimentConfig,
+              event_budget: Optional[int] = DEFAULT_EVENT_BUDGET,
+              pages=None,
+              keep_run: Optional[List[RunResult]] = None
+              ) -> Dict[str, object]:
+    """Run one isolated trial and return its journal record.
+
+    This is the single place a plain-campaign record is built, shared by
+    the serial loop and the parallel workers: a record for a given
+    (config, event_budget) is byte-identical no matter which process
+    produced it, which is what makes the parallel merge's
+    byte-identical-to-serial guarantee possible.  ``keep_run`` (if
+    given) receives the live :class:`RunResult` on success.
+    """
+    trial = config
+    if trial.max_events is None and event_budget is not None:
+        trial = trial.with_overrides(max_events=event_budget)
+    record: Dict[str, object] = {
+        "kind": "trial", "schema": JOURNAL_SCHEMA,
+        "digest": config_digest(config), "seed": config.seed,
+        "protocol": config.protocol, "network": config.network,
+    }
+    try:
+        run = run_experiment(trial, pages)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        failure = TrialFailure.from_exception(trial, exc)
+        record.update(status="failed", violations=_exc_violations(exc),
+                      summary=None, failure=failure.as_dict())
+    else:
+        violations = 0
+        if run.sanity_report is not None:
+            violations = len(run.sanity_report["violations"])
+        record.update(status="ok", violations=violations,
+                      summary=summarize_run(run), failure=None)
+        if keep_run is not None:
+            keep_run.append(run)
+    return record
+
+
 def run_campaign(configs: List[ExperimentConfig],
                  journal_path: Optional[str] = None,
                  resume: bool = False,
                  event_budget: Optional[int] = DEFAULT_EVENT_BUDGET,
-                 pages=None) -> CampaignResult:
+                 pages=None,
+                 should_stop: Optional[Callable[[], bool]] = None
+                 ) -> CampaignResult:
     """Run every config as one isolated, journaled, resumable trial.
 
     ``resume`` (requires ``journal_path``) skips trials whose
@@ -313,6 +429,9 @@ def run_campaign(configs: List[ExperimentConfig],
     carried into the result with ``resumed: true`` so aggregates match
     an uninterrupted campaign exactly.  ``event_budget`` applies the
     wedge watchdog to configs that do not set ``max_events`` themselves.
+    ``should_stop`` is polled between trials (the CLI wires SIGINT/
+    SIGTERM to it): the in-flight trial drains to the journal, then the
+    campaign returns with ``stopped_early`` set instead of losing work.
     """
     journal = CampaignJournal(journal_path) if journal_path else None
     done: Dict[Tuple[str, int], Dict[str, object]] = {}
@@ -328,38 +447,30 @@ def run_campaign(configs: List[ExperimentConfig],
 
     result = CampaignResult(journal_path=journal_path)
     records = result.records
-    for config in configs:
-        digest = config_digest(config)
-        key = (digest, config.seed)
-        prior = done.get(key)
-        if prior is not None:
-            record = dict(prior)
-            record["resumed"] = True
+    try:
+        for config in configs:
+            if should_stop is not None and should_stop():
+                result.stopped_early = True
+                break
+            digest = config_digest(config)
+            key = (digest, config.seed)
+            prior = done.get(key)
+            if prior is not None:
+                record = dict(prior)
+                record["resumed"] = True
+                records.append(record)
+                continue
+            keep: List[RunResult] = []
+            record = run_trial(config, event_budget=event_budget,
+                               pages=pages, keep_run=keep)
+            if keep:
+                result.results[key] = keep[0]
+            if journal is not None:
+                journal.append(record)
             records.append(record)
-            continue
-        trial = config
-        if trial.max_events is None and event_budget is not None:
-            trial = trial.with_overrides(max_events=event_budget)
-        record: Dict[str, object] = {
-            "kind": "trial", "digest": digest, "seed": config.seed,
-            "protocol": config.protocol, "network": config.network,
-        }
-        try:
-            run = run_experiment(trial, pages)
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            failure = TrialFailure.from_exception(trial, exc)
-            record.update(status="failed", violations=_exc_violations(exc),
-                          summary=None, failure=failure.as_dict())
-        else:
-            violations = 0
-            if run.sanity_report is not None:
-                violations = len(run.sanity_report["violations"])
-            record.update(status="ok", violations=violations,
-                          summary=summarize_run(run), failure=None)
-            result.results[key] = run
+    finally:
         if journal is not None:
-            journal.append(record)
-        records.append(record)
+            journal.close()
     return result
 
 

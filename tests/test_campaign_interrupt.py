@@ -1,0 +1,87 @@
+"""Serial campaign interrupt discipline: SIGINT drain, kill -9 resume.
+
+The parallel supervisor gets the same treatment in
+``test_parallel_supervision.py``; these tests pin the *serial* loop's
+contract, because ``--resume`` after a crash is only trustworthy if the
+serial journal survives arbitrary interruption too.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.experiments.runner import ExperimentConfig
+from repro.sanity import CampaignJournal, run_campaign, sweep_configs
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+RUNS = 12    # 24 trials: slow enough that signals land mid-campaign
+
+
+def cli_configs():
+    base = ExperimentConfig(network="3g", seed=0, site_ids=[1],
+                            load_timeout=4.0, think_time=4.0)
+    return sweep_configs(base, RUNS, protocols=["http", "spdy"])
+
+
+def _campaign_cli(journal, extra=()):
+    return [sys.executable, "-m", "repro", "campaign", "--sites", "1",
+            "--runs", str(RUNS), "--timeout", "4", "--think-time", "4",
+            "--journal", journal, *extra]
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return env
+
+
+def test_serial_sigint_finishes_trial_then_stops(tmp_path):
+    journal = str(tmp_path / "drained.jsonl")
+    proc = subprocess.Popen(_campaign_cli(journal), env=_cli_env(),
+                            cwd=REPO, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    time.sleep(2.5)
+    proc.send_signal(signal.SIGINT)
+    _, stderr = proc.communicate(timeout=120)
+    assert proc.returncode == 130, stderr
+    assert "finishing the current trial" in stderr
+    assert "--resume" in stderr
+
+    # Every journaled line is complete and well-formed: the drain never
+    # kills a trial mid-record.
+    records = CampaignJournal(journal).load()
+    assert 0 < len(records) < 2 * RUNS
+    assert all(r.get("status") in ("ok", "failed") for r in records)
+
+
+def test_serial_kill9_then_resume_matches_uninterrupted(tmp_path):
+    configs = cli_configs()
+    reference_path = str(tmp_path / "reference.jsonl")
+    reference = run_campaign(configs, journal_path=reference_path)
+
+    journal = str(tmp_path / "killed.jsonl")
+    proc = subprocess.Popen(_campaign_cli(journal), env=_cli_env(),
+                            cwd=REPO, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    time.sleep(2.5)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+
+    interrupted = CampaignJournal(journal).load()
+    assert len(interrupted) < len(configs), "kill must land mid-campaign"
+
+    resumed = run_campaign(configs, journal_path=journal, resume=True)
+    assert len(resumed.records) == len(configs)
+    assert resumed.resumed_count == len(interrupted)
+
+    # Record-level equality is the right bar for the serial journal: the
+    # file itself may keep a torn tail fragment plus the guard newline,
+    # but every decodable record must match the uninterrupted run's.
+    stripped = [{k: v for k, v in record.items() if k != "resumed"}
+                for record in resumed.records]
+    assert stripped == reference.records
+    assert CampaignJournal(journal).load() == reference.records

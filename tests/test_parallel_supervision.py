@@ -1,0 +1,354 @@
+"""Self-chaos for the parallel harness: kills, wedges, resume, merge.
+
+The acceptance bar for ``--workers`` is byte-identity: whatever the
+supervisor survives — SIGKILLed workers, frozen workers, its own
+``kill -9`` — the merged journal must equal the serial run's sha256.
+"""
+
+import hashlib
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.parallel import (CampaignSpec, MergeError, backoff_delay,
+                            collect_records, merge_records,
+                            record_identity, run_parallel_campaign,
+                            run_parallel_chaos, write_merged)
+from repro.sanity import JOURNAL_SCHEMA, CampaignJournal, run_campaign, \
+    sweep_configs
+
+SMALL = dict(site_ids=[1], think_time=4.0, tail_time=4.0, load_timeout=4.0)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+
+def small_configs(runs=2, protocols=("http", "spdy")):
+    base = ExperimentConfig(network="3g", seed=100, **SMALL)
+    return sweep_configs(base, runs, protocols=list(protocols))
+
+
+def cli_configs(runs):
+    """Exactly the configs ``repro campaign --sites 1 --runs N --timeout 4
+    --think-time 4`` builds, so in-process serial references compare
+    byte-for-byte against CLI subprocess journals."""
+    base = ExperimentConfig(network="3g", seed=0, site_ids=[1],
+                            load_timeout=4.0, think_time=4.0)
+    return sweep_configs(base, runs, protocols=["http", "spdy"])
+
+
+def sha256(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# merge units
+# ----------------------------------------------------------------------
+def test_record_identity_by_kind():
+    assert record_identity({"kind": "trial", "digest": "d", "seed": 3}) \
+        == ("trial", "d", 3)
+    assert record_identity({"kind": "chaos-trial", "digest": "d",
+                            "seed": 3, "index": 7}) \
+        == ("chaos-trial", "d", 3, 7)
+    assert record_identity({"kind": "note"}) is None
+
+
+def test_collect_records_collapses_byte_identical_duplicates(tmp_path):
+    record = {"kind": "trial", "digest": "d", "seed": 1, "status": "ok",
+              "schema": JOURNAL_SCHEMA}
+    for name in ("a.jsonl", "b.jsonl"):
+        journal = CampaignJournal(str(tmp_path / name))
+        journal.append(record)
+        journal.close()
+    collected = collect_records([str(tmp_path / "a.jsonl"),
+                                 str(tmp_path / "b.jsonl"),
+                                 str(tmp_path / "missing.jsonl")])
+    assert list(collected) == [("trial", "d", 1)]
+
+
+def test_collect_records_conflict_is_loud(tmp_path):
+    base = {"kind": "trial", "digest": "d", "seed": 1,
+            "schema": JOURNAL_SCHEMA}
+    ja = CampaignJournal(str(tmp_path / "a.jsonl"))
+    ja.append(dict(base, status="ok"))
+    ja.close()
+    jb = CampaignJournal(str(tmp_path / "b.jsonl"))
+    jb.append(dict(base, status="failed"))
+    jb.close()
+    with pytest.raises(MergeError, match="nondeterministic"):
+        collect_records([str(tmp_path / "a.jsonl"),
+                         str(tmp_path / "b.jsonl")])
+
+
+def test_merge_orders_serially_and_reports_missing(tmp_path):
+    journal = CampaignJournal(str(tmp_path / "w.jsonl"))
+    for seed in (2, 0):   # arrival order is not serial order
+        journal.append({"kind": "trial", "digest": "d", "seed": seed,
+                        "status": "ok", "schema": JOURNAL_SCHEMA})
+    journal.close()
+    expected = [("trial", "d", 0), ("trial", "d", 1), ("trial", "d", 2)]
+    merged = merge_records(expected, [str(tmp_path / "w.jsonl")])
+    assert [r["seed"] for r in merged.records] == [0, 2]
+    assert merged.missing == [("trial", "d", 1)]
+    assert not merged.complete
+
+
+def test_write_merged_is_atomic_and_loadable(tmp_path):
+    journal = CampaignJournal(str(tmp_path / "w.jsonl"))
+    journal.append({"kind": "trial", "digest": "d", "seed": 0,
+                    "status": "ok", "schema": JOURNAL_SCHEMA})
+    journal.close()
+    merged = merge_records([("trial", "d", 0)], [str(tmp_path / "w.jsonl")])
+    out = tmp_path / "merged.jsonl"
+    write_merged(merged, str(out))
+    assert [r["seed"] for r in CampaignJournal(str(out)).load()] == [0]
+    leftovers = [n for n in os.listdir(tmp_path) if "merge-tmp" in n]
+    assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# policy units
+# ----------------------------------------------------------------------
+def test_backoff_delay_doubles_then_caps():
+    delays = [backoff_delay(attempt) for attempt in range(1, 7)]
+    assert delays[:3] == [0.25, 0.5, 1.0]
+    assert max(delays) == 4.0
+
+
+def test_campaign_spec_validates_mode_and_configs():
+    with pytest.raises(ValueError, match="unknown campaign mode"):
+        CampaignSpec(mode="bogus")
+    with pytest.raises(ValueError, match="needs configs"):
+        CampaignSpec(mode="campaign")
+
+
+def test_parallel_resume_requires_journal():
+    with pytest.raises(ValueError, match="resume requires"):
+        run_parallel_campaign(small_configs(1), resume=True, workers=1)
+
+
+def test_parallel_resume_without_state_is_a_clear_error(tmp_path):
+    with pytest.raises(FileNotFoundError, match="cannot resume"):
+        run_parallel_campaign(small_configs(1),
+                              journal_path=str(tmp_path / "none.jsonl"),
+                              resume=True, workers=1)
+
+
+# ----------------------------------------------------------------------
+# byte identity, healthy runs
+# ----------------------------------------------------------------------
+def test_parallel_campaign_matches_serial_bytes(tmp_path):
+    configs = small_configs(2)
+    serial_path = str(tmp_path / "serial.jsonl")
+    parallel_path = str(tmp_path / "parallel.jsonl")
+    serial = run_campaign(configs, journal_path=serial_path)
+    parallel = run_parallel_campaign(configs, journal_path=parallel_path,
+                                     workers=2)
+    assert sha256(serial_path) == sha256(parallel_path)
+    assert serial.records == parallel.records
+    assert parallel.parallel["infra_failures"] == 0
+    assert not os.path.exists(parallel_path + ".workers")
+
+
+def test_genuine_failures_are_journaled_not_retried(tmp_path):
+    # event_budget=50 wedges every trial *inside* the simulator: that is
+    # a genuine, deterministic failure — records say failed, and the
+    # supervisor must not burn retries on it.
+    configs = small_configs(1)
+    serial_path = str(tmp_path / "serial.jsonl")
+    parallel_path = str(tmp_path / "parallel.jsonl")
+    run_campaign(configs, journal_path=serial_path, event_budget=50)
+    result = run_parallel_campaign(configs, journal_path=parallel_path,
+                                   workers=2, event_budget=50)
+    assert sha256(serial_path) == sha256(parallel_path)
+    assert result.failed_count == len(configs)
+    assert result.parallel["retries"] == 0
+    assert result.parallel["infra_failures"] == 0
+
+
+# ----------------------------------------------------------------------
+# self-chaos: worker kills and wedges
+# ----------------------------------------------------------------------
+def test_worker_sigkill_mid_campaign_keeps_bytes_identical(
+        tmp_path, monkeypatch):
+    configs = small_configs(3)          # 6 trials
+    serial_path = str(tmp_path / "serial.jsonl")
+    run_campaign(configs, journal_path=serial_path)
+    rng = random.Random(0xC0FFEE)
+    victims = sorted(rng.sample(range(len(configs)), 2))
+    monkeypatch.setenv("REPRO_PARALLEL_KILL",
+                       ",".join(str(v) for v in victims))
+    parallel_path = str(tmp_path / "killed.jsonl")
+    result = run_parallel_campaign(configs, journal_path=parallel_path,
+                                   workers=2)
+    assert sha256(serial_path) == sha256(parallel_path)
+    assert result.parallel["infra_failures"] == len(victims)
+    assert result.parallel["retries"] == len(victims)
+    assert result.parallel["restarts"] == len(victims)
+    assert result.parallel["lost"] == 0
+
+
+def test_wedged_worker_is_killed_and_trial_retried(tmp_path, monkeypatch):
+    configs = small_configs(2)
+    serial_path = str(tmp_path / "serial.jsonl")
+    run_campaign(configs, journal_path=serial_path)
+    monkeypatch.setenv("REPRO_PARALLEL_WEDGE", "1")
+    parallel_path = str(tmp_path / "wedged.jsonl")
+    result = run_parallel_campaign(configs, journal_path=parallel_path,
+                                   workers=2, trial_timeout=4.0)
+    assert sha256(serial_path) == sha256(parallel_path)
+    assert result.parallel["timeouts"] == 1
+    assert result.parallel["retries"] == 1
+
+
+def test_parallel_chaos_matches_serial_bytes_even_after_kills(
+        tmp_path, monkeypatch):
+    from repro.chaos.campaign import run_chaos_campaign
+
+    serial_path = str(tmp_path / "serial.jsonl")
+    serial = run_chaos_campaign(5, master_seed=42, journal_path=serial_path,
+                                corpus_dir=str(tmp_path / "corpus-serial"))
+    parallel_path = str(tmp_path / "parallel.jsonl")
+    parallel = run_parallel_chaos(5, master_seed=42,
+                                  journal_path=parallel_path,
+                                  corpus_dir=str(tmp_path / "corpus-par"),
+                                  workers=2)
+    assert sha256(serial_path) == sha256(parallel_path)
+    assert serial.records == parallel.records
+    assert [os.path.basename(p) for p in serial.corpus_paths] == \
+        [os.path.basename(p) for p in parallel.corpus_paths]
+
+    monkeypatch.setenv("REPRO_PARALLEL_KILL", "1,3")
+    killed_path = str(tmp_path / "killed.jsonl")
+    killed = run_parallel_chaos(5, master_seed=42,
+                                journal_path=killed_path,
+                                corpus_dir=str(tmp_path / "corpus-kill"),
+                                workers=2)
+    assert sha256(serial_path) == sha256(killed_path)
+    assert killed.parallel["infra_failures"] == 2
+    assert killed.parallel["lost"] == 0
+
+
+def test_differential_parallel_matches_serial_bytes(tmp_path):
+    from repro.chaos.differential import run_differential_campaign
+
+    serial_path = str(tmp_path / "serial.jsonl")
+    serial = run_differential_campaign(4, master_seed=11,
+                                       journal_path=serial_path)
+    parallel_path = str(tmp_path / "parallel.jsonl")
+    parallel = run_parallel_chaos(4, master_seed=11,
+                                  journal_path=parallel_path,
+                                  differential=True, workers=2)
+    assert sha256(serial_path) == sha256(parallel_path)
+    assert serial.records == parallel.records
+
+
+# ----------------------------------------------------------------------
+# supervisor kill -9 and --resume
+# ----------------------------------------------------------------------
+CLI_RUNS = 12    # 24 trials: slow enough that a kill lands mid-campaign
+
+
+def _campaign_cli(journal, workers, extra=()):
+    return [sys.executable, "-m", "repro", "campaign", "--sites", "1",
+            "--runs", str(CLI_RUNS), "--timeout", "4", "--think-time", "4",
+            "--journal", journal, "--workers", str(workers), *extra]
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.pop("REPRO_PARALLEL_KILL", None)
+    env.pop("REPRO_PARALLEL_WEDGE", None)
+    return env
+
+
+def test_supervisor_kill9_then_resume_is_byte_identical(tmp_path):
+    configs = cli_configs(CLI_RUNS)
+    serial_path = str(tmp_path / "serial.jsonl")
+    run_campaign(configs, journal_path=serial_path)
+
+    journal = str(tmp_path / "killed9.jsonl")
+    proc = subprocess.Popen(_campaign_cli(journal, workers=2),
+                            env=_cli_env(), cwd=REPO,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    time.sleep(2.5)                     # let some trials journal
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+
+    workdir = journal + ".workers"
+    assert os.path.isdir(workdir), "worker journals must survive kill -9"
+
+    resumed = run_parallel_campaign(configs, journal_path=journal,
+                                    resume=True, workers=2)
+    assert sha256(serial_path) == sha256(journal)
+    assert len(resumed.records) == len(configs)
+    assert not os.path.exists(workdir)
+
+
+def test_parallel_cli_sigint_drains_and_resume_completes(tmp_path):
+    configs = cli_configs(CLI_RUNS)
+    serial_path = str(tmp_path / "serial.jsonl")
+    run_campaign(configs, journal_path=serial_path)
+
+    journal = str(tmp_path / "drained.jsonl")
+    proc = subprocess.Popen(_campaign_cli(journal, workers=2),
+                            env=_cli_env(), cwd=REPO,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    time.sleep(2.5)
+    proc.send_signal(signal.SIGINT)
+    _, stderr = proc.communicate(timeout=120)
+    assert proc.returncode == 130, stderr
+    assert "draining" in stderr
+    assert "--resume" in stderr
+
+    # The drained journal is a serial-order prefix subset: every line
+    # byte-for-byte from the serial journal.
+    with open(serial_path, "r", encoding="utf-8") as handle:
+        serial_lines = handle.read().splitlines()
+    with open(journal, "r", encoding="utf-8") as handle:
+        drained_lines = handle.read().splitlines()
+    assert set(drained_lines) <= set(serial_lines)
+
+    code = subprocess.run(
+        _campaign_cli(journal, workers=2, extra=()) +
+        ["--resume", journal], env=_cli_env(), cwd=REPO,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL).returncode
+    assert code == 0
+    assert sha256(serial_path) == sha256(journal)
+
+
+# ----------------------------------------------------------------------
+# schema refusal (satellite: forward-compat journals)
+# ----------------------------------------------------------------------
+def test_newer_journal_schema_is_refused(tmp_path):
+    path = tmp_path / "future.jsonl"
+    record = {"kind": "trial", "digest": "d", "seed": 0, "status": "ok",
+              "schema": JOURNAL_SCHEMA + 1}
+    path.write_text(json.dumps(record, sort_keys=True) + "\n")
+    from repro.sanity import JournalFormatError
+    with pytest.raises(JournalFormatError, match="newer than this code"):
+        CampaignJournal(str(path)).load()
+
+
+def test_newer_journal_schema_refusal_reaches_cli(tmp_path, capsys):
+    from repro.cli import main
+    path = tmp_path / "future.jsonl"
+    record = {"kind": "trial", "digest": "d", "seed": 0, "status": "ok",
+              "schema": JOURNAL_SCHEMA + 1}
+    path.write_text(json.dumps(record, sort_keys=True) + "\n")
+    code = main(["campaign", "--sites", "1", "--runs", "1",
+                 "--timeout", "4", "--think-time", "4",
+                 "--resume", str(path)])
+    assert code == 2
+    assert "newer than this code" in capsys.readouterr().err
