@@ -91,7 +91,7 @@ class Baseline:
 class BaselineMatcher:
     """Consumes baseline entries as findings match them (multiset semantics)."""
 
-    def __init__(self, budget: Dict[_Key, int]):
+    def __init__(self, budget: Dict[_Key, int]) -> None:
         self._budget = dict(budget)
 
     def consume(self, finding: Finding) -> bool:

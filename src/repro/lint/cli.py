@@ -11,11 +11,13 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import IO, List, Optional, Sequence, Tuple
 
 from .baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
 from .engine import LintReport, lint_paths
-from .rules import all_rules, rules_by_code
+from .graph.cache import DEFAULT_CACHE_DIR
+from .graph.driver import all_graph_rules, graph_rules_by_code
+from .rules import Rule, all_rules, rules_by_code
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
 
@@ -39,23 +41,51 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program analyses: "
+                             "call-graph entropy taint, sim-purity "
+                             "reachability, worker-layer race detection, "
+                             "interprocedural unit flow")
+    parser.add_argument("--jobs", metavar="N", type=int, default=1,
+                        help="evaluate per-file rules in N processes "
+                             "(findings are byte-identical to -j1)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=DEFAULT_CACHE_DIR,
+                        help="on-disk IR cache for --deep "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the --deep IR cache")
 
 
-def _resolve_rules(select: Optional[str]):
+def _resolve_rules(
+    select: Optional[str],
+) -> Tuple[Optional[List["Rule"]], Optional[List[str]]]:
+    """Split ``--select`` into (per-file rule objects, deep rule codes).
+
+    Either element is None when the selection doesn't constrain that
+    layer (no --select at all, or no codes from that layer mentioned —
+    a pure per-file selection still filters deep findings and vice
+    versa, so "no codes mentioned" maps to an empty filter, not None).
+    """
     if not select:
-        return None
+        return None, None
     catalogue = rules_by_code()
+    graph_catalogue = graph_rules_by_code()
     chosen = []
+    deep_codes = []
     for code in select.split(","):
         code = code.strip().upper()
         if not code:
             continue
-        if code not in catalogue:
+        if code in catalogue:
+            chosen.append(catalogue[code])
+        elif code in graph_catalogue:
+            deep_codes.append(code)
+        else:
+            known = sorted(catalogue) + sorted(graph_catalogue)
             raise SystemExit(
-                f"unknown rule code {code!r}; known: "
-                f"{', '.join(sorted(catalogue))}")
-        chosen.append(catalogue[code])
-    return chosen
+                f"unknown rule code {code!r}; known: {', '.join(known)}")
+    return chosen, deep_codes
 
 
 def _load_baseline(path: Optional[str]) -> Baseline:
@@ -67,15 +97,22 @@ def _load_baseline(path: Optional[str]) -> Baseline:
     return Baseline.load(path)
 
 
-def _print_rules(out) -> None:
+def _print_rules(out: IO[str]) -> None:
     print("repro lint rule catalogue:", file=out)
     for rule in all_rules():
         scope = "sim code only" if rule.scope == "sim" else "all files"
         print(f"  {rule.code}  [{scope}] {rule.summary}", file=out)
         print(f"          e.g. {rule.example}", file=out)
+    print("whole-program rules (require --deep):", file=out)
+    for graph_rule in all_graph_rules():
+        print(f"  {graph_rule.code}  [--deep] {graph_rule.summary}",
+              file=out)
+        for index, line in enumerate(graph_rule.example.splitlines()):
+            prefix = "          e.g. " if index == 0 else "               "
+            print(f"{prefix}{line}", file=out)
 
 
-def _render_text(report: LintReport, out) -> None:
+def _render_text(report: LintReport, out: IO[str]) -> None:
     for finding in report.findings:
         print(finding.render(), file=out)
     for path, code, line_text in report.stale_baseline:
@@ -88,9 +125,14 @@ def _render_text(report: LintReport, out) -> None:
     if report.suppressed:
         summary += f", {report.suppressed} inline suppression(s)"
     print(summary, file=out)
+    if report.deep:
+        print(f"deep: {report.deep_modules} module(s) analyzed in "
+              f"{report.deep_seconds:.2f}s (IR cache: "
+              f"{report.deep_cache_hits} hit(s), "
+              f"{report.deep_cache_misses} miss(es))", file=out)
 
 
-def _render_json(report: LintReport, out) -> None:
+def _render_json(report: LintReport, out: IO[str]) -> None:
     counts: dict = {}
     for finding in report.findings:
         counts[finding.code] = counts.get(finding.code, 0) + 1
@@ -104,23 +146,38 @@ def _render_json(report: LintReport, out) -> None:
         "stale_baseline": [list(key) for key in report.stale_baseline],
         "clean": report.clean and not report.stale_baseline,
     }
+    if report.deep:
+        payload["deep"] = {
+            "modules": report.deep_modules,
+            "cache_hits": report.deep_cache_hits,
+            "cache_misses": report.deep_cache_misses,
+            "seconds": round(report.deep_seconds, 4),
+        }
     json.dump(payload, out, indent=2)
     out.write("\n")
 
 
 def run_lint(args: argparse.Namespace,
-             out=None, err=None) -> int:
+             out: Optional[IO[str]] = None,
+             err: Optional[IO[str]] = None) -> int:
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
     if args.list_rules:
         _print_rules(out)
         return 0
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=err)
+        return 2
     paths = args.paths or DEFAULT_PATHS
-    rules = _resolve_rules(args.select)
+    rules, deep_codes = _resolve_rules(args.select)
+    deep = bool(args.deep)
+    cache_dir = None if args.no_cache else args.cache_dir
 
     if args.write_baseline:
         baseline_path = args.baseline or DEFAULT_BASELINE_NAME
-        report = lint_paths(paths, rules=rules, baseline=Baseline.empty())
+        report = lint_paths(paths, rules=rules, baseline=Baseline.empty(),
+                            deep=deep, jobs=args.jobs, cache_dir=cache_dir,
+                            deep_codes=deep_codes)
         if report.errors:
             for error in report.errors:
                 print(error, file=err)
@@ -135,7 +192,9 @@ def run_lint(args: argparse.Namespace,
     except (BaselineError, FileNotFoundError) as exc:
         print(str(exc), file=err)
         return 2
-    report = lint_paths(paths, rules=rules, baseline=baseline)
+    report = lint_paths(paths, rules=rules, baseline=baseline,
+                        deep=deep, jobs=args.jobs, cache_dir=cache_dir,
+                        deep_codes=deep_codes)
     if report.errors:
         for error in report.errors:
             print(error, file=err)

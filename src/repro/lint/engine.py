@@ -16,12 +16,14 @@ from __future__ import annotations
 import ast
 import os
 import re
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
 from .baseline import Baseline
 from .findings import Finding
-from .rules import FileContext, Rule, all_rules
+from .rules import FileContext, Rule, all_rules, rules_by_code
 
 __all__ = ["LintReport", "lint_source", "lint_file", "lint_paths",
            "iter_python_files", "SUPPRESS_ALL"]
@@ -58,23 +60,33 @@ class LintReport:
     files_checked: int = 0
     errors: List[str] = field(default_factory=list)  # unreadable paths etc.
     stale_baseline: List[tuple] = field(default_factory=list)
+    deep: bool = False              # whole-program pass ran
+    deep_modules: int = 0           # modules in the assembled program
+    deep_cache_hits: int = 0        # IR cache hits (warm entries)
+    deep_cache_misses: int = 0      # IR cache misses (re-extracted)
+    deep_seconds: float = 0.0       # wall time of the deep pass
 
     @property
     def clean(self) -> bool:
         return not self.findings and not self.errors
 
 
-def _lint_source_counted(source: str, path: str,
-                         rules: Optional[Sequence[Rule]]):
+def _lint_source_counted(
+        source: str, path: str,
+        rules: Optional[Sequence[Rule]]) -> Tuple[List[Finding], int]:
     """Lint one source string -> (findings, n_suppressed_findings)."""
     if rules is None:
         rules = all_rules()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
+        offending = (exc.text or "").strip()
+        message = f"syntax error: {exc.msg}"
+        if offending:
+            message += f" — `{offending}`"
         return [Finding(path=path, line=exc.lineno or 1,
                         col=(exc.offset or 1) - 1, code="PARSE",
-                        message=f"syntax error: {exc.msg}")], 0
+                        message=message, line_text=offending)], 0
     ctx = FileContext(path, source, tree)
     suppressed_lines = _suppressions(source)
     findings: List[Finding] = []
@@ -132,30 +144,106 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
             raise FileNotFoundError(path)
 
 
+def _lint_file_task(
+    task: Tuple[str, Optional[Tuple[str, ...]]],
+) -> Tuple[str, List[Finding], int, Optional[str]]:
+    """Lint one file — top-level so multiprocessing can pickle it.
+
+    Returns ``(filename, findings, n_suppressed, error_or_None)``.  The
+    worker re-reads the file itself so only the small task tuple crosses
+    the pipe; rule *codes* travel instead of rule instances for the same
+    reason.
+    """
+    filename, codes = task
+    try:
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return filename, [], 0, f"cannot read {filename}: {exc}"
+    rules: Optional[List[Rule]] = None
+    if codes is not None:
+        catalogue = rules_by_code()
+        rules = [catalogue[c] for c in codes if c in catalogue]
+    path = filename.replace(os.sep, "/")
+    findings, suppressed = _lint_source_counted(source, path, rules)
+    return filename, findings, suppressed, None
+
+
 def lint_paths(paths: Sequence[str],
                rules: Optional[Sequence[Rule]] = None,
-               baseline: Optional[Baseline] = None) -> LintReport:
-    """Lint every python file under ``paths`` and fold in the baseline."""
-    report = LintReport()
+               baseline: Optional[Baseline] = None,
+               *,
+               deep: bool = False,
+               jobs: int = 1,
+               cache_dir: Optional[str] = None,
+               deep_codes: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint every python file under ``paths`` and fold in the baseline.
+
+    ``deep=True`` additionally runs the whole-program analyses (call-graph
+    taint, sim-purity reachability, worker races, interprocedural unit
+    flow) and merges their findings into the same report; ``cache_dir``
+    names the on-disk IR cache for that pass (None disables caching).
+
+    ``jobs > 1`` evaluates the per-file rules in a process pool.  Results
+    are reassembled in file order and every finding — per-file and deep —
+    goes through one global ``(path, line, col, code)`` sort *before*
+    baseline matching, so the output is byte-identical to a serial run
+    regardless of worker scheduling.
+    """
+    report = LintReport(deep=deep)
     baseline = baseline if baseline is not None else Baseline.empty()
-    matcher = baseline.matcher()
     try:
         files = list(iter_python_files(paths))
     except FileNotFoundError as exc:
         report.errors.append(f"no such file or directory: {exc.args[0]}")
         return report
-    for filename in files:
+
+    codes = tuple(rule.code for rule in rules) if rules is not None else None
+    tasks = [(filename, codes) for filename in files]
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+            results = pool.map(_lint_file_task, tasks)
+    else:
+        results = [_lint_file_task(task) for task in tasks]
+
+    raw: List[Finding] = []
+    for _filename, findings, suppressed, error in results:
+        if error is not None:
+            report.errors.append(error)
+            continue
         report.files_checked += 1
-        with open(filename, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        path = filename.replace(os.sep, "/")
-        raw, suppressed = _lint_source_counted(source, path, rules)
         report.suppressed += suppressed
-        for finding in raw:
-            if matcher.consume(finding):
-                report.baselined += 1
-            else:
-                report.findings.append(finding)
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        raw.extend(findings)
+
+    if deep:
+        started = time.perf_counter()  # repro-lint: disable=DET001 -- timing the lint pass itself
+        # imported here: graph.driver imports back into this module for
+        # the suppression machinery, so a top-level import would cycle
+        from .graph import GraphCache, analyze_sources
+        sources: List[Tuple[str, str]] = []
+        for filename in files:
+            try:
+                with open(filename, "r", encoding="utf-8") as handle:
+                    sources.append((filename.replace(os.sep, "/"),
+                                    handle.read()))
+            except OSError:
+                continue  # already reported by the per-file pass
+        graph_report = analyze_sources(
+            sources, cache=GraphCache(cache_dir), codes=deep_codes)
+        report.suppressed += graph_report.suppressed
+        report.deep_modules = graph_report.modules
+        report.deep_cache_hits = graph_report.cache_hits
+        report.deep_cache_misses = graph_report.cache_misses
+        raw.extend(graph_report.findings)
+        report.deep_seconds = time.perf_counter() - started  # repro-lint: disable=DET001 -- timing the lint pass itself
+
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    matcher = baseline.matcher()
+    for finding in raw:
+        if matcher.consume(finding):
+            report.baselined += 1
+        else:
+            report.findings.append(finding)
     report.stale_baseline = matcher.unmatched()
     return report

@@ -4,12 +4,20 @@ A finding is identified for baseline purposes by ``(path, code,
 line_text)`` — the *content* of the flagged line rather than its number —
 so unrelated edits above a grandfathered finding do not invalidate the
 baseline entry.
+
+Whole-program (``--deep``) findings additionally carry ``chain``: the
+call/ownership path that connects the flagged line to the property it
+violates (entropy source to simulator sink, supervisor and worker both
+reaching one mutable global, ...).  The chain is rendered as indented
+continuation lines and included in the JSON payload, but deliberately
+excluded from the baseline key — re-routing a path does not launder a
+grandfathered leak into a new finding.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple, Union
 
 __all__ = ["Finding"]
 
@@ -24,19 +32,27 @@ class Finding:
     code: str          # rule code, e.g. "DET001"
     message: str       # human-readable explanation
     line_text: str = ""  # stripped source line (baseline matching key)
+    chain: Tuple[str, ...] = ()  # call/ownership path for --deep findings
 
     def baseline_key(self) -> Tuple[str, str, str]:
         """Key used to match this finding against baseline entries."""
         return (self.path, self.code, self.line_text)
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+        text = (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.code} {self.message}")
+        for hop in self.chain:
+            text += f"\n    {hop}"
+        return text
 
-    def to_json(self) -> dict:
-        return {
+    def to_json(self) -> Dict[str, Union[str, int, list]]:
+        payload: Dict[str, Union[str, int, list]] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "code": self.code,
             "message": self.message,
         }
+        if self.chain:
+            payload["chain"] = list(self.chain)
+        return payload

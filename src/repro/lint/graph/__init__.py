@@ -1,0 +1,38 @@
+"""Whole-program analysis layer behind ``repro lint --deep``.
+
+The per-file rules in :mod:`repro.lint.rules` are syntactic: they see one
+module at a time and flag entropy or unit bugs *at the call site*.  This
+package makes the same discipline a *flow* property:
+
+* :mod:`.ir` extracts a JSON-serializable intermediate representation of
+  each module (functions, call sites, taint atoms, unit signatures) so
+  analyses never touch an AST twice and summaries can be cached on disk.
+* :mod:`.cache` keys those IR documents by content hash: untouched files
+  are never re-parsed across runs.
+* :mod:`.builder` assembles the program: module import resolution
+  (including relative imports and ``__init__`` re-exports), a class
+  hierarchy, receiver-type inference, and conservative dynamic dispatch
+  through the registry/factory idiom (``make_congestion_control`` and
+  friends) — producing a call graph.
+* :mod:`.taint` (DET1xx), :mod:`.purity` (SIM1xx), :mod:`.races`
+  (PAR0xx) and :mod:`.unitflow` (UNIT1xx) are the interprocedural rules;
+  each reports findings carrying the full call chain from source to sink.
+
+Everything re-uses the Finding / suppression / baseline machinery of the
+per-file linter, so ``--deep`` findings baseline and suppress exactly
+like syntactic ones.
+"""
+
+from __future__ import annotations
+
+from .builder import Program, build_program
+from .cache import GraphCache
+from .driver import (GraphReport, all_graph_rules, analyze_program,
+                     analyze_sources, graph_rules_by_code)
+from .ir import IR_VERSION, ModuleIR, extract_module
+
+__all__ = [
+    "GraphCache", "GraphReport", "IR_VERSION", "ModuleIR", "Program",
+    "all_graph_rules", "analyze_program", "analyze_sources",
+    "build_program", "extract_module", "graph_rules_by_code",
+]

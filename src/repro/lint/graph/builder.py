@@ -1,0 +1,355 @@
+"""Assemble per-module IR documents into a whole-program call graph.
+
+Resolution is deliberately conservative-but-useful rather than sound-
+and-complete: an edge is added only when the receiver's type can be
+traced (annotation, local constructor call, ``self.x = Ctor(...)``
+attribute type, or a registry-factory return), and virtual calls fan out
+to every subclass override, so the analyses over-approximate within the
+class hierarchy but never invent targets for truly opaque receivers.
+
+The pieces:
+
+* a module index (dotted name -> IR) plus ``__init__`` re-export chasing,
+  so ``from repro.tcp.congestion import make_congestion_control`` binds
+  through the package to the defining module;
+* a class hierarchy (bases resolved through imports; subclass map) for
+  virtual-dispatch fan-out;
+* receiver typing: parameter annotations, ``x = Ctor(...)`` locals,
+  ``self.attr`` types recorded at extraction time, and constructor-
+  parameter threading (``self.sim = sim`` + ``sim: Simulator``);
+* registry factories: a function whose IR says ``return cls(...)`` with
+  ``cls`` subscripted out of a module-level dict of classes returns the
+  union of that dict's classes (this is how ``make_congestion_control``
+  style dynamic dispatch stays visible to the analyses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from .ir import ModuleIR, Ref, iter_functions
+
+__all__ = ["Program", "build_program"]
+
+FuncIR = Dict[str, Any]
+ClassIR = Dict[str, Any]
+
+
+class Program:
+    """The resolved whole program: modules, functions, classes, edges."""
+
+    def __init__(self, modules: Dict[str, ModuleIR]) -> None:
+        self.modules = modules
+        #: function qname -> FuncIR (methods included, under Class.name)
+        self.functions: Dict[str, FuncIR] = {}
+        #: class qname -> ClassIR
+        self.classes: Dict[str, ClassIR] = {}
+        #: function qname -> owning module dotted name
+        self.owner: Dict[str, str] = {}
+        #: class qname -> direct subclasses
+        self.subclasses: Dict[str, List[str]] = {}
+        self._callee_cache: Dict[str, List[Tuple[Dict[str, Any],
+                                                 List[str]]]] = {}
+        self._export_cache: Dict[str, Optional[str]] = {}
+        self._binding_stack: Set[Tuple[str, str]] = set()
+        for mod_name, module in modules.items():
+            for func in iter_functions(module):
+                self.functions[func["qname"]] = func
+                self.owner[func["qname"]] = mod_name
+            for cls in module["classes"]:
+                self.classes[cls["qname"]] = cls
+                self.owner[cls["qname"]] = mod_name
+        for cls in self.classes.values():
+            for base in cls["bases"]:
+                resolved = self.resolve_export(base)
+                if resolved in self.classes:
+                    self.subclasses.setdefault(resolved, []).append(
+                        cls["qname"])
+        for subs in self.subclasses.values():
+            subs.sort()
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_export(self, dotted: Optional[str]) -> Optional[str]:
+        """Canonical function/class qname for a dotted path, or None.
+
+        Chases ``__init__`` re-exports: if ``repro.tcp.congestion``
+        imports ``Reno`` from ``.reno``, then
+        ``repro.tcp.congestion.Reno`` resolves to
+        ``repro.tcp.congestion.reno.Reno``.
+        """
+        if dotted is None:
+            return None
+        cached = self._export_cache.get(dotted, "?")
+        if cached != "?":
+            return cached
+        result = self._resolve_export(dotted, seen=set())
+        self._export_cache[dotted] = result
+        return result
+
+    def _resolve_export(self, dotted: str,
+                        seen: Set[str]) -> Optional[str]:
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        # longest module prefix
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:cut])
+            module = self.modules.get(mod_name)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            head, tail = rest[0], rest[1:]
+            direct = f"{mod_name}.{head}"
+            if direct in self.classes:
+                if not tail:
+                    return direct
+                method = self.lookup_method(direct, tail[0])
+                return method if method and not tail[1:] else None
+            if direct in self.functions and not tail:
+                return direct
+            # re-export through the module's import table
+            origin = module["imports"].get(head)
+            if origin is not None:
+                target = origin if not tail else ".".join([origin] + tail)
+                return self._resolve_export(target, seen)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # class hierarchy
+    # ------------------------------------------------------------------
+    def lookup_method(self, cls_qname: str,
+                      name: str) -> Optional[str]:
+        """Qname of ``name`` on a class, walking bases depth-first."""
+        seen: Set[str] = set()
+        stack = [cls_qname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            candidate = f"{current}.{name}"
+            if candidate in self.functions:
+                return candidate
+            for base in cls["bases"]:
+                resolved = self.resolve_export(base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def descendants(self, cls_qname: str) -> List[str]:
+        """All transitive subclasses (not including the class itself)."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        stack = list(self.subclasses.get(cls_qname, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            out.append(current)
+            stack.extend(self.subclasses.get(current, ()))
+        return sorted(out)
+
+    def dispatch(self, cls_qname: str, name: str) -> List[str]:
+        """Possible implementations of ``obj.name()`` for ``obj: cls``.
+
+        The static target (found on the class or inherited) plus every
+        subclass override — conservative virtual dispatch.
+        """
+        targets: List[str] = []
+        static = self.lookup_method(cls_qname, name)
+        if static is not None:
+            targets.append(static)
+        for sub in self.descendants(cls_qname):
+            override = f"{sub}.{name}"
+            if override in self.functions:
+                targets.append(override)
+        return sorted(set(targets))
+
+    # ------------------------------------------------------------------
+    # receiver typing
+    # ------------------------------------------------------------------
+    def _resolve_typeref(self, typeref: str,
+                         module: ModuleIR) -> Optional[str]:
+        """A type reference from an annotation/ctor into a class qname."""
+        if typeref in self.classes:
+            return typeref
+        resolved = self.resolve_export(typeref)
+        if resolved in self.classes:
+            return resolved
+        if "." not in typeref:
+            local = f"{module['module']}.{typeref}"
+            if local in self.classes:
+                return local
+            origin = module["imports"].get(typeref)
+            if origin is not None:
+                resolved = self.resolve_export(origin)
+                if resolved in self.classes:
+                    return resolved
+        return None
+
+    def _attr_types(self, cls: ClassIR, attr: str,
+                    module: ModuleIR) -> List[str]:
+        """Class qnames an instance attribute may hold."""
+        out: List[str] = []
+        for typeref in cls["attr_types"].get(attr, ()):
+            resolved = self._resolve_typeref(typeref, module)
+            if resolved is not None:
+                out.append(resolved)
+        # `self.attr = param` threaded through an annotated parameter
+        for record in cls["attr_params"].get(attr, ()):
+            method = self.functions.get(f"{cls['qname']}.{record['method']}")
+            if method is None:
+                continue
+            annotation = (method.get("annotations") or {}).get(
+                record["param"])
+            if annotation is None:
+                continue
+            resolved = self._resolve_typeref(annotation, module)
+            if resolved is not None:
+                out.append(resolved)
+        return sorted(set(out))
+
+    def _local_receiver_types(self, func: FuncIR, name: str,
+                              module: ModuleIR) -> List[str]:
+        """Class qnames a local/parameter name may hold inside ``func``."""
+        out: List[str] = []
+        annotation = (func.get("annotations") or {}).get(name)
+        if annotation is not None:
+            resolved = self._resolve_typeref(annotation, module)
+            if resolved is not None:
+                out.append(resolved)
+        for typeref in (func.get("local_types") or {}).get(name, ()):
+            resolved = self._resolve_typeref(typeref, module)
+            if resolved is not None:
+                out.append(resolved)
+        return sorted(set(out))
+
+    def _factory_return_classes(self, callee: FuncIR) -> List[str]:
+        """Classes a registry-factory function can return."""
+        out: List[str] = []
+        module = self.modules.get(self.owner.get(callee["qname"], ""), None)
+        for typeref in callee.get("ret_types", ()):
+            if module is not None:
+                resolved = self._resolve_typeref(typeref, module)
+                if resolved is not None:
+                    out.append(resolved)
+        if module is not None:
+            for dict_name in callee.get("ret_class_dicts", ()):
+                for entry in module["state"]:
+                    if entry["name"] != dict_name:
+                        continue
+                    for value in entry.get("class_values", ()):
+                        resolved = self.resolve_export(value)
+                        if resolved in self.classes:
+                            out.append(resolved)
+        return sorted(set(out))
+
+    # ------------------------------------------------------------------
+    # call resolution
+    # ------------------------------------------------------------------
+    def _resolve_ref(self, func: FuncIR, ref: Ref) -> List[str]:
+        """Function qnames a callable reference may denote."""
+        kind = ref.get("k")
+        module = self.modules.get(self.owner.get(func["qname"], ""), None)
+        if kind == "func":
+            qname = ref["q"]
+            return [qname] if qname in self.functions else []
+        if kind == "class":
+            ctor = self.lookup_method(ref["q"], "__init__")
+            return [ctor] if ctor is not None else []
+        if kind == "dotted":
+            resolved = self.resolve_export(ref["d"])
+            if resolved is None:
+                return []
+            if resolved in self.functions:
+                return [resolved]
+            if resolved in self.classes:
+                ctor = self.lookup_method(resolved, "__init__")
+                return [ctor] if ctor is not None else []
+            return []
+        if kind == "self" and func.get("cls"):
+            return self.dispatch(func["cls"], ref["a"])
+        if kind == "sattr" and func.get("cls") and module is not None:
+            cls = self.classes.get(func["cls"])
+            if cls is None:
+                return []
+            out: List[str] = []
+            for recv_cls in self._attr_types(cls, ref["o"], module):
+                out.extend(self.dispatch(recv_cls, ref["a"]))
+            return sorted(set(out))
+        if kind == "nattr" and module is not None:
+            out = []
+            for recv_cls in self._local_receiver_types(
+                    func, ref["o"], module):
+                out.extend(self.dispatch(recv_cls, ref["a"]))
+            if not out:
+                out.extend(self._call_bound_dispatch(func, ref))
+            return sorted(set(out))
+        return []
+
+    def _call_bound_dispatch(self, func: FuncIR, ref: Ref) -> List[str]:
+        """``x = make_thing(...); x.m()`` — dispatch through the factory."""
+        bindings = func.get("local_call_bindings") or {}
+        index = bindings.get(ref["o"])
+        if index is None or not (0 <= index < len(func["calls"])):
+            return []
+        # guard against self-referential bindings (``x = x.next()``)
+        key = (func["qname"], ref["o"])
+        if key in self._binding_stack:
+            return []
+        self._binding_stack.add(key)
+        try:
+            bound_call = func["calls"][index]
+            out: List[str] = []
+            for callee in self._resolve_ref(func, bound_call["target"]):
+                for recv_cls in self.factory_classes(callee):
+                    out.extend(self.dispatch(recv_cls, ref["a"]))
+            return sorted(set(out))
+        finally:
+            self._binding_stack.discard(key)
+
+    def callees(self, qname: str) -> List[Tuple[Dict[str, Any], List[str]]]:
+        """[(call IR, [callee qnames])] for one function, cached."""
+        cached = self._callee_cache.get(qname)
+        if cached is not None:
+            return cached
+        func = self.functions.get(qname)
+        if func is None:
+            self._callee_cache[qname] = []
+            return []
+        out: List[Tuple[Dict[str, Any], List[str]]] = []
+        for call in func["calls"]:
+            out.append((call, self._resolve_ref(func, call["target"])))
+        self._callee_cache[qname] = out
+        return out
+
+    def resolve_callable_ref(self, func: FuncIR, ref: Ref) -> List[str]:
+        """Public wrapper: resolve a callback-argument reference."""
+        return self._resolve_ref(func, ref)
+
+    def factory_classes(self, qname: str) -> List[str]:
+        """Classes returned by a (possibly registry-backed) factory."""
+        func = self.functions.get(qname)
+        if func is None:
+            return []
+        return self._factory_return_classes(func)
+
+    # ------------------------------------------------------------------
+    def iter_functions(self) -> Iterator[FuncIR]:
+        for qname in sorted(self.functions):
+            yield self.functions[qname]
+
+
+def build_program(modules: Dict[str, ModuleIR]) -> Program:
+    """Index modules and wire the class hierarchy into a Program."""
+    return Program(modules)

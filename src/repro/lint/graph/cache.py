@@ -1,0 +1,101 @@
+"""Content-hash-keyed on-disk cache for per-module IR documents.
+
+The IR for a module depends only on (its source bytes, the analyzer
+version), so the cache key is ``sha256(IR_VERSION || source)``.  One JSON
+file per analyzed source path lives under the cache directory, named by
+the sha256 of the *path* so arbitrary paths map to flat filenames.  A
+warm run therefore never re-parses an untouched file; touching one file
+invalidates exactly that file's entry (the CI cache smoke asserts this
+via the hit/miss counters below).
+
+Writes are atomic (tempfile + rename) so a crashed run can never leave a
+torn JSON document for the next run to trip over; a corrupt or
+version-skewed entry is treated as a miss and silently rebuilt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from .ir import IR_VERSION, ModuleIR
+
+__all__ = ["GraphCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def _content_key(source: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(IR_VERSION.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class GraphCache:
+    """Load/store IR documents keyed by source content hash.
+
+    ``directory=None`` disables persistence: every lookup misses and
+    stores are dropped, which keeps the driver code branch-free.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self._created = False
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, path: str) -> str:
+        assert self.directory is not None
+        name = hashlib.sha256(path.encode("utf-8")).hexdigest()[:32]
+        return os.path.join(self.directory, f"{name}.json")
+
+    def load(self, path: str, source: str) -> Optional[ModuleIR]:
+        """The cached IR for (path, source), or None on a miss."""
+        if self.directory is None:
+            self.misses += 1
+            return None
+        entry_path = self._entry_path(path)
+        try:
+            with open(entry_path, "r", encoding="utf-8") as handle:
+                entry: Dict[str, Any] = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("key") != _content_key(source):
+            self.misses += 1
+            return None
+        ir = entry.get("ir")
+        if not isinstance(ir, dict) or ir.get("version") != IR_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ir
+
+    def store(self, path: str, source: str, ir: ModuleIR) -> None:
+        if self.directory is None:
+            return
+        if not self._created:
+            os.makedirs(self.directory, exist_ok=True)
+            self._created = True
+        entry = {"key": _content_key(source), "path": path, "ir": ir}
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp_path, self._entry_path(path))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

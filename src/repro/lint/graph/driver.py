@@ -1,0 +1,194 @@
+"""Run the whole-program rules and fold results into lint machinery.
+
+The deep rules differ from per-file rules in shape — one analysis pass
+produces findings for many files — so they register here as *metadata*
+(code, summary, rationale, example) while the actual checks run once
+over the assembled :class:`~.builder.Program`.  Findings then rejoin the
+per-file pipeline: inline ``# repro-lint: disable=CODE`` suppressions on
+the flagged line apply, ``line_text`` is filled for baseline matching,
+and the engine merges and sorts them with the syntactic findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import SUPPRESS_ALL, _suppressions
+from ..findings import Finding
+from .builder import Program, build_program
+from .cache import GraphCache
+from .ir import ModuleIR, extract_module
+from .purity import check_purity
+from .races import check_races
+from .taint import check_taint
+from .unitflow import check_unitflow
+
+__all__ = ["GraphRule", "GraphReport", "all_graph_rules",
+           "graph_rules_by_code", "analyze_program", "analyze_sources"]
+
+
+@dataclass(frozen=True)
+class GraphRule:
+    """Catalogue entry for one whole-program diagnostic code."""
+
+    code: str
+    summary: str
+    rationale: str
+    example: str
+
+
+_GRAPH_RULES: Tuple[GraphRule, ...] = (
+    GraphRule(
+        code="DET101",
+        summary="entropy source flows through calls into a simulator sink",
+        rationale=("A wall-clock or entropy read laundered through helper "
+                   "functions still lands in schedule()/journal/digest "
+                   "state; the per-file DET rules only see the call site, "
+                   "this one follows the value."),
+        example=("def jitter(): return time.time() % 1\n"
+                 "def arm(sim): sim.schedule(jitter(), fire)"),
+    ),
+    GraphRule(
+        code="SIM101",
+        summary="impure call in a function reachable from Simulator.run",
+        rationale=("Everything that executes under the event loop must be "
+                   "pure: blocking I/O wedges the campaign, wall-clock and "
+                   "entropy reads decouple replays.  Reachability is "
+                   "computed over the call graph, including stored "
+                   "callbacks (the Timer pattern)."),
+        example=("def on_expiry(self):\n"
+                 "    time.sleep(0.1)   # scheduled via sim.schedule"),
+    ),
+    GraphRule(
+        code="PAR001",
+        summary="module-level mutable state shared by supervisor and worker",
+        rationale=("After fork() the two sides hold different copies; any "
+                   "mutation one side makes is invisible to the other, so "
+                   "code that reads the shared name is silently divergent."),
+        example="_CACHE = {}  # touched by worker_main AND Supervisor",
+    ),
+    GraphRule(
+        code="PAR002",
+        summary="worker-side write to a fork-inherited module global",
+        rationale=("A worker mutating a module global changes only its own "
+                   "copy — the supervisor and sibling workers never see "
+                   "it, which breaks the single-writer merge discipline."),
+        example="def worker_main(...):\n    _SEEN.add(task.position)",
+    ),
+    GraphRule(
+        code="PAR003",
+        summary="pipe send() payload not provably < PIPE_BUF",
+        rationale=("Status tuples stay atomic only below PIPE_BUF; an "
+                   "untruncated f-string or str() payload can exceed it "
+                   "and interleave with a sibling's write."),
+        example="status.send((kind, f\"worker failed: {exc}\"))",
+    ),
+    GraphRule(
+        code="PAR004",
+        summary="file handle opened pre-fork but written post-fork",
+        rationale=("Parent and child share one file offset for handles "
+                   "opened before fork(); concurrent writes corrupt the "
+                   "journal.  Open inside the worker, after the fork."),
+        example="_LOG = open(path, 'a')\ndef worker_main(...): _LOG.write(x)",
+    ),
+    GraphRule(
+        code="UNIT101",
+        summary="time-unit mismatch across a call or return edge",
+        rationale=("A seconds value passed into a `_ms` parameter is the "
+                   "same silent 1000x as UNIT001, one stack frame later; "
+                   "suffix inference is propagated through signatures and "
+                   "returns."),
+        example="def wait(delay_ms): ...\nwait(rto_s)",
+    ),
+    GraphRule(
+        code="UNIT102",
+        summary="size/rate-unit mismatch across a call or return edge",
+        rationale=("Bytes into a `_bits` parameter is a silent 8x in the "
+                   "byte accounting that reproduction fidelity rests on."),
+        example="def enqueue(size_bits): ...\nenqueue(payload_bytes)",
+    ),
+)
+
+
+def all_graph_rules() -> List[GraphRule]:
+    return list(_GRAPH_RULES)
+
+
+def graph_rules_by_code() -> Dict[str, GraphRule]:
+    return {rule.code: rule for rule in _GRAPH_RULES}
+
+
+@dataclass
+class GraphReport:
+    """Outcome of one whole-program analysis pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    modules: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def analyze_program(program: Program) -> List[Finding]:
+    """Run every deep rule over an assembled program (no suppressions)."""
+    findings: List[Finding] = []
+    findings.extend(check_taint(program))
+    findings.extend(check_purity(program))
+    findings.extend(check_races(program))
+    findings.extend(check_unitflow(program))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def analyze_sources(sources: Sequence[Tuple[str, str]],
+                    cache: Optional[GraphCache] = None,
+                    codes: Optional[Sequence[str]] = None) -> GraphReport:
+    """Whole-program analysis over (path, source) pairs.
+
+    Parses/extracts each module (via the content-hash cache when given),
+    builds the program, runs the deep rules, then applies per-line inline
+    suppressions and fills ``line_text`` so findings integrate with the
+    baseline machinery.  Unparsable files are skipped here — the per-file
+    pass reports them as PARSE findings.
+    """
+    cache = cache if cache is not None else GraphCache(None)
+    modules: Dict[str, ModuleIR] = {}
+    lines_by_path: Dict[str, List[str]] = {}
+    suppress_by_path: Dict[str, Dict[str, set]] = {}
+    for path, source in sources:
+        posix = path.replace("\\", "/")
+        ir = cache.load(posix, source)
+        if ir is None:
+            try:
+                ir = extract_module(posix, source)
+            except SyntaxError:
+                continue
+            cache.store(posix, source, ir)
+        modules[ir["module"]] = ir
+        lines_by_path[posix] = source.splitlines()
+        suppress_by_path[posix] = {
+            str(line): codes_set
+            for line, codes_set in _suppressions(source).items()}
+
+    program = build_program(modules)
+    raw = analyze_program(program)
+    if codes is not None:
+        wanted = set(codes)
+        raw = [f for f in raw if f.code in wanted]
+
+    report = GraphReport(modules=len(modules),
+                         cache_hits=cache.hits,
+                         cache_misses=cache.misses)
+    for finding in raw:
+        suppressed_codes = suppress_by_path.get(finding.path, {}).get(
+            str(finding.line), set())
+        if (SUPPRESS_ALL.upper() in suppressed_codes
+                or finding.code in suppressed_codes):
+            report.suppressed += 1
+            continue
+        lines = lines_by_path.get(finding.path, [])
+        text = (lines[finding.line - 1].strip()
+                if 1 <= finding.line <= len(lines) else "")
+        report.findings.append(replace(finding, line_text=text))
+    return report

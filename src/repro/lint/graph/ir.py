@@ -1,0 +1,929 @@
+"""Per-module intermediate representation for the whole-program analyses.
+
+One module is lowered into a plain-JSON document capturing exactly what
+the graph rules need — call sites with resolved-as-far-as-possible
+targets, taint atoms feeding returns and sink arguments, unit signatures,
+impure-call sites, module-level state accesses — and nothing else.  The
+AST is visited once per file per content hash; everything downstream
+(call-graph assembly, taint, purity, races, unit flow) runs on the IR,
+which is what makes the on-disk cache (:mod:`.cache`) sound: a file whose
+bytes did not change contributes a byte-identical IR document.
+
+Atoms
+-----
+Dataflow inside a function is summarized as *atoms*, the things a value
+can transitively depend on::
+
+    ["src", origin, line]   -- a direct entropy/wall-clock source call
+    ["call", index]         -- the return value of calls[index]
+    ["param", name]         -- one of the function's parameters
+
+Assignments union atom sets; calls record their argument atom sets so the
+interprocedural fix-point in :mod:`.taint` can evaluate them against
+callee summaries without ever re-walking source.
+
+Call-target references
+----------------------
+``target`` (and argument ``ref``\\ s, used for callback resolution) are
+small tagged dicts::
+
+    {"k": "dotted", "d": "time.time"}      -- import-resolved dotted path
+    {"k": "func",   "q": "<qname>"}        -- function in this module
+    {"k": "class",  "q": "<qname>"}        -- class in this module
+    {"k": "name",   "n": "foo"}            -- unresolved bare name
+    {"k": "self",   "a": "m"}              -- self.m(...)
+    {"k": "sattr",  "o": "sim", "a": "x"}  -- self.sim.x(...)
+    {"k": "nattr",  "o": "sim", "a": "x"}  -- sim.x(...) on a local name
+    {"k": "attr",   "a": "x"}              -- x on an opaque receiver
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ..rules import (_SIZE_SUFFIXES, _TIME_SUFFIXES, BlockingCallRule,
+                     EntropySourceRule, WallClockRule, _infer_unit,
+                     _suffix_unit)
+
+__all__ = ["IR_VERSION", "ModuleIR", "extract_module", "module_name_for",
+           "iter_functions", "Ref", "Atom"]
+
+#: Bump whenever the IR schema or extraction logic changes: the content
+#: hash cache keys on (source bytes, IR_VERSION), so stale cache entries
+#: from an older analyzer can never be replayed.
+IR_VERSION = "repro-lint-graph-1"
+
+Ref = Dict[str, str]
+Atom = List[Any]
+ModuleIR = Dict[str, Any]
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+_WALLCLOCK = frozenset(WallClockRule.FORBIDDEN)
+_ENTROPY = frozenset(EntropySourceRule.FORBIDDEN) | frozenset({
+    "uuid.uuid3", "uuid.uuid5"})
+_BLOCKING_EXACT = frozenset(BlockingCallRule.FORBIDDEN_EXACT)
+_BLOCKING_PREFIX = tuple(BlockingCallRule.FORBIDDEN_PREFIX)
+_RANDOM_OK = frozenset({"random.Random", "random.SystemRandom"})
+
+_MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "Counter",
+    "OrderedDict", "deque", "collections.defaultdict",
+    "collections.Counter", "collections.OrderedDict", "collections.deque",
+})
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "update", "pop", "popitem", "insert",
+    "extend", "extendleft", "setdefault", "clear", "remove", "discard",
+    "sort", "reverse",
+})
+_FILE_WRITE_ATTRS = frozenset({"write", "writelines", "flush"})
+
+
+def module_name_for(path: str) -> Tuple[str, bool]:
+    """(dotted module name, is_package) for a posix-style file path.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``;
+    ``src/repro/chaos/__init__.py`` -> ``repro.chaos`` (package);
+    ``tests/test_x.py`` -> ``tests.test_x``.
+    """
+    parts = [p for p in path.replace("\\", "/").split("/")
+             if p not in ("", ".")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return "", False
+    leaf = parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[:-3]
+    if leaf == "__init__":
+        return ".".join(parts[:-1]), True
+    return ".".join(parts[:-1] + [leaf]), False
+
+
+def _impure_kind(origin: str) -> Optional[str]:
+    if origin in _WALLCLOCK:
+        return "wall-clock"
+    if origin in _ENTROPY:
+        return "entropy"
+    if origin in _BLOCKING_EXACT or origin.startswith(_BLOCKING_PREFIX):
+        return "blocking"
+    if (origin.startswith("random.") and origin.count(".") == 1
+            and origin not in _RANDOM_OK):
+        return "global-random"
+    return None
+
+
+def _taint_origin(origin: str) -> Optional[str]:
+    """Entropy-source classification for the taint analysis."""
+    if origin in _WALLCLOCK or origin in _ENTROPY:
+        return origin
+    if origin == "hash":
+        return "hash"
+    if (origin.startswith(("random.", "uuid."))
+            and origin not in _RANDOM_OK and origin != "uuid.UUID"
+            and origin.count(".") == 1):
+        return origin
+    return None
+
+
+def _collect_locals(node: FuncNode) -> Tuple[Set[str], Set[str]]:
+    """(names assigned locally, names declared global/nonlocal) in a body.
+
+    Nested function/class bodies are not descended into — their scopes
+    are their own — but their *names* are locals of this scope.
+    """
+    assigned: Set[str] = set()
+    declared: Set[str] = set()
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            assigned.add(child.name)
+            continue
+        if isinstance(child, ast.Lambda):
+            continue
+        if isinstance(child, (ast.Global, ast.Nonlocal)):
+            declared.update(child.names)
+            continue
+        if isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)):
+            assigned.add(child.id)
+        elif isinstance(child, (ast.Import, ast.ImportFrom)):
+            for alias in child.names:
+                assigned.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(child, ast.ExceptHandler) and child.name:
+            assigned.add(child.name)
+        stack.extend(ast.iter_child_nodes(child))
+    return assigned - declared, declared
+
+
+class _ImportTable:
+    """Import-resolved name table for one module (incl. relative forms)."""
+
+    def __init__(self, module: str, is_package: bool) -> None:
+        self.module = module
+        self.is_package = is_package
+        self.names: Dict[str, str] = {}
+
+    def _relative_base(self, level: int) -> str:
+        parts = self.module.split(".") if self.module else []
+        if not self.is_package:
+            parts = parts[:-1]
+        drop = level - 1
+        if drop:
+            parts = parts[:-drop] if drop <= len(parts) else []
+        return ".".join(parts)
+
+    def collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = self._relative_base(node.level)
+                    source = (f"{base}.{node.module}" if node.module and base
+                              else (node.module or base))
+                else:
+                    source = node.module or ""
+                if not source:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.names[alias.asname or alias.name] = (
+                        f"{source}.{alias.name}")
+
+    def resolve(self, func: ast.expr) -> Optional[str]:
+        """Dotted origin of an expression, or None (mirror of FileContext)."""
+        chain: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.reverse()
+        base = node.id
+        if base in self.names:
+            return ".".join([self.names[base]] + chain)
+        if not chain:
+            return base
+        return None
+
+
+class _FunctionExtractor:
+    """Lowers one function body into its FuncIR document."""
+
+    def __init__(self, module: "_ModuleExtractor", qname: str,
+                 node: FuncNode, cls: Optional[str]) -> None:
+        self.mod = module
+        self.qname = qname
+        self.node = node
+        self.cls = cls
+        self.calls: List[Dict[str, Any]] = []
+        args = node.args
+        params = [a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)]
+        if args.vararg is not None:
+            params.append(args.vararg.arg)
+        if args.kwarg is not None:
+            params.append(args.kwarg.arg)
+        local_names, global_names = _collect_locals(node)
+        self.params = params
+        self.param_set = set(params)
+        self.locals = local_names | self.param_set
+        self.declared_globals = global_names
+        self.local_types: Dict[str, List[str]] = {}
+        self.local_call_bindings: Dict[str, int] = {}
+        self.local_atoms: Dict[str, List[Atom]] = {}
+        self.bounded_strings: Set[str] = set()
+        self.unbounded_strings: Set[str] = set()
+        self.returns: List[Atom] = []
+        self.ret_types: List[str] = []
+        self.ret_class_dicts: List[str] = []
+        self.ret_unit_exprs_t: List[Optional[str]] = []
+        self.ret_unit_exprs_s: List[Optional[str]] = []
+        self.impure: List[Dict[str, Any]] = []
+        self.called_params: Set[str] = set()
+        self.global_writes: List[Dict[str, Any]] = []
+        self.module_loads: List[Dict[str, Any]] = []
+        self.module_mutations: List[Dict[str, Any]] = []
+        self.unbounded_sends: List[Dict[str, Any]] = []
+        self.handle_writes: List[Dict[str, Any]] = []
+        self.self_stores: List[Tuple[str, str]] = []   # (attr, param)
+        self.self_attr_types: Dict[str, List[str]] = {}
+        self.self_attr_calls: Set[str] = set()
+        self.self_attr_opens: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # reference helpers
+    # ------------------------------------------------------------------
+    def _type_of_annotation(self, ann: Optional[ast.expr]) -> Optional[str]:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            text = ann.value.strip()
+            if text.isidentifier() or ("." in text and all(
+                    p.isidentifier() for p in text.split("."))):
+                return text
+            return None
+        if isinstance(ann, ast.Subscript):   # Optional[X] / List[X]: skip
+            return None
+        return self.mod.imports.resolve(ann)
+
+    def _ref_of(self, node: ast.expr) -> Optional[Ref]:
+        """A callable-valued expression -> reference, or None."""
+        if isinstance(node, ast.Name):
+            name = node.id
+            bound = self.mod.nested_funcs.get(self.qname, {}).get(name)
+            if bound is not None:
+                return {"k": "func", "q": bound}
+            if name in self.locals and name not in self.param_set:
+                return {"k": "name", "n": name}
+            if name in self.mod.function_names:
+                return {"k": "func", "q": f"{self.mod.module}.{name}"}
+            if name in self.mod.class_names:
+                return {"k": "class", "q": f"{self.mod.module}.{name}"}
+            dotted = self.mod.imports.names.get(name)
+            if dotted is not None:
+                return {"k": "dotted", "d": dotted}
+            return {"k": "name", "n": name}
+        if isinstance(node, ast.Attribute):
+            inner = node.value
+            if isinstance(inner, ast.Name):
+                if inner.id == "self" and self.cls is not None:
+                    return {"k": "self", "a": node.attr}
+                dotted = self.mod.imports.resolve(node)
+                if dotted is not None:
+                    return {"k": "dotted", "d": dotted}
+                return {"k": "nattr", "o": inner.id, "a": node.attr}
+            if (isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id == "self" and self.cls is not None):
+                return {"k": "sattr", "o": inner.attr, "a": node.attr}
+            dotted = self.mod.imports.resolve(node)
+            if dotted is not None:
+                return {"k": "dotted", "d": dotted}
+            return {"k": "attr", "a": node.attr}
+        if isinstance(node, ast.Lambda):
+            qname = self.mod.lower_lambda(node, self.qname, self.cls)
+            return {"k": "func", "q": qname}
+        if isinstance(node, ast.Call):
+            # functools.partial(f, ...): the callable is the first arg
+            origin = self.mod.imports.resolve(node.func)
+            if origin in ("functools.partial", "partial") and node.args:
+                return self._ref_of(node.args[0])
+        return None
+
+    def _typeref_of_ctor(self, ref: Optional[Ref]) -> Optional[str]:
+        """Class reference string when a call is (probably) a constructor."""
+        if ref is None:
+            return None
+        if ref["k"] == "class":
+            return ref["q"]
+        if ref["k"] == "dotted":
+            leaf = ref["d"].rsplit(".", 1)[-1]
+            if leaf[:1].isupper():
+                return ref["d"]
+        return None
+
+    # ------------------------------------------------------------------
+    # atoms
+    # ------------------------------------------------------------------
+    def _atoms_of(self, node: ast.expr, out: List[Atom]) -> None:
+        """Collect atoms for an expression, lowering calls on the way.
+
+        This is the only place calls inside *value* expressions get
+        lowered, so each call site yields exactly one IR entry.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.param_set:
+                out.append(["param", node.id])
+            elif node.id in self.local_atoms:
+                out.extend(self.local_atoms[node.id])
+            elif node.id in self.local_call_bindings:
+                out.append(["call", self.local_call_bindings[node.id]])
+            return
+        if isinstance(node, ast.Call):
+            out.append(["call", self._lower_call(node)])
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._atoms_of(child, out)
+
+    @staticmethod
+    def _dedup_atoms(atoms: List[Atom], cap: int = 12) -> List[Atom]:
+        seen: Set[str] = set()
+        unique: List[Atom] = []
+        for atom in atoms:
+            key = repr(atom)
+            if key not in seen:
+                seen.add(key)
+                unique.append(atom)
+            if len(unique) >= cap:
+                break
+        return unique
+
+    # ------------------------------------------------------------------
+    # string boundedness (PAR003)
+    # ------------------------------------------------------------------
+    def _is_string_building(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.JoinedStr):
+            return any(isinstance(v, ast.FormattedValue) for v in node.values)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Mod)):
+            for side in (node.left, node.right):
+                if (isinstance(side, ast.Constant)
+                        and isinstance(side.value, str)):
+                    return True
+            return (self._is_string_building(node.left)
+                    or self._is_string_building(node.right))
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "str", "repr", "format"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "format", "join"):
+                return True
+        return False
+
+    def _payload_unbounded(self, node: ast.expr) -> Optional[str]:
+        """Why a pipe payload is not provably bounded, or None if fine."""
+        if isinstance(node, ast.Subscript):   # sliced: provably truncated
+            return None
+        if self._is_string_building(node):
+            return "built string is never truncated"
+        if isinstance(node, ast.Name) and node.id in self.unbounded_strings:
+            return f"`{node.id}` holds an untruncated built string"
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                why = self._payload_unbounded(child)
+                if why is not None:
+                    return why
+        return None
+
+    # ------------------------------------------------------------------
+    # call lowering
+    # ------------------------------------------------------------------
+    def _arg_ir(self, node: ast.expr) -> Dict[str, Any]:
+        atoms: List[Atom] = []
+        self._atoms_of(node, atoms)
+        arg: Dict[str, Any] = {"atoms": self._dedup_atoms(atoms)}
+        unit_t = _infer_unit(node, _TIME_SUFFIXES)
+        unit_s = _infer_unit(node, _SIZE_SUFFIXES)
+        if isinstance(unit_t, str):
+            arg["t"] = unit_t
+        if isinstance(unit_s, str):
+            arg["s"] = unit_s
+        ref = self._ref_of(node)
+        if ref is not None:
+            arg["ref"] = ref
+        return arg
+
+    def _lower_call(self, node: ast.Call) -> int:
+        target = self._ref_of(node.func)
+        if target is None:
+            target = ({"k": "attr", "a": "<expr>"}
+                      if isinstance(node.func, ast.Attribute)
+                      else {"k": "opaque"})
+        call: Dict[str, Any] = {
+            "line": node.lineno, "col": node.col_offset, "target": target,
+            "args": [self._arg_ir(a) for a in node.args
+                     if not isinstance(a, ast.Starred)],
+        }
+        kwargs = {kw.arg: self._arg_ir(kw.value)
+                  for kw in node.keywords if kw.arg is not None}
+        if kwargs:
+            call["kwargs"] = kwargs
+        index = len(self.calls)
+        self.calls.append(call)
+
+        # direct classification: entropy source / impure call
+        kind = target.get("k")
+        origin: Optional[str] = None
+        if kind == "dotted":
+            origin = target["d"]
+        elif kind == "name":
+            origin = target["n"]
+        if origin is not None:
+            taint = _taint_origin(origin)
+            if taint is not None:
+                call["source"] = taint
+            impure = _impure_kind(origin)
+            if impure is not None:
+                self.impure.append({"origin": origin, "kind": impure,
+                                    "line": node.lineno,
+                                    "col": node.col_offset})
+            if origin == "open":
+                call["opens"] = True
+        # called parameters: body invokes one of its own parameters
+        if kind == "name" and target["n"] in self.param_set:
+            self.called_params.add(target["n"])
+        if kind == "self":
+            self.self_attr_calls.add(target["a"])
+        if target.get("a") in _FILE_WRITE_ATTRS and kind in (
+                "self", "sattr", "nattr"):
+            owner = target["a"] if kind == "self" else target.get("o", "")
+            self.handle_writes.append(
+                {"k": str(kind), "n": owner, "attr": target["a"],
+                 "line": node.lineno})
+        if target.get("a") == "send" and node.args and not isinstance(
+                node.args[0], ast.Starred):
+            why = self._payload_unbounded(node.args[0])
+            if why is not None:
+                self.unbounded_sends.append(
+                    {"line": node.lineno, "col": node.col_offset,
+                     "why": why})
+        # mutating method on a module-level name
+        if (isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.attr in _MUTATING_METHODS):
+            self._note_module_access(node.func.value, mutation=node.func.attr)
+        return index
+
+    # ------------------------------------------------------------------
+    # module-state bookkeeping
+    # ------------------------------------------------------------------
+    def _note_module_access(self, node: ast.Name,
+                            mutation: Optional[str] = None) -> None:
+        name = node.id
+        if name in self.locals and name not in self.declared_globals:
+            return
+        if mutation is not None:
+            self.module_mutations.append(
+                {"name": name, "line": node.lineno, "how": mutation})
+        else:
+            self.module_loads.append({"name": name, "line": node.lineno})
+
+    # ------------------------------------------------------------------
+    # expression walking (names + calls, each lowered exactly once)
+    # ------------------------------------------------------------------
+    def _note_names(self, node: ast.AST) -> None:
+        """Record module-name loads in an expression WITHOUT lowering calls
+        (used on expressions whose calls were already lowered)."""
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                self._note_module_access(node)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            return
+        for sub in ast.iter_child_nodes(node):
+            self._note_names(sub)
+
+    def _lower_expr(self, node: ast.expr) -> None:
+        """Lower every call in an expression and record its name loads."""
+        atoms: List[Atom] = []
+        self._atoms_of(node, atoms)
+        self._note_names(node)
+
+    # ------------------------------------------------------------------
+    # assignment handling
+    # ------------------------------------------------------------------
+    def _handle_assign_target(self, target: ast.expr, value: ast.expr,
+                              line: int, atoms: List[Atom]) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.declared_globals:
+                self.global_writes.append({"name": name, "line": line})
+                self.module_mutations.append(
+                    {"name": name, "line": line, "how": "global write"})
+            self.local_atoms[name] = atoms
+            if isinstance(value, ast.Call):
+                typeref = self._typeref_of_ctor(self._ref_of(value.func))
+                if typeref is not None:
+                    self.local_types.setdefault(name, []).append(typeref)
+                elif self.calls:
+                    self.local_call_bindings[name] = len(self.calls) - 1
+                if self.calls:
+                    # unit of the assignment target, for return-unit flow
+                    call_ir = self.calls[-1]
+                    assign_t = _suffix_unit(name, _TIME_SUFFIXES)
+                    assign_s = _suffix_unit(name, _SIZE_SUFFIXES)
+                    if assign_t is not None:
+                        call_ir["assign_t"] = assign_t
+                    if assign_s is not None:
+                        call_ir["assign_s"] = assign_s
+            if isinstance(value, ast.Lambda):
+                qname = self.mod.lower_lambda(value, self.qname, self.cls)
+                self.mod.nested_funcs.setdefault(
+                    self.qname, {})[name] = qname
+            if isinstance(value, ast.Subscript):
+                self.bounded_strings.add(name)
+                self.unbounded_strings.discard(name)
+            elif self._is_string_building(value):
+                if name not in self.bounded_strings:
+                    self.unbounded_strings.add(name)
+        elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name):
+            self._note_module_access(target.value, mutation="[]=")
+        elif isinstance(target, ast.Attribute):
+            inner = target.value
+            if (isinstance(inner, ast.Name) and inner.id == "self"
+                    and self.cls is not None):
+                if (isinstance(value, ast.Name)
+                        and value.id in self.param_set):
+                    self.self_stores.append((target.attr, value.id))
+                if isinstance(value, ast.Call):
+                    typeref = self._typeref_of_ctor(
+                        self._ref_of(value.func))
+                    if typeref is not None:
+                        self.self_attr_types.setdefault(
+                            target.attr, []).append(typeref)
+                    if self.mod.imports.resolve(value.func) == "open":
+                        self.self_attr_opens.append(
+                            {"attr": target.attr, "line": line})
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._handle_assign_target(element, value, line, atoms)
+
+    def _handle_return_value(self, value: ast.expr) -> None:
+        atoms: List[Atom] = []
+        self._atoms_of(value, atoms)
+        self.returns = self._dedup_atoms(self.returns + atoms, cap=24)
+        self._note_names(value)
+        unit_t = _infer_unit(value, _TIME_SUFFIXES)
+        unit_s = _infer_unit(value, _SIZE_SUFFIXES)
+        self.ret_unit_exprs_t.append(
+            unit_t if isinstance(unit_t, str) else None)
+        self.ret_unit_exprs_s.append(
+            unit_s if isinstance(unit_s, str) else None)
+        if isinstance(value, ast.Call):
+            typeref = self._typeref_of_ctor(self._ref_of(value.func))
+            if typeref is not None:
+                self.ret_types.append(typeref)
+            elif isinstance(value.func, ast.Name):
+                self._note_factory_return(value.func.id)
+
+    def _note_factory_return(self, name: str) -> None:
+        """Detect ``return cls(...)`` where cls was pulled from a class
+        dict (``cls = _VARIANTS[key]``) — the registry-factory idiom."""
+        for node in ast.walk(self.node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == name
+                    and isinstance(node.value, ast.Subscript)
+                    and isinstance(node.value.value, ast.Name)):
+                self.ret_class_dicts.append(node.value.value.id)
+
+    # ------------------------------------------------------------------
+    # the statement walk
+    # ------------------------------------------------------------------
+    def _walk(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.mod.lower_function(child, parent_qname=self.qname,
+                                        cls=self.cls)
+                continue
+            if isinstance(child, ast.ClassDef):
+                continue   # nested classes: out of scope
+            if isinstance(child, ast.Lambda):
+                self.mod.lower_lambda(child, self.qname, self.cls)
+                continue
+            if isinstance(child, ast.expr):
+                self._lower_expr(child)
+                continue
+            if isinstance(child, ast.Assign):
+                atoms: List[Atom] = []
+                self._atoms_of(child.value, atoms)
+                atoms = self._dedup_atoms(atoms)
+                for target in child.targets:
+                    self._handle_assign_target(target, child.value,
+                                               child.lineno, atoms)
+                self._note_names(child.value)
+                continue
+            if isinstance(child, ast.AnnAssign):
+                if child.value is not None:
+                    ann_atoms: List[Atom] = []
+                    self._atoms_of(child.value, ann_atoms)
+                    self._handle_assign_target(
+                        child.target, child.value, child.lineno,
+                        self._dedup_atoms(ann_atoms))
+                    self._note_names(child.value)
+                continue
+            if isinstance(child, ast.AugAssign):
+                if isinstance(child.target, ast.Name):
+                    name = child.target.id
+                    if name in self.declared_globals:
+                        self.global_writes.append(
+                            {"name": name, "line": child.lineno})
+                        self.module_mutations.append(
+                            {"name": name, "line": child.lineno,
+                             "how": "augmented assignment"})
+                    aug_atoms: List[Atom] = []
+                    self._atoms_of(child.value, aug_atoms)
+                    merged = self.local_atoms.get(name, []) + aug_atoms
+                    self.local_atoms[name] = self._dedup_atoms(merged)
+                    self._note_names(child.value)
+                elif isinstance(child.target, ast.Subscript) and isinstance(
+                        child.target.value, ast.Name):
+                    self._note_module_access(child.target.value,
+                                             mutation="[]+=")
+                    self._lower_expr(child.value)
+                else:
+                    self._lower_expr(child.value)
+                continue
+            if isinstance(child, ast.Return):
+                if child.value is not None:
+                    self._handle_return_value(child.value)
+                continue
+            if isinstance(child, (ast.Global, ast.Nonlocal)):
+                continue
+            self._walk(child)
+
+    # ------------------------------------------------------------------
+    def extract(self) -> Dict[str, Any]:
+        node = self.node
+        if isinstance(node, ast.Lambda):
+            self._handle_return_value(node.body)
+        else:
+            self._walk(node)
+        annotations: Dict[str, str] = {}
+        if not isinstance(node, ast.Lambda):
+            for arg in (node.args.posonlyargs + node.args.args
+                        + node.args.kwonlyargs):
+                typeref = self._type_of_annotation(arg.annotation)
+                if typeref is not None:
+                    annotations[arg.arg] = typeref
+        name: Optional[str] = getattr(node, "name", None)
+        ret_unit_t = _suffix_unit(name, _TIME_SUFFIXES)
+        if ret_unit_t is None:
+            seen_t = set(self.ret_unit_exprs_t)
+            if len(seen_t) == 1 and None not in seen_t:
+                ret_unit_t = seen_t.pop()
+        ret_unit_s = _suffix_unit(name, _SIZE_SUFFIXES)
+        if ret_unit_s is None:
+            seen_s = set(self.ret_unit_exprs_s)
+            if len(seen_s) == 1 and None not in seen_s:
+                ret_unit_s = seen_s.pop()
+        ir: Dict[str, Any] = {
+            "qname": self.qname,
+            "name": name or "<lambda>",
+            "line": node.lineno,
+            "cls": self.cls,
+            "params": self.params,
+            "calls": self.calls,
+            "returns": self.returns,
+        }
+        if annotations:
+            ir["annotations"] = annotations
+        if ret_unit_t is not None:
+            ir["ret_unit_t"] = ret_unit_t
+        if ret_unit_s is not None:
+            ir["ret_unit_s"] = ret_unit_s
+        if self.ret_types:
+            ir["ret_types"] = sorted(set(self.ret_types))
+        if self.ret_class_dicts:
+            ir["ret_class_dicts"] = sorted(set(self.ret_class_dicts))
+        if self.impure:
+            ir["impure"] = self.impure
+        if self.called_params:
+            ir["called_params"] = sorted(self.called_params)
+        if self.global_writes:
+            ir["global_writes"] = self.global_writes
+        if self.module_loads:
+            ir["module_loads"] = self.module_loads[:200]
+        if self.module_mutations:
+            ir["module_mutations"] = self.module_mutations
+        if self.unbounded_sends:
+            ir["unbounded_sends"] = self.unbounded_sends
+        if self.handle_writes:
+            ir["handle_writes"] = self.handle_writes
+        if self.self_stores:
+            ir["self_stores"] = [list(pair) for pair in self.self_stores]
+        if self.self_attr_types:
+            ir["self_attr_types"] = {
+                k: sorted(set(v)) for k, v in self.self_attr_types.items()}
+        if self.self_attr_calls:
+            ir["self_attr_calls"] = sorted(self.self_attr_calls)
+        if self.self_attr_opens:
+            ir["self_attr_opens"] = self.self_attr_opens
+        if self.local_types:
+            ir["local_types"] = {
+                k: sorted(set(v)) for k, v in self.local_types.items()}
+        if self.local_call_bindings:
+            ir["local_call_bindings"] = dict(
+                sorted(self.local_call_bindings.items()))
+        return ir
+
+
+class _ModuleExtractor:
+    """Drives extraction of one module's IR document."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path.replace("\\", "/")
+        self.module, self.is_package = module_name_for(self.path)
+        self.imports = _ImportTable(self.module, self.is_package)
+        self.imports.collect(tree)
+        self.tree = tree
+        self.functions: List[Dict[str, Any]] = []
+        self.classes: List[Dict[str, Any]] = []
+        self.state: List[Dict[str, Any]] = []
+        self.function_names: Set[str] = set()
+        self.class_names: Set[str] = set()
+        self.nested_funcs: Dict[str, Dict[str, str]] = {}
+        self._lambda_counter = 0
+        self._current_class: Optional[Dict[str, Any]] = None
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.function_names.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                self.class_names.add(node.name)
+
+    # ------------------------------------------------------------------
+    def lower_function(self, node: Union[ast.FunctionDef,
+                                         ast.AsyncFunctionDef],
+                       parent_qname: Optional[str],
+                       cls: Optional[str]) -> str:
+        if parent_qname is None:
+            base = (f"{cls}.{node.name}" if cls is not None
+                    else f"{self.module}.{node.name}")
+        else:
+            base = f"{parent_qname}.{node.name}"
+            self.nested_funcs.setdefault(parent_qname, {})[node.name] = base
+        extractor = _FunctionExtractor(self, base, node, cls)
+        ir = extractor.extract()
+        if (cls is not None and parent_qname is None
+                and self._current_class is not None):
+            self._current_class["methods"].append(ir)
+            for attr, param in extractor.self_stores:
+                self._current_class["attr_params"].setdefault(
+                    attr, []).append({"method": node.name, "param": param})
+            for attr, types in extractor.self_attr_types.items():
+                merged = self._current_class["attr_types"].setdefault(
+                    attr, [])
+                for typeref in types:
+                    if typeref not in merged:
+                        merged.append(typeref)
+        else:
+            self.functions.append(ir)
+        return base
+
+    def lower_lambda(self, node: ast.Lambda, parent_qname: str,
+                     cls: Optional[str]) -> str:
+        self._lambda_counter += 1
+        qname = f"{parent_qname}.<lambda-{node.lineno}-{self._lambda_counter}>"
+        extractor = _FunctionExtractor(self, qname, node, cls)
+        ir = extractor.extract()
+        self.functions.append(ir)
+        return qname
+
+    def lower_class(self, node: ast.ClassDef) -> None:
+        qname = f"{self.module}.{node.name}"
+        bases: List[str] = []
+        for base_node in node.bases:
+            dotted = self.imports.resolve(base_node)
+            if dotted is not None:
+                if dotted in self.class_names:
+                    dotted = f"{self.module}.{dotted}"
+                bases.append(dotted)
+        cls_ir: Dict[str, Any] = {
+            "qname": qname, "name": node.name, "line": node.lineno,
+            "bases": bases, "methods": [], "attr_types": {},
+            "attr_params": {},
+        }
+        self._current_class = cls_ir
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.lower_function(child, parent_qname=None, cls=qname)
+        self._current_class = None
+        self.classes.append(cls_ir)
+
+    # ------------------------------------------------------------------
+    def lower_module_state(self) -> None:
+        for node in self.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                entry = self._state_entry(target.id, target.lineno, value)
+                if entry is not None:
+                    self.state.append(entry)
+
+    def _state_entry(self, name: str, line: int,
+                     value: ast.expr) -> Optional[Dict[str, Any]]:
+        if name.startswith("__") and name.endswith("__"):
+            return None   # __all__ and friends are declarative, not state
+        if isinstance(value, ast.Dict):
+            class_values: List[str] = []
+            for val in value.values:
+                if isinstance(val, ast.Name) and val.id in self.class_names:
+                    class_values.append(f"{self.module}.{val.id}")
+                else:
+                    dotted = (self.imports.resolve(val)
+                              if isinstance(val, (ast.Name, ast.Attribute))
+                              else None)
+                    if dotted and dotted.rsplit(".", 1)[-1][:1].isupper():
+                        class_values.append(dotted)
+            entry: Dict[str, Any] = {"name": name, "line": line,
+                                     "kind": "dict"}
+            if class_values and len(class_values) == len(value.values):
+                entry["class_values"] = class_values
+            return entry
+        if isinstance(value, (ast.List, ast.Set, ast.ListComp, ast.SetComp,
+                              ast.DictComp)):
+            return {"name": name, "line": line, "kind": "mutable"}
+        if isinstance(value, ast.Call):
+            origin = self.imports.resolve(value.func)
+            if origin in _MUTABLE_CTORS:
+                return {"name": name, "line": line, "kind": "mutable"}
+            if origin == "open":
+                return {"name": name, "line": line, "kind": "open"}
+        return None
+
+    # ------------------------------------------------------------------
+    def extract(self) -> ModuleIR:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.lower_function(node, parent_qname=None, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                self.lower_class(node)
+        self.lower_module_state()
+        parts = self.path.split("/")
+        is_sim = ("repro" in parts and "lint" not in parts
+                  and not parts[-1].startswith("test_"))
+        return {
+            "version": IR_VERSION,
+            "path": self.path,
+            "module": self.module,
+            "is_package": self.is_package,
+            "is_sim": is_sim,
+            "is_parallel": "parallel" in parts,
+            "imports": dict(sorted(self.imports.names.items())),
+            "functions": self.functions,
+            "classes": self.classes,
+            "state": self.state,
+        }
+
+
+def extract_module(path: str, source: str,
+                   tree: Optional[ast.Module] = None) -> ModuleIR:
+    """Lower one module to its IR document.
+
+    Raises :class:`SyntaxError` if ``tree`` is not given and the source
+    does not parse — callers report that through the PARSE finding of the
+    per-file pass, so the graph layer simply skips unparsable modules.
+    """
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    return _ModuleExtractor(path, source, tree).extract()
+
+
+def iter_functions(module_ir: ModuleIR) -> Iterator[Dict[str, Any]]:
+    """Every function in a module IR: top-level, nested, lambdas, methods."""
+    for func in module_ir["functions"]:
+        yield func
+    for cls in module_ir["classes"]:
+        for method in cls["methods"]:
+            yield method

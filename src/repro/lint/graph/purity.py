@@ -1,0 +1,206 @@
+"""SIM101: sim-purity reachability over the call graph.
+
+Every function that can execute under ``Simulator.run`` dispatch — a
+callback handed to ``schedule``/``schedule_at``/``call_soon``, a callback
+stored by a Timer-style class and fired from a scheduled method, or
+anything those functions call — must be free of blocking I/O, wall-clock
+reads, and ambient entropy.  The per-file SIM001/DET001 rules check this
+one file at a time; this rule computes the *reachable set* and reports
+the impure call together with the dispatch path that reaches it.
+
+Roots
+-----
+* resolved callback arguments at every ``schedule``/``schedule_at``
+  (argument 1) and ``call_soon`` (argument 0) call site, plus any extra
+  ``*args`` position holding a resolvable callable reference;
+* constructor arguments bound to parameters a class stores into an
+  attribute it later calls (``self._callback = callback`` in
+  ``__init__``; ``self._callback(...)`` in ``_fire`` — the Timer
+  pattern);
+* parameters a reachable function invokes directly (``called_params``)
+  — the callable fed at any call edge into that parameter is reachable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from .builder import Program
+from .taint import SCHEDULE_ATTRS, _hop
+
+__all__ = ["check_purity", "reachable_from_dispatch"]
+
+_MAX_CHAIN = 8
+
+
+def _callback_arg_indices(attr: str) -> int:
+    """First argument index that holds a callback for a dispatch method."""
+    return 0 if attr == "call_soon" else 1
+
+
+def _callback_storing_attrs(program: Program,
+                            cls: Dict[str, Any]) -> Dict[str, str]:
+    """attr -> ctor param, for attrs stored from a param and later called.
+
+    ``self._callback = callback`` in ``__init__`` plus a
+    ``self._callback(...)`` call anywhere in the class marks the
+    ``callback`` constructor parameter as dispatch-carrying.
+    """
+    called_attrs: Set[str] = set()
+    for method in cls["methods"]:
+        for attr in method.get("self_attr_calls", ()):
+            if program.lookup_method(cls["qname"], attr) is None:
+                called_attrs.add(attr)
+    out: Dict[str, str] = {}
+    for attr in called_attrs:
+        for record in cls["attr_params"].get(attr, ()):
+            if record["method"] == "__init__":
+                out[attr] = record["param"]
+    return out
+
+
+def _ctor_param_index(program: Program, cls_qname: str,
+                      param: str) -> Optional[int]:
+    ctor = program.functions.get(f"{cls_qname}.__init__")
+    if ctor is None:
+        return None
+    params = [p for p in ctor["params"] if p not in ("self", "cls")]
+    try:
+        return params.index(param)
+    except ValueError:
+        return None
+
+
+def _collect_roots(program: Program) -> Dict[str, List[str]]:
+    """root function qname -> chain prefix describing how it's dispatched."""
+    roots: Dict[str, List[str]] = {}
+
+    def add(qname: str, via: str) -> None:
+        if qname in program.functions and qname not in roots:
+            roots[qname] = [via]
+
+    # Simulator.run itself anchors the dispatch loop
+    for qname in program.functions:
+        if qname.endswith("Simulator.run"):
+            add(qname, f"{_hop(program, qname)} is the dispatch loop")
+
+    # callback-storing classes (Timer pattern): map class -> {index: attr}
+    stored: Dict[str, Dict[int, str]] = {}
+    for cls_qname, cls in program.classes.items():
+        for attr, param in _callback_storing_attrs(program, cls).items():
+            index = _ctor_param_index(program, cls_qname, param)
+            if index is not None:
+                stored.setdefault(cls_qname, {})[index] = attr
+
+    for func in program.iter_functions():
+        module = program.modules.get(program.owner.get(func["qname"], ""))
+        path = module["path"] if module else "?"
+        for call, callees in program.callees(func["qname"]):
+            target = call["target"]
+            # schedule/schedule_at/call_soon callback arguments
+            if target.get("a") in SCHEDULE_ATTRS:
+                start = _callback_arg_indices(target["a"])
+                for arg in call["args"][start:]:
+                    ref = arg.get("ref")
+                    if ref is None:
+                        continue
+                    for cb in program.resolve_callable_ref(func, ref):
+                        add(cb, f"scheduled via .{target['a']} at "
+                                f"{path}:{call['line']}")
+            # constructor calls into callback-storing classes
+            for callee in callees:
+                if not callee.endswith(".__init__"):
+                    continue
+                cls_qname = callee.rsplit(".", 1)[0]
+                slots = stored.get(cls_qname)
+                if not slots:
+                    continue
+                for index, attr in slots.items():
+                    if index < len(call["args"]):
+                        ref = call["args"][index].get("ref")
+                        if ref is None:
+                            continue
+                        for cb in program.resolve_callable_ref(func, ref):
+                            add(cb, f"stored as {cls_qname.rsplit('.')[-1]}"
+                                    f".{attr} at {path}:{call['line']} and "
+                                    f"fired from a scheduled method")
+    return roots
+
+
+def reachable_from_dispatch(
+        program: Program) -> Dict[str, List[str]]:
+    """qname -> chain of hops from a dispatch root, for every function
+    that can run under ``Simulator.run``."""
+    roots = _collect_roots(program)
+    chains: Dict[str, List[str]] = {
+        qname: list(prefix) + [_hop(program, qname)]
+        for qname, prefix in roots.items()}
+    queue = sorted(chains)
+    while queue:
+        current = queue.pop(0)
+        chain = chains[current]
+        if len(chain) >= _MAX_CHAIN:
+            continue
+        func = program.functions[current]
+        for call, callees in program.callees(current):
+            # callbacks forwarded into dispatch positions inside a
+            # reachable function are reachable too
+            for arg in list(call["args"]) + list(
+                    (call.get("kwargs") or {}).values()):
+                ref = arg.get("ref")
+                if ref is None:
+                    continue
+                for cb in program.resolve_callable_ref(func, ref):
+                    callee_fn = program.functions.get(cb)
+                    if callee_fn is None or cb in chains:
+                        continue
+                    # only treat as reachable when the receiver invokes it
+                    forwarded = any(
+                        p in (program.functions.get(c, {}).get(
+                            "called_params") or ())
+                        for c in callees for p, a in _args_to_params(
+                            program, c, call) if a is arg)
+                    if forwarded:
+                        chains[cb] = chain + [_hop(program, cb)]
+                        queue.append(cb)
+            for callee in callees:
+                if callee not in chains:
+                    chains[callee] = chain + [_hop(program, callee)]
+                    queue.append(callee)
+    return chains
+
+
+def _args_to_params(program: Program, callee_qname: str,
+                    call: Dict[str, Any]) -> List[Tuple[str,
+                                                        Dict[str, Any]]]:
+    callee = program.functions.get(callee_qname)
+    if callee is None:
+        return []
+    params = list(callee["params"])
+    if callee.get("cls") and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    pairs = list(zip(params, call["args"]))
+    for name, arg in (call.get("kwargs") or {}).items():
+        pairs.append((name, arg))
+    return pairs
+
+
+def check_purity(program: Program) -> List[Finding]:
+    """SIM101: impure calls inside dispatch-reachable sim functions."""
+    chains = reachable_from_dispatch(program)
+    findings: List[Finding] = []
+    for qname in sorted(chains):
+        func = program.functions[qname]
+        module = program.modules.get(program.owner.get(qname, ""))
+        if module is None or not module["is_sim"]:
+            continue
+        for impure in func.get("impure", ()):
+            findings.append(Finding(
+                path=module["path"], line=impure["line"],
+                col=impure["col"], code="SIM101",
+                message=(f"{impure['kind']} call `{impure['origin']}()` in "
+                         f"{qname}, which is reachable from Simulator.run "
+                         f"dispatch"),
+                chain=tuple(chains[qname][:_MAX_CHAIN])))
+    return findings

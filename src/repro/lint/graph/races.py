@@ -1,0 +1,231 @@
+"""PAR0xx: static race detection for the fork-based worker layer.
+
+The parallel supervisor's merge-determinism contract (PR 8) rests on
+process isolation: workers share nothing with the supervisor except the
+task/status pipes.  These rules check the assumptions statically, over
+the call graph, for every module under ``repro/parallel``:
+
+PAR001
+    Module-level mutable state reachable from both the ``worker_main``
+    side and the ``Supervisor`` side, with at least one mutation.  After
+    ``fork()`` the two sides see *different copies*; code that reads a
+    value the other side "wrote" is silently wrong.
+PAR002
+    Writes to fork-inherited module globals from worker-side code.  The
+    write is invisible to the supervisor and to every sibling worker.
+PAR003
+    Pipe ``send()`` payloads not provably bounded: a built string
+    (f-string, ``str()``, concatenation) sent without truncation can
+    exceed PIPE_BUF and lose write atomicity.
+PAR004
+    File handles opened before the fork (module level, or stored on an
+    object by a non-worker method) but written by worker-side code: both
+    processes share one file offset, so interleaved writes corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from .builder import Program
+from .taint import _hop
+
+__all__ = ["check_races"]
+
+_MAX_CHAIN = 8
+
+
+def _closure(program: Program, roots: List[str]) -> Dict[str, List[str]]:
+    """qname -> hop chain from the nearest root, over call edges."""
+    chains: Dict[str, List[str]] = {
+        qname: [_hop(program, qname)] for qname in roots
+        if qname in program.functions}
+    queue = sorted(chains)
+    while queue:
+        current = queue.pop(0)
+        chain = chains[current]
+        if len(chain) >= _MAX_CHAIN:
+            continue
+        for _call, callees in program.callees(current):
+            for callee in callees:
+                if callee not in chains:
+                    chains[callee] = chain + [_hop(program, callee)]
+                    queue.append(callee)
+    return chains
+
+
+def _worker_roots(program: Program) -> List[str]:
+    return [qname for qname in program.functions
+            if qname.rsplit(".", 1)[-1] == "worker_main"
+            and _in_parallel(program, qname)]
+
+
+def _supervisor_roots(program: Program) -> List[str]:
+    roots: List[str] = []
+    for cls_qname, cls in program.classes.items():
+        if not _in_parallel(program, cls_qname):
+            continue
+        if "supervisor" not in cls["name"].lower():
+            continue
+        roots.extend(f"{cls_qname}.{m['name']}" for m in cls["methods"])
+    return sorted(roots)
+
+
+def _in_parallel(program: Program, qname: str) -> bool:
+    module = program.modules.get(program.owner.get(qname, ""))
+    return bool(module and module["is_parallel"])
+
+
+def _parallel_modules(program: Program) -> List[Dict[str, Any]]:
+    return [module for _name, module in sorted(program.modules.items())
+            if module["is_parallel"]]
+
+
+def _state_accesses(
+        program: Program, module: Dict[str, Any], state_name: str,
+        side: Dict[str, List[str]]) -> List[Tuple[str, Dict[str, Any]]]:
+    """(qname, access record) for reachable functions touching a global."""
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    mod_name = module["module"]
+    for qname in sorted(side):
+        if program.owner.get(qname) != mod_name:
+            continue
+        func = program.functions[qname]
+        for record in list(func.get("module_loads", ())) + list(
+                func.get("module_mutations", ())):
+            if record["name"] == state_name:
+                out.append((qname, record))
+    return out
+
+
+def _mutations(program: Program, module: Dict[str, Any],
+               state_name: str) -> List[Tuple[str, Dict[str, Any]]]:
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    mod_name = module["module"]
+    for qname, func in sorted(program.functions.items()):
+        if program.owner.get(qname) != mod_name:
+            continue
+        for record in func.get("module_mutations", ()):
+            if record["name"] == state_name:
+                out.append((qname, record))
+    return out
+
+
+def check_races(program: Program) -> List[Finding]:
+    findings: List[Finding] = []
+    worker = _closure(program, _worker_roots(program))
+    supervisor = _closure(program, _supervisor_roots(program))
+
+    for module in _parallel_modules(program):
+        path = module["path"]
+
+        # ------------------------------------------------------ PAR001
+        for entry in module["state"]:
+            if entry["kind"] not in ("mutable", "dict"):
+                continue
+            name = entry["name"]
+            worker_uses = _state_accesses(program, module, name, worker)
+            super_uses = _state_accesses(program, module, name, supervisor)
+            mutations = _mutations(program, module, name)
+            if worker_uses and super_uses and mutations:
+                mut_qname, mut = mutations[0]
+                chain = (
+                    [f"defined at {path}:{entry['line']}"]
+                    + [f"worker side: {_hop(program, q)} touches it at "
+                       f"line {r['line']} (via "
+                       f"{' -> '.join(worker[q][:3])})"
+                       for q, r in worker_uses[:2]]
+                    + [f"supervisor side: {_hop(program, q)} touches it "
+                       f"at line {r['line']} (via "
+                       f"{' -> '.join(supervisor[q][:3])})"
+                       for q, r in super_uses[:2]]
+                    + [f"mutated ({mut['how']}) in "
+                       f"{_hop(program, mut_qname)} at line {mut['line']}"])
+                findings.append(Finding(
+                    path=path, line=entry["line"], col=0, code="PAR001",
+                    message=(f"module-level mutable `{name}` is reachable "
+                             f"from both worker_main and the Supervisor "
+                             f"and is mutated; after fork each process "
+                             f"sees a different copy"),
+                    chain=tuple(chain[:_MAX_CHAIN])))
+
+        # ------------------------------------------------------ PAR002
+        state_names = {entry["name"] for entry in module["state"]}
+        for qname in sorted(worker):
+            if program.owner.get(qname) != module["module"]:
+                continue
+            func = program.functions[qname]
+            for record in list(func.get("global_writes", ())) + [
+                    r for r in func.get("module_mutations", ())
+                    if r["name"] in state_names]:
+                findings.append(Finding(
+                    path=path, line=record["line"], col=0, code="PAR002",
+                    message=(f"worker-side write to fork-inherited global "
+                             f"`{record['name']}` in {qname}: invisible to "
+                             f"the supervisor and to sibling workers"),
+                    chain=tuple(worker[qname][:_MAX_CHAIN])))
+
+        # ------------------------------------------------------ PAR003
+        for qname, func in sorted(program.functions.items()):
+            if program.owner.get(qname) != module["module"]:
+                continue
+            for record in func.get("unbounded_sends", ()):
+                findings.append(Finding(
+                    path=path, line=record["line"], col=record["col"],
+                    code="PAR003",
+                    message=(f"pipe payload in {qname} is not provably "
+                             f"< PIPE_BUF: {record['why']}; truncate "
+                             f"(e.g. `extra[:400]`) before send() to keep "
+                             f"the write atomic"),
+                    chain=()))
+
+        # ------------------------------------------------------ PAR004
+        open_state = {entry["name"]: entry for entry in module["state"]
+                      if entry["kind"] == "open"}
+        for qname in sorted(worker):
+            if program.owner.get(qname) != module["module"]:
+                continue
+            func = program.functions[qname]
+            for record in func.get("handle_writes", ()):
+                entry = open_state.get(record["n"])
+                if record["k"] == "nattr" and entry is not None:
+                    findings.append(Finding(
+                        path=path, line=record["line"], col=0,
+                        code="PAR004",
+                        message=(f"`{record['n']}` is opened at module "
+                                 f"level (pre-fork, {path}:"
+                                 f"{entry['line']}) but written by "
+                                 f"worker-side {qname}: parent and child "
+                                 f"share one file offset"),
+                        chain=tuple(worker[qname][:_MAX_CHAIN])))
+        # handles opened on self by a supervisor-side method, written by
+        # a worker-side method of the same class
+        for cls_qname, cls in sorted(program.classes.items()):
+            if program.owner.get(cls_qname) != module["module"]:
+                continue
+            opened: Dict[str, Tuple[str, int]] = {}
+            for method in cls["methods"]:
+                for record in method.get("self_attr_opens", ()):
+                    owner_q = method["qname"]
+                    if owner_q not in worker:
+                        opened[record["attr"]] = (owner_q, record["line"])
+            if not opened:
+                continue
+            for method in cls["methods"]:
+                if method["qname"] not in worker:
+                    continue
+                for record in method.get("handle_writes", ()):
+                    if record["k"] == "self" and record["n"] in opened:
+                        owner_q, open_line = opened[record["n"]]
+                        findings.append(Finding(
+                            path=path, line=record["line"], col=0,
+                            code="PAR004",
+                            message=(f"`self.{record['n']}` opened "
+                                     f"pre-fork in {owner_q} (line "
+                                     f"{open_line}) but written post-fork "
+                                     f"in worker-side {method['qname']}: "
+                                     f"shared file offset"),
+                            chain=tuple(worker[method["qname"]]
+                                        [:_MAX_CHAIN])))
+    return findings

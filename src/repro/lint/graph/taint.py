@@ -1,0 +1,323 @@
+"""DET101: interprocedural entropy-taint analysis.
+
+Sources are the per-file DET forbidden sets — wall clock, ``os.urandom``,
+builtin ``hash``, module-level ``random``, ``uuid`` — observed as call
+atoms in the IR.  Sinks are the places a nondeterministic value corrupts
+the reproduction: simulator event scheduling, link delivery, journal
+writers, and digest inputs.  The per-file rules flag a source *call
+site*; this rule flags a source *value* that flows through any number of
+assignments, returns, and parameters into a sink, and its finding
+carries the full call chain so the laundering path is visible.
+
+The analysis is summary-based: one fix-point computes, per function,
+(a) whether its return value is intrinsically tainted, (b) which
+parameters its return value depends on, and (c) which of its parameters
+flow (transitively) into a sink.  Findings are then read off at sink
+call sites and at call edges that feed a tainted value into a
+sink-reaching parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding
+from .builder import Program
+
+__all__ = ["SCHEDULE_ATTRS", "sink_kind_for_call", "check_taint"]
+
+#: Simulator event-insertion methods (attr-name match: any ``x.schedule``
+#: is treated as a sink — the conservative choice for the property that
+#: underwrites every digest in the repo).
+SCHEDULE_ATTRS = frozenset({"schedule", "schedule_at", "call_soon"})
+
+#: Resolved-callee sinks: leaf qname suffix -> human description.
+_SINK_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("CampaignJournal.append", "the campaign journal"),
+    ("Link.transmit", "link delivery"),
+)
+_SINK_LEAVES = {
+    "run_digest": "the run digest",
+    "config_digest": "the campaign config digest",
+}
+
+_MAX_CHAIN = 8
+_MAX_ITERATIONS = 30
+
+Witness = Dict[str, Any]   # {"origin": str, "chain": [str, ...]}
+
+
+def _hop(program: Program, qname: str) -> str:
+    func = program.functions.get(qname)
+    module = program.modules.get(program.owner.get(qname, ""), None)
+    if func is None or module is None:
+        return qname
+    return f"{qname} ({module['path']}:{func['line']})"
+
+
+def sink_kind_for_call(program: Program, func: Dict[str, Any],
+                       call: Dict[str, Any]) -> Optional[str]:
+    """Human description of the sink a call site feeds, or None."""
+    target = call["target"]
+    if target.get("a") in SCHEDULE_ATTRS:
+        return f"simulator event insertion (.{target['a']})"
+    for callee in _resolved(program, func, call):
+        for suffix, description in _SINK_SUFFIXES:
+            if callee.endswith(suffix):
+                return description
+        leaf = callee.rsplit(".", 1)[-1]
+        if leaf in _SINK_LEAVES:
+            return _SINK_LEAVES[leaf]
+    return None
+
+
+def _resolved(program: Program, func: Dict[str, Any],
+              call: Dict[str, Any]) -> List[str]:
+    for known_call, callees in program.callees(func["qname"]):
+        if known_call is call:
+            return callees
+    return program.resolve_callable_ref(func, call["target"])
+
+
+def _callee_param_map(program: Program, callee_qname: str,
+                      call: Dict[str, Any]) -> List[Tuple[str,
+                                                          Dict[str, Any]]]:
+    """(param name, arg IR) pairs for a resolved call edge."""
+    callee = program.functions.get(callee_qname)
+    if callee is None:
+        return []
+    params = list(callee["params"])
+    if callee.get("cls") and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    pairs = list(zip(params, call["args"]))
+    for name, arg in (call.get("kwargs") or {}).items():
+        if name in callee["params"]:
+            pairs.append((name, arg))
+    return pairs
+
+
+class _TaintState:
+    """Fix-point state shared by the summary computation and readout."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.ret_taint: Dict[str, Witness] = {}
+        self.ret_dep: Dict[str, Set[str]] = {}
+        self.param_sink: Dict[str, Dict[str, Witness]] = {}
+
+    # ------------------------------------------------------------------
+    def atom_taint(self, func: Dict[str, Any], atom: Sequence[Any],
+                   depth: int = 0) -> Optional[Witness]:
+        """Witness if an atom's value is intrinsically tainted."""
+        if depth > _MAX_CHAIN or not atom:
+            return None
+        if atom[0] == "src":
+            return {"origin": atom[1],
+                    "chain": [f"`{atom[1]}()` at line {atom[2]}"]}
+        if atom[0] != "call":
+            return None
+        index = atom[1]
+        if not (0 <= index < len(func["calls"])):
+            return None
+        call = func["calls"][index]
+        source = call.get("source")
+        module = self.program.modules.get(
+            self.program.owner.get(func["qname"], ""), None)
+        path = module["path"] if module else "?"
+        if source is not None:
+            return {"origin": source,
+                    "chain": [f"`{source}()` called at {path}:"
+                              f"{call['line']}"]}
+        for callee in _resolved(self.program, func, call):
+            witness = self.ret_taint.get(callee)
+            if witness is not None and len(witness["chain"]) < _MAX_CHAIN:
+                return {
+                    "origin": witness["origin"],
+                    "chain": ([f"value returned by "
+                               f"{_hop(self.program, callee)}, called at "
+                               f"{path}:{call['line']}"]
+                              + witness["chain"]),
+                }
+            # return value depends on a parameter fed a tainted argument
+            deps = self.ret_dep.get(callee)
+            if not deps:
+                continue
+            for param, arg in _callee_param_map(self.program, callee, call):
+                if param not in deps:
+                    continue
+                for sub_atom in arg["atoms"]:
+                    sub = self.atom_taint(func, sub_atom, depth + 1)
+                    if sub is not None and len(sub["chain"]) < _MAX_CHAIN:
+                        return {
+                            "origin": sub["origin"],
+                            "chain": (sub["chain"]
+                                      + [f"passed through "
+                                         f"{_hop(self.program, callee)} "
+                                         f"(returns its `{param}`)"]),
+                        }
+        return None
+
+    def atom_params(self, func: Dict[str, Any], atom: Sequence[Any],
+                    depth: int = 0) -> Set[str]:
+        """Parameters of ``func`` the atom's value may depend on."""
+        if depth > _MAX_CHAIN or not atom:
+            return set()
+        if atom[0] == "param":
+            return {atom[1]}
+        if atom[0] != "call":
+            return set()
+        index = atom[1]
+        if not (0 <= index < len(func["calls"])):
+            return set()
+        call = func["calls"][index]
+        out: Set[str] = set()
+        for callee in _resolved(self.program, func, call):
+            deps = self.ret_dep.get(callee)
+            if not deps:
+                continue
+            for param, arg in _callee_param_map(self.program, callee, call):
+                if param not in deps:
+                    continue
+                for sub_atom in arg["atoms"]:
+                    out |= self.atom_params(func, sub_atom, depth + 1)
+        return out
+
+    # ------------------------------------------------------------------
+    def compute(self) -> None:
+        functions = list(self.program.iter_functions())
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            for func in functions:
+                qname = func["qname"]
+                # (a) intrinsic return taint
+                if qname not in self.ret_taint:
+                    for atom in func["returns"]:
+                        witness = self.atom_taint(func, atom)
+                        if witness is not None:
+                            self.ret_taint[qname] = witness
+                            changed = True
+                            break
+                # (b) return -> parameter dependence
+                deps: Set[str] = set()
+                for atom in func["returns"]:
+                    deps |= self.atom_params(func, atom)
+                if deps - self.ret_dep.get(qname, set()):
+                    self.ret_dep[qname] = (
+                        self.ret_dep.get(qname, set()) | deps)
+                    changed = True
+                # (c) parameter -> sink flow
+                changed |= self._param_sink_pass(func)
+            if not changed:
+                break
+
+    def _param_sink_pass(self, func: Dict[str, Any]) -> bool:
+        qname = func["qname"]
+        table = self.param_sink.setdefault(qname, {})
+        changed = False
+        module = self.program.modules.get(
+            self.program.owner.get(qname, ""), None)
+        path = module["path"] if module else "?"
+        for call in func["calls"]:
+            sink = sink_kind_for_call(self.program, func, call)
+            if sink is not None:
+                for arg in list(call["args"]) + list(
+                        (call.get("kwargs") or {}).values()):
+                    for atom in arg["atoms"]:
+                        for param in self.atom_params(func, atom):
+                            if param not in table:
+                                table[param] = {
+                                    "sink": sink,
+                                    "chain": [f"reaches {sink} at "
+                                              f"{path}:{call['line']}"],
+                                }
+                                changed = True
+            # transitively: argument feeds a sink-reaching parameter
+            for callee in _resolved(self.program, func, call):
+                callee_table = self.param_sink.get(callee)
+                if not callee_table:
+                    continue
+                for param, arg in _callee_param_map(
+                        self.program, callee, call):
+                    witness = callee_table.get(param)
+                    if witness is None or len(
+                            witness["chain"]) >= _MAX_CHAIN:
+                        continue
+                    for atom in arg["atoms"]:
+                        for own_param in self.atom_params(func, atom):
+                            if own_param not in table:
+                                table[own_param] = {
+                                    "sink": witness["sink"],
+                                    "chain": ([f"passed into `{param}` of "
+                                               f"{_hop(self.program, callee)}"
+                                               f" at {path}:{call['line']}"]
+                                              + witness["chain"]),
+                                }
+                                changed = True
+        return changed
+
+
+def check_taint(program: Program) -> List[Finding]:
+    """DET101 findings: entropy-source values reaching simulator sinks."""
+    state = _TaintState(program)
+    state.compute()
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+
+    def emit(path: str, line: int, col: int, origin: str,
+             message: str, chain: List[str]) -> None:
+        key = (path, line, origin)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Finding(
+            path=path, line=line, col=col, code="DET101",
+            message=message, chain=tuple(chain[:_MAX_CHAIN])))
+
+    for func in program.iter_functions():
+        module = program.modules.get(program.owner.get(func["qname"], ""))
+        if module is None or not module["is_sim"]:
+            continue
+        path = module["path"]
+        for call in func["calls"]:
+            sink = sink_kind_for_call(program, func, call)
+            if sink is not None:
+                # tainted value arriving directly at a sink call site
+                for arg in list(call["args"]) + list(
+                        (call.get("kwargs") or {}).values()):
+                    for atom in arg["atoms"]:
+                        witness = state.atom_taint(func, atom)
+                        if witness is not None:
+                            emit(path, call["line"], call["col"],
+                                 witness["origin"],
+                                 f"entropy from `{witness['origin']}` "
+                                 f"reaches {sink} in "
+                                 f"{func['qname']}",
+                                 witness["chain"]
+                                 + [f"flows into {sink} at "
+                                    f"{path}:{call['line']}"])
+                continue
+            # tainted value entering a sink-reaching parameter
+            for callee in _resolved(program, func, call):
+                callee_table = state.param_sink.get(callee)
+                if not callee_table:
+                    continue
+                for param, arg in _callee_param_map(program, callee, call):
+                    sink_witness = callee_table.get(param)
+                    if sink_witness is None:
+                        continue
+                    for atom in arg["atoms"]:
+                        taint_witness = state.atom_taint(func, atom)
+                        if taint_witness is None:
+                            continue
+                        emit(path, call["line"], call["col"],
+                             taint_witness["origin"],
+                             f"entropy from `{taint_witness['origin']}` "
+                             f"enters `{param}` of "
+                             f"{callee.rsplit('.', 1)[-1]}() and reaches "
+                             f"{sink_witness['sink']}",
+                             taint_witness["chain"]
+                             + [f"enters `{param}` of "
+                                f"{_hop(program, callee)} at "
+                                f"{path}:{call['line']}"]
+                             + sink_witness["chain"])
+    return findings

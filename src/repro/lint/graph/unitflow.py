@@ -1,0 +1,83 @@
+"""UNIT101/UNIT102: unit-suffix flow across function boundaries.
+
+The per-file UNIT001/UNIT002 rules catch ``x_ms + y_s`` inside one
+expression.  These rules catch the same mistake at *call edges*: a value
+whose name says seconds passed into a parameter whose name says
+milliseconds (UNIT101, time units), or bytes into bits (UNIT102,
+size/rate units), and a call's return unit (from the callee's name
+suffix or its uniformly-suffixed return expressions) disagreeing with
+the unit of the name it is assigned to.
+
+Both sides must carry a known unit from the same table before anything
+is flagged — multiplication/division (the idiom for explicit
+conversion) erases units at extraction time, exactly like the per-file
+rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..findings import Finding
+from .builder import Program
+from .taint import _callee_param_map, _hop
+from ..rules import _SIZE_SUFFIXES, _TIME_SUFFIXES, _suffix_unit
+
+__all__ = ["check_unitflow"]
+
+_TABLES: Tuple[Tuple[str, str, str, Any], ...] = (
+    ("UNIT101", "time", "t", _TIME_SUFFIXES),
+    ("UNIT102", "size/rate", "s", _SIZE_SUFFIXES),
+)
+
+
+def check_unitflow(program: Program) -> List[Finding]:
+    findings: List[Finding] = []
+    for func in program.iter_functions():
+        module = program.modules.get(program.owner.get(func["qname"], ""))
+        if module is None:
+            continue
+        path = module["path"]
+        for call, callees in program.callees(func["qname"]):
+            for callee_qname in callees:
+                callee = program.functions.get(callee_qname)
+                if callee is None:
+                    continue
+                pairs = _callee_param_map(program, callee_qname, call)
+                for code, flavor, key, table in _TABLES:
+                    # argument unit vs parameter-name unit
+                    for param, arg in pairs:
+                        arg_unit = arg.get(key)
+                        param_unit = _suffix_unit(param, table)
+                        if (arg_unit is not None and param_unit is not None
+                                and arg_unit != param_unit):
+                            findings.append(Finding(
+                                path=path, line=call["line"],
+                                col=call["col"], code=code,
+                                message=(f"{flavor} unit mismatch at call "
+                                         f"edge: `{arg_unit}` value passed "
+                                         f"into `{param}` "
+                                         f"(`{param_unit}`) of "
+                                         f"{callee_qname.rsplit('.', 1)[-1]}"
+                                         f"()"),
+                                chain=(f"caller: {_hop(program, func['qname'])}",
+                                       f"callee: "
+                                       f"{_hop(program, callee_qname)}")))
+                    # return unit vs assignment-target unit
+                    ret_unit = callee.get(f"ret_unit_{key}")
+                    assign_unit = call.get(f"assign_{key}")
+                    if (ret_unit is not None and assign_unit is not None
+                            and ret_unit != assign_unit):
+                        findings.append(Finding(
+                            path=path, line=call["line"], col=call["col"],
+                            code=code,
+                            message=(f"{flavor} unit mismatch at return "
+                                     f"edge: "
+                                     f"{callee_qname.rsplit('.', 1)[-1]}() "
+                                     f"returns `{ret_unit}` but the result "
+                                     f"is bound to a `{assign_unit}` "
+                                     f"name"),
+                            chain=(f"caller: {_hop(program, func['qname'])}",
+                                   f"callee: "
+                                   f"{_hop(program, callee_qname)}")))
+    return findings

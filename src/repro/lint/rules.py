@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+from typing import (Dict, Iterable, Iterator, List, Optional, Tuple,
+                    Type, Union)
 
 from .findings import Finding
 
@@ -42,7 +43,7 @@ class FileContext:
     excluding the lint package itself).
     """
 
-    def __init__(self, path: str, source: str, tree: ast.Module):
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
         self.path = path
         self.source = source
         self.tree = tree
@@ -214,7 +215,8 @@ class _Units:
     UNKNOWN = object()
 
 
-def _infer_unit(node: ast.expr, table: List[Tuple[str, str]]):
+def _infer_unit(node: ast.expr,
+                table: List[Tuple[str, str]]) -> object:
     """Unit of an expression under one suffix convention.
 
     Returns a unit string, None (no unit information), or
@@ -614,7 +616,9 @@ class HotLoopAttributeRule(Rule):
         parts.append(node.id)
         return ".".join(reversed(parts))
 
-    def _loop_reads(self, loop) -> Iterator[Tuple[str, ast.Attribute]]:
+    def _loop_reads(
+            self, loop: "Union[ast.For, ast.AsyncFor, ast.While]",
+    ) -> Iterator[Tuple[str, ast.Attribute]]:
         """(chain, node) for every qualifying read in the loop body.
 
         Each chain is yielded together with its qualifying prefixes, so
@@ -637,7 +641,7 @@ class HotLoopAttributeRule(Rule):
                     continue  # prefixes covered above; don't re-walk
             stack.extend(ast.iter_child_nodes(node))
 
-    def _stored_names(self, loop) -> set:
+    def _stored_names(self, loop: ast.AST) -> set:
         """Attribute names and bare names assigned anywhere in the loop."""
         stored = set()
         for node in ast.walk(loop):

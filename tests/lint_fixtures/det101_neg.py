@@ -1,0 +1,22 @@
+"""Must not trigger DET101: a deterministic delay through the same
+helper shape carries no entropy into the sink."""
+
+
+class Simulator:
+    def run(self):
+        pass
+
+    def schedule(self, delay, callback, *args):
+        pass
+
+
+def _base_delay():
+    return 0.25
+
+
+def _jitter():
+    return _base_delay() * 2.0
+
+
+def arm(sim, fire):
+    sim.schedule(_jitter(), fire)

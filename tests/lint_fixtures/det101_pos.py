@@ -1,0 +1,23 @@
+"""Must trigger DET101: wall-clock entropy laundered through helpers
+into a simulator scheduling sink (only --deep can see the full chain)."""
+import time
+
+
+class Simulator:
+    def run(self):
+        pass
+
+    def schedule(self, delay, callback, *args):
+        pass
+
+
+def _raw_entropy():
+    return time.time()
+
+
+def _jitter():
+    return _raw_entropy() % 1.0
+
+
+def arm(sim, fire):
+    sim.schedule(_jitter(), fire)

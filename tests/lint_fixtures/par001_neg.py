@@ -1,0 +1,13 @@
+"""Must not trigger PAR001: the scratch dict is worker-only — the
+supervisor side never touches it, so there is no shared-state race."""
+
+_LOCAL_SCRATCH = {}
+
+
+def worker_main(tasks):
+    _LOCAL_SCRATCH["last"] = tasks
+
+
+class ShadowSupervisor:
+    def drain(self):
+        return None

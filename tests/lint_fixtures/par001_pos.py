@@ -1,0 +1,13 @@
+"""Must trigger PAR001: module-level mutable state reachable from both
+worker_main and a Supervisor method, with a worker-side mutation."""
+
+_SHARED_CACHE = {}
+
+
+def worker_main(tasks):
+    _SHARED_CACHE["last"] = tasks
+
+
+class ShadowSupervisor:
+    def drain(self):
+        return _SHARED_CACHE.get("last")

@@ -1,0 +1,8 @@
+"""Must not trigger PAR002: the worker mutates only its own local set."""
+
+
+def worker_main(tasks):
+    seen = set()
+    for task in tasks:
+        seen.add(task)
+    return seen

@@ -1,0 +1,9 @@
+"""Must trigger PAR002: worker-side mutation of a fork-inherited module
+global — invisible to the supervisor and to sibling workers."""
+
+_SEEN = set()
+
+
+def worker_main(tasks):
+    for task in tasks:
+        _SEEN.add(task)

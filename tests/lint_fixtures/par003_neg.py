@@ -1,0 +1,6 @@
+"""Must not trigger PAR003: the payload is truncated before send(), so
+the write stays below PIPE_BUF and remains atomic."""
+
+
+def report(status, kind, extra):
+    status.send((kind, extra[:400]))

@@ -1,0 +1,6 @@
+"""Must trigger PAR003: an untruncated f-string payload on a status
+pipe can exceed PIPE_BUF and lose write atomicity."""
+
+
+def report(status, kind, exc):
+    status.send((kind, f"worker failed: {exc}"))

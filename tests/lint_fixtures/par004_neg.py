@@ -1,0 +1,7 @@
+"""Must not trigger PAR004: the worker opens its own handle after the
+fork, so no file offset is shared with the parent."""
+
+
+def worker_main(tasks):
+    with open("campaign.log", "a") as log:
+        log.write("worker started\n")

@@ -1,0 +1,8 @@
+"""Must trigger PAR004: a handle opened at module level (pre-fork) is
+written by worker-side code — parent and child share one file offset."""
+
+_LOG = open("campaign.log", "a")
+
+
+def worker_main(tasks):
+    _LOG.write("worker started\n")

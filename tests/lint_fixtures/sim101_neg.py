@@ -1,0 +1,23 @@
+"""Must not trigger SIM101: the blocking call lives in a helper that is
+never reachable from Simulator.run dispatch."""
+import time
+
+
+class Simulator:
+    def run(self):
+        pass
+
+    def schedule(self, delay, callback, *args):
+        pass
+
+
+def on_fire():
+    pass
+
+
+def _offline_tool():
+    time.sleep(0.1)
+
+
+def arm(sim):
+    sim.schedule(1.0, on_fire)

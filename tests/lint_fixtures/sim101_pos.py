@@ -1,0 +1,23 @@
+"""Must trigger SIM101: a scheduled callback reaches blocking I/O two
+call hops down — invisible to the per-file SIM001 scope check."""
+import time
+
+
+class Simulator:
+    def run(self):
+        pass
+
+    def schedule(self, delay, callback, *args):
+        pass
+
+
+def _flush():
+    time.sleep(0.1)
+
+
+def on_fire():
+    _flush()
+
+
+def arm(sim):
+    sim.schedule(1.0, on_fire)

@@ -1,0 +1,10 @@
+"""Must not trigger UNIT101: multiplication is the explicit-conversion
+idiom and erases the unit before the call edge."""
+
+
+def wait(delay_ms):
+    return delay_ms
+
+
+def arm(rto_s):
+    wait(rto_s * 1000.0)

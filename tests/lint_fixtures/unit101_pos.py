@@ -1,0 +1,10 @@
+"""Must trigger UNIT101: a seconds value crosses a call edge into a
+milliseconds parameter — the interprocedural version of UNIT001."""
+
+
+def wait(delay_ms):
+    return delay_ms
+
+
+def arm(rto_s):
+    wait(rto_s)

@@ -1,0 +1,10 @@
+"""Must not trigger UNIT102: the explicit *8 conversion erases the unit
+before the value crosses the call edge."""
+
+
+def enqueue(size_bits):
+    return size_bits
+
+
+def push(payload_bytes):
+    enqueue(payload_bytes * 8)

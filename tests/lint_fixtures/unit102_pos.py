@@ -1,0 +1,10 @@
+"""Must trigger UNIT102: bytes passed into a bits parameter — a silent
+8x in the byte accounting, one stack frame away from UNIT002."""
+
+
+def enqueue(size_bits):
+    return size_bits
+
+
+def push(payload_bytes):
+    enqueue(payload_bytes)

@@ -58,6 +58,13 @@ class TestParseError:
         assert len(findings) == 1
         assert findings[0].code == "PARSE"
 
+    def test_parse_finding_carries_position_and_text(self):
+        (finding,) = lint_source("x = 1\ny = 2\ndef broken(:\n")
+        assert finding.line == 3
+        assert finding.col > 0
+        assert finding.line_text == "def broken(:"
+        assert "def broken(:" in finding.message
+
 
 # ----------------------------------------------------------------------
 # file discovery
@@ -224,6 +231,99 @@ class TestJsonFormat:
 
 
 # ----------------------------------------------------------------------
+# --deep and --jobs integration
+# ----------------------------------------------------------------------
+
+DEEP_LEAK = (
+    "import time\n\n\n"
+    "class Simulator:\n"
+    "    def run(self):\n        pass\n\n"
+    "    def schedule(self, delay, callback):\n        pass\n\n\n"
+    "def _jitter():\n"
+    "    return time.time() % 1.0\n\n\n"
+    "def arm(sim, cb):\n"
+    "    sim.schedule(_jitter(), cb)\n")
+
+
+class TestDeepAndJobs:
+    def _sim_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "leak.py").write_text(DEEP_LEAK)
+        (pkg / "hashy.py").write_text(HASHY)
+        return str(tmp_path / "src")
+
+    def test_deep_merges_graph_findings_into_report(self, tmp_path):
+        root = self._sim_tree(tmp_path)
+        shallow = lint_paths([root])
+        deep = lint_paths([root], deep=True)
+        assert "DET101" not in {f.code for f in shallow.findings}
+        codes = {f.code for f in deep.findings}
+        assert "DET101" in codes and "DET003" in codes
+        assert deep.deep and deep.deep_modules == 2
+
+    def test_deep_findings_are_baselineable(self, tmp_path):
+        root = self._sim_tree(tmp_path)
+        raw = lint_paths([root], deep=True)
+        baseline = Baseline.from_findings(raw.findings)
+        report = lint_paths([root], deep=True, baseline=baseline)
+        assert report.findings == []
+        assert report.baselined == len(raw.findings)
+
+    def test_jobs_output_is_byte_identical_to_serial(self, tmp_path):
+        root = self._sim_tree(tmp_path)
+        for index in range(6):
+            (tmp_path / "src" / "repro" / f"extra{index}.py").write_text(
+                HASHY + "import time\nt = time.time()\n")
+        serial = lint_paths([root], deep=True)
+        parallel = lint_paths([root], deep=True, jobs=4)
+        assert ([f.render() for f in serial.findings]
+                == [f.render() for f in parallel.findings])
+        assert serial.files_checked == parallel.files_checked
+        assert serial.suppressed == parallel.suppressed
+
+    def test_deep_uses_cache_dir(self, tmp_path):
+        root = self._sim_tree(tmp_path)
+        cache_dir = str(tmp_path / "ircache")
+        cold = lint_paths([root], deep=True, cache_dir=cache_dir)
+        warm = lint_paths([root], deep=True, cache_dir=cache_dir)
+        assert cold.deep_cache_misses == 2 and cold.deep_cache_hits == 0
+        assert warm.deep_cache_hits == 2 and warm.deep_cache_misses == 0
+
+    def test_cli_deep_flag_reports_stats(self, tmp_path, capsys):
+        root = self._sim_tree(tmp_path)
+        assert lint_main([root, "--deep", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out and "deep:" in out and "module(s)" in out
+
+    def test_cli_deep_json_payload(self, tmp_path, capsys):
+        root = self._sim_tree(tmp_path)
+        assert lint_main(
+            [root, "--deep", "--no-cache", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deep"]["modules"] == 2
+        deep_findings = [f for f in payload["findings"]
+                        if f["code"] == "DET101"]
+        assert deep_findings and deep_findings[0]["chain"]
+
+    def test_cli_select_accepts_deep_codes(self, tmp_path, capsys):
+        root = self._sim_tree(tmp_path)
+        assert lint_main(
+            [root, "--deep", "--no-cache", "--select", "DET101"]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out and "DET003" not in out
+
+    def test_cli_rejects_bad_jobs(self, tmp_path):
+        assert lint_main([str(tmp_path), "--jobs", "0"]) == 2
+
+    def test_list_rules_includes_graph_catalogue(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET101", "SIM101", "PAR001", "UNIT102"):
+            assert code in out
+
+
+# ----------------------------------------------------------------------
 # the repo itself stays clean (the CI gate, as a local test)
 # ----------------------------------------------------------------------
 
@@ -235,3 +335,14 @@ class TestRepoIsClean:
         report = lint_paths(paths)
         assert report.errors == []
         assert [f.render() for f in report.findings] == []
+
+    def test_src_tests_benchmarks_deep_lint_clean(self):
+        # The acceptance gate: the whole-program analyses find nothing to
+        # grandfather — the deep baseline is empty and stays that way.
+        root = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), os.pardir))
+        paths = [os.path.join(root, p) for p in ("src", "tests", "benchmarks")]
+        report = lint_paths(paths, deep=True)
+        assert report.errors == []
+        assert [f.render() for f in report.findings] == []
+        assert report.deep_modules > 100

@@ -1,0 +1,250 @@
+"""Whole-program (`--deep`) analyzer: builder, cache, rules, drills.
+
+The graph layer is exercised three ways here:
+
+* builder unit fixtures — import resolution through ``__init__``
+  re-exports, registry-factory dynamic dispatch, and call cycles;
+* the fixture pairs in ``tests/lint_fixtures/`` for every DEEP rule code
+  (``<code>_pos.py`` must flag, ``<code>_neg.py`` must not);
+* the two acceptance drills from the issue: entropy routed through two
+  call hops into ``Simulator.schedule``, and a module-level cache shared
+  by supervisor and worker — both must fail the gate with full chains.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.lint.graph import (GraphCache, analyze_sources, build_program,
+                              extract_module, graph_rules_by_code)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+# Graph rules see module roles through the path: sim rules need a path
+# under repro/ (not lint/, not test_*), PAR rules one under repro/parallel/.
+SIM_PATH = "src/repro/_lint_fixture.py"
+PAR_PATH = "src/repro/parallel/_lint_fixture.py"
+
+
+def _read(name: str) -> str:
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _fixture_path(code: str) -> str:
+    return PAR_PATH if code.startswith("PAR") else SIM_PATH
+
+
+def _deep_codes(source: str, path: str):
+    report = analyze_sources([(path, source)])
+    return {f.code for f in report.findings}
+
+
+def _program(*named_sources):
+    modules = {}
+    for path, source in named_sources:
+        ir = extract_module(path, source)
+        modules[ir["module"]] = ir
+    return build_program(modules)
+
+
+# ---------------------------------------------------------------------------
+# rule fixture pairs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("code", sorted(graph_rules_by_code()))
+class TestGraphRuleFixtures:
+    def test_positive_fixture_is_flagged(self, code):
+        source = _read(f"{code.lower()}_pos.py")
+        assert code in _deep_codes(source, _fixture_path(code))
+
+    def test_negative_fixture_is_clean(self, code):
+        source = _read(f"{code.lower()}_neg.py")
+        assert code not in _deep_codes(source, _fixture_path(code))
+
+
+def test_inline_suppression_applies_to_deep_findings():
+    source = _read("par002_pos.py").replace(
+        "_SEEN.add(task)",
+        "_SEEN.add(task)  # repro-lint: disable=PAR002")
+    report = analyze_sources([(PAR_PATH, source)])
+    assert "PAR002" not in {f.code for f in report.findings}
+    assert report.suppressed == 1
+
+
+def test_deep_findings_carry_line_text_for_baselines():
+    report = analyze_sources([(SIM_PATH, _read("sim101_pos.py"))])
+    flagged = [f for f in report.findings if f.code == "SIM101"]
+    assert flagged and flagged[0].line_text == "time.sleep(0.1)"
+
+
+# ---------------------------------------------------------------------------
+# builder: imports, dispatch, cycles
+# ---------------------------------------------------------------------------
+
+class TestBuilder:
+    def test_init_reexport_resolves_to_defining_module(self):
+        program = _program(
+            ("src/pkg/__init__.py", "from .impl import Widget\n"),
+            ("src/pkg/impl.py", "class Widget:\n    def spin(self):\n"
+                                "        pass\n"),
+            ("src/app.py", "from pkg import Widget\n\n"
+                           "def go():\n    w = Widget()\n    w.spin()\n"))
+        assert program.resolve_export("pkg.Widget") == "pkg.impl.Widget"
+        [(_, callees)] = [
+            (call, c) for call, c in program.callees("app.go") if c]
+        assert callees == ["pkg.impl.Widget.spin"]
+
+    def test_registry_factory_fans_out_to_all_registered_classes(self):
+        source = (
+            "class CongestionControl:\n"
+            "    def on_ack(self):\n        pass\n\n"
+            "class Reno(CongestionControl):\n"
+            "    def on_ack(self):\n        pass\n\n"
+            "class Cubic(CongestionControl):\n"
+            "    def on_ack(self):\n        pass\n\n"
+            "REGISTRY = {'reno': Reno, 'cubic': Cubic}\n\n"
+            "def make(name):\n"
+            "    cls = REGISTRY[name]\n"
+            "    return cls()\n")
+        program = _program(("src/cc.py", source))
+        assert sorted(program.factory_classes("cc.make")) == [
+            "cc.Cubic", "cc.Reno"]
+
+    def test_dispatch_includes_subclass_overrides(self):
+        source = (
+            "class Rule:\n"
+            "    def check(self):\n        pass\n\n"
+            "class TimeRule(Rule):\n"
+            "    def check(self):\n        pass\n")
+        program = _program(("src/r.py", source))
+        assert program.dispatch("r.Rule", "check") == [
+            "r.Rule.check", "r.TimeRule.check"]
+
+    def test_call_cycle_terminates_and_keeps_both_edges(self):
+        source = (
+            "def ping(n):\n"
+            "    return pong(n - 1)\n\n"
+            "def pong(n):\n"
+            "    return ping(n - 1)\n")
+        program = _program(("src/cyc.py", source))
+        ping_callees = [q for _c, qs in program.callees("cyc.ping")
+                        for q in qs]
+        pong_callees = [q for _c, qs in program.callees("cyc.pong")
+                        for q in qs]
+        assert "cyc.pong" in ping_callees
+        assert "cyc.ping" in pong_callees
+
+    def test_taint_survives_a_call_cycle(self):
+        # A cycle between helpers must not hang or drop the source.
+        source = (
+            "import time\n\n\n"
+            "class Simulator:\n"
+            "    def run(self):\n        pass\n\n"
+            "    def schedule(self, delay, callback):\n        pass\n\n\n"
+            "def a(n):\n"
+            "    if n:\n"
+            "        return b(n - 1)\n"
+            "    return time.time()\n\n\n"
+            "def b(n):\n"
+            "    return a(n)\n\n\n"
+            "def arm(sim, cb):\n"
+            "    sim.schedule(b(3), cb)\n")
+        assert "DET101" in _deep_codes(source, SIM_PATH)
+
+
+# ---------------------------------------------------------------------------
+# acceptance drills (from the issue)
+# ---------------------------------------------------------------------------
+
+class TestAcceptanceDrills:
+    def test_entropy_two_hops_into_schedule_fails_with_chain(self):
+        source = (
+            "import time\n\n\n"
+            "class Simulator:\n"
+            "    def run(self):\n        pass\n\n"
+            "    def schedule(self, delay, callback, *args):\n"
+            "        pass\n\n\n"
+            "def _raw_entropy():\n"
+            "    return time.time()\n\n\n"
+            "def _jitter():\n"
+            "    return _raw_entropy() % 1.0\n\n\n"
+            "def arm(sim, fire):\n"
+            "    sim.schedule(_jitter(), fire)\n")
+        report = analyze_sources([("src/repro/web/_drill_a.py", source)])
+        det = [f for f in report.findings if f.code == "DET101"]
+        assert det, "the entropy->schedule drill must fail the gate"
+        chain = "\n".join(det[0].chain)
+        assert "time.time" in chain
+        assert "_jitter" in chain and "_raw_entropy" in chain
+
+    def test_shared_cache_supervisor_worker_fails_with_ownership(self):
+        source = (
+            "_SHARED_CACHE = {}\n\n\n"
+            "def worker_main(tasks):\n"
+            "    _SHARED_CACHE['last'] = tasks\n\n\n"
+            "class ShadowSupervisor:\n"
+            "    def drain(self):\n"
+            "        return _SHARED_CACHE.get('last')\n")
+        report = analyze_sources(
+            [("src/repro/parallel/_drill_b.py", source)])
+        par = [f for f in report.findings if f.code == "PAR001"]
+        assert par, "the shared-cache drill must fail the gate"
+        chain = "\n".join(par[0].chain)
+        assert "worker" in chain and "supervisor" in chain.lower()
+        assert "mutated" in chain
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+class TestGraphCache:
+    def test_warm_run_hits_and_touch_invalidates_one_entry(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        pairs = [("src/repro/a.py", "def f():\n    return 1\n"),
+                 ("src/repro/b.py", "def g():\n    return 2\n")]
+        cold = analyze_sources(pairs, cache=GraphCache(cache_dir))
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+
+        warm = analyze_sources(pairs, cache=GraphCache(cache_dir))
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+
+        touched = [pairs[0],
+                   ("src/repro/b.py", "def g():\n    return 3\n")]
+        partial = analyze_sources(touched, cache=GraphCache(cache_dir))
+        assert (partial.cache_hits, partial.cache_misses) == (1, 1)
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        pairs = [("src/repro/a.py", "def f():\n    return 1\n")]
+        analyze_sources(pairs, cache=GraphCache(cache_dir))
+        for name in os.listdir(cache_dir):
+            with open(os.path.join(cache_dir, name), "w") as handle:
+                handle.write("{ not json")
+        report = analyze_sources(pairs, cache=GraphCache(cache_dir))
+        assert (report.cache_hits, report.cache_misses) == (0, 1)
+
+    def test_cache_roundtrip_preserves_findings(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        pairs = [(SIM_PATH, _read("det101_pos.py"))]
+        cold = analyze_sources(pairs, cache=GraphCache(cache_dir))
+        warm = analyze_sources(pairs, cache=GraphCache(cache_dir))
+        assert warm.cache_hits == 1
+        assert [f.render() for f in cold.findings] == [
+            f.render() for f in warm.findings]
+
+    def test_syntax_error_file_is_skipped_not_fatal(self, tmp_path):
+        pairs = [("src/repro/bad.py", "def broken(:\n"),
+                 (SIM_PATH, _read("det101_pos.py"))]
+        report = analyze_sources(pairs)
+        assert report.modules == 1
+        assert {f.code for f in report.findings} == {"DET101"}
+
+
+def test_graph_findings_serialize_chain_to_json():
+    report = analyze_sources([(SIM_PATH, _read("det101_pos.py"))])
+    payload = json.loads(json.dumps(report.findings[0].to_json()))
+    assert payload["code"] == "DET101"
+    assert isinstance(payload["chain"], list) and payload["chain"]

@@ -10,6 +10,7 @@ import os
 import pytest
 
 from repro.lint import lint_source, rules_by_code
+from repro.lint.graph import graph_rules_by_code
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
 
@@ -35,7 +36,10 @@ def _fixture_codes():
 
 
 def test_every_rule_has_a_fixture_pair():
-    assert _fixture_codes() == set(rules_by_code())
+    # Per-file rules AND whole-program (--deep) rules: both layers need a
+    # must-flag/must-not-flag pair, discovered by filename.
+    expected = set(rules_by_code()) | set(graph_rules_by_code())
+    assert _fixture_codes() == expected
 
 
 def test_at_least_ten_rules_registered():
