@@ -94,7 +94,9 @@ def run_chaos(args) -> int:
                 corpus_dir=args.corpus_dir,
                 differential=getattr(args, "differential", False),
                 workers=workers, trial_timeout=args.trial_timeout,
-                max_retries=args.max_retries, notify=notify_stderr)
+                max_retries=args.max_retries,
+                max_rss_mb=getattr(args, "max_rss_mb", None),
+                notify=notify_stderr)
         elif getattr(args, "differential", False):
             result = run_differential_campaign(
                 trials=args.trials, master_seed=args.master_seed,

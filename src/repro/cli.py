@@ -137,6 +137,51 @@ def _cmd_study(args) -> int:
     return 0
 
 
+def _budget_from_args(args):
+    """A serial campaign :class:`ResourceBudget` from flags, or None."""
+    from .guard import ResourceBudget
+    return ResourceBudget.from_limits(
+        max_wall_seconds=getattr(args, "max_wall_seconds", None),
+        max_rss_mb=getattr(args, "max_rss_mb", None),
+        max_events=getattr(args, "max_events", None),
+        max_journal_mb=getattr(args, "max_journal_mb", None))
+
+
+def _add_budget_arguments(parser) -> None:
+    """Register the campaign-level resource-budget family."""
+    group = parser.add_argument_group(
+        "resource budget (serial runs; --max-rss-mb also guards workers)")
+    group.add_argument(
+        "--max-wall-seconds", type=float, default=None, metavar="SECONDS",
+        help="stop starting new trials after this much wall-clock time; "
+             "the cut-off is journaled as a classified "
+             "resource-exhaustion record (exit 4, resumable)")
+    group.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="campaign-wide event ceiling across all trials "
+             "(resource-exhaustion classification, exit 4)")
+    group.add_argument(
+        "--max-journal-mb", type=float, default=None, metavar="MIB",
+        help="stop once the journal has grown past this many MiB "
+             "(resource-exhaustion classification, exit 4)")
+
+
+def _serial_exit_code(result, journal) -> int:
+    """Serial campaigns' exit-code contract (130 > 4 > 1 > 0)."""
+    from .parallel.cli import EXIT_RESOURCE
+    if result.stopped_early:
+        code = 130
+    elif getattr(result, "exhausted", False) \
+            or getattr(result, "exhausted_count", 0):
+        code = EXIT_RESOURCE
+    else:
+        code = 1 if result.failed_count else 0
+    if code in (4, 130) and journal:
+        print(f"campaign incomplete: resume with --resume {journal}",
+              file=sys.stderr)
+    return code
+
+
 def _cmd_campaign(args) -> int:
     from .parallel.cli import (graceful_interrupt, notify_stderr,
                                supervision_exit_code)
@@ -161,17 +206,20 @@ def _cmd_campaign(args) -> int:
                 workers=args.workers,
                 trial_timeout=args.trial_timeout,
                 max_retries=args.max_retries,
+                max_rss_mb=args.max_rss_mb,
                 notify=notify_stderr)
         else:
             with graceful_interrupt() as should_stop:
                 result = run_campaign(configs, journal_path=journal,
                                       resume=args.resume is not None,
                                       event_budget=args.event_budget,
-                                      should_stop=should_stop)
+                                      should_stop=should_stop,
+                                      budget=_budget_from_args(args))
     except (FileNotFoundError, JournalFormatError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    print(render_campaign_health(result.records))
+    print(render_campaign_health(result.records,
+                                 journal_stats=result.journal_stats))
     if result.parallel is not None:
         print(render_parallel_stats(result.parallel))
     print()
@@ -180,13 +228,76 @@ def _cmd_campaign(args) -> int:
         print(f"{condition}: {line}")
     if result.parallel is not None:
         code = supervision_exit_code(result, result.failed_count)
-    else:
-        code = 130 if result.stopped_early \
-            else (1 if result.failed_count else 0)
-    if code in (3, 130) and journal:
-        print(f"campaign incomplete: resume with --resume {journal}",
-              file=sys.stderr)
-    return code
+        if code in (3, 4, 130) and journal:
+            print(f"campaign incomplete: resume with --resume {journal}",
+                  file=sys.stderr)
+        return code
+    return _serial_exit_code(result, journal)
+
+
+def _cmd_sector(args) -> int:
+    from .experiments.population import (SectorConfig, aggregate_sector,
+                                         run_sector_campaign)
+    from .parallel.cli import (graceful_interrupt, notify_stderr,
+                               supervision_exit_code)
+    from .sanity import JournalFormatError
+
+    journal = args.resume or args.journal
+    try:
+        config = SectorConfig(users=args.users, shard_size=args.shard_size,
+                              protocol=args.protocol, network=args.network,
+                              seed=args.seed, alpha=args.alpha)
+    except ValueError as exc:
+        print(f"sector: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.workers > 0:
+            from .parallel import run_parallel_sector
+            result = run_parallel_sector(
+                config, journal_path=journal,
+                resume=args.resume is not None,
+                workers=args.workers,
+                trial_timeout=args.trial_timeout,
+                max_retries=args.max_retries,
+                max_rss_mb=args.max_rss_mb,
+                notify=notify_stderr)
+        else:
+            with graceful_interrupt() as should_stop:
+                result = run_sector_campaign(
+                    config, journal_path=journal,
+                    resume=args.resume is not None,
+                    should_stop=should_stop,
+                    budget=_budget_from_args(args))
+    except (FileNotFoundError, JournalFormatError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_campaign_health(result.records,
+                                 journal_stats=result.journal_stats))
+    if result.parallel is not None:
+        print(render_parallel_stats(result.parallel))
+    print()
+    summary = aggregate_sector(result.records)
+    print(f"sector: {config.users:,} users over {config.protocol}/"
+          f"{config.network} ({config.n_shards} shards)")
+    for metric in ("plt", "energy"):
+        stats = summary.get(metric)
+        if not stats:
+            continue
+        line = "  ".join(
+            f"{key}={value}" if isinstance(value, int)
+            else f"{key}={value:.3f}" if value is not None else f"{key}=-"
+            for key, value in sorted(stats.items()))
+        print(f"  {metric}: {line}")
+    print(f"  shards: ok={summary['shards_ok']} "
+          f"failed={summary['shards_failed']} "
+          f"exhausted={summary['shards_exhausted']}")
+    if result.parallel is not None:
+        code = supervision_exit_code(result, result.failed_count)
+        if code in (3, 4, 130) and journal:
+            print(f"campaign incomplete: resume with --resume {journal}",
+                  file=sys.stderr)
+        return code
+    return _serial_exit_code(result, journal)
 
 
 def _cmd_diff(args) -> int:
@@ -371,7 +482,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(wedge watchdog; default 20,000,000)")
     from .parallel.cli import add_parallel_arguments
     add_parallel_arguments(p_camp)
+    _add_budget_arguments(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_sector = sub.add_parser(
+        "sector",
+        help="bounded-memory population campaign: stream 10^5..10^6 "
+             "simulated users through quantile/moment sketches")
+    p_sector.add_argument("--users", type=int, default=100_000,
+                          help="simulated population size (default 100,000)")
+    p_sector.add_argument("--shard-size", type=int, default=10_000,
+                          help="users per journaled shard trial "
+                               "(default 10,000)")
+    p_sector.add_argument("--protocol", choices=["http", "spdy"],
+                          default="http")
+    p_sector.add_argument("--network", choices=["3g", "lte", "wifi"],
+                          default="3g")
+    p_sector.add_argument("--seed", type=int, default=0)
+    p_sector.add_argument("--alpha", type=float, default=0.01,
+                          help="sketch relative-error bound (default 0.01)")
+    p_sector.add_argument("--journal", metavar="PATH", default=None,
+                          help="append-only JSONL shard journal")
+    p_sector.add_argument("--resume", metavar="JOURNAL", default=None,
+                          help="journal to resume: completed shards are "
+                               "skipped, exhausted/missing ones re-run")
+    add_parallel_arguments(p_sector)
+    _add_budget_arguments(p_sector)
+    p_sector.set_defaults(func=_cmd_sector)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -1,9 +1,13 @@
 """Experiment harness: testbed wiring, runners, figure/table generators."""
 
 from . import figures, tables
+from .population import (SectorConfig, aggregate_sector, run_sector_campaign,
+                         run_sector_trial, run_shard, sector_digest)
 from .runner import (ExperimentConfig, RunResult, run_experiment, run_many,
                      visit_order)
 from .testbed import Testbed
 
 __all__ = ["figures", "tables", "ExperimentConfig", "RunResult",
-           "run_experiment", "run_many", "visit_order", "Testbed"]
+           "SectorConfig", "aggregate_sector", "run_experiment", "run_many",
+           "run_sector_campaign", "run_sector_trial", "run_shard",
+           "sector_digest", "visit_order", "Testbed"]

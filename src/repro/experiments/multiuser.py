@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from ..browser import Browser, BrowserConfig, HttpFetcher, SpdyFetcher
 from ..cellular import AccessNetwork, make_profile
 from ..cellular.cell import SharedCell
+from ..metrics import MetricSketch
 from ..net import Host
 from ..proxy import (HTTP_PROXY_PORT, HttpProxy, ProxyTrace, SPDY_PROXY_PORT,
                      SpdyProxy, UpstreamPool)
@@ -63,7 +64,7 @@ class MultiClientTestbed:
             access = AccessNetwork(self.sim, client, self.proxy_host,
                                    profile, cell=self.cell)
             stack = TcpStack(self.sim, client, tcp or TcpConfig())
-            self.clients.append(client)
+            self.clients.append(client)  # repro-lint: disable=MEM001 -- bounded by n_clients, a handful of devices (paper sec. 3)
             self.accesses.append(access)
             self.client_stacks.append(stack)
         self.browser_config = browser_config or BrowserConfig()
@@ -108,10 +109,14 @@ def run_contention_experiment(n_clients: int, protocol: str = "http",
 
     per_client = [[r.plt_or(55.0) for r in b.records] for b in browsers]
     all_plts = [p for plts in per_client for p in plts]
+    sketch = MetricSketch()
+    for plt in all_plts:
+        sketch.add(plt)
     return {
         "n_clients": n_clients,
         "per_client_plts": per_client,
         "median_plt": statistics.median(all_plts),
         "mean_plt": statistics.mean(all_plts),
+        "plt_sketch": sketch.summary(),
         "testbed": testbed,
     }

@@ -1,0 +1,353 @@
+"""Population-scale sector campaigns in constant memory.
+
+The paper measures tens of page loads per night on a handful of
+laptops; a carrier asking "what would SPDY do to the PLT distribution
+across a sector" needs 10^5-10^6 users.  Simulating each user with the
+full event-driven testbed at that scale is days of CPU, so a *sector
+campaign* runs an analytic per-user model calibrated against the
+simulator's own distributions: each user draws a page-load time and
+radio-energy figure from the (network, protocol) regime the testbed
+reproduces — 3G DCH promotion and tail energy from Appendix A's
+constants, SPDY's 3G improvement in the paper's 4-23% band — with
+heavy-tailed page-complexity and air-interface multipliers.
+
+The memory discipline is the point of the module: a shard of users
+streams through :class:`~repro.metrics.stats.MetricSketch` accumulators
+(log-binned quantiles + fixed-point moments), so peak RSS is O(shard
+chunk), independent of the user count, and shard records merge
+associatively — ``repro sector --workers N`` aggregates byte-identically
+to a serial run.  Every user's draw is seeded by
+``random.Random(f"sector/{seed}/{uid}")`` (sha512-based string seeding,
+``PYTHONHASHSEED``-independent), so user ``uid`` measures the same thing
+no matter which shard chunking, worker, or retry computed it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+import traceback
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..guard import ResourceBudget
+from ..metrics.stats import MetricSketch
+from ..sanity.campaign import (JOURNAL_SCHEMA, TrialFailure, failure_kind)
+
+__all__ = ["SectorConfig", "aggregate_sector", "run_sector_campaign",
+           "run_sector_trial", "run_shard", "sector_digest",
+           "sector_exhaustion_record", "simulate_user",
+           "DEFAULT_SHARD_CHUNK", "REDUCED_SHARD_CHUNK"]
+
+#: Users buffered per sketch-feed chunk.  This is the *only* per-user
+#: allocation in a shard, so it is also the knob the supervisor's
+#: reduced-scale retry turns down after an RSS kill.
+DEFAULT_SHARD_CHUNK = 4096
+REDUCED_SHARD_CHUNK = 256
+
+#: Page-load timeout clamp, matching the testbed's ``plt_or`` cap.
+_PLT_TIMEOUT_S = 55.0
+
+#: Per-(network, protocol) regime constants, grounded in the testbed:
+#: median PLT in the band the simulator reproduces (3G HTTP ~11 s over
+#: the 20-site corpus; SPDY 4-23% faster on 3G, less on LTE where the
+#: radio is not the bottleneck) and radio energy from the Appendix A
+#: power model (promotion energy + active draw + demotion-tail energy,
+#: all in mJ / mW so plt*power integrates directly).
+_REGIMES: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("3g", "http"):  {"base_plt": 11.0, "active_mw": 800.0,
+                      "promo_mj": 1600.0, "tail_mj": 9520.0},
+    ("3g", "spdy"):  {"base_plt": 9.6, "active_mw": 800.0,
+                      "promo_mj": 1600.0, "tail_mj": 9520.0},
+    ("lte", "http"): {"base_plt": 5.0, "active_mw": 1000.0,
+                      "promo_mj": 400.0, "tail_mj": 7700.0},
+    ("lte", "spdy"): {"base_plt": 4.7, "active_mw": 1000.0,
+                      "promo_mj": 400.0, "tail_mj": 7700.0},
+    ("wifi", "http"): {"base_plt": 2.8, "active_mw": 0.0,
+                       "promo_mj": 0.0, "tail_mj": 0.0},
+    ("wifi", "spdy"): {"base_plt": 2.6, "active_mw": 0.0,
+                       "promo_mj": 0.0, "tail_mj": 0.0},
+}
+
+#: Lognormal sigmas: page complexity varies across the web far more
+#: (sites span two orders of magnitude of objects/bytes) than one
+#: user's air interface does run to run.
+_COMPLEXITY_SIGMA = 0.45
+_AIR_SIGMA = 0.22
+
+
+@dataclass(frozen=True)
+class SectorConfig:
+    """One sector-scale condition: who, how many, on what network."""
+
+    users: int = 100_000
+    shard_size: int = 10_000
+    protocol: str = "http"
+    network: str = "3g"
+    seed: int = 0
+    #: Sketch relative-error target (quantiles accurate to ±alpha).
+    alpha: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise ValueError("users must be >= 1")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        key = (self.network, self.protocol)
+        if key not in _REGIMES:
+            raise ValueError(
+                f"no sector regime for network={self.network!r} "
+                f"protocol={self.protocol!r}; choose from "
+                f"{sorted(set(k for k, _ in _REGIMES))} x "
+                f"{sorted(set(p for _, p in _REGIMES))}")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+
+    @property
+    def n_shards(self) -> int:
+        return -(-self.users // self.shard_size)  # ceil division
+
+    def shard_range(self, shard_index: int) -> Tuple[int, int]:
+        """[start, end) user ids of one shard."""
+        if not 0 <= shard_index < self.n_shards:
+            raise ValueError(
+                f"shard_index {shard_index} out of range "
+                f"(sector has {self.n_shards} shards)")
+        start = shard_index * self.shard_size
+        return start, min(start + self.shard_size, self.users)
+
+
+def sector_digest(config: SectorConfig) -> str:
+    """Process-stable digest of one sector condition.
+
+    Unlike :func:`~repro.sanity.campaign.config_digest`, the seed is
+    *included*: a sector's seed selects its population, so a different
+    seed is a different experiment.  The shard index plays the trial
+    key's second half instead.
+    """
+    blob = json.dumps(asdict(config), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def simulate_user(config: SectorConfig, uid: int) -> Tuple[float, float]:
+    """(plt_seconds, radio_energy_mj) for one user — pure and stable.
+
+    The string-seeded RNG makes the draw a function of (seed, uid)
+    alone: chunking, sharding, retries, and workers cannot change it.
+    """
+    regime = _REGIMES[(config.network, config.protocol)]
+    rng = random.Random(f"sector/{config.seed}/{uid}")
+    complexity = math.exp(rng.gauss(0.0, _COMPLEXITY_SIGMA))
+    air = math.exp(rng.gauss(0.0, _AIR_SIGMA))
+    # Sector load: cell contention grows slowly with population (the
+    # multiuser experiment's sub-linear PLT degradation), deterministic
+    # per sector so it cannot break shard/worker byte-identity.
+    contention = 1.0 + 0.06 * math.log10(max(1, config.users))
+    plt = min(_PLT_TIMEOUT_S, regime["base_plt"] * complexity
+              * air * contention)
+    energy = (regime["promo_mj"] + plt * regime["active_mw"]
+              + regime["tail_mj"])
+    return plt, energy
+
+
+def run_shard(config: SectorConfig, shard_index: int,
+              budget: Optional[ResourceBudget] = None,
+              chunk: int = DEFAULT_SHARD_CHUNK
+              ) -> Dict[str, MetricSketch]:
+    """Stream one shard's users into PLT/energy sketches.
+
+    Memory is O(chunk): users buffer into a small list, feed the
+    sketches, and are dropped — never a per-user list the size of the
+    shard.  ``budget`` (when given) is checked once per chunk with the
+    chunk's user count reported as events, so a wall-clock/RSS/event
+    ceiling trips between chunks as a classified
+    :class:`~repro.guard.ResourceExhausted`, not an OOM kill.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    start, end = config.shard_range(shard_index)
+    plt_sketch = MetricSketch(alpha=config.alpha)
+    energy_sketch = MetricSketch(alpha=config.alpha)
+    buffered: List[Tuple[float, float]] = []
+
+    def feed() -> None:
+        for plt, energy in buffered:
+            plt_sketch.add(plt)
+            energy_sketch.add(energy)
+        if budget is not None:
+            budget.check(events=len(buffered))
+        buffered.clear()
+
+    for uid in range(start, end):
+        buffered.append(simulate_user(config, uid))
+        if len(buffered) >= chunk:
+            feed()
+    if buffered:
+        feed()
+    return {"plt": plt_sketch, "energy": energy_sketch}
+
+
+def run_sector_trial(config: SectorConfig, shard_index: int,
+                     budget: Optional[ResourceBudget] = None,
+                     chunk: int = DEFAULT_SHARD_CHUNK
+                     ) -> Dict[str, object]:
+    """One shard as an isolated, classified, journal-able trial record.
+
+    The record mirrors :func:`repro.sanity.campaign.run_trial` exactly
+    (kind ``trial``, digest + seed identity, status/summary/failure), so
+    the journal, resume, merge, and health-report machinery all apply
+    unchanged — a sector shard *is* a campaign trial whose "seed" is its
+    shard index.
+    """
+    record: Dict[str, object] = {
+        "kind": "trial", "schema": JOURNAL_SCHEMA,
+        "digest": sector_digest(config), "seed": shard_index,
+        "protocol": config.protocol, "network": config.network,
+    }
+    try:
+        sketches = run_shard(config, shard_index, budget=budget, chunk=chunk)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        tail = traceback.format_exception_only(type(exc), exc)
+        failure = TrialFailure(
+            kind=failure_kind(exc), error_type=type(exc).__name__,
+            message=str(exc), digest=sector_digest(config),
+            seed=shard_index, protocol=config.protocol,
+            network=config.network,
+            traceback_tail=[line.rstrip("\n") for line in tail][-8:])
+        record.update(status="failed", violations=0, summary=None,
+                      failure=failure.as_dict())
+    else:
+        start, end = config.shard_range(shard_index)
+        record.update(
+            status="ok", violations=0, failure=None,
+            summary={"users": end - start,
+                     "plt": sketches["plt"].to_dict(),
+                     "energy": sketches["energy"].to_dict()})
+    return record
+
+
+def run_sector_campaign(config: SectorConfig,
+                        journal_path: Optional[str] = None,
+                        resume: bool = False,
+                        should_stop=None,
+                        budget: Optional[ResourceBudget] = None,
+                        chunk: int = DEFAULT_SHARD_CHUNK):
+    """Serially run every shard as a journaled, resumable campaign.
+
+    Same contract as :func:`repro.sanity.campaign.run_campaign` (journal
+    / resume / graceful stop / budget degradation) with shards in place
+    of configs; the parallel path (``repro sector --workers N``) plans
+    the same shard order, so the merged journal is byte-identical.
+    """
+    # Local import: campaign.py must not depend on the experiments layer.
+    from ..sanity.campaign import (CampaignJournal, CampaignResult,
+                                   exhaustion_record)
+    from ..guard import ResourceExhausted
+
+    journal = CampaignJournal(journal_path) if journal_path else None
+    done: Dict[Tuple[str, int], Dict[str, object]] = {}
+    if resume:
+        if journal is None:
+            raise ValueError("resume requires a journal path")
+        import os
+        if not os.path.exists(journal.path):
+            raise FileNotFoundError(
+                f"cannot resume: journal {journal.path!r} does not exist")
+        done = journal.completed()
+
+    digest = sector_digest(config)
+    result = CampaignResult(journal_path=journal_path)
+    records = result.records
+    try:
+        for shard_index in range(config.n_shards):
+            if should_stop is not None and should_stop():
+                result.stopped_early = True
+                break
+            prior = done.get((digest, shard_index))
+            if prior is not None:
+                record = dict(prior)
+                record["resumed"] = True
+                records.append(record)  # repro-lint: disable=MEM001 -- one record per shard, not per user; users stream through sketches
+                continue
+            if budget is not None:
+                try:
+                    budget.check(force_rss=True)
+                except ResourceExhausted as exc:
+                    record = sector_exhaustion_record(config, shard_index, exc)
+                    if journal is not None:
+                        journal.append(record)
+                    records.append(record)  # repro-lint: disable=MEM001 -- one record per shard, not per user; users stream through sketches
+                    result.exhausted = True
+                    break
+            record = run_sector_trial(config, shard_index, budget=budget,
+                                      chunk=chunk)
+            if is_sector_exhaustion(record):
+                result.exhausted = True
+            if journal is not None:
+                written = journal.append(record)
+                if budget is not None:
+                    budget.note_journal_bytes(written)
+            records.append(record)  # repro-lint: disable=MEM001 -- one record per shard, not per user; users stream through sketches
+            if result.exhausted:
+                break
+    finally:
+        if journal is not None:
+            journal.close()
+            result.journal_stats = journal.stats()
+    return result
+
+
+def is_sector_exhaustion(record: Dict[str, object]) -> bool:
+    from ..sanity.campaign import is_exhaustion_record
+    return is_exhaustion_record(record)
+
+
+def sector_exhaustion_record(config: SectorConfig, shard_index: int,
+                       exc) -> Dict[str, object]:
+    """An exhaustion record for a shard that could not start."""
+    tail = traceback.format_exception_only(type(exc), exc)
+    failure = TrialFailure(
+        kind="resource-exhaustion", error_type=type(exc).__name__,
+        message=str(exc), digest=sector_digest(config), seed=shard_index,
+        protocol=config.protocol, network=config.network,
+        traceback_tail=[line.rstrip("\n") for line in tail][-8:])
+    return {"kind": "trial", "schema": JOURNAL_SCHEMA,
+            "digest": sector_digest(config), "seed": shard_index,
+            "protocol": config.protocol, "network": config.network,
+            "status": "failed", "violations": 0, "summary": None,
+            "failure": failure.as_dict()}
+
+
+def aggregate_sector(records) -> Dict[str, object]:
+    """Merge shard sketches into the sector-level aggregate.
+
+    Associative sketch merges mean the result is identical for any
+    grouping of the same records — serial, resumed, or per-worker.
+    """
+    plt = MetricSketch()
+    energy = MetricSketch()
+    users = ok = failed = exhausted = 0
+    first = True
+    for record in records:
+        if record.get("kind") != "trial":
+            continue
+        if record.get("status") != "ok" or not record.get("summary"):
+            failed += 1
+            if is_sector_exhaustion(record):
+                exhausted += 1
+            continue
+        summary = record["summary"]
+        plt_part = MetricSketch.from_dict(summary["plt"])
+        energy_part = MetricSketch.from_dict(summary["energy"])
+        if first:
+            plt, energy, first = plt_part, energy_part, False
+        else:
+            plt.merge(plt_part)
+            energy.merge(energy_part)
+        users += int(summary.get("users", 0))
+        ok += 1
+    return {"users": users, "shards_ok": ok, "shards_failed": failed,
+            "shards_exhausted": exhausted,
+            "plt": plt.summary(), "energy": energy.summary()}

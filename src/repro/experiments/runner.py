@@ -284,12 +284,12 @@ def run_many(config: ExperimentConfig, n_runs: int,
     for i in range(n_runs):
         trial = config.with_overrides(seed=config.seed + i)
         if not isolate:
-            results.append(run_experiment(trial, pages))
+            results.append(run_experiment(trial, pages))  # repro-lint: disable=MEM001 -- bounded by n_runs, a figure-sweep knob
             continue
         try:
-            results.append(run_experiment(trial, pages))
+            results.append(run_experiment(trial, pages))  # repro-lint: disable=MEM001 -- bounded by n_runs, a figure-sweep knob
         except Exception as exc:  # noqa: BLE001 - isolation is the point
             from ..sanity import TrialFailure
             if failures is not None:
-                failures.append(TrialFailure.from_exception(trial, exc))
+                failures.append(TrialFailure.from_exception(trial, exc))  # repro-lint: disable=MEM001 -- at most one failure per run, bounded by n_runs
     return results

@@ -168,7 +168,7 @@ class FaultPlan:
             entry = raw.strip()
             if not entry:
                 continue
-            events.append(cls._parse_entry(entry))
+            events.append(cls._parse_entry(entry))  # repro-lint: disable=MEM001 -- bounded by the fault-spec text length
         if not events:
             raise FaultSpecError(f"empty fault spec {spec!r}")
         return cls(events)

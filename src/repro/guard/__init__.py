@@ -1,0 +1,30 @@
+"""Resource-exhaustion guards: budgets, bounded buffers, I/O faults.
+
+Campaigns at population scale (ROADMAP item 3) die three ways that the
+fault/chaos/supervision stack of earlier PRs cannot survive: the kernel
+OOM-kills the process, the journal disk fills, or a runaway loop eats
+the wall clock.  This package turns each of those into a *classified,
+resumable* outcome instead of an unclassified crash:
+
+* :mod:`repro.guard.budget` — :class:`ResourceBudget` tracks wall-clock,
+  RSS (lightweight ``/proc`` self-sampling), event counts, and journal
+  bytes against configured ceilings, raising :class:`ResourceExhausted`
+  — a failure *kind* of its own, distinct from ``infra`` (retried) and
+  genuine simulator failures (journaled, never retried).
+* :mod:`repro.guard.ring` — :class:`BoundedRing`, the fixed-capacity
+  buffer a degraded journal falls back to, with loud drop accounting.
+* :mod:`repro.guard.iofaults` — ENOSPC/EIO fault injection for
+  :class:`~repro.sanity.campaign.CampaignJournal.append`, driven by the
+  ``REPRO_JOURNAL_FAULTS`` env hook (the same self-chaos discipline as
+  ``REPRO_PARALLEL_KILL``).
+"""
+
+from .budget import (ResourceBudget, ResourceExhausted, rss_bytes,
+                     DEFAULT_RSS_SAMPLE_EVERY)
+from .iofaults import (JournalFaultSpecError, JournalFaults,
+                       journal_faults_from_env)
+from .ring import BoundedRing
+
+__all__ = ["BoundedRing", "DEFAULT_RSS_SAMPLE_EVERY", "JournalFaultSpecError",
+           "JournalFaults", "ResourceBudget", "ResourceExhausted",
+           "journal_faults_from_env", "rss_bytes"]

@@ -1,0 +1,182 @@
+"""Resource budgets: wall-clock, RSS, event-count, journal-byte ceilings.
+
+A :class:`ResourceBudget` is checked at safe points (between trials,
+every N users inside a population shard) and raises
+:class:`ResourceExhausted` when a ceiling is crossed.  The exception
+carries *which* resource ran out, and the trial-classification machinery
+(:class:`repro.sanity.campaign.TrialFailure`) maps it to the
+``resource-exhaustion`` failure kind: unlike a genuine failure it is
+environment-dependent, so resume re-runs it; unlike an infra failure it
+is not blindly retried in place — the campaign degrades and reports.
+
+RSS sampling reads ``/proc/<pid>/statm`` (two integer parses, no
+allocation to speak of), falling back to ``resource.getrusage`` peak RSS
+where ``/proc`` is unavailable.  The clock and the sampler are injected
+so budget logic is testable without real time or real memory pressure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+__all__ = ["DEFAULT_RSS_SAMPLE_EVERY", "ResourceBudget",
+           "ResourceExhausted", "rss_bytes"]
+
+#: Check RSS once per this many :meth:`ResourceBudget.check` calls —
+#: per-user loops call ``check`` millions of times and a /proc read per
+#: call would dominate the shard.
+DEFAULT_RSS_SAMPLE_EVERY = 256
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+class ResourceExhausted(RuntimeError):
+    """A resource ceiling was crossed; the campaign must degrade.
+
+    ``resource`` names which ceiling: ``wall-clock`` | ``rss`` |
+    ``events`` | ``journal-bytes``.
+    """
+
+    def __init__(self, resource: str, message: str):
+        super().__init__(message)
+        self.resource = resource
+
+
+def rss_bytes(pid: Optional[int] = None) -> Optional[int]:
+    """Current resident set size in bytes, or None if unmeasurable.
+
+    ``/proc/<pid>/statm`` field 2 is resident pages; multiplying by the
+    page size gives bytes with two syscalls and no subprocess.  For the
+    calling process the fallback is ``resource.getrusage`` — note that
+    reports *peak* RSS, which is still the right thing to compare
+    against a ceiling (memory that was resident once was paid for).
+    """
+    target = "self" if pid is None else str(pid)
+    try:
+        with open(f"/proc/{target}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    if pid is not None:
+        return None  # cannot getrusage an arbitrary pid
+    try:
+        import resource
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except (ImportError, OSError, ValueError):  # pragma: no cover
+        return None
+
+
+class ResourceBudget:
+    """Ceilings over wall-clock, RSS, events, and journal bytes.
+
+    All ceilings are optional; an all-``None`` budget never trips.  The
+    wall clock starts at construction (or :meth:`restart`).  ``events``
+    and ``journal_bytes`` are *reported* by the caller via
+    :meth:`note_events` / :meth:`check` arguments — the budget holds the
+    running totals so call sites stay one-liners.
+    """
+
+    def __init__(self,
+                 max_wall_seconds: Optional[float] = None,
+                 max_rss_bytes: Optional[int] = None,
+                 max_events: Optional[int] = None,
+                 max_journal_bytes: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 rss_sampler: Callable[..., Optional[int]] = rss_bytes,
+                 rss_sample_every: int = DEFAULT_RSS_SAMPLE_EVERY):
+        if rss_sample_every < 1:
+            raise ValueError("rss_sample_every must be >= 1")
+        self.max_wall_seconds = max_wall_seconds
+        self.max_rss_bytes = max_rss_bytes
+        self.max_events = max_events
+        self.max_journal_bytes = max_journal_bytes
+        self._clock = clock
+        self._rss_sampler = rss_sampler
+        self._rss_sample_every = rss_sample_every
+        self._checks = 0
+        self.events = 0
+        self.journal_bytes = 0
+        self.last_rss: Optional[int] = None
+        self._started = self._clock()
+
+    @classmethod
+    def from_limits(cls, max_wall_seconds: Optional[float] = None,
+                    max_rss_mb: Optional[float] = None,
+                    max_events: Optional[int] = None,
+                    max_journal_mb: Optional[float] = None
+                    ) -> Optional["ResourceBudget"]:
+        """A budget from CLI-flavoured limits, or None if none are set."""
+        if (max_wall_seconds is None and max_rss_mb is None
+                and max_events is None and max_journal_mb is None):
+            return None
+        return cls(
+            max_wall_seconds=max_wall_seconds,
+            max_rss_bytes=(None if max_rss_mb is None
+                           else int(max_rss_mb * (1 << 20))),
+            max_events=max_events,
+            max_journal_bytes=(None if max_journal_mb is None
+                               else int(max_journal_mb * (1 << 20))))
+
+    # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Re-anchor the wall clock (a resumed campaign starts fresh)."""
+        self._started = self._clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def note_events(self, count: int) -> None:
+        """Accumulate processed events/users toward ``max_events``."""
+        self.events += count
+
+    def note_journal_bytes(self, count: int) -> None:
+        self.journal_bytes += count
+
+    # ------------------------------------------------------------------
+    def check(self, events: Optional[int] = None,
+              journal_bytes: Optional[int] = None,
+              force_rss: bool = False) -> None:
+        """Raise :class:`ResourceExhausted` if any ceiling is crossed.
+
+        ``events``/``journal_bytes`` (when given) are added to the
+        running totals first.  RSS is sampled every
+        ``rss_sample_every``-th call (or when ``force_rss``), so the
+        check is cheap enough for per-user loops.
+        """
+        if events:
+            self.events += events
+        if journal_bytes:
+            self.journal_bytes += journal_bytes
+        self._checks += 1
+        if self.max_wall_seconds is not None:
+            elapsed = self.elapsed()
+            if elapsed > self.max_wall_seconds:
+                raise ResourceExhausted(
+                    "wall-clock",
+                    f"wall-clock budget exhausted: {elapsed:.1f}s elapsed "
+                    f"> {self.max_wall_seconds:.1f}s ceiling")
+        if self.max_events is not None and self.events > self.max_events:
+            raise ResourceExhausted(
+                "events",
+                f"event budget exhausted: {self.events:,} events "
+                f"> {self.max_events:,} ceiling")
+        if (self.max_journal_bytes is not None
+                and self.journal_bytes > self.max_journal_bytes):
+            raise ResourceExhausted(
+                "journal-bytes",
+                f"journal budget exhausted: {self.journal_bytes:,} bytes "
+                f"> {self.max_journal_bytes:,} ceiling")
+        if self.max_rss_bytes is not None and (
+                force_rss or self._checks % self._rss_sample_every == 0
+                or self._checks == 1):
+            rss = self._rss_sampler()
+            self.last_rss = rss
+            if rss is not None and rss > self.max_rss_bytes:
+                raise ResourceExhausted(
+                    "rss",
+                    f"RSS budget exhausted: {rss / (1 << 20):.0f} MiB "
+                    f"resident > {self.max_rss_bytes / (1 << 20):.0f} "
+                    f"MiB ceiling")

@@ -1,0 +1,116 @@
+"""Injectable journal I/O faults: ENOSPC, EIO, and torn partial writes.
+
+The fault-injection discipline the simulator applies to radio links
+(:mod:`repro.faults`) and the parallel harness applies to itself
+(``REPRO_PARALLEL_KILL``), turned on the journal's write path.  A spec
+names which appends fail and how::
+
+    REPRO_JOURNAL_FAULTS="enospc@3-6,partial@9,eio@12"
+
+* ``enospc@N[-M]`` — appends N..M (1-based, counted per journal) raise
+  ``OSError(ENOSPC)`` before any byte lands;
+* ``eio@N[-M]``    — same with ``EIO``;
+* ``partial@N[-M]``— half the record's bytes land, *then* the write
+  raises ``ENOSPC`` — the mid-record torn tail that
+  :class:`~repro.sanity.campaign.CampaignJournal` must repair by
+  truncating back to the last good offset.
+
+Specs parse strictly (a typo'd injection that silently never fires is a
+test that tests nothing).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from typing import List, Tuple
+
+__all__ = ["JournalFaultSpecError", "JournalFaults",
+           "journal_faults_from_env"]
+
+ENV_VAR = "REPRO_JOURNAL_FAULTS"
+
+_KINDS = {
+    "enospc": errno.ENOSPC,
+    "eio": errno.EIO,
+    "partial": errno.ENOSPC,
+}
+
+
+class JournalFaultSpecError(ValueError):
+    """An unparsable ``REPRO_JOURNAL_FAULTS`` spec."""
+
+
+def _parse_range(text: str) -> Tuple[int, int]:
+    if "-" in text:
+        lo_text, hi_text = text.split("-", 1)
+    else:
+        lo_text = hi_text = text
+    try:
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise JournalFaultSpecError(
+            f"bad append range {text!r} (expected N or N-M)")
+    if lo < 1 or hi < lo:
+        raise JournalFaultSpecError(
+            f"bad append range {text!r} (1-based, N <= M)")
+    return lo, hi
+
+
+class JournalFaults:
+    """Parsed fault plan for one journal's append stream."""
+
+    def __init__(self, spec: str):
+        self.spec = spec
+        self._clauses: List[Tuple[str, int, int]] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "@" not in part:
+                raise JournalFaultSpecError(
+                    f"bad journal fault clause {part!r} "
+                    f"(expected kind@N or kind@N-M)")
+            kind, _, rng = part.partition("@")
+            kind = kind.strip().lower()
+            if kind not in _KINDS:
+                raise JournalFaultSpecError(
+                    f"unknown journal fault kind {kind!r} "
+                    f"(choose from {', '.join(sorted(_KINDS))})")
+            lo, hi = _parse_range(rng.strip())
+            self._clauses.append((kind, lo, hi))
+        if not self._clauses:
+            raise JournalFaultSpecError(f"empty journal fault spec {spec!r}")
+
+    def kind_for(self, index: int) -> str:
+        """The fault kind armed for 1-based append ``index``, or ''."""
+        for kind, lo, hi in self._clauses:
+            if lo <= index <= hi:
+                return kind
+        return ""
+
+    def on_append(self, index: int, handle, line: str) -> None:
+        """Fire the fault for this append, if one is armed.
+
+        ``partial`` writes a torn prefix through the real handle first,
+        so the journal's truncate-repair path is exercised against
+        bytes that genuinely hit the file.
+        """
+        kind = self.kind_for(index)
+        if not kind:
+            return
+        if kind == "partial" and handle is not None:
+            torn = line[:max(1, len(line) // 2)]
+            handle.write(torn)
+            handle.flush()
+        code = _KINDS[kind]
+        raise OSError(code, f"injected {kind} ({os.strerror(code)}) "
+                            f"on journal append #{index}")
+
+
+def journal_faults_from_env(environ=os.environ):
+    """The process-wide fault plan, or None when the hook is unset."""
+    spec = environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return JournalFaults(spec)

@@ -1,0 +1,62 @@
+"""A bounded in-memory ring with loud drop accounting.
+
+When :class:`~repro.sanity.campaign.CampaignJournal` loses its disk
+(persistent ENOSPC/EIO), records degrade into a :class:`BoundedRing`
+instead of an unbounded list — the whole point of the guard layer is
+that an out-of-disk campaign must not *also* go out of memory.  The
+ring keeps the most recent ``capacity`` records in arrival order and
+counts every record it had to evict, so the health report can say
+exactly how much was lost rather than pretending the tail survived.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, TypeVar
+
+__all__ = ["BoundedRing"]
+
+T = TypeVar("T")
+
+
+class BoundedRing(Generic[T]):
+    """Fixed-capacity FIFO: newest wins, evictions are counted."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self.total_pushed = 0
+        self._items: Deque[T] = deque()
+
+    def push(self, item: T) -> None:
+        """Append; evict (and count) the oldest item when full."""
+        self.total_pushed += 1
+        if len(self._items) >= self.capacity:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append(item)
+
+    def peek_oldest(self) -> T:
+        """The oldest buffered item, without removing it."""
+        return self._items[0]
+
+    def pop_oldest(self) -> T:
+        """Remove and return the oldest buffered item."""
+        return self._items.popleft()
+
+    def drain(self) -> List[T]:
+        """Remove and return everything, oldest first."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

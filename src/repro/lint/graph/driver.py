@@ -19,6 +19,7 @@ from ..findings import Finding
 from .builder import Program, build_program
 from .cache import GraphCache
 from .ir import ModuleIR, extract_module
+from .memgrowth import check_memgrowth
 from .purity import check_purity
 from .races import check_races
 from .taint import check_taint
@@ -59,6 +60,18 @@ _GRAPH_RULES: Tuple[GraphRule, ...] = (
                    "callbacks (the Timer pattern)."),
         example=("def on_expiry(self):\n"
                  "    time.sleep(0.1)   # scheduled via sim.schedule"),
+    ),
+    GraphRule(
+        code="MEM001",
+        summary="per-item container growth in a campaign-scope loop",
+        rationale=("A list/dict that grows per trial, per user, or per "
+                   "shard inside a loop reachable from a campaign entry "
+                   "point holds the whole population in memory; campaigns "
+                   "sized in 10^5..10^6 users must stream through bounded "
+                   "sketches or the journal instead."),
+        example=("def run_campaign(configs):\n"
+                 "    for config in configs:\n"
+                 "        records.append(run_trial(config))"),
     ),
     GraphRule(
         code="PAR001",
@@ -135,6 +148,7 @@ def analyze_program(program: Program) -> List[Finding]:
     findings: List[Finding] = []
     findings.extend(check_taint(program))
     findings.extend(check_purity(program))
+    findings.extend(check_memgrowth(program))
     findings.extend(check_races(program))
     findings.extend(check_unitflow(program))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))

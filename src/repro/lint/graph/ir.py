@@ -52,7 +52,7 @@ __all__ = ["IR_VERSION", "ModuleIR", "extract_module", "module_name_for",
 #: Bump whenever the IR schema or extraction logic changes: the content
 #: hash cache keys on (source bytes, IR_VERSION), so stale cache entries
 #: from an older analyzer can never be replayed.
-IR_VERSION = "repro-lint-graph-1"
+IR_VERSION = "repro-lint-graph-2"
 
 Ref = Dict[str, str]
 Atom = List[Any]
@@ -77,6 +77,12 @@ _MUTATING_METHODS = frozenset({
     "sort", "reverse",
 })
 _FILE_WRITE_ATTRS = frozenset({"write", "writelines", "flush"})
+#: Methods that grow their receiver (MEM001 cares about these inside
+#: loops; `pop`/`clear`/`remove` shrink, so they are not listed).
+_GROWTH_METHODS = frozenset({
+    "append", "appendleft", "add", "extend", "extendleft", "insert",
+    "setdefault", "update",
+})
 
 
 def module_name_for(path: str) -> Tuple[str, bool]:
@@ -256,6 +262,8 @@ class _FunctionExtractor:
         self.self_attr_types: Dict[str, List[str]] = {}
         self.self_attr_calls: Set[str] = set()
         self.self_attr_opens: List[Dict[str, Any]] = []
+        self.loop_depth = 0
+        self.loop_growth: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # reference helpers
@@ -483,6 +491,21 @@ class _FunctionExtractor:
                 and isinstance(node.func.value, ast.Name)
                 and node.func.attr in _MUTATING_METHODS):
             self._note_module_access(node.func.value, mutation=node.func.attr)
+        # container growth inside a loop (MEM001 raw material)
+        if (self.loop_depth > 0 and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _GROWTH_METHODS):
+            recv = node.func.value
+            if isinstance(recv, ast.Name):
+                self.loop_growth.append(
+                    {"recv": recv.id, "how": node.func.attr,
+                     "line": node.lineno, "col": node.col_offset})
+            elif (isinstance(recv, ast.Attribute)
+                    and isinstance(recv.value, ast.Name)
+                    and recv.value.id == "self" and self.cls is not None):
+                self.loop_growth.append(
+                    {"recv": recv.attr, "how": node.func.attr,
+                     "line": node.lineno, "col": node.col_offset,
+                     "self": True})
         return index
 
     # ------------------------------------------------------------------
@@ -561,6 +584,10 @@ class _FunctionExtractor:
         elif isinstance(target, ast.Subscript) and isinstance(
                 target.value, ast.Name):
             self._note_module_access(target.value, mutation="[]=")
+            if self.loop_depth > 0:
+                self.loop_growth.append(
+                    {"recv": target.value.id, "how": "[]=", "line": line,
+                     "col": target.value.col_offset})
         elif isinstance(target, ast.Attribute):
             inner = target.value
             if (isinstance(inner, ast.Name) and inner.id == "self"
@@ -615,6 +642,13 @@ class _FunctionExtractor:
     # ------------------------------------------------------------------
     def _walk(self, node: ast.AST) -> None:
         for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                self.loop_depth += 1
+                try:
+                    self._walk(child)
+                finally:
+                    self.loop_depth -= 1
+                continue
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self.mod.lower_function(child, parent_qname=self.qname,
                                         cls=self.cls)
@@ -742,6 +776,8 @@ class _FunctionExtractor:
             ir["self_attr_calls"] = sorted(self.self_attr_calls)
         if self.self_attr_opens:
             ir["self_attr_opens"] = self.self_attr_opens
+        if self.loop_growth:
+            ir["loop_growth"] = self.loop_growth[:100]
         if self.local_types:
             ir["local_types"] = {
                 k: sorted(set(v)) for k, v in self.local_types.items()}

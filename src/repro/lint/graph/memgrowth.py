@@ -1,0 +1,118 @@
+"""MEM001: unbounded per-item accumulation in campaign-scope loops.
+
+Campaigns are sized in trials, users, and shards — anything that grows a
+list or dict *per item* inside a loop reachable from a campaign entry
+point holds the whole population in memory at once, which is exactly
+what the streaming sketches and the bounded ring exist to avoid.  The
+per-file rules cannot see this: an ``results.append(...)`` is harmless
+in a 20-site figure helper and fatal in a 10^6-user sweep.  This rule
+walks the call graph from the campaign/experiment entry points and flags
+growth whose receiver is *named like* a per-item accumulator.
+
+Heuristics, deliberately narrow to stay quiet:
+
+* only functions reachable from a campaign-scope root
+  (``run_campaign``, ``run_parallel_*``, ``worker_main``,
+  ``Supervisor.run``, ``run_many``, ``run_shard``, the sector/chaos
+  campaign loops, ``run_contention_experiment``);
+* only receivers matching the per-item name pattern
+  (``records``, ``trials``, ``results``, ``users``, ...);
+* receivers constructed from a known class (``local_types`` carries a
+  constructor binding — a ``BoundedRing``/``MetricSketch``/``deque``
+  is bounded by design) are skipped.
+
+A finding means: stream it through a sketch, bound it with a ring, or
+journal it — or suppress with a reason if the loop is provably small.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from ..findings import Finding
+from .builder import Program
+from .taint import _hop
+
+__all__ = ["check_memgrowth", "reachable_from_campaign"]
+
+_MAX_CHAIN = 8
+
+#: qname suffixes that anchor campaign/experiment scope.
+CAMPAIGN_ROOTS = (
+    ".run_campaign", ".run_parallel_campaign", ".run_parallel_chaos",
+    ".run_parallel_sector", ".run_chaos_campaign",
+    ".run_differential_campaign", ".run_sector_campaign",
+    ".run_sector_trial", ".run_shard", ".run_many", ".worker_main",
+    ".run_contention_experiment", ".Supervisor.run",
+)
+
+#: Receiver names that smell like per-trial/per-user accumulators.
+_PER_ITEM = re.compile(
+    r"(config|trial|record|task|user|seed|scenario|client|shard|"
+    r"result|finding|failure|sample|event|plt)s(_\w+)?$")
+
+
+def reachable_from_campaign(program: Program) -> Dict[str, List[str]]:
+    """qname -> hop chain, for functions reachable from a campaign root."""
+    chains: Dict[str, List[str]] = {}
+    queue: List[str] = []
+    for qname in sorted(program.functions):
+        if qname.endswith(CAMPAIGN_ROOTS):
+            chains[qname] = [f"{_hop(program, qname)} is campaign scope"]
+            queue.append(qname)
+    while queue:
+        current = queue.pop(0)
+        chain = chains[current]
+        if len(chain) >= _MAX_CHAIN:
+            continue
+        for _, callees in program.callees(current):
+            for callee in callees:
+                if callee not in chains:
+                    chains[callee] = chain + [_hop(program, callee)]
+                    queue.append(callee)
+    return chains
+
+
+def _bounded_receiver(func: Dict[str, Any], cls: Dict[str, Any],
+                      fact: Dict[str, Any]) -> bool:
+    """True when the receiver was built by a constructor call — a class
+    instance (sketch, ring, deque wrapper) owns its own bound."""
+    recv = fact["recv"]
+    if fact.get("self"):
+        types = (cls or {}).get("attr_types", {}).get(recv) \
+            or (func.get("self_attr_types") or {}).get(recv)
+    else:
+        types = (func.get("local_types") or {}).get(recv)
+    return bool(types)
+
+
+def check_memgrowth(program: Program) -> List[Finding]:
+    """MEM001: per-item container growth in campaign-reachable loops."""
+    chains = reachable_from_campaign(program)
+    findings: List[Finding] = []
+    for qname in sorted(chains):
+        func = program.functions[qname]
+        module = program.modules.get(program.owner.get(qname, ""))
+        if module is None or not module["is_sim"]:
+            continue
+        cls = program.classes.get(func.get("cls") or "")
+        for fact in func.get("loop_growth", ()):
+            match = _PER_ITEM.search(fact["recv"])
+            if match is None:
+                continue
+            if _bounded_receiver(func, cls, fact):
+                continue
+            recv = ("self." + fact["recv"] if fact.get("self")
+                    else fact["recv"])
+            grow = (f"`{recv}[...] = ...`" if fact["how"] == "[]="
+                    else f"`{recv}.{fact['how']}(...)`")
+            findings.append(Finding(
+                path=module["path"], line=fact["line"], col=fact["col"],
+                code="MEM001",
+                message=(f"{grow} grows per-{match.group(1)} inside a "
+                         f"loop in {qname}, which runs in campaign "
+                         f"scope; stream through a sketch, bound with "
+                         f"a ring, or journal instead of accumulating"),
+                chain=tuple(chains[qname][:_MAX_CHAIN])))
+    return findings

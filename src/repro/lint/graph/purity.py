@@ -80,10 +80,15 @@ def _collect_roots(program: Program) -> Dict[str, List[str]]:
         if qname in program.functions and qname not in roots:
             roots[qname] = [via]
 
-    # Simulator.run itself anchors the dispatch loop
+    # Simulator.run itself anchors the dispatch loop; Supervisor.run is
+    # the supervision loop — its retry/backoff logic must run on the
+    # injected clock/sleep, never the real ones, so supervision tests
+    # run without real sleeps.
     for qname in program.functions:
         if qname.endswith("Simulator.run"):
             add(qname, f"{_hop(program, qname)} is the dispatch loop")
+        elif qname.endswith("Supervisor.run"):
+            add(qname, f"{_hop(program, qname)} is the supervision loop")
 
     # callback-storing classes (Timer pattern): map class -> {index: attr}
     stored: Dict[str, Dict[int, str]] = {}
@@ -195,12 +200,14 @@ def check_purity(program: Program) -> List[Finding]:
         module = program.modules.get(program.owner.get(qname, ""))
         if module is None or not module["is_sim"]:
             continue
+        root = ("Supervisor.run supervision"
+                if "supervision loop" in chains[qname][0]
+                else "Simulator.run dispatch")
         for impure in func.get("impure", ()):
             findings.append(Finding(
                 path=module["path"], line=impure["line"],
                 col=impure["col"], code="SIM101",
                 message=(f"{impure['kind']} call `{impure['origin']}()` in "
-                         f"{qname}, which is reachable from Simulator.run "
-                         f"dispatch"),
+                         f"{qname}, which is reachable from {root}"),
                 chain=tuple(chains[qname][:_MAX_CHAIN])))
     return findings

@@ -2,9 +2,11 @@
 
 from .packets import (PacketRecord, PacketTraceTap, bytes_in_flight_series,
                       throughput_bins)
-from .stats import (BoxStats, box_stats, cdf_points, mean,
-                    mean_confidence_interval, percentile)
+from .stats import (BoxStats, MetricSketch, QuantileSketch, StreamingMoments,
+                    box_stats, cdf_points, mean, mean_confidence_interval,
+                    percentile)
 
 __all__ = ["PacketRecord", "PacketTraceTap", "bytes_in_flight_series",
-           "throughput_bins", "BoxStats", "box_stats", "cdf_points", "mean",
+           "throughput_bins", "BoxStats", "MetricSketch", "QuantileSketch",
+           "StreamingMoments", "box_stats", "cdf_points", "mean",
            "mean_confidence_interval", "percentile"]

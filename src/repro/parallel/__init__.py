@@ -22,7 +22,7 @@ from .merge import (MergeError, MergeResult, collect_records,
 from .supervisor import (DEFAULT_MAX_RETRIES, DEFAULT_TRIAL_TIMEOUT,
                          ParallelStats, Supervisor, SupervisorError,
                          backoff_delay, run_parallel_campaign,
-                         run_parallel_chaos)
+                         run_parallel_chaos, run_parallel_sector)
 from .worker import (CampaignSpec, DEFAULT_WORKER_FSYNC_EVERY, TrialTask,
                      worker_main)
 
@@ -32,5 +32,5 @@ __all__ = [
     "ParallelStats", "Supervisor", "SupervisorError", "TrialTask",
     "backoff_delay", "collect_records", "merge_records",
     "record_identity", "run_parallel_campaign", "run_parallel_chaos",
-    "worker_main", "write_merged",
+    "run_parallel_sector", "worker_main", "write_merged",
 ]

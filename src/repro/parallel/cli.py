@@ -9,8 +9,15 @@ Exit codes for supervised runs:
 * ``1``   — campaign complete, genuine trial failures journaled
 * ``3``   — campaign *incomplete*: trials lost to exhausted retries or
   left outstanding by a drain; re-run with ``--resume`` to finish
+* ``4``   — campaign hit a *resource ceiling* (worker RSS, wall clock,
+  journal bytes): the affected trials are journaled as classified
+  ``resource-exhaustion`` records and ``--resume`` re-runs them —
+  distinct from ``3`` because the campaign degraded by policy, not by
+  losing trials to unexplained infrastructure
 * ``130`` — interrupted (SIGINT/SIGTERM drain); the merged journal
   holds everything that finished, ``--resume`` continues it
+
+Precedence when several apply: ``130`` > ``4`` > ``3`` > ``1``.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ __all__ = ["add_parallel_arguments", "graceful_interrupt", "notify_stderr",
 
 EXIT_INTERRUPTED = 130
 EXIT_INCOMPLETE = 3
+EXIT_RESOURCE = 4
 
 
 def add_parallel_arguments(parser) -> None:
@@ -50,6 +58,12 @@ def add_parallel_arguments(parser) -> None:
              "worker) before the trial is declared lost; genuine "
              "simulator failures are journaled, never retried "
              f"(default: {DEFAULT_MAX_RETRIES})")
+    group.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="MIB",
+        help="per-worker resident-set ceiling: a worker observed over "
+             "it is killed, its trial retried once at reduced scale, "
+             "then classified resource-exhaustion (exit code 4; "
+             "--resume re-runs those trials); default: unlimited")
 
 
 def notify_stderr(message: str) -> None:
@@ -89,10 +103,17 @@ def graceful_interrupt(notify=notify_stderr):
 
 
 def supervision_exit_code(result, failure_count: int) -> int:
-    """Map a supervised campaign result onto the exit-code contract."""
+    """Map a supervised campaign result onto the exit-code contract.
+
+    Precedence: interrupted (130) beats exhausted (4) beats incomplete
+    (3) beats failures (1) — each outer condition subsumes the inner
+    ones' remediation (``--resume``), so the most actionable wins.
+    """
     stats = result.parallel or {}
     if stats.get("drained"):
         return EXIT_INTERRUPTED
+    if stats.get("exhausted") or getattr(result, "exhausted", False):
+        return EXIT_RESOURCE
     if stats.get("lost") or result.stopped_early:
         return EXIT_INCOMPLETE
     return 1 if failure_count else 0

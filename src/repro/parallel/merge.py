@@ -31,7 +31,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..sanity.campaign import CampaignJournal
+from ..sanity.campaign import CampaignJournal, is_exhaustion_record
 
 __all__ = ["MergeError", "MergeResult", "collect_records", "merge_records",
            "record_identity", "write_merged"]
@@ -84,6 +84,13 @@ def collect_records(paths: Sequence[str]
     the bytes of one trial — re-running a trial must be idempotent, so
     disagreement means nondeterminism, and aggregating either side
     would silently poison the campaign.
+
+    The one sanctioned disagreement: a ``resource-exhaustion`` record is
+    *provisional* — it describes the environment at one attempt, not the
+    trial.  A real record (from a retry at reduced scale, or a resume on
+    a healthier box) supersedes it; a provisional record never displaces
+    a real one; two provisionals keep the first seen.  Only real-vs-real
+    divergence is a determinism violation.
     """
     by_identity: Dict[Tuple, Tuple[str, Dict[str, object]]] = {}
     for path in paths:
@@ -94,6 +101,11 @@ def collect_records(paths: Sequence[str]
             line = json.dumps(record, sort_keys=True)
             prior = by_identity.get(identity)
             if prior is not None and prior[0] != line:
+                if is_exhaustion_record(record):
+                    continue  # provisional never displaces anything
+                if is_exhaustion_record(prior[1]):
+                    by_identity[identity] = (line, record)
+                    continue  # real record supersedes provisional
                 raise MergeError(
                     f"conflicting records for trial {identity} "
                     f"(latest from {path}): re-running a trial must "

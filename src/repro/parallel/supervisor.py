@@ -47,15 +47,17 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.runner import ExperimentConfig
-from ..sanity.campaign import (CampaignResult, DEFAULT_EVENT_BUDGET,
-                               config_digest)
+from ..guard import ResourceExhausted, rss_bytes
+from ..sanity.campaign import (CampaignJournal, CampaignResult,
+                               DEFAULT_EVENT_BUDGET, config_digest,
+                               exhaustion_record, is_exhaustion_record)
 from .merge import MergeResult, merge_records, write_merged
 from .worker import (CampaignSpec, DEFAULT_WORKER_FSYNC_EVERY, TrialTask,
                      worker_main)
 
 __all__ = ["DEFAULT_MAX_RETRIES", "DEFAULT_TRIAL_TIMEOUT", "ParallelStats",
            "Supervisor", "SupervisorError", "run_parallel_campaign",
-           "run_parallel_chaos"]
+           "run_parallel_chaos", "run_parallel_sector"]
 
 #: Wall-clock seconds without a heartbeat before a busy worker is
 #: declared hung and killed.  Generous by default: the event-budget
@@ -71,6 +73,7 @@ _BACKOFF_CAP = 4.0       # seconds; retry delay never exceeds this
 
 _STATUS_POLL = 0.05      # supervisor tick, seconds
 _JOIN_TIMEOUT = 5.0      # graceful worker shutdown allowance, seconds
+_RSS_POLL = 0.2          # seconds between worker RSS samples
 
 
 class SupervisorError(RuntimeError):
@@ -87,6 +90,8 @@ class ParallelStats:
     infra_failures: int = 0    # crashes + hangs + harness errors
     timeouts: int = 0          # hang-detector kills (subset of above)
     lost: int = 0              # trials whose retries were exhausted
+    rss_kills: int = 0         # workers SIGKILLed over the RSS ceiling
+    exhausted: int = 0         # trials classified resource-exhaustion
     drained: bool = False      # SIGINT/SIGTERM graceful stop
 
     def as_dict(self) -> Dict[str, object]:
@@ -94,6 +99,7 @@ class ParallelStats:
                 "retries": self.retries,
                 "infra_failures": self.infra_failures,
                 "timeouts": self.timeouts, "lost": self.lost,
+                "rss_kills": self.rss_kills, "exhausted": self.exhausted,
                 "drained": self.drained}
 
 
@@ -130,17 +136,38 @@ class _WorkerHandle:
         self.current: Optional[TrialTask] = None
         self.dispatched_at = 0.0
         self.timed_out = False
+        self.rss_killed = False
         self.status_closed = False
 
 
 class Supervisor:
-    """Runs one campaign's outstanding tasks across worker processes."""
+    """Runs one campaign's outstanding tasks across worker processes.
+
+    ``clock``/``sleep`` are injected (default: real monotonic time) so
+    supervision logic — backoff gating, hang thresholds, RSS poll
+    throttling — is testable without real waits.  No retry-logic code
+    path reads ``time`` directly.
+
+    ``max_rss_mb`` arms the per-worker RSS watchdog: a busy worker
+    observed (via ``rss_sampler``, default ``/proc/<pid>/statm``) over
+    the ceiling is SIGKILLed; its trial is retried **once** at reduced
+    batch scale without burning an infra retry, and a second RSS kill
+    classifies the trial ``resource-exhaustion`` via ``exhaust_record``
+    (a position -> journal record factory; None falls back to lost
+    accounting for modes with no record builder).
+    """
 
     def __init__(self, spec: CampaignSpec, workdir: str,
                  workers: int = 2,
                  trial_timeout: float = DEFAULT_TRIAL_TIMEOUT,
                  max_retries: int = DEFAULT_MAX_RETRIES,
-                 notify: Optional[Callable[[str], None]] = None):
+                 notify: Optional[Callable[[str], None]] = None,
+                 max_rss_mb: Optional[float] = None,
+                 rss_sampler: Callable[[int], Optional[int]] = rss_bytes,
+                 exhaust_record: Optional[
+                     Callable[[int, str], Optional[Dict[str, object]]]] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.spec = spec
@@ -149,6 +176,11 @@ class Supervisor:
         self.trial_timeout = trial_timeout
         self.max_retries = max_retries
         self.notify = notify or (lambda message: None)
+        self.max_rss_mb = max_rss_mb
+        self.rss_sampler = rss_sampler
+        self.exhaust_record = exhaust_record
+        self.clock = clock
+        self.sleep = sleep
         self.stats = ParallelStats(workers=workers)
         self.lost_tasks: List[TrialTask] = []
         self.corpus_by_position: Dict[int, str] = {}
@@ -157,6 +189,8 @@ class Supervisor:
         self._next_wid = 0
         self._draining = False
         self._aborted = False
+        self._last_rss_poll = 0.0
+        self._own_journal: Optional[CampaignJournal] = None
 
     # ------------------------------------------------------------------
     # workers
@@ -169,7 +203,7 @@ class Supervisor:
         heartbeat = self._ctx.Value("d", 0.0, lock=False)
         journal_path = os.path.join(
             self.workdir,
-            f"worker-{os.getpid()}-w{wid}.jsonl")  # repro-lint: disable=DET006 -- supervisor pid keeps resumed runs from colliding with an orphan's journal; never journaled
+            f"worker-{os.getpid()}-w{wid}.jsonl")  # repro-lint: disable=DET006,SIM101 -- supervisor pid keeps resumed runs from colliding with an orphan's journal; never journaled
         proc = self._ctx.Process(
             target=worker_main, name=f"repro-worker-{wid}",
             args=(wid, self.spec, task_read, status_write, heartbeat,
@@ -265,7 +299,8 @@ class Supervisor:
                     break
 
                 self._drain_status(completed, outstanding, pending)
-                now = time.monotonic()  # repro-lint: disable=DET001 -- supervision clock, never journaled
+                now = self.clock()
+                self._check_rss(now)
                 self._check_liveness(now, pending, outstanding)
                 self._check_hangs(now)
                 if not self._draining:
@@ -274,6 +309,9 @@ class Supervisor:
             self._aborted = True
         finally:
             self._shutdown()
+            if self._own_journal is not None:
+                self._own_journal.close()
+                self._own_journal = None
             self._restore_signals(previous_signals)
         return completed
 
@@ -289,7 +327,7 @@ class Supervisor:
         by_connection = {h.status: h for h in self._handles.values()
                          if not h.status_closed}
         if not by_connection:
-            time.sleep(_STATUS_POLL)  # repro-lint: disable=SIM001 -- supervisor poll tick, not sim code
+            self.sleep(_STATUS_POLL)
             return
         ready = mp_connection.wait(list(by_connection), _STATUS_POLL)
         for conn in ready:
@@ -320,10 +358,70 @@ class Supervisor:
                         task = handle.current
                         handle.current = None
                     if task is not None and position in outstanding:
-                        self._requeue(task, extra,
-                                      time.monotonic(),  # repro-lint: disable=DET001 -- supervision clock
+                        self._requeue(task, extra, self.clock(),
                                       pending, outstanding)
                 # "bye" is informational
+
+    def _check_rss(self, now: float) -> None:
+        """SIGKILL busy workers whose resident set crossed the ceiling.
+
+        Sampling is throttled to one sweep per ``_RSS_POLL`` (a /proc
+        read per worker per sweep), so an idle supervisor tick stays
+        cheap.  The kill itself is the same lever the hang detector
+        pulls; classification happens at reap time, keyed off
+        ``rss_killed``.
+        """
+        if self.max_rss_mb is None:
+            return
+        if now - self._last_rss_poll < _RSS_POLL:
+            return
+        self._last_rss_poll = now
+        ceiling = int(self.max_rss_mb * (1 << 20))
+        for handle in self._handles.values():
+            if handle.current is None or handle.rss_killed \
+                    or handle.timed_out:
+                continue
+            if handle.proc.exitcode is not None or handle.proc.pid is None:
+                continue
+            rss = self.rss_sampler(handle.proc.pid)
+            if rss is not None and rss > ceiling:
+                handle.rss_killed = True
+                self.stats.rss_kills += 1
+                self.notify(
+                    f"worker w{handle.wid} over RSS ceiling "
+                    f"({rss / (1 << 20):.0f} > {self.max_rss_mb:.0f} MiB) "
+                    f"on trial #{handle.current.position}; killed")
+                handle.proc.kill()
+
+    def _exhaust(self, task: TrialTask, outstanding: set) -> None:
+        """Second RSS kill: classify the trial as resource-exhaustion.
+
+        The classified record goes into a supervisor-owned journal in
+        the workdir (named ``worker-*`` so the merge glob and resume
+        recovery pick it up like any worker's).  It is *provisional* —
+        resume excludes it from the done-set and a later real record
+        supersedes it in the merge — so a re-run on a bigger box
+        converges to the healthy campaign's bytes.
+        """
+        outstanding.discard(task.position)
+        self.stats.exhausted += 1
+        message = (f"worker RSS exceeded {self.max_rss_mb:.0f} MiB ceiling "
+                   f"at full and reduced scale")
+        record = None
+        if self.exhaust_record is not None:
+            record = self.exhaust_record(task.position, message)
+        if record is not None:
+            if self._own_journal is None:
+                self._own_journal = CampaignJournal(os.path.join(
+                    self.workdir,
+                    f"worker-{os.getpid()}-supervisor.jsonl"))  # repro-lint: disable=DET006,SIM101 -- matches the worker journal naming scheme; never journaled
+            self._own_journal.append(record)
+        else:
+            # No record builder for this mode: account it as lost so
+            # the exit code still refuses to claim completeness.
+            self.lost_tasks.append(task)
+            self.stats.lost += 1
+        self.notify(f"trial #{task.position} EXHAUSTED: {message}")
 
     def _check_liveness(self, now: float, pending: list,
                         outstanding: set) -> None:
@@ -334,7 +432,21 @@ class Supervisor:
                 continue
             del self._handles[wid]
             task = handle.current
-            if task is not None:
+            if task is not None and handle.rss_killed:
+                if task.reduced:
+                    self._exhaust(task, outstanding)
+                else:
+                    # One free retry at reduced scale: an RSS blowup is
+                    # often batch-sized, and the fresh worker sheds any
+                    # heap its predecessor grew.  Deliberately not an
+                    # infra retry — the attempt counter stays put.
+                    task.reduced = True
+                    task.not_before = now
+                    heapq.heappush(pending,
+                                   (task.not_before, task.position, task))
+                    self.notify(f"trial #{task.position} over RSS ceiling; "
+                                f"retrying once at reduced scale")
+            elif task is not None:
                 reason = ("hang: no heartbeat for "
                           f"{self.trial_timeout:.0f}s, killed"
                           if handle.timed_out else
@@ -394,9 +506,9 @@ class Supervisor:
                 handle.inbox.send(None)
             except (OSError, ValueError):
                 handle.proc.terminate()
-        deadline = time.monotonic() + _JOIN_TIMEOUT  # repro-lint: disable=DET001 -- supervision clock
+        deadline = self.clock() + _JOIN_TIMEOUT
         for handle in self._handles.values():
-            remaining = max(0.1, deadline - time.monotonic())  # repro-lint: disable=DET001 -- supervision clock
+            remaining = max(0.1, deadline - self.clock())
             handle.proc.join(timeout=remaining)
             if handle.proc.exitcode is None:
                 handle.proc.kill()
@@ -464,7 +576,12 @@ def _plan_chaos(trials: int, master_seed: int, space,
 def _run_supervised(spec: CampaignSpec, plan: List[_PlannedTrial],
                     journal_path: Optional[str], resume: bool,
                     workers: int, trial_timeout: float, max_retries: int,
-                    notify: Optional[Callable[[str], None]]
+                    notify: Optional[Callable[[str], None]],
+                    max_rss_mb: Optional[float] = None,
+                    rss_sampler: Callable[[int], Optional[int]] = rss_bytes,
+                    exhaust_record: Optional[
+                        Callable[[int, str],
+                                 Optional[Dict[str, object]]]] = None
                     ) -> Tuple[MergeResult, set, ParallelStats, Dict[int, str]]:
     """Shared driver: resume-plan, supervise, merge, clean up.
 
@@ -497,7 +614,10 @@ def _run_supervised(spec: CampaignSpec, plan: List[_PlannedTrial],
                 f"worker journals under {workdir!r} exist")
         for _, record in collect_records(resume_sources).values():
             key = _resume_key_of(record)
-            if key is not None:
+            if key is not None and not is_exhaustion_record(record):
+                # Exhaustion records are provisional: resume re-runs
+                # them (this box may have the memory the last one
+                # lacked) and the merge supersedes them with the result.
                 done_before[key] = record
     elif not temp_workdir and os.path.isdir(workdir):
         # A fresh (non-resume) run must not inherit stale worker
@@ -512,7 +632,9 @@ def _run_supervised(spec: CampaignSpec, plan: List[_PlannedTrial],
 
     supervisor = Supervisor(spec, workdir, workers=workers,
                             trial_timeout=trial_timeout,
-                            max_retries=max_retries, notify=notify)
+                            max_retries=max_retries, notify=notify,
+                            max_rss_mb=max_rss_mb, rss_sampler=rss_sampler,
+                            exhaust_record=exhaust_record)
     try:
         supervisor.run(tasks)
     finally:
@@ -543,6 +665,9 @@ def run_parallel_campaign(configs: Sequence[ExperimentConfig],
                           trial_timeout: float = DEFAULT_TRIAL_TIMEOUT,
                           max_retries: int = DEFAULT_MAX_RETRIES,
                           fsync_every: int = DEFAULT_WORKER_FSYNC_EVERY,
+                          max_rss_mb: Optional[float] = None,
+                          rss_sampler: Callable[[int],
+                                                Optional[int]] = rss_bytes,
                           notify: Optional[Callable[[str], None]] = None
                           ) -> CampaignResult:
     """Parallel, supervised equivalent of
@@ -553,19 +678,27 @@ def run_parallel_campaign(configs: Sequence[ExperimentConfig],
     (``resumed: true`` on carried-over records).  Live
     :class:`RunResult` objects are not transported across processes, so
     ``result.results`` stays empty.  Supervision counters land in
-    ``result.parallel``.
+    ``result.parallel``.  ``max_rss_mb`` arms the per-worker RSS
+    watchdog (``rss_sampler`` is its test-injection point).
     """
     configs = list(configs)
     spec = CampaignSpec(mode="campaign", configs=configs,
                         event_budget=event_budget, fsync_every=fsync_every)
     plan = _plan_campaign(configs)
+
+    def exhaust(position: int, message: str) -> Dict[str, object]:
+        return exhaustion_record(configs[position],
+                                 ResourceExhausted("rss", message))
+
     merged, resumed_positions, stats, _ = _run_supervised(
         spec, plan, journal_path, resume, workers, trial_timeout,
-        max_retries, notify)
+        max_retries, notify, max_rss_mb=max_rss_mb,
+        rss_sampler=rss_sampler, exhaust_record=exhaust)
 
     result = CampaignResult(journal_path=journal_path)
     result.parallel = stats.as_dict()
     result.stopped_early = stats.drained or bool(merged.missing)
+    result.exhausted = stats.exhausted > 0
     for planned, record in zip(plan, _aligned(merged, plan)):
         if record is None:
             continue
@@ -590,9 +723,17 @@ def run_parallel_chaos(trials: int,
                        trial_timeout: float = DEFAULT_TRIAL_TIMEOUT,
                        max_retries: int = DEFAULT_MAX_RETRIES,
                        fsync_every: int = DEFAULT_WORKER_FSYNC_EVERY,
+                       max_rss_mb: Optional[float] = None,
+                       rss_sampler: Callable[[int],
+                                             Optional[int]] = rss_bytes,
                        notify: Optional[Callable[[str], None]] = None):
     """Parallel, supervised equivalent of ``run_chaos_campaign`` /
-    ``run_differential_campaign`` (selected by ``differential``)."""
+    ``run_differential_campaign`` (selected by ``differential``).
+
+    Chaos trials have no per-record exhaustion builder (their records
+    embed shrink state), so a double RSS kill falls back to the *lost*
+    accounting path — still a classified, non-zero, resumable end.
+    """
     from ..chaos.campaign import ChaosResult
     from ..chaos.oracles import CHAOS_EVENT_BUDGET
     from ..chaos.shrinker import DEFAULT_SHRINK_BUDGET
@@ -612,7 +753,8 @@ def run_parallel_chaos(trials: int,
     plan = _plan_chaos(trials, master_seed, space, differential)
     merged, resumed_positions, stats, corpus_by_position = _run_supervised(
         spec, plan, journal_path, resume, workers, trial_timeout,
-        max_retries, notify)
+        max_retries, notify, max_rss_mb=max_rss_mb,
+        rss_sampler=rss_sampler)
 
     result = ChaosResult(journal_path=journal_path)
     result.parallel = stats.as_dict()
@@ -627,6 +769,67 @@ def run_parallel_chaos(trials: int,
         name = record.get("corpus_entry")
         if name and corpus_dir and planned.position not in resumed_positions:
             result.corpus_paths.append(os.path.join(corpus_dir, str(name)))
+    return result
+
+
+def _plan_sector(config) -> List[_PlannedTrial]:
+    """One planned trial per shard; the shard index plays the seed."""
+    from ..experiments.population import sector_digest
+    digest = sector_digest(config)
+    return [_PlannedTrial(position, ("trial", digest, position),
+                          (digest, position))
+            for position in range(config.n_shards)]
+
+
+def run_parallel_sector(config,
+                        journal_path: Optional[str] = None,
+                        resume: bool = False,
+                        workers: int = 2,
+                        trial_timeout: float = DEFAULT_TRIAL_TIMEOUT,
+                        max_retries: int = DEFAULT_MAX_RETRIES,
+                        fsync_every: int = DEFAULT_WORKER_FSYNC_EVERY,
+                        max_rss_mb: Optional[float] = None,
+                        rss_sampler: Callable[[int],
+                                              Optional[int]] = rss_bytes,
+                        notify: Optional[Callable[[str], None]] = None
+                        ) -> CampaignResult:
+    """Parallel, supervised equivalent of
+    :func:`repro.experiments.population.run_sector_campaign`.
+
+    Shard records carry associative sketches, so the merged journal —
+    and therefore :func:`~repro.experiments.population.aggregate_sector`
+    over it — is byte-identical to the serial run for any worker count.
+    This is the 10^5-10^6-user path: per-worker memory is O(shard
+    chunk), the aggregate is O(sketch bins).
+    """
+    from ..experiments.population import (SectorConfig,
+                                          sector_exhaustion_record)
+    if not isinstance(config, SectorConfig):
+        raise TypeError("run_parallel_sector needs a SectorConfig")
+    spec = CampaignSpec(mode="sector", sector=config,
+                        fsync_every=fsync_every)
+    plan = _plan_sector(config)
+
+    def exhaust(position: int, message: str) -> Dict[str, object]:
+        return sector_exhaustion_record(
+            config, position, ResourceExhausted("rss", message))
+
+    merged, resumed_positions, stats, _ = _run_supervised(
+        spec, plan, journal_path, resume, workers, trial_timeout,
+        max_retries, notify, max_rss_mb=max_rss_mb,
+        rss_sampler=rss_sampler, exhaust_record=exhaust)
+
+    result = CampaignResult(journal_path=journal_path)
+    result.parallel = stats.as_dict()
+    result.stopped_early = stats.drained or bool(merged.missing)
+    result.exhausted = stats.exhausted > 0
+    for planned, record in zip(plan, _aligned(merged, plan)):
+        if record is None:
+            continue
+        record = dict(record)
+        if planned.position in resumed_positions:
+            record["resumed"] = True
+        result.records.append(record)
     return result
 
 

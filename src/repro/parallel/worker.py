@@ -29,6 +29,13 @@ the harness itself):
 * ``REPRO_PARALLEL_WEDGE=5`` — silence the heartbeat and sleep forever
   before a listed position (first attempt only), simulating a frozen
   worker for the hang detector.
+* ``REPRO_PARALLEL_BALLOON=5:256`` — allocate a 256 MiB balloon and
+  hold it for ~1 s before running the trial at position 5, so the
+  supervisor's RSS watchdog has something real to catch.  By default
+  the balloon only inflates at *full* scale (a reduced-scale retry runs
+  clean, modelling a batch-size-driven blowup); a trailing ``!``
+  (``5:256!``) inflates on every attempt, driving the trial all the way
+  to its classified ``resource-exhaustion`` end.
 """
 
 from __future__ import annotations
@@ -38,13 +45,18 @@ import signal
 import threading
 import time
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..experiments.runner import ExperimentConfig
 from ..sanity.campaign import CampaignJournal, run_trial
 
 __all__ = ["CampaignSpec", "TrialTask", "worker_main",
            "DEFAULT_WORKER_FSYNC_EVERY"]
+
+#: Seconds a self-chaos balloon stays inflated: long enough for the
+#: supervisor's ~0.2 s RSS poll to observe it, short enough that an
+#: un-watched balloon (no ``--max-rss-mb``) barely slows the campaign.
+_BALLOON_HOLD_S = 1.0
 
 #: Heartbeat period, seconds.  The supervisor's hang threshold is a
 #: wall-clock *trial timeout*, orders of magnitude larger than this.
@@ -72,7 +84,7 @@ class CampaignSpec:
     plain data plus :class:`ExperimentConfig`/`SearchSpace` dataclasses.
     """
 
-    mode: str                     # "campaign" | "chaos" | "differential"
+    mode: str            # "campaign" | "chaos" | "differential" | "sector"
     configs: Optional[List[ExperimentConfig]] = None      # campaign mode
     event_budget: Optional[int] = None
     master_seed: int = 0                                  # chaos modes
@@ -81,12 +93,15 @@ class CampaignSpec:
     determinism: bool = True
     corpus_dir: Optional[str] = None
     fsync_every: int = DEFAULT_WORKER_FSYNC_EVERY
+    sector: Optional[object] = None   # SectorConfig, sector mode
 
     def __post_init__(self) -> None:
-        if self.mode not in ("campaign", "chaos", "differential"):
+        if self.mode not in ("campaign", "chaos", "differential", "sector"):
             raise ValueError(f"unknown campaign mode {self.mode!r}")
         if self.mode == "campaign" and not self.configs:
             raise ValueError("campaign mode needs configs")
+        if self.mode == "sector" and self.sector is None:
+            raise ValueError("sector mode needs a sector config")
 
 
 @dataclass
@@ -99,13 +114,17 @@ class TrialTask:
     order and the self-chaos injection key.  ``attempt`` counts
     infrastructure retries; ``not_before`` is the supervisor-side
     backoff gate (never shipped anywhere meaningful — workers ignore
-    it).
+    it).  ``reduced`` is set by the supervisor after an RSS-ceiling
+    kill: the one retry the trial gets runs at reduced batch scale
+    (sector shards shrink their chunk; other modes run unchanged), and
+    a second kill classifies the trial as ``resource-exhaustion``.
     """
 
     position: int
     key: Tuple
     attempt: int = 0
     not_before: float = 0.0
+    reduced: bool = False
 
 
 class TrialRunner:
@@ -118,12 +137,29 @@ class TrialRunner:
             from ..chaos.generator import ScenarioGenerator
             self._generator = ScenarioGenerator(spec.master_seed, spec.space)
 
-    def run(self, position: int) -> Tuple[dict, Optional[str]]:
-        """(journal record, corpus path or None) for one serial position."""
+    def run(self, position: int,
+            reduced: bool = False) -> Tuple[dict, Optional[str]]:
+        """(journal record, corpus path or None) for one serial position.
+
+        ``reduced`` is the RSS-retry lever: sector shards re-run with a
+        small streaming chunk, which is the only per-user allocation
+        they make; the other modes have no batch-size knob, so reduced
+        simply re-runs them (the retry still matters — the *worker* is
+        fresh, without whatever heap the previous trials grew).
+        """
         spec = self.spec
         if spec.mode == "campaign":
             record = run_trial(spec.configs[position],
                                event_budget=spec.event_budget)
+            return record, None
+        if spec.mode == "sector":
+            from ..experiments.population import (DEFAULT_SHARD_CHUNK,
+                                                  REDUCED_SHARD_CHUNK,
+                                                  run_sector_trial)
+            record = run_sector_trial(
+                spec.sector, position,
+                chunk=REDUCED_SHARD_CHUNK if reduced
+                else DEFAULT_SHARD_CHUNK)
             return record, None
         scenario = self._generator.scenario(position)
         if spec.mode == "chaos":
@@ -159,6 +195,30 @@ def _positions_env(name: str) -> FrozenSet[int]:
         if part.isdigit():
             positions.add(int(part))
     return frozenset(positions)
+
+
+def _balloon_env() -> Dict[int, Tuple[int, bool]]:
+    """``REPRO_PARALLEL_BALLOON`` spec: position -> (MiB, every attempt).
+
+    Clause syntax ``pos[:mb][!]`` — default 128 MiB; the ``!`` makes the
+    balloon inflate on the reduced-scale retry too (see module
+    docstring).  Malformed clauses are ignored like the other position
+    hooks: these are test levers, not user API.
+    """
+    balloons: Dict[int, Tuple[int, bool]] = {}
+    for part in os.environ.get("REPRO_PARALLEL_BALLOON", "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        every = part.endswith("!")
+        if every:
+            part = part[:-1]
+        pos_text, _, mb_text = part.partition(":")
+        if not pos_text.isdigit():
+            continue
+        mb = int(mb_text) if mb_text.isdigit() else 128
+        balloons[int(pos_text)] = (mb, every)
+    return balloons
 
 
 def worker_main(worker_id: int, spec: CampaignSpec, inbox, status,
@@ -214,6 +274,7 @@ def worker_main(worker_id: int, spec: CampaignSpec, inbox, status,
 
     kills = _positions_env("REPRO_PARALLEL_KILL")
     wedges = _positions_env("REPRO_PARALLEL_WEDGE")
+    balloons = _balloon_env()
     runner = TrialRunner(spec)
     journal = CampaignJournal(journal_path, fsync_every=spec.fsync_every)
     try:
@@ -235,8 +296,19 @@ def worker_main(worker_id: int, spec: CampaignSpec, inbox, status,
                 # Self-chaos: look frozen — no heartbeat, no progress.
                 stop_beat.set()
                 time.sleep(3600)  # repro-lint: disable=SIM001 -- deliberate harness wedge, not sim code
+            balloon = balloons.get(task.position)
+            if balloon is not None:
+                mb, every = balloon
+                if every or not task.reduced:
+                    # Self-chaos: grow RSS for real and hold it with the
+                    # heartbeat alive, so only the supervisor's RSS
+                    # watchdog (not the hang detector) can object.
+                    blob = b"\xab" * (mb << 20)
+                    time.sleep(_BALLOON_HOLD_S)  # repro-lint: disable=SIM001 -- self-chaos balloon hold, not sim code
+                    del blob
             try:
-                record, corpus_path = runner.run(task.position)
+                record, corpus_path = runner.run(task.position,
+                                                 reduced=task.reduced)
                 journal.append(record)
             except BaseException as exc:  # noqa: BLE001 - harness fault
                 # Anything escaping the trial builders is infrastructure

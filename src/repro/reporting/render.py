@@ -23,7 +23,7 @@ def render_parallel_stats(stats: Dict[str, object]) -> str:
     """
     parts = [f"workers={stats.get('workers', 0)}"]
     for key in ("restarts", "retries", "infra_failures", "timeouts",
-                "lost"):
+                "lost", "rss_kills", "exhausted"):
         value = int(stats.get(key, 0) or 0)
         if value:
             parts.append(f"{key}={value}")
@@ -159,26 +159,44 @@ def render_fault_summary(report: Dict[str, object],
 
 
 def render_campaign_health(records: Sequence[Dict[str, object]],
-                           max_failure_lines: int = 8) -> str:
-    """Per-condition health table for a campaign's journal records."""
+                           max_failure_lines: int = 8,
+                           journal_stats: Dict[str, object] = None) -> str:
+    """Per-condition health table for a campaign's journal records.
+
+    ``journal_stats`` (a :meth:`CampaignJournal.stats` dict) adds a
+    journal-health line: I/O errors retried, degraded appends buffered
+    in the in-memory ring, ring records flushed back or dropped, torn
+    tails truncated, and — from the load side — torn or corrupt lines
+    salvaged around at resume.  Quiet journals stay quiet.
+    """
     trials = [r for r in records if r.get("kind") == "trial"]
     if not trials:
-        return "campaign: no trials"
+        extra = _journal_health_line(journal_stats)
+        return "campaign: no trials" + (f"\n{extra}" if extra else "")
     by_key: Dict[str, Dict[str, int]] = {}
     for record in trials:
         key = f"{record.get('protocol', '?')}/{record.get('network', '?')}"
         bucket = by_key.setdefault(
             key, {"trials": 0, "ok": 0, "failed": 0, "resumed": 0,
-                  "violations": 0})
+                  "violations": 0, "exhausted": 0})
         bucket["trials"] += 1
+        failure = record.get("failure")
+        if isinstance(failure, dict) \
+                and failure.get("kind") == "resource-exhaustion":
+            bucket["exhausted"] += 1
         bucket["ok" if record.get("status") == "ok" else "failed"] += 1
         if record.get("resumed"):
             bucket["resumed"] += 1
         bucket["violations"] += int(record.get("violations", 0) or 0)
-    headers = ["condition", "trials", "ok", "failed", "resumed", "violations"]
-    rows = [[key, b["trials"], b["ok"], b["failed"], b["resumed"],
-             b["violations"]] for key, b in sorted(by_key.items())]
+    headers = ["condition", "trials", "ok", "failed", "exhausted",
+               "resumed", "violations"]
+    rows = [[key, b["trials"], b["ok"], b["failed"], b["exhausted"],
+             b["resumed"], b["violations"]] for key, b in sorted(
+                 by_key.items())]
     lines = [render_table(headers, rows, title="campaign health")]
+    health = _journal_health_line(journal_stats)
+    if health:
+        lines.append(health)
     failures = [r for r in trials if r.get("status") != "ok"]
     for record in failures[:max_failure_lines]:
         failure = record.get("failure") or {}
@@ -188,6 +206,30 @@ def render_campaign_health(records: Sequence[Dict[str, object]],
     if len(failures) > max_failure_lines:
         lines.append(f"  ... {len(failures) - max_failure_lines} more failures")
     return "\n".join(lines)
+
+
+def _journal_health_line(stats) -> str:
+    """One ``journal:`` line when the journal saw trouble, else ''."""
+    if not stats:
+        return ""
+    parts = []
+    for key in ("io_errors", "io_retries", "degraded_appends",
+                "ring_buffered", "ring_flushed", "ring_dropped",
+                "torn_repairs"):
+        value = int(stats.get(key, 0) or 0)
+        if value:
+            parts.append(f"{key}={value}")
+    if stats.get("degraded"):
+        parts.append("DEGRADED (records buffered in memory, not on disk)")
+    load = stats.get("load") or {}
+    for key, label in (("torn_tail", "torn tails salvaged"),
+                       ("corrupt_lines", "corrupt lines skipped")):
+        value = int(load.get(key, 0) or 0)
+        if value:
+            parts.append(f"{label}={value}")
+    if not parts:
+        return ""
+    return "journal: " + " ".join(parts)
 
 
 def render_chaos_summary(records: Sequence[Dict[str, object]],

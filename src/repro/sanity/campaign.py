@@ -31,6 +31,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -38,11 +39,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.analysis import summarize_run
 from ..experiments.runner import ExperimentConfig, RunResult, run_experiment
 from ..faults import FaultPlan, FaultSpecError
+from ..guard import (BoundedRing, ResourceBudget, ResourceExhausted,
+                     journal_faults_from_env)
 from .invariants import InvariantViolation, WedgeError
 
 __all__ = ["CampaignJournal", "CampaignResult", "JournalFormatError",
-           "JOURNAL_SCHEMA", "TrialFailure", "config_digest", "run_campaign",
-           "run_trial", "sweep_configs", "DEFAULT_EVENT_BUDGET"]
+           "JOURNAL_SCHEMA", "TrialFailure", "config_digest",
+           "exhaustion_record", "failure_kind", "is_exhaustion_record",
+           "run_campaign", "run_trial", "sweep_configs",
+           "DEFAULT_EVENT_BUDGET"]
 
 #: Version stamped into every journal record this code writes.  Loading
 #: a record with a *newer* schema is refused loudly (mirroring the
@@ -103,6 +108,17 @@ def _canon(value):
     return repr(value)
 
 
+def failure_kind(exc: BaseException) -> str:
+    """The taxonomy slot for one trial-killing exception."""
+    if isinstance(exc, InvariantViolation):
+        return "invariant-violation"
+    if isinstance(exc, WedgeError):
+        return "wedge"
+    if isinstance(exc, ResourceExhausted):
+        return "resource-exhaustion"
+    return "exception"
+
+
 def config_digest(config: ExperimentConfig) -> str:
     """Process-stable digest identifying one experimental condition."""
     canon = {f.name: _canon(getattr(config, f.name))
@@ -114,9 +130,21 @@ def config_digest(config: ExperimentConfig) -> str:
 
 @dataclass
 class TrialFailure:
-    """A trial that died — structured, journal-able, and non-fatal."""
+    """A trial that died — structured, journal-able, and non-fatal.
+
+    The ``kind`` taxonomy now has four members with distinct handling:
+
+    * ``exception`` / ``wedge`` / ``invariant-violation`` — *genuine*
+      failures: deterministic, journaled, never retried, skipped on
+      resume (they would fail again);
+    * ``resource-exhaustion`` — the environment ran out (RSS, disk,
+      wall-clock), not the simulation: journaled so the campaign's loss
+      is visible, but *excluded* from resume done-sets, because on a
+      bigger box (or after freeing disk) the trial may well succeed.
+    """
 
     kind: str                 # "exception" | "wedge" | "invariant-violation"
+    #                         # | "resource-exhaustion"
     error_type: str
     message: str
     digest: str
@@ -134,14 +162,8 @@ class TrialFailure:
     def from_exception(cls, config: ExperimentConfig,
                        exc: BaseException,
                        master_seed: Optional[int] = None) -> "TrialFailure":
-        if isinstance(exc, InvariantViolation):
-            kind = "invariant-violation"
-        elif isinstance(exc, WedgeError):
-            kind = "wedge"
-        else:
-            kind = "exception"
         tail = traceback.format_exception_only(type(exc), exc)
-        return cls(kind=kind, error_type=type(exc).__name__,
+        return cls(kind=failure_kind(exc), error_type=type(exc).__name__,
                    message=str(exc), digest=config_digest(config),
                    seed=config.seed, protocol=config.protocol,
                    network=config.network,
@@ -162,6 +184,20 @@ class JournalFormatError(ValueError):
     """A journal record this version of the code cannot faithfully read."""
 
 
+#: Append retry backoff: 0.05s, 0.1s, 0.2s, ... capped at 0.5s — disk
+#: faults (ENOSPC after a log rotation, a transient NFS EIO) either
+#: clear in well under the ~1s a full retry ladder spends, or they are
+#: persistent and the journal should degrade rather than spin.
+_APPEND_RETRY_BASE = 0.05
+_APPEND_RETRY_CAP = 0.5
+
+#: Default append retries before the journal degrades to its in-memory
+#: ring, and the default ring capacity (records, not bytes — campaign
+#: records are ~1 KiB, so this bounds the degraded buffer at a few MiB).
+DEFAULT_APPEND_RETRIES = 4
+DEFAULT_RING_CAPACITY = 4096
+
+
 class CampaignJournal:
     """Append-only JSONL checkpoint of campaign trial outcomes.
 
@@ -177,9 +213,26 @@ class CampaignJournal:
     A hard *machine* crash can lose up to N-1 buffered records — a
     killed *process* loses nothing, the OS already has the writes — and
     resume simply re-runs whatever the tail lost.
+
+    **Write-path hardening** (the guard layer): an ``OSError`` mid-append
+    (ENOSPC, EIO — injectable via ``REPRO_JOURNAL_FAULTS``) is retried
+    with capped exponential backoff; before every retry the file is
+    truncated back to the last known-good byte offset, so a torn partial
+    write can never leave a half-record for the next append to glue onto.
+    If the retries exhaust, the journal *degrades*: records buffer into a
+    :class:`~repro.guard.ring.BoundedRing` (evictions counted, never
+    unbounded), and every subsequent append first probes the disk —
+    the moment a write succeeds, the buffered backlog flushes in order
+    and normal appends resume.  :meth:`stats` reports every error,
+    retry, degraded append, flush, and drop, so the health report can
+    state the campaign's exact loss instead of crashing unclassified.
     """
 
-    def __init__(self, path: str, fsync_every: int = 1):
+    def __init__(self, path: str, fsync_every: int = 1,
+                 faults=None,
+                 max_append_retries: int = DEFAULT_APPEND_RETRIES,
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 retry_sleep: Callable[[float], None] = time.sleep):
         if fsync_every < 1:
             raise ValueError("fsync_every must be >= 1")
         self.path = path
@@ -187,6 +240,22 @@ class CampaignJournal:
         self._handle = None
         self._pending = 0
         self._new_file_dir: Optional[str] = None
+        self._faults = faults if faults is not None \
+            else journal_faults_from_env()
+        self._max_append_retries = max_append_retries
+        self._retry_sleep = retry_sleep
+        self._ring: BoundedRing[Dict[str, object]] = \
+            BoundedRing(ring_capacity)
+        self._degraded = False
+        self._good_size = 0        # bytes known to end on a record boundary
+        self._write_attempts = 0   # 1-based physical-write counter (faults)
+        self.io_errors = 0
+        self.io_retries = 0
+        self.degraded_appends = 0
+        self.ring_flushed = 0
+        self.torn_repairs = 0
+        self.bytes_written = 0
+        self.last_load_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     def _open(self) -> None:
@@ -204,18 +273,129 @@ class CampaignJournal:
             # without this guard the next append would glue itself onto
             # the torn fragment and both records would be lost.
             self._handle.write("\n")
+            self._handle.flush()
         if created:
             self._new_file_dir = directory
+        self._good_size = os.path.getsize(self.path)
 
-    def append(self, record: Dict[str, object]) -> None:
+    def append(self, record: Dict[str, object]) -> int:
+        """Append one record; returns the bytes that reached the file.
+
+        Never raises for I/O trouble: after the retry ladder exhausts,
+        the record lands in the bounded ring (return value 0) and the
+        degradation is visible in :meth:`stats` — campaigns degrade,
+        they don't die on a full disk.
+        """
+        if self._degraded and not self._try_recover():
+            self._ring.push(record)
+            self.degraded_appends += 1
+            return 0
         line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self._write_with_retry(line)
+        except OSError:
+            self._degraded = True
+            self._ring.push(record)
+            self.degraded_appends += 1
+            return 0
+        return self._note_good_write(line)
+
+    # -- hardened write path -------------------------------------------
+    def _write_line(self, line: str) -> None:
+        """One physical write attempt (the fault-injection point)."""
         if self._handle is None:
             self._open()
+        self._write_attempts += 1
+        if self._faults is not None:
+            self._faults.on_append(self._write_attempts, self._handle, line)
         self._handle.write(line)
         self._handle.flush()
+
+    def _write_with_retry(self, line: str) -> None:
+        attempt = 0
+        while True:
+            try:
+                self._write_line(line)
+                return
+            except OSError:
+                self.io_errors += 1
+                self._repair_tail()
+                if attempt >= self._max_append_retries:
+                    raise
+                self._retry_sleep(min(_APPEND_RETRY_CAP,
+                                      _APPEND_RETRY_BASE * (2 ** attempt)))
+                self.io_retries += 1
+                attempt += 1
+
+    def _repair_tail(self) -> None:
+        """Truncate back to the last good offset after a failed write.
+
+        A mid-record ``OSError`` can leave any prefix of the line on
+        disk; re-writing on top of that prefix would corrupt *two*
+        records.  The journal knows the byte offset of the last complete
+        record, so repair is one truncate.  The handle is dropped (not
+        flushed — its buffer may hold the torn bytes) and lazily
+        reopened by the next write.
+        """
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+            self._pending = 0
+        try:
+            if os.path.getsize(self.path) > self._good_size:
+                os.truncate(self.path, self._good_size)
+                self.torn_repairs += 1
+        except OSError:
+            pass
+
+    def _try_recover(self) -> bool:
+        """Drain the degraded ring back to disk; True when fully clear.
+
+        One probe write per buffered record, oldest first, stopping at
+        the first failure (no retry ladder here — a still-broken disk
+        should cost one failed write per append, not a backoff storm).
+        """
+        while self._ring:
+            line = json.dumps(self._ring.peek_oldest(),
+                              sort_keys=True) + "\n"
+            try:
+                self._write_line(line)
+            except OSError:
+                self.io_errors += 1
+                self._repair_tail()
+                return False
+            self._ring.pop_oldest()
+            self._note_good_write(line)
+            self.ring_flushed += 1
+        self._degraded = False
+        return True
+
+    def _note_good_write(self, line: str) -> int:
+        size = len(line.encode("utf-8"))
+        self._good_size += size
+        self.bytes_written += size
         self._pending += 1
         if self._pending >= self.fsync_every:
             self._fsync_now()
+        return size
+
+    def stats(self) -> Dict[str, object]:
+        """Write-path health counters for the campaign health report."""
+        return {
+            "io_errors": self.io_errors,
+            "io_retries": self.io_retries,
+            "degraded": self._degraded,
+            "degraded_appends": self.degraded_appends,
+            "ring_buffered": len(self._ring),
+            "ring_flushed": self.ring_flushed,
+            "ring_dropped": self._ring.dropped,
+            "torn_repairs": self.torn_repairs,
+            "bytes_written": self.bytes_written,
+            "load": self.last_load_stats,
+        }
 
     def _fsync_now(self) -> None:
         os.fsync(self._handle.fileno())
@@ -233,8 +413,16 @@ class CampaignJournal:
             self._fsync_now()
 
     def close(self) -> None:
+        if self._degraded or self._ring:
+            # Last chance to land the degraded backlog before the
+            # campaign ends; anything still buffered after this is
+            # genuinely lost and counted in stats()["ring_buffered"].
+            self._try_recover()
         if self._handle is not None:
-            self.sync()
+            try:
+                self.sync()
+            except OSError:
+                self.io_errors += 1
             self._handle.close()
             self._handle = None
 
@@ -264,39 +452,86 @@ class CampaignJournal:
         schema newer than this code's :data:`JOURNAL_SCHEMA` — resuming
         or aggregating through a misread record would silently corrupt
         the campaign, so the refusal is loud and names the line.
+
+        Salvage accounting lands in ``last_load_stats``: an undecodable
+        *final* line is the expected crash-truncated tail; an
+        undecodable *interior* line is corruption worth shouting about,
+        and both counts surface in the campaign health report.
         """
         records: List[Dict[str, object]] = []
+        stats = {"records": 0, "torn_tail": 0, "corrupt_lines": 0}
+        self.last_load_stats = stats
         if not os.path.exists(self.path):
             return records
         with open(self.path, "r", encoding="utf-8") as handle:
-            for number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # crash-truncated write
-                if not isinstance(record, dict):
-                    continue
-                schema = record.get("schema")
-                if isinstance(schema, (int, float)) and schema > JOURNAL_SCHEMA:
-                    raise JournalFormatError(
-                        f"{self.path}:{number}: journal record schema "
-                        f"{schema} is newer than this code's "
-                        f"{JOURNAL_SCHEMA}; upgrade repro to read it")
-                records.append(record)
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    stats["torn_tail"] += 1  # crash-truncated write
+                else:
+                    stats["corrupt_lines"] += 1
+                continue
+            if not isinstance(record, dict):
+                stats["corrupt_lines"] += 1
+                continue
+            schema = record.get("schema")
+            if isinstance(schema, (int, float)) and schema > JOURNAL_SCHEMA:
+                raise JournalFormatError(
+                    f"{self.path}:{number}: journal record schema "
+                    f"{schema} is newer than this code's "
+                    f"{JOURNAL_SCHEMA}; upgrade repro to read it")
+            records.append(record)
+        stats["records"] = len(records)
         return records
 
     def completed(self) -> Dict[Tuple[str, int], Dict[str, object]]:
-        """(digest, seed) -> last journaled trial record."""
+        """(digest, seed) -> last journaled trial record.
+
+        ``resource-exhaustion`` records are deliberately *not* in the
+        done-set: a trial the environment killed (OOM, full disk, wall
+        clock) is not a verdict on the trial, so resume re-runs it.
+        """
         done: Dict[Tuple[str, int], Dict[str, object]] = {}
         for record in self.load():
             if record.get("kind") != "trial":
                 continue
+            if is_exhaustion_record(record):
+                continue
             done[(str(record.get("digest")), int(record.get("seed", 0)))] = \
                 record
         return done
+
+
+def is_exhaustion_record(record: Dict[str, object]) -> bool:
+    """True for a journaled trial killed by a resource ceiling."""
+    failure = record.get("failure")
+    return bool(isinstance(failure, dict)
+                and failure.get("kind") == "resource-exhaustion")
+
+
+def exhaustion_record(config: ExperimentConfig, exc: ResourceExhausted,
+                      master_seed: Optional[int] = None
+                      ) -> Dict[str, object]:
+    """Synthesize the journal record for a resource-exhausted trial.
+
+    Used by the serial campaign loop when the budget trips between
+    trials, and by the parallel supervisor when it SIGKILLs a worker
+    over its RSS ceiling — in both cases there is no run to summarize,
+    only the classified reason it could not happen.
+    """
+    failure = TrialFailure.from_exception(config, exc,
+                                          master_seed=master_seed)
+    return {"kind": "trial", "schema": JOURNAL_SCHEMA,
+            "digest": config_digest(config), "seed": config.seed,
+            "protocol": config.protocol, "network": config.network,
+            "status": "failed", "violations": 0, "summary": None,
+            "failure": failure.as_dict()}
 
 
 @dataclass
@@ -310,6 +545,12 @@ class CampaignResult:
     #: Supervision counters when the campaign ran under ``--workers``
     #: (see :mod:`repro.parallel`); None for serial runs.
     parallel: Optional[Dict[str, object]] = None
+    #: True when a :class:`~repro.guard.ResourceBudget` ceiling stopped
+    #: the campaign before every trial ran.
+    exhausted: bool = False
+    #: Journal write-path health (:meth:`CampaignJournal.stats`); None
+    #: when the campaign ran without a journal.
+    journal_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -319,6 +560,10 @@ class CampaignResult:
     @property
     def failed_count(self) -> int:
         return sum(1 for r in self.records if r.get("status") == "failed")
+
+    @property
+    def exhausted_count(self) -> int:
+        return sum(1 for r in self.records if is_exhaustion_record(r))
 
     @property
     def resumed_count(self) -> int:
@@ -420,7 +665,8 @@ def run_campaign(configs: List[ExperimentConfig],
                  resume: bool = False,
                  event_budget: Optional[int] = DEFAULT_EVENT_BUDGET,
                  pages=None,
-                 should_stop: Optional[Callable[[], bool]] = None
+                 should_stop: Optional[Callable[[], bool]] = None,
+                 budget: Optional[ResourceBudget] = None
                  ) -> CampaignResult:
     """Run every config as one isolated, journaled, resumable trial.
 
@@ -432,6 +678,12 @@ def run_campaign(configs: List[ExperimentConfig],
     ``should_stop`` is polled between trials (the CLI wires SIGINT/
     SIGTERM to it): the in-flight trial drains to the journal, then the
     campaign returns with ``stopped_early`` set instead of losing work.
+
+    ``budget`` (a :class:`~repro.guard.ResourceBudget`) is checked
+    between trials: crossing a ceiling journals one classified
+    ``resource-exhaustion`` record for the trial that could not start,
+    sets ``result.exhausted``, and stops — the un-run tail stays out of
+    the journal, so ``--resume`` picks it up on a healthier box.
     """
     journal = CampaignJournal(journal_path) if journal_path else None
     done: Dict[Tuple[str, int], Dict[str, object]] = {}
@@ -458,19 +710,32 @@ def run_campaign(configs: List[ExperimentConfig],
             if prior is not None:
                 record = dict(prior)
                 record["resumed"] = True
-                records.append(record)
+                records.append(record)  # repro-lint: disable=MEM001 -- one record per trial, bounded by the config sweep
                 continue
+            if budget is not None:
+                try:
+                    budget.check()
+                except ResourceExhausted as exc:
+                    record = exhaustion_record(config, exc)
+                    if journal is not None:
+                        journal.append(record)
+                    records.append(record)  # repro-lint: disable=MEM001 -- one record per trial, bounded by the config sweep
+                    result.exhausted = True
+                    break
             keep: List[RunResult] = []
             record = run_trial(config, event_budget=event_budget,
                                pages=pages, keep_run=keep)
             if keep:
                 result.results[key] = keep[0]
             if journal is not None:
-                journal.append(record)
-            records.append(record)
+                written = journal.append(record)
+                if budget is not None:
+                    budget.note_journal_bytes(written)
+            records.append(record)  # repro-lint: disable=MEM001 -- one record per trial, bounded by the config sweep
     finally:
         if journal is not None:
             journal.close()
+            result.journal_stats = journal.stats()
     return result
 
 

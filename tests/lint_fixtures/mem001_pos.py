@@ -1,0 +1,17 @@
+"""Must trigger MEM001: per-trial accumulation inside a loop reachable
+from a campaign entry point holds the whole population in memory."""
+
+
+def run_trial(config):
+    return {"config": config}
+
+
+def collect(configs):
+    records = []
+    for config in configs:
+        records.append(run_trial(config))
+    return records
+
+
+def run_campaign(configs):
+    return collect(configs)

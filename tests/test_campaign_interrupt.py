@@ -39,12 +39,32 @@ def _cli_env():
     return env
 
 
+def _wait_for_records(journal, minimum, timeout=60.0):
+    """Block until the journal holds ``minimum`` complete records.
+
+    Signalling after a fixed sleep races the campaign's natural end on a
+    fast box; waiting for journal growth instead guarantees the signal
+    lands mid-campaign — a few trials done, ~20 still pending.
+    """
+    deadline = time.monotonic() + timeout  # repro-lint: disable=DET001 -- timing a real subprocess, not simulated time
+    while time.monotonic() < deadline:  # repro-lint: disable=DET001 -- timing a real subprocess, not simulated time
+        try:
+            with open(journal) as handle:
+                done = sum(1 for line in handle if line.endswith("\n"))
+        except OSError:
+            done = 0
+        if done >= minimum:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"journal never reached {minimum} records")
+
+
 def test_serial_sigint_finishes_trial_then_stops(tmp_path):
     journal = str(tmp_path / "drained.jsonl")
     proc = subprocess.Popen(_campaign_cli(journal), env=_cli_env(),
                             cwd=REPO, stdout=subprocess.PIPE,
                             stderr=subprocess.PIPE, text=True)
-    time.sleep(2.5)
+    _wait_for_records(journal, 3)
     proc.send_signal(signal.SIGINT)
     _, stderr = proc.communicate(timeout=120)
     assert proc.returncode == 130, stderr
@@ -67,7 +87,7 @@ def test_serial_kill9_then_resume_matches_uninterrupted(tmp_path):
     proc = subprocess.Popen(_campaign_cli(journal), env=_cli_env(),
                             cwd=REPO, stdout=subprocess.DEVNULL,
                             stderr=subprocess.DEVNULL)
-    time.sleep(2.5)
+    _wait_for_records(journal, 3)
     os.kill(proc.pid, signal.SIGKILL)
     proc.wait()
 

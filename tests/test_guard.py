@@ -1,0 +1,239 @@
+"""The guard layer's primitives: budgets, the bounded ring, fault specs.
+
+Everything here runs on injected clocks and samplers — no real time, no
+real memory pressure — because the budget logic must be testable at the
+exact boundary values, not "roughly when the machine gets slow".
+"""
+
+import errno
+import io
+import os
+
+import pytest
+
+from repro.guard import (BoundedRing, JournalFaultSpecError, JournalFaults,
+                         ResourceBudget, ResourceExhausted,
+                         journal_faults_from_env, rss_bytes)
+from repro.guard.budget import DEFAULT_RSS_SAMPLE_EVERY
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# ResourceBudget
+# ----------------------------------------------------------------------
+def test_budget_all_none_never_trips():
+    budget = ResourceBudget(clock=FakeClock(), rss_sampler=lambda: 10 ** 12)
+    for _ in range(1000):
+        budget.check(events=10 ** 6, journal_bytes=10 ** 9)
+
+
+def test_budget_wall_clock_trips_past_ceiling():
+    clock = FakeClock()
+    budget = ResourceBudget(max_wall_seconds=5.0, clock=clock)
+    clock.advance(5.0)
+    budget.check()  # exactly at the ceiling is still within budget
+    clock.advance(0.1)
+    with pytest.raises(ResourceExhausted) as excinfo:
+        budget.check()
+    assert excinfo.value.resource == "wall-clock"
+    assert "5.0s ceiling" in str(excinfo.value)
+
+
+def test_budget_restart_reanchors_wall_clock():
+    clock = FakeClock()
+    budget = ResourceBudget(max_wall_seconds=5.0, clock=clock)
+    clock.advance(10.0)
+    budget.restart()
+    budget.check()
+    assert budget.elapsed() == 0.0
+
+
+def test_budget_event_ceiling():
+    budget = ResourceBudget(max_events=100, clock=FakeClock())
+    budget.note_events(60)
+    budget.check(events=40)  # exactly 100: not over
+    with pytest.raises(ResourceExhausted) as excinfo:
+        budget.check(events=1)
+    assert excinfo.value.resource == "events"
+    assert budget.events == 101
+
+
+def test_budget_journal_bytes_ceiling():
+    budget = ResourceBudget(max_journal_bytes=1024, clock=FakeClock())
+    budget.note_journal_bytes(1024)
+    budget.check()
+    with pytest.raises(ResourceExhausted) as excinfo:
+        budget.check(journal_bytes=1)
+    assert excinfo.value.resource == "journal-bytes"
+
+
+def test_budget_rss_sampled_first_then_every_nth():
+    samples = []
+
+    def sampler():
+        samples.append(1)
+        return 10  # far below ceiling
+
+    budget = ResourceBudget(max_rss_bytes=1 << 30, clock=FakeClock(),
+                            rss_sampler=sampler, rss_sample_every=4)
+    for _ in range(12):
+        budget.check()
+    # checks 1 (first), 4, 8, 12
+    assert len(samples) == 4
+
+
+def test_budget_force_rss_samples_immediately():
+    budget = ResourceBudget(max_rss_bytes=100, clock=FakeClock(),
+                            rss_sampler=lambda: 101,
+                            rss_sample_every=10 ** 6)
+    with pytest.raises(ResourceExhausted) as excinfo:
+        budget.check(force_rss=True)
+    assert excinfo.value.resource == "rss"
+    assert budget.last_rss == 101
+
+
+def test_budget_unmeasurable_rss_never_trips():
+    budget = ResourceBudget(max_rss_bytes=1, clock=FakeClock(),
+                            rss_sampler=lambda: None)
+    budget.check(force_rss=True)
+    assert budget.last_rss is None
+
+
+def test_budget_rejects_bad_sample_cadence():
+    with pytest.raises(ValueError):
+        ResourceBudget(rss_sample_every=0)
+
+
+def test_from_limits_none_when_unbounded():
+    assert ResourceBudget.from_limits() is None
+
+
+def test_from_limits_converts_mib():
+    budget = ResourceBudget.from_limits(max_rss_mb=2.5, max_journal_mb=1,
+                                        max_events=7)
+    assert budget.max_rss_bytes == int(2.5 * (1 << 20))
+    assert budget.max_journal_bytes == 1 << 20
+    assert budget.max_events == 7
+    assert budget.max_wall_seconds is None
+    assert ResourceBudget.from_limits(
+        max_wall_seconds=3.0).max_wall_seconds == 3.0
+
+
+def test_default_sample_cadence_is_sane():
+    assert DEFAULT_RSS_SAMPLE_EVERY >= 1
+
+
+# ----------------------------------------------------------------------
+# rss_bytes
+# ----------------------------------------------------------------------
+def test_rss_bytes_self_is_positive():
+    rss = rss_bytes()
+    assert rss is not None and rss > 0
+
+
+def test_rss_bytes_bogus_pid_is_none():
+    pid = 4_000_000
+    while os.path.exists(f"/proc/{pid}"):  # pragma: no cover - unlucky
+        pid += 1
+    assert rss_bytes(pid) is None
+
+
+# ----------------------------------------------------------------------
+# BoundedRing
+# ----------------------------------------------------------------------
+def test_ring_fifo_and_eviction_accounting():
+    ring = BoundedRing(3)
+    for item in range(5):
+        ring.push(item)
+    assert len(ring) == 3
+    assert ring.dropped == 2
+    assert ring.total_pushed == 5
+    assert list(ring) == [2, 3, 4]
+    assert ring.drain() == [2, 3, 4]
+    assert len(ring) == 0 and not ring
+
+
+def test_ring_peek_and_pop_oldest():
+    ring = BoundedRing(4)
+    ring.push("a")
+    ring.push("b")
+    assert ring.peek_oldest() == "a"
+    assert ring.pop_oldest() == "a"
+    assert ring.peek_oldest() == "b"
+    assert bool(ring)
+
+
+def test_ring_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        BoundedRing(0)
+
+
+# ----------------------------------------------------------------------
+# JournalFaults
+# ----------------------------------------------------------------------
+def test_fault_spec_parses_ranges_and_kinds():
+    faults = JournalFaults("enospc@3-6, partial@9 ,eio@12")
+    assert faults.kind_for(2) == ""
+    assert faults.kind_for(3) == "enospc"
+    assert faults.kind_for(6) == "enospc"
+    assert faults.kind_for(7) == ""
+    assert faults.kind_for(9) == "partial"
+    assert faults.kind_for(12) == "eio"
+
+
+@pytest.mark.parametrize("spec", [
+    "", "   ", "enospc", "enospc@", "enospc@0", "enospc@5-3",
+    "enospc@x", "badkind@3",
+])
+def test_fault_spec_parse_is_strict(spec):
+    with pytest.raises(JournalFaultSpecError):
+        JournalFaults(spec)
+
+
+def test_fault_on_append_raises_named_errno():
+    faults = JournalFaults("enospc@2,eio@3")
+    faults.on_append(1, None, "line\n")  # unarmed: no-op
+    with pytest.raises(OSError) as excinfo:
+        faults.on_append(2, None, "line\n")
+    assert excinfo.value.errno == errno.ENOSPC
+    with pytest.raises(OSError) as excinfo:
+        faults.on_append(3, None, "line\n")
+    assert excinfo.value.errno == errno.EIO
+
+
+def test_fault_partial_tears_half_the_line_through_the_handle():
+    faults = JournalFaults("partial@1")
+    handle = io.StringIO()
+    line = '{"kind": "trial", "seed": 1}\n'
+    with pytest.raises(OSError) as excinfo:
+        faults.on_append(1, handle, line)
+    assert excinfo.value.errno == errno.ENOSPC
+    torn = handle.getvalue()
+    assert torn == line[:len(line) // 2]
+    assert 0 < len(torn) < len(line)
+
+
+def test_fault_partial_without_handle_still_raises():
+    with pytest.raises(OSError):
+        JournalFaults("partial@1").on_append(1, None, "x\n")
+
+
+def test_faults_from_env():
+    assert journal_faults_from_env(environ={}) is None
+    assert journal_faults_from_env(
+        environ={"REPRO_JOURNAL_FAULTS": "  "}) is None
+    faults = journal_faults_from_env(
+        environ={"REPRO_JOURNAL_FAULTS": "eio@2"})
+    assert faults.kind_for(2) == "eio"
+    with pytest.raises(JournalFaultSpecError):
+        journal_faults_from_env(environ={"REPRO_JOURNAL_FAULTS": "nope"})

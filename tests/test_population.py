@@ -1,0 +1,229 @@
+"""Sector campaigns: determinism, constant memory, budget degradation.
+
+The 10^5-user path's acceptance bar: any chunking, sharding, worker
+count, or retry computes the same user draws and therefore the same
+journal bytes; peak RSS stays bounded no matter the population; and a
+budget trip ends in a *classified*, resumable exhaustion record — the
+campaign degrades, it never dies.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.population import (SectorConfig, aggregate_sector,
+                                          is_sector_exhaustion,
+                                          run_sector_campaign,
+                                          run_sector_trial, run_shard,
+                                          sector_digest,
+                                          sector_exhaustion_record,
+                                          simulate_user)
+from repro.guard import ResourceBudget, ResourceExhausted, rss_bytes
+from repro.parallel import run_parallel_sector
+from repro.sanity import CampaignJournal
+
+
+def sha256(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+SMALL = SectorConfig(users=400, shard_size=100, seed=7)
+
+
+# ----------------------------------------------------------------------
+# config + digest
+# ----------------------------------------------------------------------
+def test_config_validates_regime_and_shape():
+    with pytest.raises(ValueError, match="users"):
+        SectorConfig(users=0)
+    with pytest.raises(ValueError, match="regime"):
+        SectorConfig(protocol="gopher")
+    with pytest.raises(ValueError, match="alpha"):
+        SectorConfig(alpha=1.5)
+
+
+def test_shard_arithmetic_covers_every_user_once():
+    config = SectorConfig(users=1050, shard_size=500)
+    assert config.n_shards == 3
+    ranges = [config.shard_range(i) for i in range(config.n_shards)]
+    assert ranges == [(0, 500), (500, 1000), (1000, 1050)]
+    with pytest.raises(ValueError):
+        config.shard_range(3)
+
+
+def test_sector_digest_is_seed_sensitive():
+    assert sector_digest(SMALL) == sector_digest(
+        SectorConfig(users=400, shard_size=100, seed=7))
+    assert sector_digest(SMALL) != sector_digest(
+        SectorConfig(users=400, shard_size=100, seed=8))
+
+
+# ----------------------------------------------------------------------
+# the per-user model
+# ----------------------------------------------------------------------
+def test_simulate_user_is_a_pure_function_of_seed_and_uid():
+    assert simulate_user(SMALL, 123) == simulate_user(SMALL, 123)
+    assert simulate_user(SMALL, 123) != simulate_user(SMALL, 124)
+    plt, energy = simulate_user(SMALL, 123)
+    assert 0 < plt <= 55.0
+    assert energy > 0
+
+
+def test_spdy_shifts_the_sector_distribution_down():
+    http = SectorConfig(users=2000, shard_size=2000, protocol="http")
+    spdy = SectorConfig(users=2000, shard_size=2000, protocol="spdy")
+    http_plt = run_shard(http, 0)["plt"].summary()
+    spdy_plt = run_shard(spdy, 0)["plt"].summary()
+    assert spdy_plt["mean"] < http_plt["mean"]
+    assert spdy_plt["p95"] <= http_plt["p95"]
+
+
+# ----------------------------------------------------------------------
+# shards
+# ----------------------------------------------------------------------
+def test_run_shard_chunking_cannot_change_the_sketches():
+    reference = run_shard(SMALL, 1)
+    for chunk in (1, 7, 100, 10_000):
+        sketches = run_shard(SMALL, 1, chunk=chunk)
+        for metric in ("plt", "energy"):
+            assert sketches[metric].to_dict() == reference[metric].to_dict()
+    assert reference["plt"].count == 100
+
+
+def test_run_shard_budget_trips_as_classified_exhaustion():
+    budget = ResourceBudget(max_events=150)
+    with pytest.raises(ResourceExhausted) as excinfo:
+        run_shard(SectorConfig(users=1000, shard_size=1000), 0,
+                  budget=budget, chunk=100)
+    assert excinfo.value.resource == "events"
+
+
+def test_run_sector_trial_record_shape_and_classification():
+    record = run_sector_trial(SMALL, 2)
+    assert record["kind"] == "trial"
+    assert record["status"] == "ok"
+    assert record["seed"] == 2
+    assert record["digest"] == sector_digest(SMALL)
+    assert record["summary"]["users"] == 100
+    assert not is_sector_exhaustion(record)
+
+    budget = ResourceBudget(max_events=10)
+    exhausted = run_sector_trial(SMALL, 2, budget=budget, chunk=50)
+    assert exhausted["status"] == "failed"
+    assert exhausted["failure"]["kind"] == "resource-exhaustion"
+    assert is_sector_exhaustion(exhausted)
+
+
+def test_exhaustion_records_are_not_in_the_resume_done_set(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = CampaignJournal(path)
+    journal.append(run_sector_trial(SMALL, 0))
+    journal.append(sector_exhaustion_record(
+        SMALL, 1, ResourceExhausted("rss", "over ceiling")))
+    journal.close()
+    done = journal.completed()
+    assert (sector_digest(SMALL), 0) in done
+    assert (sector_digest(SMALL), 1) not in done
+
+
+# ----------------------------------------------------------------------
+# campaigns: serial, parallel, resumed — one set of bytes
+# ----------------------------------------------------------------------
+def test_serial_and_parallel_sector_journals_are_byte_identical(tmp_path):
+    serial = str(tmp_path / "serial.jsonl")
+    result = run_sector_campaign(SMALL, journal_path=serial)
+    assert not result.exhausted
+    assert len(result.records) == 4
+
+    parallel = str(tmp_path / "parallel.jsonl")
+    presult = run_parallel_sector(SMALL, journal_path=parallel, workers=2)
+    assert sha256(parallel) == sha256(serial)
+
+    aggregate = aggregate_sector(result.records)
+    assert aggregate == aggregate_sector(presult.records)
+    assert aggregate["users"] == 400
+    assert aggregate["shards_ok"] == 4
+    assert aggregate["plt"]["p50"] is not None
+
+
+def test_budget_stop_classifies_and_resume_completes(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    # Event budget covers exactly one shard: the second shard's check
+    # trips before it starts, is journaled as provisional exhaustion,
+    # and the campaign stops instead of crashing.
+    budget = ResourceBudget(max_events=100)
+    result = run_sector_campaign(SMALL, journal_path=path, budget=budget)
+    assert result.exhausted
+    assert len(result.records) == 2
+    assert is_sector_exhaustion(result.records[-1])
+
+    aggregate = aggregate_sector(result.records)
+    assert aggregate["shards_ok"] == 1
+    assert aggregate["shards_exhausted"] == 1
+
+    resumed = run_sector_campaign(SMALL, journal_path=path, resume=True)
+    assert not resumed.exhausted
+    assert sum(1 for r in resumed.records if r.get("resumed")) == 1
+    final = aggregate_sector(resumed.records)
+    assert final["users"] == 400 and final["shards_exhausted"] == 0
+
+
+def test_resume_requires_journal(tmp_path):
+    with pytest.raises(ValueError):
+        run_sector_campaign(SMALL, resume=True)
+    with pytest.raises(FileNotFoundError):
+        run_sector_campaign(SMALL, resume=True,
+                            journal_path=str(tmp_path / "missing.jsonl"))
+
+
+def test_graceful_stop_between_shards(tmp_path):
+    calls = []
+
+    def should_stop():
+        calls.append(1)
+        return len(calls) > 2
+    result = run_sector_campaign(SMALL, should_stop=should_stop)
+    assert result.stopped_early
+    assert len(result.records) == 2
+
+
+def test_shard_records_merge_to_population_quantiles():
+    # Aggregating shard sketches must equal sketching the whole
+    # population in one pass — the associativity contract end to end.
+    config = SectorConfig(users=3000, shard_size=700, seed=1)
+    result = run_sector_campaign(config)
+    aggregate = aggregate_sector(result.records)
+
+    whole = run_shard(SectorConfig(users=3000, shard_size=3000, seed=1), 0)
+    assert aggregate["plt"] == whole["plt"].summary()
+    assert aggregate["energy"] == whole["energy"].summary()
+
+
+# ----------------------------------------------------------------------
+# the headline: 10^5 users in bounded memory
+# ----------------------------------------------------------------------
+def test_100k_users_complete_under_a_constant_rss_ceiling(tmp_path):
+    # A generous-but-real ceiling: current RSS + 256 MiB.  Streaming
+    # through sketches keeps per-shard memory O(chunk); holding the
+    # per-user values instead would blow through this by an order of
+    # magnitude.  The budget force-samples RSS between shards, so a
+    # regression fails as a classified exhaustion, not an OOM kill.
+    start_rss = rss_bytes()
+    assert start_rss is not None
+    budget = ResourceBudget(max_rss_bytes=start_rss + (256 << 20))
+    config = SectorConfig(users=100_000, shard_size=25_000, seed=0)
+    path = str(tmp_path / "sector.jsonl")
+    result = run_sector_campaign(config, journal_path=path, budget=budget)
+    assert not result.exhausted
+
+    aggregate = aggregate_sector(result.records)
+    assert aggregate["users"] == 100_000
+    assert aggregate["shards_ok"] == 4
+    # Sketch state on disk is KiB per shard, not MiB of raw samples.
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            assert len(line) < 64 * 1024
+            record = json.loads(line)
+            assert record["summary"]["plt"]["kind"] == "metric-sketch"

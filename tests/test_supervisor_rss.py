@@ -1,0 +1,284 @@
+"""RSS supervision: balloon kills, reduced retries, exhaustion, exit 4.
+
+Real-memory end-to-end coverage uses the ``REPRO_PARALLEL_BALLOON``
+self-chaos hook (a worker genuinely inflates its RSS and holds it with
+its heartbeat alive, so only the RSS watchdog — not the hang detector —
+can object); the watchdog's decision logic itself is driven directly on
+injected clocks and samplers, with no real processes or memory.
+"""
+
+import hashlib
+import heapq
+import os
+
+import pytest
+
+from repro.experiments.population import SectorConfig
+from repro.parallel import (CampaignSpec, Supervisor, TrialTask,
+                            run_parallel_sector)
+from repro.parallel.cli import (EXIT_INCOMPLETE, EXIT_INTERRUPTED,
+                                EXIT_RESOURCE, supervision_exit_code)
+from repro.parallel.supervisor import _RSS_POLL
+from repro.parallel.worker import _balloon_env
+from repro.experiments.population import run_sector_campaign
+
+
+def sha256(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+SECTOR = SectorConfig(users=300, shard_size=100, seed=5)
+
+
+# ----------------------------------------------------------------------
+# the balloon hook
+# ----------------------------------------------------------------------
+def test_balloon_env_parses_positions_sizes_and_bangs(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_BALLOON",
+                       "3:64, 7!, 9:256!, junk, 12:xx, :5")
+    assert _balloon_env() == {3: (64, False), 7: (128, True),
+                              9: (256, True), 12: (128, False)}
+    monkeypatch.delenv("REPRO_PARALLEL_BALLOON")
+    assert _balloon_env() == {}
+
+
+# ----------------------------------------------------------------------
+# watchdog decision logic (injected clock + sampler, no processes)
+# ----------------------------------------------------------------------
+class FakeProc:
+    def __init__(self, pid):
+        self.pid = pid
+        self.exitcode = None
+        self.killed = False
+
+    def kill(self):
+        self.killed = True
+
+
+class FakeHandle:
+    """Duck-typed _WorkerHandle: just the attrs the watchdog reads."""
+
+    def __init__(self, wid, pid, position):
+        self.wid = wid
+        self.proc = FakeProc(pid)
+        self.current = TrialTask(position=position, key=("trial", "d",
+                                                         position))
+        self.rss_killed = False
+        self.timed_out = False
+
+
+def make_supervisor(tmp_path, notify, rss):
+    spec = CampaignSpec(mode="sector", sector=SECTOR)
+    return Supervisor(spec, str(tmp_path), workers=1, max_rss_mb=64,
+                      notify=notify, rss_sampler=lambda pid: rss(pid),
+                      exhaust_record=lambda position, message: {
+                          "kind": "trial", "seed": position,
+                          "status": "failed",
+                          "failure": {"kind": "resource-exhaustion",
+                                      "message": message}},
+                      clock=lambda: 0.0, sleep=lambda seconds: None)
+
+
+def test_check_rss_kills_only_over_ceiling_and_throttles(tmp_path):
+    messages = []
+    rss_by_pid = {101: 65 << 20, 102: 10 << 20}
+    samples = []
+
+    def sampler(pid):
+        samples.append(pid)
+        return rss_by_pid[pid]
+
+    supervisor = make_supervisor(tmp_path, messages.append, sampler)
+    fat, thin = FakeHandle(0, 101, 0), FakeHandle(1, 102, 1)
+    supervisor._handles = {0: fat, 1: thin}
+
+    supervisor._check_rss(now=10.0)
+    assert fat.rss_killed and fat.proc.killed
+    assert not thin.rss_killed and not thin.proc.killed
+    assert supervisor.stats.rss_kills == 1
+    assert any("over RSS ceiling" in m for m in messages)
+
+    # Within the poll interval nothing is sampled again.
+    before = len(samples)
+    supervisor._check_rss(now=10.0 + _RSS_POLL / 2)
+    assert len(samples) == before
+    supervisor._check_rss(now=10.0 + _RSS_POLL * 1.5)
+    assert len(samples) > before
+
+
+def test_check_rss_skips_idle_dead_and_unmeasurable_workers(tmp_path):
+    supervisor = make_supervisor(tmp_path, lambda m: None,
+                                 lambda pid: None)
+    idle = FakeHandle(0, 101, 0)
+    idle.current = None
+    dead = FakeHandle(1, 102, 1)
+    dead.proc.exitcode = -9
+    unmeasurable = FakeHandle(2, 103, 2)
+    supervisor._handles = {0: idle, 1: dead, 2: unmeasurable}
+    supervisor._check_rss(now=10.0)
+    assert supervisor.stats.rss_kills == 0
+    assert not any(h.proc.killed for h in supervisor._handles.values())
+
+
+def test_first_rss_kill_requeues_reduced_without_burning_a_retry(tmp_path):
+    supervisor = make_supervisor(tmp_path, lambda m: None,
+                                 lambda pid: None)
+    supervisor._draining = True  # keep _check_liveness from respawning
+    handle = FakeHandle(0, 101, 0)
+    handle.rss_killed = True
+    handle.proc.exitcode = -9
+    supervisor._handles = {0: handle}
+    pending, outstanding = [], {0}
+    supervisor._check_liveness(5.0, pending, outstanding)
+    assert len(pending) == 1
+    _, _, task = heapq.heappop(pending)
+    assert task.reduced and task.attempt == 0
+    assert task.not_before == 5.0
+    assert 0 in outstanding
+    assert supervisor.stats.exhausted == 0
+
+
+def test_second_rss_kill_journals_provisional_exhaustion(tmp_path):
+    supervisor = make_supervisor(tmp_path, lambda m: None,
+                                 lambda pid: None)
+    handle = FakeHandle(0, 101, 0)
+    handle.rss_killed = True
+    handle.proc.exitcode = -9
+    handle.current.reduced = True  # already had its reduced retry
+    supervisor._handles = {0: handle}
+    pending, outstanding = [], {0}
+    supervisor._check_liveness(5.0, pending, outstanding)
+    assert pending == []
+    assert outstanding == set()
+    assert supervisor.stats.exhausted == 1
+    supervisor._own_journal.close()
+    records = supervisor._own_journal.load()
+    assert len(records) == 1
+    assert records[0]["failure"]["kind"] == "resource-exhaustion"
+    # The record landed in a worker-glob journal so merge/resume see it.
+    assert os.path.basename(supervisor._own_journal.path).startswith(
+        "worker-")
+
+
+def test_double_kill_without_record_builder_counts_lost(tmp_path):
+    supervisor = make_supervisor(tmp_path, lambda m: None,
+                                 lambda pid: None)
+    supervisor.exhaust_record = None
+    task = TrialTask(position=3, key=("trial", "d", 3), reduced=True)
+    outstanding = {3}
+    supervisor._exhaust(task, outstanding)
+    assert supervisor.stats.lost == 1
+    assert supervisor.lost_tasks == [task]
+
+
+# ----------------------------------------------------------------------
+# exit-code contract
+# ----------------------------------------------------------------------
+class StubResult:
+    def __init__(self, parallel=None, stopped_early=False, exhausted=False,
+                 failed_count=0, exhausted_count=0):
+        self.parallel = parallel or {}
+        self.stopped_early = stopped_early
+        self.exhausted = exhausted
+        self.failed_count = failed_count
+        self.exhausted_count = exhausted_count
+
+
+def test_supervision_exit_code_precedence():
+    assert supervision_exit_code(StubResult(), 0) == 0
+    assert supervision_exit_code(StubResult(), 2) == 1
+    assert supervision_exit_code(
+        StubResult(stopped_early=True), 0) == EXIT_INCOMPLETE
+    assert supervision_exit_code(
+        StubResult(parallel={"lost": 1}), 0) == EXIT_INCOMPLETE
+    assert supervision_exit_code(
+        StubResult(parallel={"exhausted": 1, "lost": 1}),
+        3) == EXIT_RESOURCE
+    assert supervision_exit_code(
+        StubResult(exhausted=True, stopped_early=True), 0) == EXIT_RESOURCE
+    assert supervision_exit_code(
+        StubResult(parallel={"drained": True, "exhausted": 1}),
+        5) == EXIT_INTERRUPTED
+
+
+def test_serial_exit_code_precedence(capsys):
+    from repro.cli import _serial_exit_code
+    assert _serial_exit_code(StubResult(), None) == 0
+    assert _serial_exit_code(StubResult(failed_count=2), None) == 1
+    assert _serial_exit_code(
+        StubResult(exhausted=True, failed_count=2), "j.jsonl") == 4
+    assert _serial_exit_code(StubResult(exhausted_count=1), None) == 4
+    assert _serial_exit_code(
+        StubResult(stopped_early=True, exhausted=True), "j.jsonl") == 130
+    err = capsys.readouterr().err
+    assert "resume with --resume j.jsonl" in err
+
+
+# ----------------------------------------------------------------------
+# end to end with real memory pressure
+# ----------------------------------------------------------------------
+def test_rss_kill_then_reduced_retry_succeeds_byte_identical(
+        tmp_path, monkeypatch):
+    serial = str(tmp_path / "serial.jsonl")
+    monkeypatch.delenv("REPRO_PARALLEL_BALLOON", raising=False)
+    run_sector_campaign(SECTOR, journal_path=serial)
+
+    # Shard 0's first attempt balloons to 256 MiB (full scale only):
+    # the watchdog kills it, the reduced retry runs clean, and the
+    # journal still converges to the serial bytes.
+    monkeypatch.setenv("REPRO_PARALLEL_BALLOON", "0:256")
+    parallel = str(tmp_path / "parallel.jsonl")
+    messages = []
+    result = run_parallel_sector(SECTOR, journal_path=parallel, workers=2,
+                                 max_rss_mb=128, notify=messages.append)
+    assert result.parallel["rss_kills"] >= 1
+    assert result.parallel["exhausted"] == 0
+    assert not result.exhausted
+    assert any("reduced scale" in m for m in messages)
+    assert sha256(parallel) == sha256(serial)
+    assert supervision_exit_code(result, 0) == 0
+
+
+def test_double_rss_kill_classifies_exit_4_then_resumes(
+        tmp_path, monkeypatch):
+    serial = str(tmp_path / "serial.jsonl")
+    monkeypatch.delenv("REPRO_PARALLEL_BALLOON", raising=False)
+    run_sector_campaign(SECTOR, journal_path=serial)
+
+    # The "!" balloon inflates on the reduced retry too: two kills,
+    # provisional exhaustion record, exit 4 — never an unclassified
+    # crash.
+    monkeypatch.setenv("REPRO_PARALLEL_BALLOON", "0:256!")
+    journal = str(tmp_path / "parallel.jsonl")
+    result = run_parallel_sector(SECTOR, journal_path=journal, workers=2,
+                                 max_rss_mb=128)
+    assert result.parallel["rss_kills"] == 2
+    assert result.parallel["exhausted"] == 1
+    assert result.exhausted
+    failures = [r for r in result.records
+                if r.get("status") == "failed"]
+    assert len(failures) == 1
+    assert failures[0]["failure"]["kind"] == "resource-exhaustion"
+    assert supervision_exit_code(result, len(failures)) == EXIT_RESOURCE
+
+    # On a "bigger box" (no balloon) resume re-runs only the exhausted
+    # shard; the real record supersedes the provisional one and the
+    # journal converges to the healthy campaign's bytes.
+    monkeypatch.delenv("REPRO_PARALLEL_BALLOON")
+    resumed = run_parallel_sector(SECTOR, journal_path=journal,
+                                  resume=True, workers=2, max_rss_mb=128)
+    assert not resumed.exhausted
+    assert sum(1 for r in resumed.records if r.get("resumed")) == 2
+    assert sha256(journal) == sha256(serial)
+    assert supervision_exit_code(resumed, 0) == 0
+
+
+def test_rss_watchdog_disarmed_without_ceiling(tmp_path, monkeypatch):
+    # No --max-rss-mb: the balloon inflates and nothing objects.
+    monkeypatch.setenv("REPRO_PARALLEL_BALLOON", "0:64")
+    result = run_parallel_sector(SECTOR,
+                                 journal_path=str(tmp_path / "j.jsonl"),
+                                 workers=2)
+    assert result.parallel["rss_kills"] == 0
+    assert len(result.records) == 3
